@@ -1,0 +1,40 @@
+//! Ablation (§2.1 footnote 2): "adding, when possible, a second card
+//! cleaning pass yields a further reduction in pause time, without a
+//! noticeable impact on throughput."
+
+use mcgc_bench::{banner, steady, gc_config, heap_bytes, jbb_opts, seconds};
+use mcgc_core::CollectorMode;
+use mcgc_workloads::jbb;
+
+fn main() {
+    banner(
+        "Ablation — concurrent card-cleaning passes (§2.1 footnote 2)",
+        "a second pass reduces final cleaning / pause at similar throughput",
+    );
+    let heap = heap_bytes(48);
+    let secs = seconds(2.5);
+    let opts = jbb_opts(heap, 4, secs);
+    println!(
+        "{:<7} {:>12} {:>12} {:>12} {:>14} {:>13}",
+        "passes", "throughput", "avg pause", "max pause", "final cards", "conc cards"
+    );
+    for passes in [1usize, 2, 3] {
+        let mut cfg = gc_config(CollectorMode::Concurrent, heap);
+        cfg.card_clean_passes = passes;
+        let r = jbb::run_standalone(cfg, &opts);
+        let log = steady(&r.log);
+        let conc: u64 = log.cycles.iter().map(|c| c.cards_cleaned_concurrent).sum();
+        let n = log.cycles.len().max(1) as u64;
+        println!(
+            "{:<7} {:>7.0} tx/s {:>9.1} ms {:>9.1} ms {:>14.0} {:>13}",
+            passes,
+            r.throughput(),
+            log.avg_pause_ms(),
+            log.max_pause_ms(),
+            log.avg_final_card_cleaning(),
+            conc / n,
+        );
+    }
+    println!("\nshape check: more passes move card cleaning out of the pause");
+    println!("(lower final cards) without a large throughput cost.");
+}

@@ -1,0 +1,39 @@
+//! Ablation (§7 future work, implemented): lazy sweep defers sweeping to
+//! after the stop-the-world phase, spreading it between mutators and
+//! background threads — "we would obtain a large additional reduction in
+//! pause times", bringing the pause close to the mark component alone.
+
+use mcgc_bench::{banner, steady, gc_config, heap_bytes, jbb_opts, seconds};
+use mcgc_core::{CollectorMode, SweepMode};
+use mcgc_workloads::jbb;
+
+fn main() {
+    banner(
+        "Ablation — eager vs lazy sweep (§7)",
+        "lazy sweep removes the sweep component from the pause",
+    );
+    let heap = heap_bytes(64);
+    let secs = seconds(2.5);
+    let opts = jbb_opts(heap, 4, secs);
+    println!(
+        "{:<7} {:>12} {:>12} {:>12} {:>11} {:>11}",
+        "sweep", "throughput", "avg pause", "max pause", "avg mark", "avg sweep"
+    );
+    for (name, mode) in [("eager", SweepMode::Eager), ("lazy", SweepMode::Lazy)] {
+        let mut cfg = gc_config(CollectorMode::Concurrent, heap);
+        cfg.sweep = mode;
+        let r = jbb::run_standalone(cfg, &opts);
+        let log = steady(&r.log);
+        println!(
+            "{:<7} {:>7.0} tx/s {:>9.1} ms {:>9.1} ms {:>8.1} ms {:>8.1} ms",
+            name,
+            r.throughput(),
+            log.avg_pause_ms(),
+            log.max_pause_ms(),
+            log.avg_mark_ms(),
+            log.avg_sweep_ms(),
+        );
+    }
+    println!("\nshape check: the lazy pause is close to the mark component");
+    println!("alone (what Figure 2's 42%-sweep share motivates).");
+}

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the §4 work packet mechanism: get/put
+//! cost, push/pop throughput, contended access, and termination checks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mcgc_packets::{PacketPool, PoolConfig, WorkBuffer};
+
+fn packet_get_put(c: &mut Criterion) {
+    let pool: PacketPool<u64> = PacketPool::new(PoolConfig::default());
+    c.bench_function("packets/get_output_put", |b| {
+        b.iter(|| {
+            let p = pool.get_output().expect("packet");
+            std::hint::black_box(&p);
+            pool.put(p);
+        })
+    });
+}
+
+fn packet_push_pop(c: &mut Criterion) {
+    let pool: PacketPool<u64> = PacketPool::new(PoolConfig::default());
+    let mut group = c.benchmark_group("packets/push_pop");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("1000_items_roundtrip", |b| {
+        b.iter(|| {
+            let mut buf = WorkBuffer::new(&pool);
+            for i in 0..1000u64 {
+                let _ = buf.push(i);
+            }
+            let mut n = 0;
+            while buf.pop().is_some() {
+                n += 1;
+            }
+            std::hint::black_box(n);
+        })
+    });
+    group.finish();
+}
+
+fn termination_check(c: &mut Criterion) {
+    let pool: PacketPool<u64> = PacketPool::new(PoolConfig::default());
+    c.bench_function("packets/is_tracing_complete", |b| {
+        b.iter(|| std::hint::black_box(pool.is_tracing_complete()))
+    });
+}
+
+fn contended_pool(c: &mut Criterion) {
+    // Four threads hammering a small pool: measures CAS-loop behaviour
+    // under contention (Table 4's cost metric at micro scale).
+    let mut group = c.benchmark_group("packets/contended");
+    group.sample_size(20);
+    group.bench_function("4_threads_2000_items_each", |b| {
+        b.iter_batched(
+            || PacketPool::<u64>::new(PoolConfig { packets: 64, capacity: 16 }),
+            |pool| {
+                std::thread::scope(|s| {
+                    for t in 0..4u64 {
+                        let pool = &pool;
+                        s.spawn(move || {
+                            let mut buf = WorkBuffer::new(pool);
+                            for i in 0..2000u64 {
+                                let _ = buf.push(t * 10_000 + i);
+                                if i % 3 == 0 {
+                                    let _ = buf.pop();
+                                }
+                            }
+                            while buf.pop().is_some() {}
+                        });
+                    }
+                });
+                std::hint::black_box(pool.stats().cas_ops);
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    packet_get_put,
+    packet_push_pop,
+    termination_check,
+    contended_pool
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks of the heap substrate: bitwise sweep
+//! throughput (serial vs parallel), mark-bit operations, and the write
+//! barrier.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mcgc_heap::{
+    sweep_parallel, sweep_serial, AllocCache, Heap, HeapConfig, ObjectShape,
+};
+
+fn build_heap(heap_bytes: usize, live_every: u32) -> Heap {
+    let heap = Heap::new(HeapConfig::with_heap_bytes(heap_bytes));
+    let mut cache = AllocCache::new();
+    let shape = ObjectShape::new(2, 4, 1);
+    let mut i = 0u32;
+    loop {
+        match heap.alloc_small(&mut cache, shape) {
+            Some(obj) => {
+                if i % live_every == 0 {
+                    heap.mark(obj);
+                }
+                i += 1;
+            }
+            None => {
+                if !heap.refill_cache(&mut cache, shape.granules()) {
+                    break;
+                }
+            }
+        }
+    }
+    heap.retire_cache(&mut cache);
+    heap
+}
+
+fn sweep_throughput(c: &mut Criterion) {
+    let heap_bytes = 16 << 20;
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(heap_bytes as u64));
+    for (name, live_every) in [("60pct_live", 2u32), ("sparse_live", 16)] {
+        group.bench_function(format!("serial/{name}"), |b| {
+            b.iter_batched(
+                || build_heap(heap_bytes, live_every),
+                |heap| std::hint::black_box(sweep_serial(&heap, 16 << 10)),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("parallel2/{name}"), |b| {
+            b.iter_batched(
+                || build_heap(heap_bytes, live_every),
+                |heap| std::hint::black_box(sweep_parallel(&heap, 16 << 10, 2)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn mark_bit_ops(c: &mut Criterion) {
+    let heap = Heap::new(HeapConfig::with_heap_bytes(8 << 20));
+    let mut cache = AllocCache::new();
+    heap.refill_cache(&mut cache, 8);
+    let obj = heap
+        .alloc_small(&mut cache, ObjectShape::new(0, 4, 0))
+        .unwrap();
+    heap.publish_cache(&mut cache);
+    c.bench_function("mark/set_already_marked", |b| {
+        heap.mark(obj);
+        b.iter(|| std::hint::black_box(heap.mark(obj)))
+    });
+    c.bench_function("mark/is_marked", |b| {
+        b.iter(|| std::hint::black_box(heap.is_marked(obj)))
+    });
+}
+
+fn write_barrier(c: &mut Criterion) {
+    // The raw store + card dirty (the mutator-side §5.3 sequence).
+    let heap = Heap::new(HeapConfig::with_heap_bytes(8 << 20));
+    let mut cache = AllocCache::new();
+    heap.refill_cache(&mut cache, 16);
+    let a = heap.alloc_small(&mut cache, ObjectShape::new(2, 0, 0)).unwrap();
+    let b_obj = heap.alloc_small(&mut cache, ObjectShape::new(0, 2, 0)).unwrap();
+    heap.publish_cache(&mut cache);
+    c.bench_function("write_barrier/store_and_dirty", |bch| {
+        bch.iter(|| {
+            heap.store_ref_unbarriered(a, 0, Some(b_obj));
+            heap.cards().dirty(a.card());
+        })
+    });
+}
+
+fn allocation_fast_path(c: &mut Criterion) {
+    let shape = ObjectShape::new(1, 3, 0);
+    let per_batch = 10_000usize;
+    let mut group = c.benchmark_group("alloc");
+    group.throughput(Throughput::Elements(per_batch as u64));
+    group.sample_size(20);
+    group.bench_function("small_bump_10k", |b| {
+        b.iter_batched(
+            || Heap::new(HeapConfig::with_heap_bytes(16 << 20)),
+            |heap| {
+                let mut cache = AllocCache::new();
+                heap.refill_cache(&mut cache, shape.granules());
+                for _ in 0..per_batch {
+                    match heap.alloc_small(&mut cache, shape) {
+                        Some(o) => {
+                            std::hint::black_box(o);
+                        }
+                        None => {
+                            heap.refill_cache(&mut cache, shape.granules());
+                        }
+                    }
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    sweep_throughput,
+    mark_bit_ops,
+    write_barrier,
+    allocation_fast_path
+);
+criterion_main!(benches);

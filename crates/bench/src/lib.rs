@@ -1,0 +1,103 @@
+//! Shared harness utilities for the paper-reproduction benches.
+//!
+//! Every table and figure in the paper's §6 has a `[[bench]]` target
+//! (`harness = false`) in this crate that prints the same rows or series
+//! the paper reports. Scale knobs:
+//!
+//! * `MCGC_SCALE` — multiplies heap sizes and run durations (default 1.0;
+//!   the defaults keep the full suite to minutes on one CPU).
+//! * `MCGC_SECONDS` — measurement window per configuration point.
+//!
+//! Pause columns are work-model milliseconds (deterministic, calibrated
+//! to the paper's 4-way testbed; see `CostModel`); wall-clock is also
+//! recorded in the logs for reference.
+
+use std::time::Duration;
+
+use mcgc_core::{CollectorMode, GcConfig};
+use mcgc_workloads::jbb::JbbOptions;
+
+/// Global scale factor from `MCGC_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("MCGC_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Measurement window per configuration point, from `MCGC_SECONDS`.
+pub fn seconds(default: f64) -> Duration {
+    let s = std::env::var("MCGC_SECONDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default);
+    Duration::from_secs_f64(s * scale())
+}
+
+/// Scaled heap size in bytes.
+pub fn heap_bytes(default_mb: usize) -> usize {
+    (((default_mb as f64 * scale()) as usize).max(8)) << 20
+}
+
+/// A jbb configuration point matching the paper's SPECjbb setup (60%
+/// residency).
+pub fn jbb_opts(heap: usize, warehouses: usize, secs: Duration) -> JbbOptions {
+    let mut opts = JbbOptions::sized_for(heap, warehouses, 0.6);
+    opts.duration = secs;
+    opts
+}
+
+/// Collector config for the given mode and heap (paper-default knobs).
+pub fn gc_config(mode: CollectorMode, heap: usize) -> GcConfig {
+    let mut cfg = GcConfig::with_heap_bytes(heap);
+    cfg.mode = mode;
+    cfg
+}
+
+/// Drops warm-up cycles from a log (SPECjbb-style ramp-up exclusion):
+/// the first cycles run before the pacer's `L`/`M` estimates converge.
+pub fn steady(log: &mcgc_core::GcLog) -> mcgc_core::GcLog {
+    let skip = (log.cycles.len() / 4).min(2);
+    mcgc_core::GcLog {
+        cycles: log.cycles[skip..].to_vec(),
+    }
+}
+
+/// Prints the standard bench header naming the reproduced result.
+pub fn banner(what: &str, paper: &str) {
+    println!("==============================================================");
+    println!("{what}");
+    println!("paper: {paper}");
+    println!("scale: {} (MCGC_SCALE), pauses are work-model ms", scale());
+    println!("==============================================================");
+}
+
+/// Formats a float with fixed precision, or "-" for NaN.
+pub fn fnum(v: f64, prec: usize) -> String {
+    if v.is_nan() {
+        "-".into()
+    } else {
+        format!("{v:.prec$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_one() {
+        if std::env::var("MCGC_SCALE").is_err() {
+            assert_eq!(scale(), 1.0);
+            assert_eq!(heap_bytes(32), 32 << 20);
+        }
+    }
+
+    #[test]
+    fn jbb_opts_sized() {
+        let o = jbb_opts(64 << 20, 8, Duration::from_secs(1));
+        assert_eq!(o.warehouses, 8);
+        assert_eq!(o.terminals_per_warehouse, 1);
+        assert!(o.live_bytes_per_warehouse > 0);
+    }
+}

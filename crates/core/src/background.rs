@@ -1,0 +1,47 @@
+//! Low-priority background collector threads (paper §3): they soak up
+//! idle processor time by tracing whenever a concurrent phase is active,
+//! making whatever progress is possible without burdening the system;
+//! the incremental (mutator) tracing guarantees progress regardless.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::collector::Gc;
+use crate::tracing::TraceRole;
+
+/// Background thread main loop. "Low priority" is approximated by short
+/// quanta with yielding sleeps between them (real thread priorities are
+/// not portably available); the paper's accounting (§3.2) only relies on
+/// the *measured* background rate `B`, not on a particular scheduler.
+pub(crate) fn run(gc: Arc<Gc>) {
+    gc.register_thread();
+    while !gc.shutdown_flag.load(std::sync::atomic::Ordering::Relaxed) {
+        gc.poll_safepoint();
+        if gc.in_concurrent_phase() {
+            let quantum = gc.config.background_quantum as u64;
+            let done = gc.trace_increment(quantum, TraceRole::Background);
+            if done == 0 {
+                // No concurrent work right now: yield (the paper's
+                // background threads yield and retry).
+                idle(&gc, Duration::from_micros(200));
+            } else {
+                // Brief yield between quanta keeps "low priority".
+                std::thread::yield_now();
+            }
+        } else if gc.sweep_some_lazy() {
+            // Lazy-sweep chunks are background work too (§7).
+            std::thread::yield_now();
+        } else {
+            idle(&gc, Duration::from_micros(500));
+        }
+    }
+    gc.deregister_thread();
+}
+
+/// Sleeps while counted *safe* so the collector never waits on an idle
+/// background thread.
+fn idle(gc: &Gc, d: Duration) {
+    gc.enter_safe();
+    std::thread::sleep(d);
+    gc.exit_safe();
+}

@@ -1,0 +1,889 @@
+//! The collector: phase control, safepoints, kickoff, and the parallel
+//! stop-the-world pause (paper §2).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mcgc_heap::{sweep_parallel, Heap, LazySweep, ObjectRef};
+use mcgc_packets::{PacketPool, WorkBuffer};
+use parking_lot::{Condvar, Mutex};
+
+use crate::background;
+use crate::config::{CollectorMode, GcConfig, SweepMode};
+use crate::mutator::Mutator;
+use crate::pacing::Pacer;
+use crate::roots::{MutatorShared, StwSync};
+use crate::stats::{CycleStats, GcLog, Trigger};
+
+/// Collector phase as seen by mutators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// No collection in progress.
+    Idle,
+    /// The concurrent (tracing) phase is active.
+    Concurrent,
+}
+
+pub(crate) const PHASE_IDLE: u8 = 0;
+pub(crate) const PHASE_CONCURRENT: u8 = 1;
+
+/// Errors surfaced to mutators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GcError {
+    /// The heap cannot satisfy the allocation even after a full
+    /// collection.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for GcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GcError::OutOfMemory => write!(f, "out of memory after full collection"),
+        }
+    }
+}
+
+impl std::error::Error for GcError {}
+
+/// Per-cycle atomic work counters (reset at cycle initialization).
+#[derive(Debug, Default)]
+pub(crate) struct CycleCounters {
+    pub traced_mutator: AtomicU64,
+    pub traced_background: AtomicU64,
+    pub traced_stw: AtomicU64,
+    pub card_scanned_bytes: AtomicU64,
+    pub cards_cleaned_conc: AtomicU64,
+    pub cards_cleaned_stw: AtomicU64,
+    pub cards_table_scanned: AtomicU64,
+    pub handshakes: AtomicU64,
+    pub deferred: AtomicU64,
+    pub overflows: AtomicU64,
+    pub root_slots: AtomicU64,
+}
+
+impl CycleCounters {
+    fn reset(&self) {
+        for c in [
+            &self.traced_mutator,
+            &self.traced_background,
+            &self.traced_stw,
+            &self.card_scanned_bytes,
+            &self.cards_cleaned_conc,
+            &self.cards_cleaned_stw,
+            &self.cards_table_scanned,
+            &self.handshakes,
+            &self.deferred,
+            &self.overflows,
+            &self.root_slots,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Total bytes traced concurrently (`T` in the progress formula).
+    pub fn traced_concurrent(&self) -> u64 {
+        self.traced_mutator.load(Ordering::Relaxed)
+            + self.traced_background.load(Ordering::Relaxed)
+    }
+}
+
+/// Concurrent card-cleaning progress (paper §2.1, §5.3).
+#[derive(Debug, Default)]
+pub(crate) struct CardCleanState {
+    /// Current cleaning pass (0-based; `config.card_clean_passes` total).
+    pub pass: usize,
+    /// Next card index the snapshot scan will examine.
+    pub cursor: usize,
+    /// Registered dirty cards awaiting cleaning (§5.3 step 1 output).
+    pub registry: VecDeque<usize>,
+    /// All configured passes completed.
+    pub done: bool,
+}
+
+impl CardCleanState {
+    fn reset(&mut self) {
+        self.pass = 0;
+        self.cursor = 0;
+        self.registry.clear();
+        self.done = false;
+    }
+}
+
+/// Tracing-increment accumulator for Table 4's tracing factor/fairness.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct IncrementAccum {
+    pub n: u64,
+    pub factor_sum: f64,
+    pub factor_sq_sum: f64,
+}
+
+#[derive(Debug)]
+struct Timeline {
+    last_cycle_end: Instant,
+    kickoff: Option<Instant>,
+    alloc_at_last_end: u64,
+    alloc_at_kickoff: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct BgWindow {
+    pub(crate) at: Instant,
+    pub(crate) bg_traced: u64,
+    pub(crate) allocated: u64,
+}
+
+/// The garbage collector: the paper's parallel, incremental, mostly
+/// concurrent mark-sweep (CGC), or the stop-the-world baseline (STW),
+/// selected by [`GcConfig::mode`].
+///
+/// Application threads register via [`Gc::register_mutator`] and perform
+/// all heap access through their [`Mutator`] handle; the handle's
+/// allocation slow path is where kickoff checks, incremental tracing, and
+/// collections happen, exactly as in the paper.
+pub struct Gc {
+    pub(crate) config: GcConfig,
+    pub(crate) heap: Heap,
+    pub(crate) pool: PacketPool<ObjectRef>,
+    pub(crate) pacer: Mutex<Pacer>,
+
+    phase: AtomicU8,
+    cycle: AtomicU64,
+
+    // stop-the-world rendezvous
+    pub(crate) stop_requested: AtomicBool,
+    stw: Mutex<StwSync>,
+    stw_cv: Condvar,
+    coordinator: Mutex<()>,
+
+    pub(crate) mutators: Mutex<Vec<Arc<MutatorShared>>>,
+    next_mutator_id: AtomicU64,
+    pub(crate) global_roots: Mutex<Vec<u64>>,
+    pub(crate) global_scanned_cycle: AtomicU64,
+
+    pub(crate) counters: CycleCounters,
+    pub(crate) card_state: Mutex<CardCleanState>,
+    pub(crate) increments: Mutex<IncrementAccum>,
+
+    timeline: Mutex<Timeline>,
+    pub(crate) bg_window: Mutex<BgWindow>,
+
+    pub(crate) lazy: Mutex<Option<Arc<LazySweep>>>,
+    /// Set when the previous pause pre-cleared the mark bits and card
+    /// table (only possible with eager sweep; lazy sweep still needs the
+    /// mark bits after the pause).
+    bits_pre_cleared: AtomicBool,
+
+    log: Mutex<GcLog>,
+    pub(crate) shutdown_flag: AtomicBool,
+    bg_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Gc {
+    /// Creates a collector (and its background threads, in concurrent
+    /// mode). Call [`Gc::shutdown`] when done: the background threads
+    /// hold `Arc<Gc>` references.
+    pub fn new(config: GcConfig) -> Arc<Gc> {
+        let heap = Heap::new(config.heap);
+        let pacer = Pacer::new(&config, heap.total_bytes());
+        let now = Instant::now();
+        let gc = Arc::new(Gc {
+            pool: PacketPool::new(config.pool),
+            pacer: Mutex::new(pacer),
+            phase: AtomicU8::new(PHASE_IDLE),
+            cycle: AtomicU64::new(0),
+            stop_requested: AtomicBool::new(false),
+            stw: Mutex::new(StwSync::default()),
+            stw_cv: Condvar::new(),
+            coordinator: Mutex::new(()),
+            mutators: Mutex::new(Vec::new()),
+            next_mutator_id: AtomicU64::new(0),
+            global_roots: Mutex::new(Vec::new()),
+            global_scanned_cycle: AtomicU64::new(0),
+            counters: CycleCounters::default(),
+            card_state: Mutex::new(CardCleanState::default()),
+            increments: Mutex::new(IncrementAccum::default()),
+            timeline: Mutex::new(Timeline {
+                last_cycle_end: now,
+                kickoff: None,
+                alloc_at_last_end: 0,
+                alloc_at_kickoff: 0,
+            }),
+            bg_window: Mutex::new(BgWindow {
+                at: now,
+                bg_traced: 0,
+                allocated: 0,
+            }),
+            lazy: Mutex::new(None),
+            bits_pre_cleared: AtomicBool::new(false),
+            log: Mutex::new(GcLog::default()),
+            shutdown_flag: AtomicBool::new(false),
+            bg_handles: Mutex::new(Vec::new()),
+            heap,
+            config,
+        });
+        if gc.config.mode == CollectorMode::Concurrent {
+            let mut handles = gc.bg_handles.lock();
+            for idx in 0..gc.config.background_threads {
+                let gc2 = Arc::clone(&gc);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("mcgc-bg-{idx}"))
+                        .spawn(move || background::run(gc2))
+                        .expect("spawn background thread"),
+                );
+            }
+        }
+        gc
+    }
+
+    /// Stops the background threads and waits for them. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown_flag.store(true, Ordering::SeqCst);
+        let handles: Vec<_> = self.bg_handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// The collector configuration.
+    pub fn config(&self) -> &GcConfig {
+        &self.config
+    }
+
+    /// The heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Work-packet pool statistics.
+    pub fn pool_stats(&self) -> mcgc_packets::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        if self.phase.load(Ordering::Acquire) == PHASE_CONCURRENT {
+            Phase::Concurrent
+        } else {
+            Phase::Idle
+        }
+    }
+
+    pub(crate) fn in_concurrent_phase(&self) -> bool {
+        self.phase.load(Ordering::Acquire) == PHASE_CONCURRENT
+    }
+
+    /// Current cycle number (0 before the first collection).
+    pub fn cycle(&self) -> u64 {
+        self.cycle.load(Ordering::Relaxed)
+    }
+
+    /// A clone of the completed-cycle log.
+    pub fn log(&self) -> GcLog {
+        self.log.lock().clone()
+    }
+
+    /// Runs the heap verifier (tests/debugging). Must be called while no
+    /// mutators run, e.g. right after creation or with all threads idle.
+    pub fn verify_heap(&self) -> Vec<mcgc_heap::Violation> {
+        mcgc_heap::verify(&self.heap, false)
+    }
+
+    // ------------------------------------------------------------------
+    // global roots
+    // ------------------------------------------------------------------
+
+    /// Pushes a global root slot (process-wide, scanned every cycle);
+    /// returns its index.
+    pub fn global_root_push(&self, value: Option<ObjectRef>) -> usize {
+        let mut roots = self.global_roots.lock();
+        roots.push(ObjectRef::encode(value));
+        roots.len() - 1
+    }
+
+    /// Overwrites global root slot `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn global_root_set(&self, idx: usize, value: Option<ObjectRef>) {
+        self.global_roots.lock()[idx] = ObjectRef::encode(value);
+    }
+
+    /// Reads global root slot `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn global_root_get(&self, idx: usize) -> Option<ObjectRef> {
+        ObjectRef::decode(self.global_roots.lock()[idx])
+    }
+
+    // ------------------------------------------------------------------
+    // registration
+    // ------------------------------------------------------------------
+
+    /// Registers the calling thread as a mutator.
+    pub fn register_mutator(self: &Arc<Self>) -> Mutator {
+        let id = self.next_mutator_id.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(MutatorShared::new(id));
+        {
+            let mut g = self.stw.lock();
+            // A thread arriving mid-pause waits for the world to resume.
+            while g.stop {
+                self.stw_cv.wait(&mut g);
+            }
+            g.registered += 1;
+            self.mutators.lock().push(Arc::clone(&shared));
+        }
+        Mutator::new(Arc::clone(self), shared)
+    }
+
+    pub(crate) fn deregister_mutator(&self, shared: &Arc<MutatorShared>) {
+        // Retire the cache first (heap ops, done while still "unsafe").
+        self.heap.retire_cache(&mut shared.cache.lock());
+        let mut g = self.stw.lock();
+        self.mutators.lock().retain(|m| m.id != shared.id);
+        g.registered -= 1;
+        self.stw_cv.notify_all();
+    }
+
+    /// Registers a collector-internal thread (background tracer) in the
+    /// rendezvous protocol.
+    pub(crate) fn register_thread(&self) {
+        let mut g = self.stw.lock();
+        while g.stop {
+            self.stw_cv.wait(&mut g);
+        }
+        g.registered += 1;
+    }
+
+    pub(crate) fn deregister_thread(&self) {
+        let mut g = self.stw.lock();
+        g.registered -= 1;
+        self.stw_cv.notify_all();
+    }
+
+    // ------------------------------------------------------------------
+    // safepoints
+    // ------------------------------------------------------------------
+
+    /// Marks the calling registered thread *safe* (parked, blocked, or
+    /// waiting). The collector may stop the world while the thread is
+    /// safe; the thread must not touch the heap until [`Gc::exit_safe`].
+    pub(crate) fn enter_safe(&self) {
+        let mut g = self.stw.lock();
+        g.safe += 1;
+        self.stw_cv.notify_all();
+    }
+
+    /// Leaves the safe state, waiting out any stop-the-world pause.
+    pub(crate) fn exit_safe(&self) {
+        let mut g = self.stw.lock();
+        while g.stop {
+            self.stw_cv.wait(&mut g);
+        }
+        g.safe -= 1;
+    }
+
+    /// Safepoint poll: parks for the duration of a pause if one is
+    /// requested. Cheap when not.
+    #[inline]
+    pub(crate) fn poll_safepoint(&self) {
+        if self.stop_requested.load(Ordering::Relaxed) {
+            self.enter_safe();
+            self.exit_safe();
+        }
+    }
+
+    /// Stops the world: sets the stop flag and waits until every *other*
+    /// registered thread is safe. Caller must hold the coordinator lock
+    /// and be a registered thread itself.
+    fn stop_world(&self) {
+        let mut g = self.stw.lock();
+        g.stop = true;
+        self.stop_requested.store(true, Ordering::SeqCst);
+        while g.safe + 1 < g.registered {
+            self.stw_cv.wait(&mut g);
+        }
+    }
+
+    /// Resumes the world after a pause.
+    fn resume_world(&self) {
+        let mut g = self.stw.lock();
+        g.stop = false;
+        self.stop_requested.store(false, Ordering::SeqCst);
+        self.stw_cv.notify_all();
+    }
+
+    // ------------------------------------------------------------------
+    // cycle control
+    // ------------------------------------------------------------------
+
+    /// Kickoff check (§3.1): starts a new concurrent cycle when free
+    /// memory drops below `(L + M) / K0`. Called from the allocation slow
+    /// path; cheap when no cycle is due.
+    pub(crate) fn maybe_kickoff(&self) {
+        if self.config.mode != CollectorMode::Concurrent || self.in_concurrent_phase() {
+            return;
+        }
+        if !self
+            .pacer
+            .lock()
+            .should_kickoff(self.heap.free_bytes() as u64)
+        {
+            return;
+        }
+        // Block for the coordinator role (counted safe, so a concurrent
+        // pause can proceed); blocking here also throttles allocators
+        // that crossed the threshold while another thread initializes the
+        // cycle, instead of letting them race through the remaining
+        // headroom.
+        self.enter_safe();
+        let _guard = self.coordinator.lock();
+        self.exit_safe();
+        if self.in_concurrent_phase() {
+            return;
+        }
+        // Lazy sweep from the previous cycle must finish before mark bits
+        // are recycled.
+        self.finish_lazy_sweep();
+        if !self
+            .pacer
+            .lock()
+            .should_kickoff(self.heap.free_bytes() as u64)
+        {
+            return; // finishing the sweep recovered enough space
+        }
+        self.begin_cycle_locked(true);
+    }
+
+    /// Initializes a new cycle (§2.1): clears the card table and mark
+    /// bits, resets work state, wakes the background threads (they poll).
+    /// Caller holds the coordinator lock; phase is Idle.
+    ///
+    /// When the previous pause already pre-cleared the bit vectors (eager
+    /// sweep does this while the world is still stopped), initialization
+    /// is near-instant — important because mutators keep allocating while
+    /// this runs, and a slow init would eat the kickoff headroom.
+    fn begin_cycle_locked(&self, kickoff: bool) {
+        debug_assert!(!self.in_concurrent_phase());
+        if self.bits_pre_cleared.swap(false, Ordering::AcqRel) {
+            // Mark bits were pre-cleared at the previous pause; dropping
+            // the (small) card table is all that is left (§2.1 "the card
+            // table is cleared, the mark bits are cleared").
+            self.heap.cards().clear_all();
+        } else {
+            self.heap.begin_cycle();
+        }
+        self.counters.reset();
+        self.card_state.lock().reset();
+        *self.increments.lock() = IncrementAccum::default();
+        self.pool.reset_stats();
+        let cycle = self.cycle.fetch_add(1, Ordering::Relaxed) + 1;
+        let _ = cycle;
+        {
+            let mut t = self.timeline.lock();
+            t.kickoff = Some(Instant::now());
+            t.alloc_at_kickoff = self.heap.bytes_allocated();
+        }
+        {
+            let mut w = self.bg_window.lock();
+            w.at = Instant::now();
+            w.bg_traced = 0;
+            w.allocated = self.heap.bytes_allocated();
+        }
+        if kickoff && std::env::var("MCGC_TRACE_KICKOFF").is_ok() {
+            let p = self.pacer.lock();
+            eprintln!(
+                "[kickoff] cycle={} free={}KB threshold={:.0}KB L={:.0}KB M={:.0}KB B={:.3}",
+                self.cycle.load(Ordering::Relaxed),
+                self.heap.free_bytes() / 1024,
+                p.kickoff_threshold() / 1024.0,
+                p.l_est() / 1024.0,
+                p.m_est() / 1024.0,
+                p.b_est(),
+            );
+        }
+        self.phase.store(PHASE_CONCURRENT, Ordering::Release);
+    }
+
+    /// Requests a collection: finishes the concurrent phase (or runs a
+    /// full stop-the-world collection) and returns once the world has
+    /// resumed. Any registered mutator thread may call this; concurrent
+    /// requests coalesce.
+    pub(crate) fn collect_inner(&self, trigger: Trigger) {
+        self.collect_for_alloc(trigger, usize::MAX);
+    }
+
+    /// Like [`Gc::collect_inner`], but skips the pause if another
+    /// thread's collection already produced a free extent of at least
+    /// `min_contiguous` bytes (the failed request can now succeed).
+    pub(crate) fn collect_for_alloc(&self, trigger: Trigger, min_contiguous: usize) {
+        // Wait for the coordinator role while *safe*, so an in-progress
+        // pause can proceed without us.
+        self.enter_safe();
+        let _guard = self.coordinator.lock();
+        // We hold the coordinator lock: nobody else can set `stop`, so
+        // this returns without blocking.
+        self.exit_safe();
+
+        if trigger == Trigger::AllocationFailure
+            && self.heap.largest_free_bytes() >= min_contiguous
+        {
+            // Another thread's collection already freed a usable run;
+            // total free space is not the test (it may be fragments).
+            return;
+        }
+        if trigger == Trigger::ConcurrentDone && !self.in_concurrent_phase() {
+            return; // someone already finished the phase
+        }
+        self.finish_lazy_sweep();
+        self.stop_world();
+        self.run_pause(trigger);
+        self.resume_world();
+    }
+
+    /// Drives any pending lazy sweep to completion (before a new cycle
+    /// can reuse the mark bits).
+    pub(crate) fn finish_lazy_sweep(&self) {
+        let lazy = self.lazy.lock().clone();
+        if let Some(plan) = lazy {
+            while plan.sweep_one(&self.heap).is_some() {}
+            self.retire_lazy_plan();
+        }
+    }
+
+    /// Sweeps a few lazy chunks on behalf of an allocating mutator;
+    /// returns true if progress was made (caller retries allocation).
+    pub(crate) fn sweep_some_lazy(&self) -> bool {
+        let lazy = self.lazy.lock().clone();
+        let Some(plan) = lazy else { return false };
+        let mut progressed = false;
+        for _ in 0..8 {
+            if plan.sweep_one(&self.heap).is_none() {
+                break;
+            }
+            progressed = true;
+        }
+        if plan.is_done() {
+            self.retire_lazy_plan();
+        }
+        progressed
+    }
+
+    /// Clears a completed lazy-sweep plan and pre-clears the mark bits —
+    /// they are dead weight once every chunk is swept, and clearing them
+    /// now (instead of at the next kickoff) keeps cycle initialization
+    /// instant, as the eager path's in-pause pre-clearing does.
+    fn retire_lazy_plan(&self) {
+        let mut lazy = self.lazy.lock();
+        if let Some(plan) = lazy.as_ref() {
+            if !plan.is_done() {
+                return;
+            }
+            *lazy = None;
+            self.heap.mark_bits().clear_all();
+            self.bits_pre_cleared.store(true, Ordering::Release);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // the pause
+    // ------------------------------------------------------------------
+
+    /// Runs the stop-the-world phase (paper §2.2). World is stopped;
+    /// caller holds the coordinator lock.
+    fn run_pause(&self, trigger: Trigger) {
+        let wall_start = Instant::now();
+        let fresh = !self.in_concurrent_phase();
+        let trigger = if fresh && trigger != Trigger::Explicit {
+            Trigger::Baseline
+        } else {
+            trigger
+        };
+
+        // 1. Retire every allocation cache (publishes pending allocation
+        //    bits; sweep needs cache tails back on the free list).
+        let mutators: Vec<Arc<MutatorShared>> = self.mutators.lock().clone();
+        for m in &mutators {
+            self.heap.retire_cache(&mut m.cache.lock());
+        }
+
+        // A fresh (baseline/explicit-from-idle) collection initializes
+        // its cycle now, under the pause.
+        if fresh {
+            self.begin_cycle_locked(false);
+            self.phase.store(PHASE_CONCURRENT, Ordering::Release);
+            // timeline: no real concurrent phase
+        }
+
+        let free_at_stw_start = self.heap.free_bytes() as u64;
+
+        // 2. Final card cleaning (§2.2) — only meaningful if a concurrent
+        //    phase ran (fresh cycles have a clean card table *except* for
+        //    barrier activity before this instant, which is harmless to
+        //    clean).
+        let (cards_left, stw_clean_work) = self.stw_clean_cards(fresh);
+
+        // 3. Rescan all thread stacks and global roots (§2.2).
+        let root_slots_before = self.counters.root_slots.load(Ordering::Relaxed);
+        {
+            let mut buf = WorkBuffer::new(&self.pool);
+            for m in &mutators {
+                self.scan_stack(m, &mut buf);
+            }
+            self.scan_global_roots(&mut buf);
+            buf.finish();
+        }
+        let root_slots = self.counters.root_slots.load(Ordering::Relaxed) - root_slots_before;
+
+        // 4. Complete marking in parallel (§2.2; marker similar to Endo
+        //    et al.). Packet overflow during this drain falls back to
+        //    mark-and-dirty-card (§4.3), so iterate: after each drain,
+        //    clean any cards dirtied by overflow and drain again.
+        //    Marking is monotone, so this terminates.
+        let stw_traced_before = self.counters.traced_stw.load(Ordering::Relaxed);
+        let mut extra_clean_ms = 0.0;
+        loop {
+            self.drain_marking_parallel();
+            let mut redirty = Vec::new();
+            self.heap
+                .cards()
+                .snapshot_dirty(0, self.heap.cards().len(), &mut redirty);
+            if redirty.is_empty() {
+                break;
+            }
+            let mut scanned = 0u64;
+            let mut buf = WorkBuffer::new(&self.pool);
+            for card in &redirty {
+                scanned += self.clean_one_card(*card, &mut buf, true);
+            }
+            buf.finish();
+            extra_clean_ms += self
+                .config
+                .cost
+                .card_ms(self.heap.cards().len() as u64, redirty.len() as u64)
+                + self.config.cost.trace_ms(scanned);
+        }
+        let stw_traced = self.counters.traced_stw.load(Ordering::Relaxed) - stw_traced_before;
+
+        // 5. Sweep.
+        let chunk = self.config.sweep_chunk_granules;
+        let (live_objects, live_granules, sweep_chunks, lazy_planned) = match self.config.sweep {
+            SweepMode::Eager => {
+                let s = sweep_parallel(&self.heap, chunk, self.config.stw_workers.max(1));
+                (s.live_objects as u64, s.live_granules as u64, s.chunks as u64, false)
+            }
+            SweepMode::Lazy => {
+                let live_objects = self.heap.mark_bits().count() as u64;
+                *self.lazy.lock() = Some(Arc::new(LazySweep::new(&self.heap, chunk)));
+                (live_objects, 0, 0, true)
+            }
+        };
+
+        // 6. Account the cycle.
+        let cost = &self.config.cost;
+        let card_single_ms = stw_clean_work + extra_clean_ms;
+        let root_single_ms = cost.roots_ms(root_slots);
+        let trace_single_ms = cost.trace_ms(stw_traced);
+        let sweep_single_ms = if lazy_planned {
+            0.0
+        } else {
+            cost.sweep_ms(live_objects, sweep_chunks)
+        };
+        let workers = cost.workers.max(1) as f64;
+        let overhead_ms = cost.pause_overhead_ns / 1e6;
+        let mark_ms = (card_single_ms + root_single_ms + trace_single_ms) / workers;
+        let sweep_ms = sweep_single_ms / workers;
+
+        let live_after_bytes = if lazy_planned {
+            // Approximate: every marked object is scanned exactly once.
+            self.counters.traced_concurrent() + self.counters.traced_stw.load(Ordering::Relaxed)
+        } else {
+            live_granules * mcgc_heap::GRANULE_BYTES as u64
+        };
+
+        let now = Instant::now();
+        let (concurrent_wall, pre_concurrent_wall, alloc_conc, alloc_pre) = {
+            let t = self.timeline.lock();
+            let allocated = self.heap.bytes_allocated();
+            match t.kickoff {
+                Some(k) if !fresh => (
+                    now.duration_since(k).saturating_sub(now.duration_since(wall_start)),
+                    k.duration_since(t.last_cycle_end),
+                    allocated - t.alloc_at_kickoff,
+                    t.alloc_at_kickoff - t.alloc_at_last_end,
+                ),
+                _ => (
+                    Duration::ZERO,
+                    wall_start.duration_since(t.last_cycle_end),
+                    0,
+                    allocated - t.alloc_at_last_end,
+                ),
+            }
+        };
+
+        let incr = *self.increments.lock();
+        let pool_stats = self.pool.stats();
+        let c = &self.counters;
+        let stats = CycleStats {
+            cycle: self.cycle(),
+            trigger: Some(trigger),
+            pause_ms: overhead_ms + mark_ms + sweep_ms,
+            mark_ms,
+            sweep_ms,
+            card_ms: card_single_ms / workers,
+            root_ms: root_single_ms / workers,
+            pause_wall: now.duration_since(wall_start),
+            concurrent_wall,
+            pre_concurrent_wall,
+            mutator_traced_bytes: c.traced_mutator.load(Ordering::Relaxed),
+            background_traced_bytes: c.traced_background.load(Ordering::Relaxed),
+            stw_traced_bytes: c.traced_stw.load(Ordering::Relaxed),
+            alloc_concurrent_bytes: alloc_conc,
+            alloc_pre_concurrent_bytes: alloc_pre,
+            cards_cleaned_concurrent: c.cards_cleaned_conc.load(Ordering::Relaxed),
+            cards_cleaned_stw: c.cards_cleaned_stw.load(Ordering::Relaxed),
+            cards_left,
+            handshakes: c.handshakes.load(Ordering::Relaxed),
+            free_at_stw_start,
+            live_after_bytes,
+            live_after_objects: live_objects,
+            free_after_bytes: self.heap.free_bytes() as u64,
+            occupancy_after: self.heap.occupancy(),
+            increments: incr.n,
+            tracing_factor_sum: incr.factor_sum,
+            tracing_factor_sq_sum: incr.factor_sq_sum,
+            cas_ops: pool_stats.cas_ops,
+            overflows: c.overflows.load(Ordering::Relaxed),
+            deferred_objects: c.deferred.load(Ordering::Relaxed),
+            packets_in_use_watermark: pool_stats.in_use_watermark,
+            packet_entries_watermark: pool_stats.entries_watermark,
+        };
+
+        // 7. Feed the pacer (§3.1). The `L` observation must be the FULL
+        //    trace volume (concurrent + stop-the-world): when a phase is
+        //    halted by an allocation failure, the concurrently-traced
+        //    bytes alone would underestimate `L`, shrink the kickoff
+        //    threshold, and spiral into ever-later kickoffs.
+        self.pacer.lock().end_cycle(
+            c.traced_concurrent() + c.traced_stw.load(Ordering::Relaxed),
+            c.card_scanned_bytes.load(Ordering::Relaxed).max(1),
+        );
+
+        self.log.lock().cycles.push(stats);
+        // Eager sweep leaves the mark bits dead weight: pre-clear them
+        // now, while the world is still stopped, so the next cycle's
+        // initialization is near-instant (clearing megabytes of bitmap at
+        // kickoff would let mutators race through the remaining headroom
+        // on a busy machine). The card table is NOT pre-cleared: it keeps
+        // recording pre-concurrent stores, and is dropped at kickoff as
+        // the paper's initialization does. Lazy sweep still needs the
+        // mark bits, so it cannot pre-clear.
+        if !lazy_planned && self.config.mode == CollectorMode::Concurrent {
+            self.heap.mark_bits().clear_all();
+            self.bits_pre_cleared.store(true, Ordering::Release);
+        }
+        self.phase.store(PHASE_IDLE, Ordering::Release);
+        {
+            let mut t = self.timeline.lock();
+            t.last_cycle_end = Instant::now();
+            t.kickoff = None;
+            t.alloc_at_last_end = self.heap.bytes_allocated();
+        }
+    }
+
+    /// §2.2 final card cleaning: drains the concurrent registry and
+    /// freshly dirty cards. Returns `(cards_left, single-worker ms)`.
+    fn stw_clean_cards(&self, fresh: bool) -> (u64, f64) {
+        let ncards = self.heap.cards().len();
+        let (mut to_clean, cursor_at_halt, registry_left) = {
+            let mut cs = self.card_state.lock();
+            let cursor = if cs.done { ncards } else { cs.cursor };
+            let reg: Vec<usize> = cs.registry.drain(..).collect();
+            cs.done = true;
+            (reg, cursor, 0u64)
+        };
+        let _ = registry_left;
+        let registry_left = to_clean.len() as u64;
+        let mut fresh_dirty = Vec::new();
+        self.heap.cards().snapshot_dirty(0, ncards, &mut fresh_dirty);
+        let unreached = fresh_dirty
+            .iter()
+            .filter(|&&card| card >= cursor_at_halt)
+            .count() as u64;
+        to_clean.extend(fresh_dirty);
+        let cards_left = if fresh { 0 } else { registry_left + unreached };
+
+        if fresh {
+            // Baseline/fresh cycle: the card table content predates the
+            // cycle; nothing is marked yet, so cleaning is a no-op.
+            return (0, 0.0);
+        }
+        let mut scanned_bytes = 0u64;
+        let mut buf = WorkBuffer::new(&self.pool);
+        for card in &to_clean {
+            scanned_bytes += self.clean_one_card(*card, &mut buf, true);
+        }
+        buf.finish();
+        // Final cleaning contributes to the `M` observation too.
+        self.counters
+            .card_scanned_bytes
+            .fetch_add(scanned_bytes, Ordering::Relaxed);
+        let cost = &self.config.cost;
+        let ms = cost.card_ms(ncards as u64, to_clean.len() as u64)
+            + cost.trace_ms(scanned_bytes);
+        (cards_left, ms)
+    }
+
+    /// Parallel drain of all remaining marking work (§2.2). World is
+    /// stopped; the coordinator and `stw_workers - 1` helpers pop packets
+    /// until the pool reports termination.
+    fn drain_marking_parallel(&self) {
+        let helpers = self.config.stw_workers.saturating_sub(1);
+        std::thread::scope(|s| {
+            for _ in 0..helpers {
+                s.spawn(|| self.drain_marking_worker());
+            }
+            self.drain_marking_worker();
+        });
+        debug_assert!(self.pool.is_tracing_complete());
+        debug_assert!(!self.pool.has_deferred());
+    }
+
+    fn drain_marking_worker(&self) {
+        loop {
+            let mut buf = WorkBuffer::new(&self.pool);
+            let mut did_work = false;
+            while let Some(obj) = buf.pop() {
+                did_work = true;
+                let bytes = self.trace_object_stw(obj, &mut buf);
+                self.counters.traced_stw.fetch_add(bytes, Ordering::Relaxed);
+            }
+            buf.finish();
+            if self.pool.has_deferred() {
+                // All allocation bits are published now (caches retired);
+                // deferred objects trace normally.
+                self.pool.recycle_deferred();
+                continue;
+            }
+            if self.pool.is_tracing_complete() {
+                return;
+            }
+            if !did_work {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Gc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gc")
+            .field("phase", &self.phase())
+            .field("cycle", &self.cycle())
+            .field("heap", &self.heap)
+            .finish()
+    }
+}

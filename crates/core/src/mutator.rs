@@ -1,0 +1,262 @@
+//! The mutator handle: every application thread's interface to the heap
+//! and the collector.
+
+use std::sync::Arc;
+
+use mcgc_heap::{ObjectRef, ObjectShape};
+
+use crate::collector::{Gc, GcError};
+use crate::roots::MutatorShared;
+use crate::stats::Trigger;
+
+/// How many write-barrier executions between safepoint polls (allocation
+/// polls on every slow path anyway; this bounds pause latency for
+/// mutation-heavy, allocation-free stretches).
+const WRITE_POLL_PERIOD: u32 = 64;
+
+/// A registered mutator thread's handle.
+///
+/// Allocation ([`Mutator::alloc`]) is the collector's pacing point: cache
+/// refills trigger kickoff checks, incremental tracing duties (§3), and —
+/// on allocation failure — the stop-the-world phase. Reference stores go
+/// through the card-marking write barrier ([`Mutator::write_ref`], §2).
+/// Roots live on an explicit shadow stack ([`Mutator::root_push`] et
+/// al.), the substrate's stand-in for the JVM's conservatively-scanned
+/// thread stacks.
+///
+/// Dropping the handle deregisters the thread.
+pub struct Mutator {
+    gc: Arc<Gc>,
+    shared: Arc<MutatorShared>,
+    writes_since_poll: u32,
+}
+
+impl Mutator {
+    pub(crate) fn new(gc: Arc<Gc>, shared: Arc<MutatorShared>) -> Mutator {
+        Mutator {
+            gc,
+            shared,
+            writes_since_poll: 0,
+        }
+    }
+
+    /// The collector this mutator is registered with.
+    pub fn gc(&self) -> &Arc<Gc> {
+        &self.gc
+    }
+
+    /// This mutator's id.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    // ------------------------------------------------------------------
+    // allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates an object.
+    ///
+    /// Small objects bump-allocate from the thread's allocation cache;
+    /// refills perform the incremental tracing duty (§3.1). Large objects
+    /// allocate directly from the free list with an individual
+    /// publication fence (§5.2).
+    ///
+    /// # Errors
+    /// [`GcError::OutOfMemory`] if the request cannot be satisfied even
+    /// after a full collection.
+    pub fn alloc(&mut self, shape: ObjectShape) -> Result<ObjectRef, GcError> {
+        self.gc.poll_safepoint();
+        let heap = &self.gc.heap;
+        if heap.is_large(shape) {
+            return self.alloc_large(shape);
+        }
+        if let Some(obj) = heap.alloc_small(&mut self.shared.cache.lock(), shape) {
+            return Ok(obj);
+        }
+        self.alloc_small_slow(shape)
+    }
+
+    /// Allocates an object and stores a reference to it into `holder`'s
+    /// slot through the write barrier. Convenience for the common
+    /// allocate-and-link pattern.
+    ///
+    /// # Errors
+    /// Propagates [`GcError::OutOfMemory`] from [`Mutator::alloc`].
+    pub fn alloc_into(
+        &mut self,
+        holder: ObjectRef,
+        slot: u32,
+        shape: ObjectShape,
+    ) -> Result<ObjectRef, GcError> {
+        let obj = self.alloc(shape)?;
+        self.write_ref(holder, slot, Some(obj));
+        Ok(obj)
+    }
+
+    #[cold]
+    fn alloc_small_slow(&mut self, shape: ObjectShape) -> Result<ObjectRef, GcError> {
+        let refill_bytes = self.gc.config.heap.cache_bytes as u64;
+        let mut collections = 0;
+        loop {
+            // Kickoff check (§3.1), then this allocation's tracing duty.
+            self.gc.maybe_kickoff();
+            self.gc.mutator_increment(&self.shared, refill_bytes);
+            {
+                let mut cache = self.shared.cache.lock();
+                if self.gc.heap.refill_cache(&mut cache, shape.granules()) {
+                    if let Some(obj) = self.gc.heap.alloc_small(&mut cache, shape) {
+                        return Ok(obj);
+                    }
+                }
+            }
+            // Lazy-sweep progress may recover memory without a pause.
+            if self.gc.sweep_some_lazy() {
+                continue;
+            }
+            if collections >= 3 {
+                // Full collections ran and the request still fails:
+                // genuinely out of memory.
+                return Err(GcError::OutOfMemory);
+            }
+            self.gc
+                .collect_for_alloc(Trigger::AllocationFailure, shape.bytes());
+            collections += 1;
+        }
+    }
+
+    #[cold]
+    fn alloc_large(&mut self, shape: ObjectShape) -> Result<ObjectRef, GcError> {
+        let bytes = shape.bytes() as u64;
+        let mut collections = 0;
+        loop {
+            self.gc.maybe_kickoff();
+            self.gc.mutator_increment(&self.shared, bytes);
+            if let Ok(obj) = self.gc.heap.alloc_large(shape) {
+                return Ok(obj);
+            }
+            if self.gc.sweep_some_lazy() {
+                continue;
+            }
+            if collections >= 3 {
+                return Err(GcError::OutOfMemory);
+            }
+            self.gc
+                .collect_for_alloc(Trigger::AllocationFailure, shape.bytes());
+            collections += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // heap access
+    // ------------------------------------------------------------------
+
+    /// Stores `value` into reference slot `slot` of `obj` through the
+    /// card-marking write barrier.
+    ///
+    /// The barrier follows the paper's order (§2.2 footnote 3): the new
+    /// reference is already a root (the caller holds it), the referencing
+    /// cell is modified, and finally the card is dirtied — with **no
+    /// fence** (§5.3; the collector's snapshot handshake compensates).
+    #[inline]
+    pub fn write_ref(&mut self, obj: ObjectRef, slot: u32, value: Option<ObjectRef>) {
+        self.gc.heap.store_ref_unbarriered(obj, slot, value);
+        self.gc.heap.cards().dirty(obj.card());
+        self.writes_since_poll += 1;
+        if self.writes_since_poll >= WRITE_POLL_PERIOD {
+            self.writes_since_poll = 0;
+            self.gc.poll_safepoint();
+        }
+    }
+
+    /// Loads reference slot `slot` of `obj`.
+    #[inline]
+    pub fn read_ref(&self, obj: ObjectRef, slot: u32) -> Option<ObjectRef> {
+        self.gc.heap.load_ref(obj, slot)
+    }
+
+    /// Stores a data (non-reference) granule; no barrier needed.
+    #[inline]
+    pub fn write_data(&self, obj: ObjectRef, idx: u32, value: u64) {
+        self.gc.heap.store_data(obj, idx, value);
+    }
+
+    /// Loads a data granule.
+    #[inline]
+    pub fn read_data(&self, obj: ObjectRef, idx: u32) -> u64 {
+        self.gc.heap.load_data(obj, idx)
+    }
+
+    // ------------------------------------------------------------------
+    // shadow stack (roots)
+    // ------------------------------------------------------------------
+
+    /// Pushes a root slot; returns its index.
+    pub fn root_push(&self, value: Option<ObjectRef>) -> usize {
+        let mut roots = self.shared.roots.lock();
+        roots.push(ObjectRef::encode(value));
+        roots.len() - 1
+    }
+
+    /// Overwrites root slot `idx`.
+    pub fn root_set(&self, idx: usize, value: Option<ObjectRef>) {
+        self.shared.roots.lock()[idx] = ObjectRef::encode(value);
+    }
+
+    /// Reads root slot `idx`.
+    pub fn root_get(&self, idx: usize) -> Option<ObjectRef> {
+        ObjectRef::decode(self.shared.roots.lock()[idx])
+    }
+
+    /// Truncates the shadow stack to `len` slots (popping frames).
+    pub fn root_truncate(&self, len: usize) {
+        self.shared.roots.lock().truncate(len);
+    }
+
+    /// Number of root slots.
+    pub fn root_len(&self) -> usize {
+        self.shared.roots.lock().len()
+    }
+
+    // ------------------------------------------------------------------
+    // scheduling
+    // ------------------------------------------------------------------
+
+    /// Explicit safepoint poll (for long allocation-free stretches).
+    #[inline]
+    pub fn safepoint(&self) {
+        self.gc.poll_safepoint();
+    }
+
+    /// Runs `f` in a *blocked region*: the thread counts as stopped for
+    /// the collector (like a JVM thread in native code), so GC proceeds
+    /// during think times and I/O waits. `f` must not touch the heap.
+    pub fn blocked<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.gc.enter_safe();
+        let r = f();
+        self.gc.exit_safe();
+        r
+    }
+
+    /// Sleeps cooperatively: the collector may run during the sleep
+    /// (workload think time, paper §6 pBOB).
+    pub fn think(&self, d: std::time::Duration) {
+        self.blocked(|| std::thread::sleep(d));
+    }
+
+    /// Requests a full collection and waits for it to complete.
+    pub fn collect(&mut self) {
+        self.gc.collect_inner(Trigger::Explicit);
+    }
+}
+
+impl Drop for Mutator {
+    fn drop(&mut self) {
+        self.gc.deregister_mutator(&self.shared);
+    }
+}
+
+impl std::fmt::Debug for Mutator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutator").field("id", &self.shared.id).finish()
+    }
+}

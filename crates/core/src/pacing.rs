@@ -1,0 +1,243 @@
+//! The kickoff and progress formulas (paper §3).
+//!
+//! * **Kickoff** (§3.1): start the concurrent phase when free memory
+//!   drops below `(L + M) / K0`, where `L` predicts the bytes to be
+//!   traced concurrently, `M` predicts the bytes on dirty cards, and `K0`
+//!   is the desired allocator tracing rate.
+//! * **Progress** (§3.1): at each increment, the current rate is
+//!   `K = (M + L - T) / F` (`T` bytes traced so far, `F` free bytes);
+//!   negative `K` means the predictions were underestimates and `K`
+//!   becomes `Kmax`.
+//! * **Background credit** (§3.2): `Best`, an exponential smoothing of
+//!   the background threads' tracing-to-allocation ratio `B`, is
+//!   subtracted from `K`; if tracing is behind (`K > K0`) the corrective
+//!   term inflates the rate: `K + (K - K0) C`.
+//!
+//! All state is plain arithmetic; the collector wraps a [`Pacer`] in a
+//! mutex and feeds it cycle-end observations.
+
+use crate::config::GcConfig;
+
+/// Exponential smoothing: `alpha` weights the newest observation.
+fn smooth(est: f64, observed: f64, alpha: f64) -> f64 {
+    est * (1.0 - alpha) + observed * alpha
+}
+
+/// Adaptive pacing state for the concurrent phase (paper §3).
+#[derive(Clone, Debug)]
+pub struct Pacer {
+    k0: f64,
+    kmax: f64,
+    corrective: f64,
+    alpha: f64,
+    /// Prediction of bytes traced during the concurrent phase (`L`).
+    l_est: f64,
+    /// Prediction of bytes to scan on dirty cards (`M`).
+    m_est: f64,
+    /// Smoothed background tracing rate (`Best`): background bytes traced
+    /// per byte allocated.
+    b_est: f64,
+}
+
+impl Pacer {
+    /// Creates a pacer from the collector configuration and heap size.
+    pub fn new(config: &GcConfig, heap_bytes: usize) -> Pacer {
+        Pacer {
+            k0: config.tracing_rate,
+            kmax: config.kmax(),
+            corrective: config.corrective_factor,
+            alpha: config.smoothing_alpha,
+            l_est: heap_bytes as f64 * config.initial_live_fraction,
+            m_est: heap_bytes as f64 * config.initial_dirty_fraction,
+            b_est: 0.0,
+        }
+    }
+
+    /// The desired allocator tracing rate `K0`.
+    pub fn k0(&self) -> f64 {
+        self.k0
+    }
+
+    /// Current `L` prediction, bytes.
+    pub fn l_est(&self) -> f64 {
+        self.l_est
+    }
+
+    /// Current `M` prediction, bytes.
+    pub fn m_est(&self) -> f64 {
+        self.m_est
+    }
+
+    /// Current `Best` (background tracing per allocated byte).
+    pub fn b_est(&self) -> f64 {
+        self.b_est
+    }
+
+    /// Kickoff formula (§3.1): the free-memory threshold (bytes) that
+    /// triggers a new concurrent cycle. Evaluated once per cycle.
+    pub fn kickoff_threshold(&self) -> f64 {
+        (self.l_est + self.m_est) / self.k0
+    }
+
+    /// True if a new cycle should start given current free bytes.
+    pub fn should_kickoff(&self, free_bytes: u64) -> bool {
+        (free_bytes as f64) < self.kickoff_threshold()
+    }
+
+    /// Progress formula (§3.1–§3.2): the tracing rate for the next
+    /// increment, given `traced` bytes traced so far this phase and
+    /// `free` bytes of free memory.
+    ///
+    /// Returns 0 when the background threads are keeping up by
+    /// themselves.
+    pub fn tracing_rate(&self, traced: u64, free: u64) -> f64 {
+        let free = (free as f64).max(1.0);
+        let mut k = (self.m_est + self.l_est - traced as f64) / free;
+        if k < 0.0 {
+            // L or M underestimated: go as fast as allowed.
+            k = self.kmax;
+        }
+        // §3.2: credit the background threads.
+        if k < self.b_est {
+            return 0.0;
+        }
+        k -= self.b_est;
+        // §3.2: corrective term when behind schedule.
+        if k > self.k0 {
+            k += (k - self.k0) * self.corrective;
+        }
+        k.min(self.kmax)
+    }
+
+    /// Work quota (bytes of tracing) for an increment that allocated
+    /// `allocated` bytes.
+    pub fn increment_quota(&self, allocated: u64, traced: u64, free: u64) -> u64 {
+        (self.tracing_rate(traced, free) * allocated as f64) as u64
+    }
+
+    /// Feeds the observed background tracing-to-allocation ratio for a
+    /// window of time (§3.2: "we occasionally calculate B, and reevaluate
+    /// Best").
+    pub fn observe_background(&mut self, bg_traced: u64, allocated: u64) {
+        if allocated == 0 {
+            return;
+        }
+        let b = bg_traced as f64 / allocated as f64;
+        self.b_est = smooth(self.b_est, b, self.alpha);
+    }
+
+    /// Feeds a finished cycle's actual `L` (bytes traced concurrently)
+    /// and `M` (bytes scanned on dirty cards) to refine the predictions.
+    pub fn end_cycle(&mut self, actual_l: u64, actual_m: u64) {
+        self.l_est = smooth(self.l_est, actual_l as f64, self.alpha);
+        self.m_est = smooth(self.m_est, actual_m as f64, self.alpha).max(1.0);
+        // A fresh cycle starts with no background history bias; keep Best
+        // (it tracks machine idle capacity, not cycle shape).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GcConfig;
+
+    fn pacer(heap: usize) -> Pacer {
+        Pacer::new(&GcConfig::default(), heap)
+    }
+
+    #[test]
+    fn kickoff_threshold_is_l_plus_m_over_k0() {
+        let p = pacer(100 << 20);
+        let expect = (p.l_est() + p.m_est()) / 8.0;
+        assert!((p.kickoff_threshold() - expect).abs() < 1e-6);
+        assert!(p.should_kickoff((expect as u64).saturating_sub(1)));
+        assert!(!p.should_kickoff(expect as u64 + 1024));
+    }
+
+    #[test]
+    fn rate_one_starts_immediately() {
+        // §6.2: "at tracing rate 1 CGC will start immediately after the
+        // stop-the-world phase is terminated" — threshold ≈ L + M covers
+        // all plausible free space.
+        let mut cfg = GcConfig::default();
+        cfg.tracing_rate = 1.0;
+        let heap = 100 << 20;
+        let p = Pacer::new(&cfg, heap);
+        // Free space right after GC at 60% residency is 40% of the heap;
+        // threshold L+M = 37% — close; with the cycle history converging to
+        // real L (~60%), kickoff is immediate.
+        let mut p2 = p.clone();
+        p2.end_cycle(60 << 20, 2 << 20);
+        assert!(p2.should_kickoff((40u64) << 20));
+    }
+
+    #[test]
+    fn progress_rate_decreases_as_tracing_advances() {
+        let p = pacer(100 << 20);
+        let free = 10u64 << 20;
+        let early = p.tracing_rate(0, free);
+        let late = p.tracing_rate(30 << 20, free);
+        assert!(early > late, "{early} vs {late}");
+    }
+
+    #[test]
+    fn negative_k_means_underestimate_and_clamps_to_kmax() {
+        let p = pacer(100 << 20);
+        // traced far beyond L + M
+        let k = p.tracing_rate(90 << 20, 10 << 20);
+        assert_eq!(k, 16.0, "Kmax = 2 * K0");
+    }
+
+    #[test]
+    fn background_credit_reduces_mutator_rate() {
+        let mut p = pacer(100 << 20);
+        let free = 50u64 << 20;
+        let before = p.tracing_rate(0, free);
+        // Background does 30% of the allocation volume in tracing.
+        for _ in 0..20 {
+            p.observe_background(3 << 20, 10 << 20);
+        }
+        let after = p.tracing_rate(0, free);
+        assert!(after < before);
+        assert!((p.b_est() - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn background_doing_everything_means_zero_mutator_rate() {
+        let mut p = pacer(100 << 20);
+        for _ in 0..30 {
+            p.observe_background(100 << 20, 10 << 20); // B = 10
+        }
+        assert_eq!(p.tracing_rate(0, 60 << 20), 0.0);
+    }
+
+    #[test]
+    fn corrective_term_inflates_when_behind() {
+        let p = pacer(100 << 20);
+        // free small, nothing traced: K raw = 37 MB/4 MB ≈ 9.25 > K0=8
+        let free = 4u64 << 20;
+        let raw = (p.m_est() + p.l_est()) / free as f64;
+        assert!(raw > 8.0);
+        let k = p.tracing_rate(0, free);
+        let expect = (raw + (raw - 8.0) * 0.5).min(16.0);
+        assert!((k - expect).abs() < 1e-9, "{k} vs {expect}");
+    }
+
+    #[test]
+    fn end_cycle_converges_estimates() {
+        let mut p = pacer(100 << 20);
+        for _ in 0..50 {
+            p.end_cycle(20 << 20, 1 << 20);
+        }
+        assert!((p.l_est() - (20u64 << 20) as f64).abs() < (1u64 << 18) as f64);
+        assert!((p.m_est() - (1u64 << 20) as f64).abs() < (1u64 << 15) as f64);
+    }
+
+    #[test]
+    fn quota_scales_with_allocation() {
+        let p = pacer(100 << 20);
+        let q1 = p.increment_quota(32 << 10, 0, 20 << 20);
+        let q2 = p.increment_quota(64 << 10, 0, 20 << 20);
+        assert!((q2 as i64 - 2 * q1 as i64).abs() <= 1, "{q2} vs 2*{q1}");
+    }
+}

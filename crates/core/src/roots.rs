@@ -1,0 +1,110 @@
+//! Per-mutator shared state: the shadow stack (scanned as GC roots), the
+//! allocation cache, and the stop-the-world rendezvous bookkeeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcgc_heap::{AllocCache, ObjectRef};
+use parking_lot::Mutex;
+
+/// State a mutator shares with the collector.
+///
+/// The JVM scans thread stacks conservatively; the substrate equivalent
+/// is an explicit *shadow stack* of root slots the workload maintains.
+/// It is mutex-protected so the concurrent phase can scan a stack while
+/// its thread runs (§2.1 scans each stack once, as late as possible) and
+/// the stop-the-world phase can rescan every stack.
+#[derive(Debug)]
+pub struct MutatorShared {
+    /// Dense mutator id (index into per-cycle bookkeeping).
+    pub id: u64,
+    /// The shadow stack. Slot value 0 encodes null.
+    pub(crate) roots: Mutex<Vec<u64>>,
+    /// The allocation cache; the collector retires it at stop-the-world.
+    pub(crate) cache: Mutex<AllocCache>,
+    /// Cycle number whose concurrent phase has scanned this stack
+    /// (0 = never).
+    pub(crate) stack_scanned_cycle: AtomicU64,
+}
+
+impl MutatorShared {
+    pub(crate) fn new(id: u64) -> MutatorShared {
+        MutatorShared {
+            id,
+            roots: Mutex::new(Vec::new()),
+            cache: Mutex::new(AllocCache::new()),
+            stack_scanned_cycle: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to claim this stack's once-per-cycle concurrent scan
+    /// (§2.1). Returns true if the caller must perform the scan.
+    pub(crate) fn claim_stack_scan(&self, cycle: u64) -> bool {
+        let prev = self.stack_scanned_cycle.load(Ordering::Relaxed);
+        prev < cycle
+            && self
+                .stack_scanned_cycle
+                .compare_exchange(prev, cycle, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// True if this stack was scanned during `cycle`'s concurrent phase.
+    pub(crate) fn stack_scanned(&self, cycle: u64) -> bool {
+        self.stack_scanned_cycle.load(Ordering::Relaxed) >= cycle
+    }
+
+    /// Snapshots the non-null roots and their count (slots scanned).
+    pub(crate) fn snapshot_roots(&self) -> (Vec<ObjectRef>, usize) {
+        let roots = self.roots.lock();
+        let refs = roots
+            .iter()
+            .filter_map(|&raw| ObjectRef::decode(raw))
+            .collect();
+        (refs, roots.len())
+    }
+}
+
+/// Stop-the-world rendezvous state, guarded by one mutex with a condvar.
+///
+/// Every registered thread (mutator or background) is either *unsafe*
+/// (running code that may touch the heap) or *safe* (parked at a
+/// safepoint, blocked in a think-time region, or waiting for the GC
+/// coordinator lock). The coordinator stops the world by setting `stop`
+/// and waiting until every other registered thread is safe.
+#[derive(Debug, Default)]
+pub struct StwSync {
+    /// Threads currently safe.
+    pub safe: usize,
+    /// Total registered threads (mutators + background threads).
+    pub registered: usize,
+    /// A coordinator wants (or holds) the world stopped.
+    pub stop: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_scan_claim_is_once_per_cycle() {
+        let m = MutatorShared::new(0);
+        assert!(!m.stack_scanned(1));
+        assert!(m.claim_stack_scan(1));
+        assert!(!m.claim_stack_scan(1), "second claim fails");
+        assert!(m.stack_scanned(1));
+        assert!(m.claim_stack_scan(2), "new cycle, new scan");
+    }
+
+    #[test]
+    fn snapshot_skips_nulls() {
+        let m = MutatorShared::new(0);
+        {
+            let mut r = m.roots.lock();
+            r.push(0);
+            r.push(ObjectRef::encode(Some(ObjectRef::from_granule(5))));
+            r.push(0);
+        }
+        let (refs, slots) = m.snapshot_roots();
+        assert_eq!(slots, 3);
+        assert_eq!(refs, vec![ObjectRef::from_granule(5)]);
+    }
+}

@@ -1,0 +1,480 @@
+//! Tracing machinery: the §5.2 allocation-bit batch protocol, concurrent
+//! tracing increments, card cleaning (§2.1/§5.3), and root scanning.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use mcgc_heap::ObjectRef;
+use mcgc_membar::{acquire_fence, full_fence, FenceKind};
+use mcgc_packets::{PushOutcome, WorkBuffer};
+
+use crate::collector::Gc;
+use crate::roots::MutatorShared;
+
+/// Who is doing tracing work (for attribution of the `T` counters).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum TraceRole {
+    /// A mutator's incremental duty (paced by the progress formula).
+    Mutator,
+    /// A low-priority background thread.
+    Background,
+}
+
+impl Gc {
+    // ------------------------------------------------------------------
+    // object tracing
+    // ------------------------------------------------------------------
+
+    /// Marks `child` and queues it for tracing; on packet overflow falls
+    /// back to mark + dirty card (§4.3).
+    #[inline]
+    pub(crate) fn mark_and_push(&self, child: ObjectRef, buf: &mut WorkBuffer<'_, ObjectRef>) {
+        if self.heap.mark(child) {
+            match buf.push(child) {
+                PushOutcome::Pushed => {}
+                PushOutcome::Overflow(obj) => {
+                    // §4.3: temporary overflow — the object stays marked
+                    // and its card is dirtied so final card cleaning
+                    // rescans it.
+                    self.counters.overflows.fetch_add(1, Ordering::Relaxed);
+                    self.heap.cards().dirty(obj.card());
+                }
+            }
+        }
+    }
+
+    /// Scans `obj`'s reference slots, marking and queueing unmarked
+    /// children. Returns the bytes scanned.
+    #[inline]
+    pub(crate) fn scan_object(&self, obj: ObjectRef, buf: &mut WorkBuffer<'_, ObjectRef>) -> u64 {
+        let header = self.heap.header(obj);
+        self.heap.scan_refs(obj, |child| self.mark_and_push(child, buf));
+        header.size_bytes() as u64
+    }
+
+    /// Stop-the-world tracing of one object (allocation bits are all
+    /// published; no deferral needed).
+    pub(crate) fn trace_object_stw(
+        &self,
+        obj: ObjectRef,
+        buf: &mut WorkBuffer<'_, ObjectRef>,
+    ) -> u64 {
+        debug_assert!(
+            self.heap.is_published(obj),
+            "unpublished object reached STW tracing"
+        );
+        self.scan_object(obj, buf)
+    }
+
+    /// One §5.2 batch: pops up to `trace_batch` objects, tests their
+    /// allocation bits, issues one acquire fence, traces the safe ones
+    /// and defers the unsafe ones. Returns `(objects_processed, bytes)`;
+    /// `(0, 0)` means the buffer had no work.
+    pub(crate) fn trace_batch_concurrent(
+        &self,
+        buf: &mut WorkBuffer<'_, ObjectRef>,
+        deferred: &mut Vec<ObjectRef>,
+    ) -> (usize, u64) {
+        let batch_size = self.config.trace_batch;
+        let mut batch: Vec<ObjectRef> = Vec::with_capacity(batch_size);
+        while batch.len() < batch_size {
+            match buf.pop() {
+                Some(o) => batch.push(o),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            return (0, 0);
+        }
+        // §5.2 tracer steps 2-4: test allocation bits, fence once, trace
+        // safe objects, defer unsafe ones.
+        let safety: Vec<bool> = batch.iter().map(|&o| self.heap.is_published(o)).collect();
+        acquire_fence(FenceKind::TraceBatch);
+        let mut bytes = 0;
+        let n = batch.len();
+        for (obj, safe) in batch.into_iter().zip(safety) {
+            if safe {
+                bytes += self.scan_object(obj, buf);
+            } else {
+                deferred.push(obj);
+            }
+        }
+        (n, bytes)
+    }
+
+    /// Parks the accumulated deferred objects into the Deferred sub-pool
+    /// (§5.2); falls back to dirtying their cards if no packet is
+    /// available.
+    pub(crate) fn park_deferred(&self, deferred: &mut Vec<ObjectRef>) {
+        if deferred.is_empty() {
+            return;
+        }
+        self.counters
+            .deferred
+            .fetch_add(deferred.len() as u64, Ordering::Relaxed);
+        while !deferred.is_empty() {
+            match self.pool.get_empty() {
+                Some(mut packet) => {
+                    while let Some(obj) = deferred.pop() {
+                        if packet.push(obj).is_err() {
+                            deferred.push(obj);
+                            break;
+                        }
+                    }
+                    packet.defer();
+                }
+                None => {
+                    // No packets: the objects are already marked; dirty
+                    // their cards so the stop-the-world phase rescans them.
+                    for obj in deferred.drain(..) {
+                        self.heap.cards().dirty(obj.card());
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // tracing increments (§3)
+    // ------------------------------------------------------------------
+
+    /// Performs up to `quota` bytes of concurrent collection work on
+    /// behalf of `role`: packet tracing first, then card cleaning, then
+    /// leftover-stack scanning and deferred recycling. Returns the bytes
+    /// of work done.
+    pub(crate) fn trace_increment(&self, quota: u64, role: TraceRole) -> u64 {
+        if quota == 0 || !self.in_concurrent_phase() {
+            return 0;
+        }
+        let mut buf = WorkBuffer::new(&self.pool);
+        let mut deferred = Vec::new();
+        let mut done = 0u64;
+        let mut recycled_this_increment = false;
+        while done < quota {
+            let (n, bytes) = self.trace_batch_concurrent(&mut buf, &mut deferred);
+            if n > 0 {
+                done += bytes;
+                self.credit_tracing(role, bytes);
+                continue;
+            }
+            // No packet work: clean cards (§2.1 — deferred as long as
+            // tracing work was available).
+            let cleaned = self.clean_cards_quantum(&mut buf);
+            if cleaned > 0 {
+                done += cleaned;
+                self.credit_tracing(role, cleaned);
+                continue;
+            }
+            // No cards either: scan a leftover stack or recycle deferred
+            // packets, then retry.
+            if self.scan_one_unscanned_stack(&mut buf) {
+                continue;
+            }
+            if !recycled_this_increment && self.pool.has_deferred() {
+                self.pool.recycle_deferred();
+                recycled_this_increment = true;
+                continue;
+            }
+            break; // genuinely out of concurrent work
+        }
+        self.park_deferred(&mut deferred);
+        buf.finish();
+        done
+    }
+
+    fn credit_tracing(&self, role: TraceRole, bytes: u64) {
+        match role {
+            TraceRole::Mutator => self
+                .counters
+                .traced_mutator
+                .fetch_add(bytes, Ordering::Relaxed),
+            TraceRole::Background => self
+                .counters
+                .traced_background
+                .fetch_add(bytes, Ordering::Relaxed),
+        };
+    }
+
+    /// True when the concurrent phase has no work left (§2.1 termination:
+    /// all stacks scanned, cards cleaned, no marked objects to trace).
+    pub(crate) fn concurrent_work_exhausted(&self) -> bool {
+        if !self.in_concurrent_phase() {
+            return false;
+        }
+        if !self.card_state.lock().done {
+            return false;
+        }
+        if !self.all_stacks_scanned() {
+            return false;
+        }
+        // Packets: everything is empty or deferred (deferred objects wait
+        // for the stop-the-world phase when their allocation bits must be
+        // published).
+        let s = self.pool.stats();
+        s.empty + s.deferred >= self.pool.total_packets()
+    }
+
+    fn all_stacks_scanned(&self) -> bool {
+        let cycle = self.cycle();
+        if self.global_scanned_cycle.load(Ordering::Relaxed) < cycle {
+            return false;
+        }
+        self.mutators
+            .lock()
+            .iter()
+            .all(|m| m.stack_scanned(cycle))
+    }
+
+    // ------------------------------------------------------------------
+    // card cleaning (§2.1, §5.3)
+    // ------------------------------------------------------------------
+
+    /// One card-cleaning quantum: refills the registry by snapshotting a
+    /// slice of the card table (one handshake per batch, §5.3), then
+    /// cleans a few registered cards. Returns bytes of work done (0 =
+    /// no cards left this pass).
+    pub(crate) fn clean_cards_quantum(&self, buf: &mut WorkBuffer<'_, ObjectRef>) -> u64 {
+        let ncards = self.heap.cards().len();
+        let take: Vec<usize> = {
+            let mut cs = self.card_state.lock();
+            if cs.done {
+                return 0;
+            }
+            if cs.registry.is_empty() {
+                // §5.3 step 1: register dirty cards from the next slice and
+                // clear their indicators.
+                while cs.registry.is_empty() && cs.cursor < ncards {
+                    let end = (cs.cursor + self.config.card_clean_batch).min(ncards);
+                    let mut found = Vec::new();
+                    self.heap.cards().snapshot_dirty(cs.cursor, end, &mut found);
+                    self.counters
+                        .cards_table_scanned
+                        .fetch_add((end - cs.cursor) as u64, Ordering::Relaxed);
+                    cs.cursor = end;
+                    if !found.is_empty() {
+                        // §5.3 step 2: force mutators to fence before the
+                        // registered cards are cleaned. The heavy fence here
+                        // globally orders the snapshot against mutator slot
+                        // stores on the host; the per-mutator fences of a
+                        // real weak-ordering implementation are accounted in
+                        // the benches from the handshake count.
+                        full_fence(FenceKind::CardHandshake);
+                        self.counters.handshakes.fetch_add(1, Ordering::Relaxed);
+                        cs.registry.extend(found);
+                    }
+                }
+                if cs.registry.is_empty() {
+                    // Slice scan finished with nothing found: pass done.
+                    if cs.pass + 1 < self.config.card_clean_passes {
+                        cs.pass += 1;
+                        cs.cursor = 0;
+                        return 1; // report progress; next quantum rescans
+                    }
+                    cs.done = true;
+                    return 0;
+                }
+            }
+            let n = cs.registry.len().min(16);
+            cs.registry.drain(..n).collect()
+        };
+        let mut bytes = 0;
+        for card in take {
+            bytes += self.clean_one_card(card, buf, false);
+        }
+        self.counters
+            .card_scanned_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        bytes.max(1)
+    }
+
+    /// §5.3 step 3: cleans one registered card — rescans the marked
+    /// objects starting on it so references stored after their trace are
+    /// discovered. Returns bytes scanned.
+    pub(crate) fn clean_one_card(
+        &self,
+        card: usize,
+        buf: &mut WorkBuffer<'_, ObjectRef>,
+        stw: bool,
+    ) -> u64 {
+        let start = card * mcgc_heap::GRANULES_PER_CARD;
+        let end = ((card + 1) * mcgc_heap::GRANULES_PER_CARD).min(self.heap.granules());
+        let mut bytes = 0;
+        let alloc = self.heap.alloc_bits();
+        let marks = self.heap.mark_bits();
+        let mut g = start.max(1);
+        while let Some(found) = alloc.next_set(g) {
+            if found >= end {
+                break;
+            }
+            if marks.get(found) {
+                let obj = ObjectRef::from_granule(found as u32);
+                bytes += self.scan_object(obj, buf);
+            }
+            g = found + 1;
+        }
+        if stw {
+            self.counters.cards_cleaned_stw.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters
+                .cards_cleaned_conc
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        bytes
+    }
+
+    // ------------------------------------------------------------------
+    // root scanning
+    // ------------------------------------------------------------------
+
+    /// Scans a mutator's shadow stack, marking and queueing its roots.
+    pub(crate) fn scan_stack(&self, m: &Arc<MutatorShared>, buf: &mut WorkBuffer<'_, ObjectRef>) {
+        let (refs, slots) = m.snapshot_roots();
+        self.counters
+            .root_slots
+            .fetch_add(slots as u64, Ordering::Relaxed);
+        for r in refs {
+            self.mark_and_push(r, buf);
+        }
+    }
+
+    /// Scans the global root table.
+    pub(crate) fn scan_global_roots(&self, buf: &mut WorkBuffer<'_, ObjectRef>) {
+        let roots: Vec<ObjectRef> = {
+            let g = self.global_roots.lock();
+            self.counters
+                .root_slots
+                .fetch_add(g.len() as u64, Ordering::Relaxed);
+            g.iter().filter_map(|&raw| ObjectRef::decode(raw)).collect()
+        };
+        for r in roots {
+            self.mark_and_push(r, buf);
+        }
+    }
+
+    /// Concurrent once-per-cycle scan of the calling mutator's own stack
+    /// (§2.1: the first allocation request per thread scans its stack).
+    pub(crate) fn ensure_own_stack_scanned(
+        &self,
+        m: &Arc<MutatorShared>,
+        buf: &mut WorkBuffer<'_, ObjectRef>,
+    ) {
+        let cycle = self.cycle();
+        if m.claim_stack_scan(cycle) {
+            self.scan_stack(m, buf);
+        }
+        // First tracer also picks up the global roots.
+        let seen = self.global_scanned_cycle.load(Ordering::Relaxed);
+        if seen < cycle
+            && self
+                .global_scanned_cycle
+                .compare_exchange(seen, cycle, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.scan_global_roots(buf);
+        }
+    }
+
+    /// §2.1: threads that never allocate have their stacks scanned when
+    /// no other tracing work remains. Scans at most one; returns true if
+    /// it scanned.
+    pub(crate) fn scan_one_unscanned_stack(&self, buf: &mut WorkBuffer<'_, ObjectRef>) -> bool {
+        let cycle = self.cycle();
+        // Global roots count as a "stack" here too.
+        let seen = self.global_scanned_cycle.load(Ordering::Relaxed);
+        if seen < cycle
+            && self
+                .global_scanned_cycle
+                .compare_exchange(seen, cycle, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.scan_global_roots(buf);
+            return true;
+        }
+        let victim = {
+            let mutators = self.mutators.lock();
+            mutators
+                .iter()
+                .find(|m| !m.stack_scanned(cycle))
+                .map(Arc::clone)
+        };
+        match victim {
+            Some(m) if m.claim_stack_scan(cycle) => {
+                self.scan_stack(&m, buf);
+                true
+            }
+            Some(_) => true, // someone else claimed it; retry later
+            None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // mutator duties (called from the allocation slow path)
+    // ------------------------------------------------------------------
+
+    /// The incremental duty attached to an allocation of
+    /// `allocated_bytes` (§3.1): compute the quota from the progress
+    /// formula, trace, record the tracing factor, and finish the phase if
+    /// the concurrent work is exhausted.
+    pub(crate) fn mutator_increment(&self, m: &Arc<MutatorShared>, allocated_bytes: u64) {
+        if !self.in_concurrent_phase() {
+            return;
+        }
+        // §2.1: the first allocation request per thread scans its stack.
+        {
+            let mut buf = WorkBuffer::new(&self.pool);
+            self.ensure_own_stack_scanned(m, &mut buf);
+            buf.finish();
+        }
+        let traced = self.counters.traced_concurrent();
+        let free = self.heap.free_bytes() as u64;
+        let quota = self
+            .pacer
+            .lock()
+            .increment_quota(allocated_bytes, traced, free);
+        if quota > 0 {
+            let done = self.trace_increment(quota, TraceRole::Mutator);
+            let factor = done as f64 / quota as f64;
+            let mut acc = self.increments.lock();
+            acc.n += 1;
+            acc.factor_sum += factor;
+            acc.factor_sq_sum += factor * factor;
+        }
+        self.maybe_update_background_estimate();
+        if self.concurrent_work_exhausted() {
+            self.collect_inner(crate::stats::Trigger::ConcurrentDone);
+        }
+    }
+
+    /// Occasionally recomputes the background tracing ratio `B` and folds
+    /// it into `Best` (§3.2).
+    pub(crate) fn maybe_update_background_estimate(&self) {
+        let w = self.bg_window_lock();
+        let elapsed = w.0;
+        if elapsed < std::time::Duration::from_millis(10) {
+            return;
+        }
+        let bg_now = self.counters.traced_background.load(Ordering::Relaxed);
+        let alloc_now = self.heap.bytes_allocated();
+        let bg_delta = bg_now.saturating_sub(w.1);
+        let alloc_delta = alloc_now.saturating_sub(w.2);
+        if alloc_delta > 0 {
+            self.pacer.lock().observe_background(bg_delta, alloc_delta);
+        }
+        self.bg_window_store(bg_now, alloc_now);
+    }
+}
+
+// Small private helpers for the background window.
+impl Gc {
+    fn bg_window_lock(&self) -> (std::time::Duration, u64, u64) {
+        let w = self.bg_window.lock();
+        (w.at.elapsed(), w.bg_traced, w.allocated)
+    }
+
+    fn bg_window_store(&self, bg: u64, alloc: u64) {
+        let mut w = self.bg_window.lock();
+        w.at = std::time::Instant::now();
+        w.bg_traced = bg;
+        w.allocated = alloc;
+    }
+}

@@ -1,0 +1,331 @@
+//! Atomic bitmaps used for the mark bit vector and the allocation bit
+//! vector (one bit per granule, paper §2.1 and §5.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BITS: usize = 64;
+
+/// A fixed-size concurrent bitmap, one bit per granule.
+///
+/// All single-bit operations are atomic; bulk operations
+/// ([`Bitmap::clear_all`]) must only run while no other thread mutates the
+/// bitmap (i.e., during collector initialization at a safepoint).
+pub struct Bitmap {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates a bitmap covering `len` bits, all zero.
+    pub fn new(len: usize) -> Bitmap {
+        let words = (len + BITS - 1) / BITS;
+        Bitmap {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Number of bits in the map.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap covers zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        let w = self.words[idx / BITS].load(Ordering::Relaxed);
+        w & (1 << (idx % BITS)) != 0
+    }
+
+    /// Atomically sets bit `idx`, returning `true` if this call changed it
+    /// from 0 to 1 (i.e., the caller won the race).
+    #[inline]
+    pub fn set(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        let mask = 1u64 << (idx % BITS);
+        let prev = self.words[idx / BITS].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Atomically clears bit `idx`, returning `true` if this call changed
+    /// it from 1 to 0.
+    #[inline]
+    pub fn clear(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        let mask = 1u64 << (idx % BITS);
+        let prev = self.words[idx / BITS].fetch_and(!mask, Ordering::Relaxed);
+        prev & mask != 0
+    }
+
+    /// Clears every bit. Not atomic with respect to concurrent set/clear;
+    /// callers must hold the heap at a safepoint.
+    pub fn clear_all(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears all bits in `[start, end)`.
+    ///
+    /// Word-interior boundaries are handled with atomic masks so bits
+    /// outside the range are never disturbed.
+    pub fn clear_range(&self, start: usize, end: usize) {
+        assert!(start <= end && end <= self.len);
+        if start == end {
+            return;
+        }
+        let (sw, sb) = (start / BITS, start % BITS);
+        let (ew, eb) = (end / BITS, end % BITS);
+        if sw == ew {
+            let mask = (!0u64 << sb) & !(!0u64).checked_shl(eb as u32).unwrap_or(0);
+            let keep = if eb == 0 { !0u64 << sb } else { mask };
+            self.words[sw].fetch_and(!keep, Ordering::Relaxed);
+            return;
+        }
+        self.words[sw].fetch_and(!(!0u64 << sb), Ordering::Relaxed);
+        for w in sw + 1..ew {
+            self.words[w].store(0, Ordering::Relaxed);
+        }
+        if eb != 0 {
+            self.words[ew].fetch_and(!0u64 << eb, Ordering::Relaxed);
+        }
+    }
+
+    /// Finds the first set bit at or after `from`, or `None`.
+    pub fn next_set(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from / BITS;
+        let mut word = self.words[wi].load(Ordering::Relaxed) & (!0u64 << (from % BITS));
+        loop {
+            if word != 0 {
+                let idx = wi * BITS + word.trailing_zeros() as usize;
+                return if idx < self.len { Some(idx) } else { None };
+            }
+            wi += 1;
+            if wi * BITS >= self.len {
+                return None;
+            }
+            word = self.words[wi].load(Ordering::Relaxed);
+        }
+    }
+
+    /// Finds the last set bit strictly before `before`, or `None`.
+    pub fn prev_set(&self, before: usize) -> Option<usize> {
+        if before == 0 {
+            return None;
+        }
+        let before = before.min(self.len);
+        let mut wi = (before - 1) / BITS;
+        let top = (before - 1) % BITS;
+        let mut word = self.words[wi].load(Ordering::Relaxed);
+        if top < BITS - 1 {
+            word &= (1u64 << (top + 1)) - 1;
+        }
+        loop {
+            if word != 0 {
+                return Some(wi * BITS + (BITS - 1 - word.leading_zeros() as usize));
+            }
+            if wi == 0 {
+                return None;
+            }
+            wi -= 1;
+            word = self.words[wi].load(Ordering::Relaxed);
+        }
+    }
+
+    /// Finds the first set bit in `[from, limit)`, or `None`.
+    pub fn next_set_before(&self, from: usize, limit: usize) -> Option<usize> {
+        debug_assert!(limit <= self.len);
+        match self.next_set(from) {
+            Some(i) if i < limit => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Counts set bits in `[start, end)`.
+    pub fn count_range(&self, start: usize, end: usize) -> usize {
+        assert!(start <= end && end <= self.len);
+        let mut count = 0;
+        let mut i = start;
+        while i < end {
+            let wi = i / BITS;
+            let off = i % BITS;
+            let upto = ((wi + 1) * BITS).min(end);
+            let take = upto - i;
+            let mut w = self.words[wi].load(Ordering::Relaxed) >> off;
+            if take < BITS {
+                w &= (1u64 << take) - 1;
+            }
+            count += w.count_ones() as usize;
+            i = upto;
+        }
+        count
+    }
+
+    /// Counts all set bits.
+    pub fn count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over all set bit indices in `[start, end)`.
+    pub fn iter_set(&self, start: usize, end: usize) -> SetBits<'_> {
+        assert!(start <= end && end <= self.len);
+        SetBits {
+            map: self,
+            next: start,
+            end,
+        }
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bitmap")
+            .field("len", &self.len)
+            .field("set", &self.count())
+            .finish()
+    }
+}
+
+/// Iterator over set bits of a [`Bitmap`]; see [`Bitmap::iter_set`].
+pub struct SetBits<'a> {
+    map: &'a Bitmap,
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let found = self.map.next_set_before(self.next, self.end)?;
+        self.next = found + 1;
+        Some(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let b = Bitmap::new(200);
+        assert!(!b.get(63));
+        assert!(b.set(63));
+        assert!(!b.set(63), "second set returns false");
+        assert!(b.get(63));
+        assert!(b.clear(63));
+        assert!(!b.clear(63));
+        assert!(!b.get(63));
+    }
+
+    #[test]
+    fn next_set_scans_across_words() {
+        let b = Bitmap::new(300);
+        b.set(0);
+        b.set(64);
+        b.set(299);
+        assert_eq!(b.next_set(0), Some(0));
+        assert_eq!(b.next_set(1), Some(64));
+        assert_eq!(b.next_set(65), Some(299));
+        assert_eq!(b.next_set(300), None);
+        assert_eq!(b.next_set_before(65, 299), None);
+        assert_eq!(b.next_set_before(65, 300), Some(299));
+    }
+
+    #[test]
+    fn count_range_partial_words() {
+        let b = Bitmap::new(256);
+        for i in (0..256).step_by(3) {
+            b.set(i);
+        }
+        let brute = |s: usize, e: usize| (s..e).filter(|&i| b.get(i)).count();
+        for &(s, e) in &[(0, 256), (1, 255), (63, 65), (64, 128), (100, 101), (5, 5)] {
+            assert_eq!(b.count_range(s, e), brute(s, e), "range {s}..{e}");
+        }
+        assert_eq!(b.count(), brute(0, 256));
+    }
+
+    #[test]
+    fn clear_range_boundaries() {
+        let b = Bitmap::new(256);
+        for i in 0..256 {
+            b.set(i);
+        }
+        b.clear_range(10, 20);
+        b.clear_range(60, 70);
+        b.clear_range(128, 256);
+        for i in 0..256 {
+            let expect = !(10..20).contains(&i) && !(60..70).contains(&i) && i < 128;
+            assert_eq!(b.get(i), expect, "bit {i}");
+        }
+        // whole-word boundary
+        let c = Bitmap::new(192);
+        for i in 0..192 {
+            c.set(i);
+        }
+        c.clear_range(64, 128);
+        assert_eq!(c.count(), 128);
+        assert!(c.get(63) && !c.get(64) && !c.get(127) && c.get(128));
+    }
+
+    #[test]
+    fn prev_set_scans_backwards() {
+        let b = Bitmap::new(300);
+        b.set(0);
+        b.set(64);
+        b.set(299);
+        assert_eq!(b.prev_set(0), None);
+        assert_eq!(b.prev_set(1), Some(0));
+        assert_eq!(b.prev_set(64), Some(0));
+        assert_eq!(b.prev_set(65), Some(64));
+        assert_eq!(b.prev_set(299), Some(64));
+        assert_eq!(b.prev_set(300), Some(299));
+        assert_eq!(b.prev_set(10_000), Some(299), "clamped to len");
+        let empty = Bitmap::new(100);
+        assert_eq!(empty.prev_set(100), None);
+    }
+
+    #[test]
+    fn iter_set_collects() {
+        let b = Bitmap::new(130);
+        for i in [0usize, 5, 64, 65, 129] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_set(0, 130).collect();
+        assert_eq!(got, vec![0, 5, 64, 65, 129]);
+        let got: Vec<usize> = b.iter_set(1, 65).collect();
+        assert_eq!(got, vec![5, 64]);
+    }
+
+    #[test]
+    fn concurrent_set_unique_winners() {
+        use std::sync::Arc;
+        let b = Arc::new(Bitmap::new(1 << 14));
+        let winners: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    s.spawn(move || (0..b.len()).filter(|&i| b.set(i)).count())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(winners.iter().sum::<usize>(), 1 << 14);
+        assert_eq!(b.count(), 1 << 14);
+    }
+}

@@ -1,0 +1,198 @@
+//! The card table used by the write barrier (paper §2, §5.3).
+//!
+//! One byte per 512-byte card. The write barrier dirties the card of the
+//! object whose reference slot was updated; card *cleaning* rescans marked
+//! objects on dirty cards to pick up references stored after they were
+//! traced. The §5.3 snapshot protocol (register dirty cards, clear the
+//! indicators, handshake, then clean from the registry) is implemented by
+//! [`CardTable::snapshot_dirty`] plus the collector's fence handshake.
+
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+
+use crate::object::GRANULES_PER_CARD;
+
+const CLEAN: u8 = 0;
+const DIRTY: u8 = 1;
+
+/// A concurrent card table, one byte per card.
+pub struct CardTable {
+    cards: Box<[AtomicU8]>,
+    /// Total number of cards ever dirtied (write-barrier activations that
+    /// actually transitioned clean->dirty are not distinguished; this
+    /// counts dirty stores, cheap and monotone).
+    dirty_stores: AtomicU64,
+}
+
+impl CardTable {
+    /// Creates a card table covering `granules` granules of heap.
+    pub fn new(granules: usize) -> CardTable {
+        let n = (granules + GRANULES_PER_CARD - 1) / GRANULES_PER_CARD;
+        CardTable {
+            cards: (0..n).map(|_| AtomicU8::new(CLEAN)).collect(),
+            dirty_stores: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cards.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// True if the table covers zero cards.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cards.is_empty()
+    }
+
+    /// Dirties `card`. This is the write-barrier store; a plain relaxed
+    /// store, with **no fence** (paper §5: "no fence at all in the write
+    /// barrier") — the snapshot protocol on the collector side compensates.
+    #[inline]
+    pub fn dirty(&self, card: usize) {
+        self.cards[card].store(DIRTY, Ordering::Relaxed);
+        self.dirty_stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads whether `card` is dirty.
+    #[inline]
+    pub fn is_dirty(&self, card: usize) -> bool {
+        self.cards[card].load(Ordering::Relaxed) == DIRTY
+    }
+
+    /// Clears the dirty indicator of `card`.
+    #[inline]
+    pub fn clear(&self, card: usize) {
+        self.cards[card].store(CLEAN, Ordering::Relaxed);
+    }
+
+    /// Clears the whole table (collector initialization, at a safepoint).
+    pub fn clear_all(&self) {
+        for c in self.cards.iter() {
+            c.store(CLEAN, Ordering::Relaxed);
+        }
+    }
+
+    /// Step 1 of the §5.3 card-cleaning protocol: scan the table,
+    /// *register* (return) all dirty card indices in `[start, end)` and
+    /// clear their indicators.
+    ///
+    /// The caller must force a mutator fence handshake before scanning the
+    /// registered cards' contents.
+    pub fn snapshot_dirty(&self, start: usize, end: usize, out: &mut Vec<usize>) {
+        debug_assert!(start <= end && end <= self.cards.len());
+        for card in start..end {
+            // swap avoids losing a concurrent re-dirty: if the mutator
+            // dirties between our load and clear, the swap still observes
+            // DIRTY and registers the card.
+            if self.cards[card].swap(CLEAN, Ordering::Relaxed) == DIRTY {
+                out.push(card);
+            }
+        }
+    }
+
+    /// Counts dirty cards in the whole table (diagnostics / metering).
+    pub fn count_dirty(&self) -> usize {
+        self.cards
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) == DIRTY)
+            .count()
+    }
+
+    /// Total number of write-barrier dirty stores since creation.
+    pub fn dirty_store_count(&self) -> u64 {
+        self.dirty_stores.load(Ordering::Relaxed)
+    }
+
+    /// First granule of `card`.
+    #[inline]
+    pub fn card_start_granule(card: usize) -> usize {
+        card * GRANULES_PER_CARD
+    }
+
+    /// One-past-last granule of `card`, clamped to `heap_granules`.
+    #[inline]
+    pub fn card_end_granule(card: usize, heap_granules: usize) -> usize {
+        ((card + 1) * GRANULES_PER_CARD).min(heap_granules)
+    }
+}
+
+impl std::fmt::Debug for CardTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CardTable")
+            .field("cards", &self.cards.len())
+            .field("dirty", &self.count_dirty())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_and_snapshot() {
+        let t = CardTable::new(GRANULES_PER_CARD * 10);
+        assert_eq!(t.len(), 10);
+        t.dirty(3);
+        t.dirty(7);
+        t.dirty(7);
+        assert!(t.is_dirty(3));
+        assert_eq!(t.count_dirty(), 2);
+        assert_eq!(t.dirty_store_count(), 3);
+
+        let mut snap = Vec::new();
+        t.snapshot_dirty(0, 10, &mut snap);
+        assert_eq!(snap, vec![3, 7]);
+        assert_eq!(t.count_dirty(), 0, "snapshot clears indicators");
+
+        snap.clear();
+        t.snapshot_dirty(0, 10, &mut snap);
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn snapshot_range_partial() {
+        let t = CardTable::new(GRANULES_PER_CARD * 8);
+        for c in 0..8 {
+            t.dirty(c);
+        }
+        let mut snap = Vec::new();
+        t.snapshot_dirty(2, 5, &mut snap);
+        assert_eq!(snap, vec![2, 3, 4]);
+        assert_eq!(t.count_dirty(), 5, "cards outside range untouched");
+    }
+
+    #[test]
+    fn rounds_up_partial_card() {
+        let t = CardTable::new(GRANULES_PER_CARD + 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(CardTable::card_end_granule(1, GRANULES_PER_CARD + 1), GRANULES_PER_CARD + 1);
+        assert_eq!(CardTable::card_start_granule(1), GRANULES_PER_CARD);
+    }
+
+    #[test]
+    fn concurrent_dirty_never_lost() {
+        // A card dirtied concurrently with snapshotting must end up either
+        // in the snapshot or still dirty in the table.
+        use std::sync::Arc;
+        let t = Arc::new(CardTable::new(GRANULES_PER_CARD * 64));
+        for round in 0..50 {
+            let t2 = Arc::clone(&t);
+            let writer = std::thread::spawn(move || {
+                for c in 0..64 {
+                    t2.dirty((c * 7 + round) % 64);
+                }
+            });
+            let mut snap = Vec::new();
+            t.snapshot_dirty(0, 64, &mut snap);
+            writer.join().unwrap();
+            let mut rest = Vec::new();
+            t.snapshot_dirty(0, 64, &mut rest);
+            let mut all: Vec<usize> = snap.into_iter().chain(rest).collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), 64, "round {round}: some card lost: {all:?}");
+        }
+    }
+}

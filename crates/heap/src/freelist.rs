@@ -1,0 +1,335 @@
+//! Address-ordered extent free list.
+//!
+//! The IBM JVM allocates from a free list of extents; bitwise sweep (paper
+//! §2.2) rebuilds the list from the mark bit vector. We keep the list
+//! address-ordered and use first-fit, which the compaction-avoidance work
+//! the paper builds on ([12]) found effective.
+
+use std::collections::VecDeque;
+
+/// A contiguous run of free granules.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Hash)]
+pub struct Extent {
+    /// First granule of the extent.
+    pub start: usize,
+    /// Length in granules.
+    pub len: usize,
+}
+
+impl Extent {
+    /// One past the last granule.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// An address-ordered free list of extents with first-fit allocation.
+///
+/// Not internally synchronized: the heap wraps it in a mutex. Allocation
+/// caches (paper §2.1) keep the lock off the small-object fast path.
+#[derive(Debug, Default)]
+pub struct FreeList {
+    /// Address-ordered extents. A deque because first-fit for the common
+    /// small request usually pops near the front.
+    extents: VecDeque<Extent>,
+    free_granules: usize,
+    /// Next-fit rotor: index where the last allocation succeeded. Scans
+    /// start here so a prefix of too-small fragments (common near heap
+    /// exhaustion) is not rescanned on every request.
+    hint: usize,
+}
+
+impl FreeList {
+    /// Creates an empty free list.
+    pub fn new() -> FreeList {
+        FreeList::default()
+    }
+
+    /// Creates a free list holding one extent.
+    pub fn with_extent(start: usize, len: usize) -> FreeList {
+        let mut fl = FreeList::new();
+        if len > 0 {
+            fl.extents.push_back(Extent { start, len });
+            fl.free_granules = len;
+        }
+        fl
+    }
+
+    /// Total free granules on the list.
+    #[inline]
+    pub fn free_granules(&self) -> usize {
+        self.free_granules
+    }
+
+    /// Number of extents on the list.
+    #[inline]
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Size of the largest extent, in granules.
+    pub fn largest_extent(&self) -> usize {
+        self.extents.iter().map(|e| e.len).max().unwrap_or(0)
+    }
+
+    /// Next-fit allocation of `len` granules (address-ordered list, scan
+    /// resumes at the previous success). Returns the start granule.
+    pub fn alloc(&mut self, len: usize) -> Option<usize> {
+        debug_assert!(len > 0);
+        let n = self.extents.len();
+        if n == 0 {
+            return None;
+        }
+        let start_at = self.hint.min(n - 1);
+        let pos = (0..n)
+            .map(|i| (start_at + i) % n)
+            .find(|&i| self.extents[i].len >= len)?;
+        let e = &mut self.extents[pos];
+        let start = e.start;
+        if e.len == len {
+            self.extents.remove(pos);
+            self.hint = if pos == 0 { 0 } else { pos - 1 };
+        } else {
+            e.start += len;
+            e.len -= len;
+            self.hint = pos;
+        }
+        self.free_granules -= len;
+        Some(start)
+    }
+
+    /// Wilderness-style allocation for large objects (the compaction
+    /// avoidance of Dimpsey et al. [12], which the paper's collector
+    /// builds on): carves `len` granules from the *end* of the
+    /// highest-addressed extent that fits, so large objects cluster away
+    /// from the small-object allocation front and fragmentation of the
+    /// front does not starve large requests.
+    pub fn alloc_from_end(&mut self, len: usize) -> Option<usize> {
+        debug_assert!(len > 0);
+        let pos = (0..self.extents.len()).rev().find(|&i| self.extents[i].len >= len)?;
+        let e = &mut self.extents[pos];
+        let start = e.end() - len;
+        if e.len == len {
+            self.extents.remove(pos);
+        } else {
+            e.len -= len;
+        }
+        self.free_granules -= len;
+        Some(start)
+    }
+
+    /// Returns an extent to the list, coalescing with address-adjacent
+    /// neighbours.
+    pub fn free(&mut self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.free_granules += len;
+        // binary search for insertion point by start address
+        let idx = self.extents.partition_point(|e| e.start < start);
+        // check overlap invariants in debug builds
+        debug_assert!(
+            idx == 0 || self.extents[idx - 1].end() <= start,
+            "freeing overlapping extent"
+        );
+        debug_assert!(
+            idx == self.extents.len() || start + len <= self.extents[idx].start,
+            "freeing overlapping extent"
+        );
+        let merge_prev = idx > 0 && self.extents[idx - 1].end() == start;
+        let merge_next = idx < self.extents.len() && start + len == self.extents[idx].start;
+        match (merge_prev, merge_next) {
+            (true, true) => {
+                let next_len = self.extents[idx].len;
+                self.extents[idx - 1].len += len + next_len;
+                self.extents.remove(idx);
+            }
+            (true, false) => self.extents[idx - 1].len += len,
+            (false, true) => {
+                self.extents[idx].start = start;
+                self.extents[idx].len += len;
+            }
+            (false, false) => self.extents.insert(idx, Extent { start, len }),
+        }
+    }
+
+    /// Replaces the contents with `extents`, which must be address-ordered
+    /// and non-overlapping (as produced by sweep). Adjacent extents are
+    /// coalesced.
+    pub fn rebuild<I: IntoIterator<Item = Extent>>(&mut self, extents: I) {
+        self.extents.clear();
+        self.free_granules = 0;
+        for e in extents {
+            if e.len == 0 {
+                continue;
+            }
+            debug_assert!(
+                self.extents.back().map_or(true, |p| p.end() <= e.start),
+                "rebuild input not address-ordered"
+            );
+            self.free_granules += e.len;
+            if let Some(prev) = self.extents.back_mut() {
+                if prev.end() == e.start {
+                    prev.len += e.len;
+                    continue;
+                }
+            }
+            self.extents.push_back(e);
+        }
+    }
+
+    /// Iterates the extents in address order.
+    pub fn iter(&self) -> impl Iterator<Item = Extent> + '_ {
+        self.extents.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_and_split() {
+        let mut fl = FreeList::with_extent(8, 100);
+        assert_eq!(fl.free_granules(), 100);
+        assert_eq!(fl.alloc(10), Some(8));
+        assert_eq!(fl.alloc(90), Some(18));
+        assert_eq!(fl.alloc(1), None);
+        assert_eq!(fl.free_granules(), 0);
+    }
+
+    #[test]
+    fn skips_small_extents() {
+        let mut fl = FreeList::new();
+        fl.free(10, 4);
+        fl.free(100, 50);
+        assert_eq!(fl.alloc(20), Some(100));
+        // Next-fit continues from the last success, wrapping to reach the
+        // small leading extent when nothing later fits.
+        assert_eq!(fl.alloc(40), None);
+        assert_eq!(fl.alloc(30), Some(120));
+        assert_eq!(fl.alloc(4), Some(10));
+        assert_eq!(fl.free_granules(), 0);
+    }
+
+    #[test]
+    fn next_fit_skips_fragmented_prefix() {
+        let mut fl = FreeList::new();
+        // 1000 tiny fragments then one big extent.
+        for i in 0..1000 {
+            fl.free(10 + i * 4, 2);
+        }
+        fl.free(100_000, 10_000);
+        assert_eq!(fl.alloc(100), Some(100_000));
+        // Subsequent allocations resume at the big extent, not the
+        // fragment prefix.
+        assert_eq!(fl.alloc(100), Some(100_100));
+        assert_eq!(fl.alloc(2), Some(100_200));
+    }
+
+    #[test]
+    fn free_coalesces_both_sides() {
+        let mut fl = FreeList::new();
+        fl.free(10, 10);
+        fl.free(40, 10);
+        assert_eq!(fl.extent_count(), 2);
+        fl.free(20, 20); // bridges the gap
+        assert_eq!(fl.extent_count(), 1);
+        assert_eq!(fl.iter().next(), Some(Extent { start: 10, len: 40 }));
+        assert_eq!(fl.free_granules(), 40);
+    }
+
+    #[test]
+    fn free_coalesces_one_side() {
+        let mut fl = FreeList::new();
+        fl.free(10, 10);
+        fl.free(20, 5); // after
+        assert_eq!(fl.extent_count(), 1);
+        fl.free(5, 5); // before
+        assert_eq!(fl.extent_count(), 1);
+        assert_eq!(fl.iter().next(), Some(Extent { start: 5, len: 20 }));
+    }
+
+    #[test]
+    fn rebuild_coalesces_adjacent() {
+        let mut fl = FreeList::new();
+        fl.rebuild([
+            Extent { start: 0, len: 5 },
+            Extent { start: 5, len: 5 },
+            Extent { start: 20, len: 1 },
+            Extent { start: 30, len: 0 },
+        ]);
+        assert_eq!(fl.extent_count(), 2);
+        assert_eq!(fl.free_granules(), 11);
+        assert_eq!(fl.largest_extent(), 10);
+    }
+
+    #[test]
+    fn alloc_from_end_carves_wilderness() {
+        let mut fl = FreeList::new();
+        fl.free(10, 100); // [10, 110)
+        fl.free(200, 50); // [200, 250)
+        // Large allocation comes from the END of the highest extent.
+        assert_eq!(fl.alloc_from_end(20), Some(230));
+        assert_eq!(fl.alloc_from_end(30), Some(200));
+        // [200,250) exhausted: falls back to the earlier extent's end.
+        assert_eq!(fl.alloc_from_end(40), Some(70));
+        assert_eq!(fl.free_granules(), 60);
+        // Small allocations still come from the front.
+        assert_eq!(fl.alloc(10), Some(10));
+    }
+
+    #[test]
+    fn alloc_from_end_exact_fit_removes_extent() {
+        let mut fl = FreeList::new();
+        fl.free(10, 10);
+        assert_eq!(fl.alloc_from_end(10), Some(10));
+        assert_eq!(fl.extent_count(), 0);
+        assert_eq!(fl.alloc_from_end(1), None);
+    }
+
+    #[test]
+    fn ends_meet_in_the_middle() {
+        // Front (next-fit) and back (wilderness) allocation share one
+        // extent without overlapping.
+        let mut fl = FreeList::with_extent(0, 100);
+        let mut taken = Vec::new();
+        loop {
+            match (fl.alloc(7), fl.alloc_from_end(9)) {
+                (Some(a), Some(b)) => {
+                    taken.push((a, 7));
+                    taken.push((b, 9));
+                }
+                (Some(a), None) => {
+                    taken.push((a, 7));
+                    break;
+                }
+                (None, Some(b)) => {
+                    taken.push((b, 9));
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        taken.sort_unstable();
+        for w in taken.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {w:?}");
+        }
+        let total: usize = taken.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total + fl.free_granules(), 100);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_preserves_total() {
+        let mut fl = FreeList::with_extent(1, 1000);
+        let a = fl.alloc(100).unwrap();
+        let b = fl.alloc(200).unwrap();
+        let c = fl.alloc(300).unwrap();
+        fl.free(b, 200);
+        fl.free(a, 100);
+        fl.free(c, 300);
+        assert_eq!(fl.free_granules(), 1000);
+        assert_eq!(fl.extent_count(), 1, "full coalescing back to one extent");
+    }
+}

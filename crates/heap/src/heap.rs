@@ -1,0 +1,701 @@
+//! The heap arena: slot storage, allocation caches, and large-object
+//! allocation, with the §5.2 batched allocation-bit publication protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mcgc_membar::{release_fence, FenceKind};
+use parking_lot::Mutex;
+
+use crate::bitmap::Bitmap;
+use crate::cards::CardTable;
+use crate::freelist::FreeList;
+use crate::object::{Header, ObjectRef, GRANULE_BYTES, MAX_OBJECT_GRANULES};
+
+/// Heap sizing and allocation parameters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Total heap size in bytes (rounded up to a granule multiple).
+    pub heap_bytes: usize,
+    /// Allocation-cache size in bytes (paper §2.1: each thread allocates
+    /// small objects from its own cache).
+    pub cache_bytes: usize,
+    /// Objects at least this many bytes are allocated directly from the
+    /// free list and fenced individually.
+    pub large_object_bytes: usize,
+    /// Free runs shorter than this many granules are left as dark matter
+    /// instead of going on the free list.
+    pub min_free_extent_granules: usize,
+}
+
+impl Default for HeapConfig {
+    fn default() -> HeapConfig {
+        HeapConfig {
+            heap_bytes: 64 << 20,
+            cache_bytes: 32 << 10,
+            large_object_bytes: 8 << 10,
+            min_free_extent_granules: 2,
+        }
+    }
+}
+
+impl HeapConfig {
+    /// A config with the given heap size and default allocation knobs.
+    pub fn with_heap_bytes(heap_bytes: usize) -> HeapConfig {
+        HeapConfig {
+            heap_bytes,
+            ..HeapConfig::default()
+        }
+    }
+
+    /// Heap size in granules.
+    pub fn heap_granules(&self) -> usize {
+        (self.heap_bytes + GRANULE_BYTES - 1) / GRANULE_BYTES
+    }
+}
+
+/// The shape of an object to allocate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ObjectShape {
+    /// Number of reference slots.
+    pub refs: u32,
+    /// Number of data granules.
+    pub data: u32,
+    /// Workload-defined class tag.
+    pub class: u8,
+}
+
+impl ObjectShape {
+    /// An object with `refs` reference slots and `data` data granules.
+    pub fn new(refs: u32, data: u32, class: u8) -> ObjectShape {
+        ObjectShape { refs, data, class }
+    }
+
+    /// Total size in granules including the header.
+    pub fn granules(&self) -> usize {
+        1 + self.refs as usize + self.data as usize
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.granules() * GRANULE_BYTES
+    }
+
+    fn header(&self) -> Header {
+        Header::new(self.refs, self.data, self.class)
+    }
+}
+
+/// A per-mutator allocation cache (thread-local heap).
+///
+/// Small objects bump-allocate from the cache; their allocation bits are
+/// *not* set until the cache fills (or is retired), at which point one
+/// fence publishes the whole batch (§5.2).
+#[derive(Debug, Default)]
+pub struct AllocCache {
+    start: usize,
+    cursor: usize,
+    end: usize,
+    /// Object start granules awaiting allocation-bit publication.
+    pending: Vec<u32>,
+}
+
+impl AllocCache {
+    /// Creates an empty cache (the first allocation will refill it).
+    pub fn new() -> AllocCache {
+        AllocCache::default()
+    }
+
+    /// Granules still available for bump allocation.
+    pub fn remaining_granules(&self) -> usize {
+        self.end - self.cursor
+    }
+
+    /// Number of allocations not yet published.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if the cache currently owns no heap region.
+    pub fn is_retired(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Why an allocation request could not be satisfied.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// The free list has no extent large enough; a GC (or more sweeping)
+    /// is required.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => write!(f, "heap exhausted: allocation failure"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The shared heap: slot arena, bitmaps, card table, and free list.
+///
+/// All slot accesses are atomic (the mutators and the concurrent tracer
+/// race by design, exactly the surface the paper's protocols manage);
+/// orderings are `Relaxed` except where a §5 protocol requires a fence,
+/// which is routed through [`mcgc_membar`] so it is counted.
+pub struct Heap {
+    config: HeapConfig,
+    granules: usize,
+    slots: Box<[AtomicU64]>,
+    alloc_bits: Bitmap,
+    mark_bits: Bitmap,
+    cards: CardTable,
+    free: Mutex<FreeList>,
+    bytes_allocated: AtomicU64,
+    objects_allocated: AtomicU64,
+    /// Granules lost to sub-minimum free runs in the last sweep.
+    dark_granules: AtomicU64,
+}
+
+impl Heap {
+    /// Creates a heap of `config.heap_bytes` bytes. Granule 0 is reserved
+    /// (the null encoding), so usable space starts at granule 1.
+    ///
+    /// # Panics
+    /// Panics if the heap is smaller than one allocation cache or larger
+    /// than the 32 GiB the 32-bit granule index addresses.
+    pub fn new(config: HeapConfig) -> Heap {
+        let granules = config.heap_granules();
+        assert!(
+            granules > config.cache_bytes / GRANULE_BYTES,
+            "heap smaller than one allocation cache"
+        );
+        assert!(granules <= u32::MAX as usize, "heap exceeds 32 GiB");
+        Heap {
+            granules,
+            slots: (0..granules).map(|_| AtomicU64::new(0)).collect(),
+            alloc_bits: Bitmap::new(granules),
+            mark_bits: Bitmap::new(granules),
+            cards: CardTable::new(granules),
+            free: Mutex::new(FreeList::with_extent(1, granules - 1)),
+            config,
+            bytes_allocated: AtomicU64::new(0),
+            objects_allocated: AtomicU64::new(0),
+            dark_granules: AtomicU64::new(0),
+        }
+    }
+
+    /// The heap configuration.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Heap size in granules (including reserved granule 0).
+    pub fn granules(&self) -> usize {
+        self.granules
+    }
+
+    /// Heap size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.granules * GRANULE_BYTES
+    }
+
+    /// Free bytes currently on the free list (excludes space inside live
+    /// allocation caches and dark matter).
+    pub fn free_bytes(&self) -> usize {
+        self.free.lock().free_granules() * GRANULE_BYTES
+    }
+
+    /// Number of extents on the free list.
+    pub fn free_extent_count(&self) -> usize {
+        self.free.lock().extent_count()
+    }
+
+    /// Largest free extent, in bytes.
+    pub fn largest_free_bytes(&self) -> usize {
+        self.free.lock().largest_extent() * GRANULE_BYTES
+    }
+
+    /// Granules lost to dark matter in the last sweep.
+    pub fn dark_bytes(&self) -> usize {
+        self.dark_granules.load(Ordering::Relaxed) as usize * GRANULE_BYTES
+    }
+
+    pub(crate) fn set_dark_granules(&self, g: u64) {
+        self.dark_granules.store(g, Ordering::Relaxed);
+    }
+
+    /// Total bytes ever allocated.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Total objects ever allocated.
+    pub fn objects_allocated(&self) -> u64 {
+        self.objects_allocated.load(Ordering::Relaxed)
+    }
+
+    /// The allocation bit vector (one bit per granule; set = object
+    /// header, published per §5.2).
+    pub fn alloc_bits(&self) -> &Bitmap {
+        &self.alloc_bits
+    }
+
+    /// The mark bit vector.
+    pub fn mark_bits(&self) -> &Bitmap {
+        &self.mark_bits
+    }
+
+    /// The card table.
+    pub fn cards(&self) -> &CardTable {
+        &self.cards
+    }
+
+    /// Locked access to the free list (sweep rebuild, diagnostics).
+    pub fn with_free_list<R>(&self, f: impl FnOnce(&mut FreeList) -> R) -> R {
+        f(&mut self.free.lock())
+    }
+
+    // ------------------------------------------------------------------
+    // slot access
+    // ------------------------------------------------------------------
+
+    /// Reads the header of `obj`.
+    #[inline]
+    pub fn header(&self, obj: ObjectRef) -> Header {
+        Header::decode(self.slots[obj.index()].load(Ordering::Relaxed))
+    }
+
+    /// Loads reference slot `slot` of `obj`.
+    ///
+    /// # Panics
+    /// Debug-asserts `slot` is within the object's reference slots.
+    #[inline]
+    pub fn load_ref(&self, obj: ObjectRef, slot: u32) -> Option<ObjectRef> {
+        debug_assert!(slot < self.header(obj).ref_count, "ref slot out of range");
+        ObjectRef::decode(self.slots[obj.index() + 1 + slot as usize].load(Ordering::Relaxed))
+    }
+
+    /// Stores into reference slot `slot` of `obj` **without a write
+    /// barrier**. The collector's write barrier (in `mcgc-core`) wraps
+    /// this; workloads must go through the barrier during concurrent
+    /// collection.
+    #[inline]
+    pub fn store_ref_unbarriered(&self, obj: ObjectRef, slot: u32, value: Option<ObjectRef>) {
+        debug_assert!(slot < self.header(obj).ref_count, "ref slot out of range");
+        self.slots[obj.index() + 1 + slot as usize]
+            .store(ObjectRef::encode(value), Ordering::Relaxed);
+    }
+
+    /// Loads data granule `idx` of `obj`.
+    #[inline]
+    pub fn load_data(&self, obj: ObjectRef, idx: u32) -> u64 {
+        let h = self.header(obj);
+        debug_assert!(idx < h.data_count(), "data slot out of range");
+        self.slots[obj.index() + 1 + h.ref_count as usize + idx as usize].load(Ordering::Relaxed)
+    }
+
+    /// Stores data granule `idx` of `obj` (no barrier needed: data slots
+    /// hold no references).
+    #[inline]
+    pub fn store_data(&self, obj: ObjectRef, idx: u32, value: u64) {
+        let h = self.header(obj);
+        debug_assert!(idx < h.data_count(), "data slot out of range");
+        self.slots[obj.index() + 1 + h.ref_count as usize + idx as usize]
+            .store(value, Ordering::Relaxed);
+    }
+
+    /// Calls `f` for each non-null reference in `obj`'s reference slots,
+    /// returning the number of slots scanned.
+    #[inline]
+    pub fn scan_refs(&self, obj: ObjectRef, mut f: impl FnMut(ObjectRef)) -> u32 {
+        let h = self.header(obj);
+        let base = obj.index() + 1;
+        for i in 0..h.ref_count as usize {
+            if let Some(r) = ObjectRef::decode(self.slots[base + i].load(Ordering::Relaxed)) {
+                f(r);
+            }
+        }
+        h.ref_count
+    }
+
+    // ------------------------------------------------------------------
+    // marking
+    // ------------------------------------------------------------------
+
+    /// Atomically marks `obj`; returns `true` if this call won (the object
+    /// was previously unmarked).
+    #[inline]
+    pub fn mark(&self, obj: ObjectRef) -> bool {
+        self.mark_bits.set(obj.index())
+    }
+
+    /// True if `obj` is marked.
+    #[inline]
+    pub fn is_marked(&self, obj: ObjectRef) -> bool {
+        self.mark_bits.get(obj.index())
+    }
+
+    /// True if `obj`'s allocation bit has been published (§5.2 "safe").
+    #[inline]
+    pub fn is_published(&self, obj: ObjectRef) -> bool {
+        self.alloc_bits.get(obj.index())
+    }
+
+    // ------------------------------------------------------------------
+    // allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates a small object from `cache`, bump-style. Returns `None`
+    /// if the cache has insufficient space (caller refills via
+    /// [`Heap::refill_cache`]) — large objects must use
+    /// [`Heap::alloc_large`].
+    ///
+    /// The new object's granules are zeroed and its header written; its
+    /// allocation bit is *pending* until the batch is published.
+    pub fn alloc_small(&self, cache: &mut AllocCache, shape: ObjectShape) -> Option<ObjectRef> {
+        let need = shape.granules();
+        debug_assert!(need <= MAX_OBJECT_GRANULES);
+        if cache.end - cache.cursor < need {
+            return None;
+        }
+        let start = cache.cursor;
+        cache.cursor += need;
+        self.format_object(start, shape);
+        cache.pending.push(start as u32);
+        self.bytes_allocated
+            .fetch_add(shape.bytes() as u64, Ordering::Relaxed);
+        self.objects_allocated.fetch_add(1, Ordering::Relaxed);
+        Some(ObjectRef::from_granule(start as u32))
+    }
+
+    /// Publishes `cache`'s pending allocations: one release fence, then
+    /// the allocation bits (§5.2 mutator steps 2–3).
+    pub fn publish_cache(&self, cache: &mut AllocCache) {
+        if cache.pending.is_empty() {
+            return;
+        }
+        release_fence(FenceKind::AllocBatch);
+        for &g in &cache.pending {
+            self.alloc_bits.set(g as usize);
+        }
+        cache.pending.clear();
+    }
+
+    /// Publishes pending allocations, then replaces `cache`'s region with
+    /// a fresh extent from the free list. The unused tail of the old
+    /// region is returned to the free list. Returns `false` if the free
+    /// list cannot supply a new cache (time to collect).
+    ///
+    /// `min_granules` is the size of the allocation that prompted the
+    /// refill; the new cache is at least that big even if the configured
+    /// cache size is unavailable.
+    pub fn refill_cache(&self, cache: &mut AllocCache, min_granules: usize) -> bool {
+        self.retire_cache(cache);
+        let want = (self.config.cache_bytes / GRANULE_BYTES).max(min_granules);
+        let mut free = self.free.lock();
+        // Prefer a full-size cache; fall back to halves so a fragmented
+        // heap still yields a usable cache before we give up.
+        let mut size = want;
+        loop {
+            if let Some(start) = free.alloc(size) {
+                cache.start = start;
+                cache.cursor = start;
+                cache.end = start + size;
+                return true;
+            }
+            if size == min_granules {
+                return false;
+            }
+            size = (size / 2).max(min_granules);
+        }
+    }
+
+    /// Publishes pending allocations and returns the cache's unused tail
+    /// to the free list, leaving the cache empty. Mutators retire their
+    /// caches at safepoints so sweep sees a consistent heap.
+    pub fn retire_cache(&self, cache: &mut AllocCache) {
+        self.publish_cache(cache);
+        if cache.cursor < cache.end {
+            self.free.lock().free(cache.cursor, cache.end - cache.cursor);
+        }
+        cache.start = 0;
+        cache.cursor = 0;
+        cache.end = 0;
+    }
+
+    /// Allocates a large object directly from the free list, publishing
+    /// its allocation bit immediately with an individual fence. Large
+    /// objects carve from the high end of the heap (wilderness
+    /// preservation, per the compaction-avoidance design [12] the
+    /// collector builds on) so the small-object allocation front cannot
+    /// starve them through fragmentation.
+    ///
+    /// # Errors
+    /// Returns [`AllocError::OutOfMemory`] if no extent is large enough.
+    pub fn alloc_large(&self, shape: ObjectShape) -> Result<ObjectRef, AllocError> {
+        let need = shape.granules();
+        let start = self
+            .free
+            .lock()
+            .alloc_from_end(need)
+            .ok_or(AllocError::OutOfMemory)?;
+        self.format_object(start, shape);
+        release_fence(FenceKind::LargeAlloc);
+        self.alloc_bits.set(start);
+        self.bytes_allocated
+            .fetch_add(shape.bytes() as u64, Ordering::Relaxed);
+        self.objects_allocated.fetch_add(1, Ordering::Relaxed);
+        Ok(ObjectRef::from_granule(start as u32))
+    }
+
+    /// True if an object of `shape` takes the large-object path.
+    pub fn is_large(&self, shape: ObjectShape) -> bool {
+        shape.bytes() >= self.config.large_object_bytes
+    }
+
+    fn format_object(&self, start: usize, shape: ObjectShape) {
+        let n = shape.granules();
+        debug_assert!(start > 0 && start + n <= self.granules);
+        self.slots[start].store(shape.header().encode(), Ordering::Relaxed);
+        for i in 1..n {
+            self.slots[start + i].store(0, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // cycle bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Clears mark bits and the card table for a new collection cycle.
+    /// Must run at a safepoint (collector initialization, §2.1).
+    pub fn begin_cycle(&self) {
+        self.mark_bits.clear_all();
+        self.cards.clear_all();
+    }
+
+    /// Approximate heap occupancy in `[0, 1]`: allocated fraction of total
+    /// (free-list space and dark matter excluded from the numerator).
+    pub fn occupancy(&self) -> f64 {
+        let total = self.granules as f64;
+        let free = self.free.lock().free_granules() as f64;
+        (total - free) / total
+    }
+}
+
+impl std::fmt::Debug for Heap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heap")
+            .field("granules", &self.granules)
+            .field("free_bytes", &self.free_bytes())
+            .field("bytes_allocated", &self.bytes_allocated())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_heap() -> Heap {
+        Heap::new(HeapConfig {
+            heap_bytes: 1 << 20,
+            cache_bytes: 4 << 10,
+            large_object_bytes: 1 << 10,
+            min_free_extent_granules: 2,
+        })
+    }
+
+    #[test]
+    fn alloc_small_through_cache() {
+        let heap = small_heap();
+        let mut cache = AllocCache::new();
+        let shape = ObjectShape::new(2, 3, 9);
+        assert!(heap.alloc_small(&mut cache, shape).is_none(), "empty cache");
+        assert!(heap.refill_cache(&mut cache, shape.granules()));
+        let obj = heap.alloc_small(&mut cache, shape).unwrap();
+        let h = heap.header(obj);
+        assert_eq!(h.ref_count, 2);
+        assert_eq!(h.data_count(), 3);
+        assert_eq!(h.class_id, 9);
+        assert_eq!(heap.load_ref(obj, 0), None);
+        assert_eq!(heap.load_data(obj, 2), 0);
+        assert!(!heap.is_published(obj), "bit pending until publish");
+        heap.publish_cache(&mut cache);
+        assert!(heap.is_published(obj));
+    }
+
+    #[test]
+    fn cache_refill_consumes_free_list() {
+        let heap = small_heap();
+        let mut cache = AllocCache::new();
+        let before = heap.free_bytes();
+        assert!(heap.refill_cache(&mut cache, 1));
+        assert_eq!(heap.free_bytes(), before - (4 << 10));
+        assert_eq!(cache.remaining_granules(), (4 << 10) / GRANULE_BYTES);
+    }
+
+    #[test]
+    fn retire_returns_tail() {
+        let heap = small_heap();
+        let mut cache = AllocCache::new();
+        assert!(heap.refill_cache(&mut cache, 1));
+        let shape = ObjectShape::new(0, 7, 0); // 8 granules
+        let obj = heap.alloc_small(&mut cache, shape).unwrap();
+        let free_before = heap.free_bytes();
+        heap.retire_cache(&mut cache);
+        assert_eq!(
+            heap.free_bytes(),
+            free_before + (4 << 10) - shape.bytes(),
+            "tail returned, allocated object kept"
+        );
+        assert!(cache.is_retired());
+        assert!(heap.is_published(obj), "retire publishes pending bits");
+    }
+
+    #[test]
+    fn alloc_large_publishes_immediately() {
+        let heap = small_heap();
+        let shape = ObjectShape::new(1, 200, 3); // 1616 bytes >= large threshold
+        assert!(heap.is_large(shape));
+        let obj = heap.alloc_large(shape).unwrap();
+        assert!(heap.is_published(obj));
+        assert_eq!(heap.header(obj).data_count(), 200);
+    }
+
+    #[test]
+    fn alloc_large_oom() {
+        let heap = small_heap();
+        let too_big = ObjectShape::new(0, (heap.granules() + 10) as u32, 0);
+        assert_eq!(heap.alloc_large(too_big), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn refs_store_and_load() {
+        let heap = small_heap();
+        let mut cache = AllocCache::new();
+        heap.refill_cache(&mut cache, 1);
+        let a = heap.alloc_small(&mut cache, ObjectShape::new(2, 0, 0)).unwrap();
+        let b = heap.alloc_small(&mut cache, ObjectShape::new(0, 1, 0)).unwrap();
+        heap.store_ref_unbarriered(a, 0, Some(b));
+        assert_eq!(heap.load_ref(a, 0), Some(b));
+        assert_eq!(heap.load_ref(a, 1), None);
+        let mut seen = Vec::new();
+        heap.scan_refs(a, |r| seen.push(r));
+        assert_eq!(seen, vec![b]);
+        heap.store_ref_unbarriered(a, 0, None);
+        assert_eq!(heap.load_ref(a, 0), None);
+    }
+
+    #[test]
+    fn marking_is_idempotent_and_raced() {
+        let heap = small_heap();
+        let mut cache = AllocCache::new();
+        heap.refill_cache(&mut cache, 1);
+        let a = heap.alloc_small(&mut cache, ObjectShape::new(0, 0, 0)).unwrap();
+        assert!(!heap.is_marked(a));
+        assert!(heap.mark(a));
+        assert!(!heap.mark(a));
+        assert!(heap.is_marked(a));
+        heap.begin_cycle();
+        assert!(!heap.is_marked(a));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let heap = small_heap();
+        let mut cache = AllocCache::new();
+        heap.refill_cache(&mut cache, 1);
+        let shape = ObjectShape::new(1, 1, 0);
+        for _ in 0..10 {
+            heap.alloc_small(&mut cache, shape).unwrap();
+        }
+        assert_eq!(heap.objects_allocated(), 10);
+        assert_eq!(heap.bytes_allocated(), 10 * shape.bytes() as u64);
+    }
+
+    #[test]
+    fn zeroes_recycled_memory() {
+        let heap = small_heap();
+        let mut cache = AllocCache::new();
+        heap.refill_cache(&mut cache, 1);
+        let a = heap.alloc_small(&mut cache, ObjectShape::new(0, 4, 0)).unwrap();
+        heap.store_data(a, 0, 0xDEAD);
+        heap.retire_cache(&mut cache);
+        // Reallocate over the same region.
+        heap.with_free_list(|fl| {
+            fl.rebuild([crate::freelist::Extent {
+                start: 1,
+                len: heap.granules() - 1,
+            }])
+        });
+        heap.refill_cache(&mut cache, 1);
+        let b = heap.alloc_small(&mut cache, ObjectShape::new(0, 4, 0)).unwrap();
+        assert_eq!(b, a, "bump allocation reuses the region");
+        assert_eq!(heap.load_data(b, 0), 0, "granules zeroed at allocation");
+    }
+
+    #[test]
+    fn is_large_boundary() {
+        let heap = small_heap(); // large threshold 1 KiB = 128 granules
+        let small = ObjectShape::new(0, 126, 0); // 127 granules = 1016 B
+        let large = ObjectShape::new(0, 127, 0); // 128 granules = 1024 B
+        assert!(!heap.is_large(small));
+        assert!(heap.is_large(large));
+    }
+
+    #[test]
+    fn occupancy_tracks_allocation() {
+        let heap = small_heap();
+        let initial = heap.occupancy();
+        assert!(initial < 0.01, "fresh heap nearly empty: {initial}");
+        let mut cache = AllocCache::new();
+        // Consume ~half the heap through caches.
+        let shape = ObjectShape::new(0, 62, 0);
+        let mut allocated = 0;
+        while allocated < heap.total_bytes() / 2 {
+            match heap.alloc_small(&mut cache, shape) {
+                Some(_) => allocated += shape.bytes(),
+                None => assert!(heap.refill_cache(&mut cache, shape.granules())),
+            }
+        }
+        assert!(heap.occupancy() > 0.45, "{}", heap.occupancy());
+    }
+
+    #[test]
+    fn wilderness_keeps_large_allocs_at_heap_end() {
+        let heap = small_heap();
+        let small = ObjectShape::new(0, 10, 0);
+        let large = ObjectShape::new(0, 200, 0);
+        let mut cache = AllocCache::new();
+        heap.refill_cache(&mut cache, small.granules());
+        let s = heap.alloc_small(&mut cache, small).unwrap();
+        let l = heap.alloc_large(large).unwrap();
+        assert!(
+            l.index() > s.index(),
+            "large object above the allocation front"
+        );
+        assert_eq!(
+            l.index() + large.granules(),
+            heap.granules(),
+            "large object flush against the heap end"
+        );
+    }
+
+    #[test]
+    fn refill_falls_back_to_smaller_extents() {
+        let heap = small_heap();
+        // Fragment the free list into extents smaller than a cache.
+        heap.with_free_list(|fl| {
+            fl.rebuild((0..16).map(|i| crate::freelist::Extent {
+                start: 1 + i * 128,
+                len: 64,
+            }))
+        });
+        let mut cache = AllocCache::new();
+        assert!(heap.refill_cache(&mut cache, 8), "halving finds a 64-granule run");
+        assert!(cache.remaining_granules() >= 8);
+    }
+}

@@ -1,0 +1,226 @@
+//! Object model: granules, object references, and header encoding.
+//!
+//! The heap is an array of 8-byte *granules*. An object occupies a
+//! contiguous run of granules: one header granule, then `ref_count`
+//! reference slots, then data slots. This mirrors the IBM JVM layout the
+//! paper's collector operates on (mark/allocation bit vectors are one bit
+//! per 8 bytes; see §2.1 and §5.2 of the paper).
+
+use core::fmt;
+
+/// Size of a granule in bytes. One mark bit and one allocation bit cover
+/// one granule (paper §2.1: "a mark bit vector, one bit per 8 bytes").
+pub const GRANULE_BYTES: usize = 8;
+
+/// Size of a card in bytes (paper §6.2: "The card size is 512 bytes").
+pub const CARD_BYTES: usize = 512;
+
+/// Number of granules covered by one card.
+pub const GRANULES_PER_CARD: usize = CARD_BYTES / GRANULE_BYTES;
+
+/// Maximum object size in granules encodable in a header (24 bits).
+pub const MAX_OBJECT_GRANULES: usize = (1 << 24) - 1;
+
+/// A reference to an object: the granule index of its header.
+///
+/// Granule index 0 is reserved (the heap never allocates it), so 0 can be
+/// used as the null encoding inside heap slots; a constructed `ObjectRef`
+/// is always non-null.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash)]
+pub struct ObjectRef(u32);
+
+impl ObjectRef {
+    /// Creates an object reference from a raw granule index.
+    ///
+    /// # Panics
+    /// Panics if `granule` is 0 (reserved as the null encoding).
+    #[inline]
+    pub fn from_granule(granule: u32) -> ObjectRef {
+        assert!(granule != 0, "granule 0 is reserved for null");
+        ObjectRef(granule)
+    }
+
+    /// The granule index of the object header.
+    #[inline]
+    pub fn granule(self) -> u32 {
+        self.0
+    }
+
+    /// The granule index as a usize, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Encodes the reference for storage in a heap slot.
+    #[inline]
+    pub fn encode(this: Option<ObjectRef>) -> u64 {
+        match this {
+            Some(r) => r.0 as u64,
+            None => 0,
+        }
+    }
+
+    /// Decodes a heap slot value into an optional reference.
+    #[inline]
+    pub fn decode(raw: u64) -> Option<ObjectRef> {
+        if raw == 0 {
+            None
+        } else {
+            debug_assert!(raw <= u32::MAX as u64, "corrupt reference slot {raw:#x}");
+            Some(ObjectRef(raw as u32))
+        }
+    }
+
+    /// The card index containing this object's header.
+    #[inline]
+    pub fn card(self) -> usize {
+        self.index() / GRANULES_PER_CARD
+    }
+}
+
+impl fmt::Debug for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectRef({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Decoded object header.
+///
+/// Packed into one u64 granule:
+/// ```text
+/// bits  0..24  total size in granules (including the header granule)
+/// bits 24..48  number of reference slots (immediately after the header)
+/// bits 48..56  class id (workload-defined tag)
+/// bits 56..64  flags
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Hash)]
+pub struct Header {
+    /// Total object size in granules, including the header granule.
+    pub size_granules: u32,
+    /// Number of reference slots following the header.
+    pub ref_count: u32,
+    /// Workload-defined class tag.
+    pub class_id: u8,
+    /// Flag bits (reserved; bit 0 = pinned in the incremental-compaction
+    /// extension).
+    pub flags: u8,
+}
+
+impl Header {
+    /// Creates a header for an object with `ref_count` reference slots and
+    /// `data_granules` non-reference granules.
+    ///
+    /// # Panics
+    /// Panics if the resulting size exceeds [`MAX_OBJECT_GRANULES`] or if
+    /// `ref_count` does not fit in the object.
+    pub fn new(ref_count: u32, data_granules: u32, class_id: u8) -> Header {
+        let size = 1u64 + ref_count as u64 + data_granules as u64;
+        assert!(
+            size <= MAX_OBJECT_GRANULES as u64,
+            "object too large: {size} granules"
+        );
+        Header {
+            size_granules: size as u32,
+            ref_count,
+            class_id,
+            flags: 0,
+        }
+    }
+
+    /// Encodes the header into its granule representation.
+    #[inline]
+    pub fn encode(self) -> u64 {
+        debug_assert!(self.size_granules as usize <= MAX_OBJECT_GRANULES);
+        debug_assert!(self.ref_count < (1 << 24));
+        (self.size_granules as u64)
+            | ((self.ref_count as u64) << 24)
+            | ((self.class_id as u64) << 48)
+            | ((self.flags as u64) << 56)
+    }
+
+    /// Decodes a header from its granule representation.
+    #[inline]
+    pub fn decode(raw: u64) -> Header {
+        Header {
+            size_granules: (raw & 0xFF_FFFF) as u32,
+            ref_count: ((raw >> 24) & 0xFF_FFFF) as u32,
+            class_id: ((raw >> 48) & 0xFF) as u8,
+            flags: ((raw >> 56) & 0xFF) as u8,
+        }
+    }
+
+    /// Object size in bytes.
+    #[inline]
+    pub fn size_bytes(self) -> usize {
+        self.size_granules as usize * GRANULE_BYTES
+    }
+
+    /// Number of data (non-reference) granules.
+    #[inline]
+    pub fn data_count(self) -> u32 {
+        self.size_granules - 1 - self.ref_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header::new(3, 5, 42);
+        assert_eq!(h.size_granules, 9);
+        let d = Header::decode(h.encode());
+        assert_eq!(d, h);
+        assert_eq!(d.data_count(), 5);
+        assert_eq!(d.size_bytes(), 72);
+    }
+
+    #[test]
+    fn header_extremes() {
+        let h = Header::new(0, 0, 0);
+        assert_eq!(h.size_granules, 1);
+        assert_eq!(Header::decode(h.encode()), h);
+
+        let big = Header::new(1000, MAX_OBJECT_GRANULES as u32 - 2000, 255);
+        assert_eq!(Header::decode(big.encode()), big);
+    }
+
+    #[test]
+    #[should_panic(expected = "object too large")]
+    fn header_too_large() {
+        let _ = Header::new(0, MAX_OBJECT_GRANULES as u32 + 1, 0);
+    }
+
+    #[test]
+    fn objectref_encode_decode() {
+        assert_eq!(ObjectRef::decode(0), None);
+        let r = ObjectRef::from_granule(77);
+        assert_eq!(ObjectRef::decode(ObjectRef::encode(Some(r))), Some(r));
+        assert_eq!(ObjectRef::encode(None), 0);
+        assert_eq!(r.index(), 77);
+        assert_eq!(r.card(), 77 / GRANULES_PER_CARD);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn objectref_zero_rejected() {
+        let _ = ObjectRef::from_granule(0);
+    }
+
+    #[test]
+    fn card_geometry() {
+        assert_eq!(GRANULES_PER_CARD, 64);
+        let r = ObjectRef::from_granule(GRANULES_PER_CARD as u32);
+        assert_eq!(r.card(), 1);
+        let r = ObjectRef::from_granule(GRANULES_PER_CARD as u32 - 1);
+        assert_eq!(r.card(), 0);
+    }
+}

@@ -1,0 +1,425 @@
+//! Bitwise sweep (paper §2.2) — serial, parallel, and lazy (§7 future
+//! work, implemented here as an extension).
+//!
+//! Sweep frees memory in time essentially proportional to the number of
+//! live objects: it walks the mark bit vector, reads each marked object's
+//! size from its header, and the runs of granules between live objects
+//! become free extents.
+//!
+//! The heap is divided into fixed *sweep chunks* that can be swept
+//! independently and in any order: a chunk's carry-in (a live object
+//! spanning into it) is recovered by scanning the mark bitmap backwards
+//! for the nearest preceding marked header ([`Bitmap::prev_set`]). This
+//! makes the same chunk machinery serve the parallel stop-the-world sweep
+//! (workers claim chunks from an atomic counter) and the lazy sweep
+//! (mutators and background threads sweep chunks on demand after the
+//! pause ends).
+//!
+//! [`Bitmap::prev_set`]: crate::bitmap::Bitmap::prev_set
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::freelist::Extent;
+use crate::heap::Heap;
+use crate::object::ObjectRef;
+
+/// Default sweep chunk size in granules (512 KiB of heap).
+pub const DEFAULT_CHUNK_GRANULES: usize = 64 << 10;
+
+/// The result of sweeping one chunk.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChunkSweep {
+    /// Free extents found inside the chunk, address-ordered. Extents at
+    /// the chunk edges stop at the chunk boundary; the free list coalesces
+    /// them with neighbours from adjacent chunks.
+    pub extents: Vec<Extent>,
+    /// Granules occupied by live objects counted to this chunk (objects
+    /// are counted where they start).
+    pub live_granules: usize,
+    /// Number of live objects starting in this chunk.
+    pub live_objects: usize,
+    /// Granules left as dark matter (runs below the configured minimum).
+    pub dark_granules: usize,
+}
+
+/// Sweeps chunk `chunk` (of `chunk_granules`-sized chunks) of `heap`.
+///
+/// Walks marked headers within the chunk, clears allocation bits of dead
+/// ranges, and returns the free extents. Does **not** touch the free
+/// list; the caller decides whether to free incrementally (lazy) or
+/// rebuild in bulk (stop-the-world).
+pub fn sweep_chunk(heap: &Heap, chunk: usize, chunk_granules: usize) -> ChunkSweep {
+    let heap_granules = heap.granules();
+    // granule 0 is reserved; the sweepable region starts at 1
+    let start = (chunk * chunk_granules).max(1);
+    let end = ((chunk + 1) * chunk_granules).min(heap_granules);
+    let mut out = ChunkSweep::default();
+    if start >= end {
+        return out;
+    }
+    let marks = heap.mark_bits();
+    // Carry-in: a live object starting before the chunk may span into it.
+    let mut cursor = start;
+    if let Some(prev) = marks.prev_set(start) {
+        let h = heap.header(ObjectRef::from_granule(prev as u32));
+        let obj_end = prev + h.size_granules as usize;
+        if obj_end > start {
+            cursor = obj_end.min(end);
+        }
+    }
+    let min_extent = heap.config().min_free_extent_granules;
+    while cursor < end {
+        let next_mark = marks.next_set_before(cursor, end);
+        let gap_end = next_mark.unwrap_or(end);
+        if gap_end > cursor {
+            // everything in [cursor, gap_end) is dead: clear alloc bits
+            heap.alloc_bits().clear_range(cursor, gap_end);
+            let len = gap_end - cursor;
+            if len >= min_extent {
+                out.extents.push(Extent { start: cursor, len });
+            } else {
+                out.dark_granules += len;
+            }
+        }
+        match next_mark {
+            Some(m) => {
+                let h = heap.header(ObjectRef::from_granule(m as u32));
+                debug_assert!(
+                    heap.alloc_bits().get(m),
+                    "marked granule {m} has no allocation bit"
+                );
+                out.live_objects += 1;
+                out.live_granules += h.size_granules as usize;
+                cursor = m + h.size_granules as usize;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Number of sweep chunks for `heap` at the given chunk size.
+pub fn chunk_count(heap: &Heap, chunk_granules: usize) -> usize {
+    (heap.granules() + chunk_granules - 1) / chunk_granules
+}
+
+/// Aggregate statistics of a completed sweep.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Live granules (objects counted at their start chunk).
+    pub live_granules: usize,
+    /// Live object count.
+    pub live_objects: usize,
+    /// Granules returned to the free list.
+    pub freed_granules: usize,
+    /// Granules left dark.
+    pub dark_granules: usize,
+    /// Chunks swept.
+    pub chunks: usize,
+}
+
+impl SweepStats {
+    fn absorb(&mut self, c: &ChunkSweep) {
+        self.live_granules += c.live_granules;
+        self.live_objects += c.live_objects;
+        self.freed_granules += c.extents.iter().map(|e| e.len).sum::<usize>();
+        self.dark_granules += c.dark_granules;
+        self.chunks += 1;
+    }
+}
+
+/// Sweeps the whole heap on the calling thread and rebuilds the free
+/// list. All mutator caches must be retired (stop-the-world).
+pub fn sweep_serial(heap: &Heap, chunk_granules: usize) -> SweepStats {
+    let n = chunk_count(heap, chunk_granules);
+    let mut stats = SweepStats::default();
+    let mut all = Vec::new();
+    for c in 0..n {
+        let cs = sweep_chunk(heap, c, chunk_granules);
+        stats.absorb(&cs);
+        all.extend(cs.extents);
+    }
+    heap.with_free_list(|fl| fl.rebuild(all));
+    heap.set_dark_granules(stats.dark_granules as u64);
+    stats
+}
+
+/// Sweeps the whole heap with `workers` threads claiming chunks from a
+/// shared counter, then rebuilds the free list. All mutator caches must
+/// be retired (stop-the-world).
+pub fn sweep_parallel(heap: &Heap, chunk_granules: usize, workers: usize) -> SweepStats {
+    let n = chunk_count(heap, chunk_granules);
+    let next = AtomicUsize::new(0);
+    let results: Vec<(usize, ChunkSweep)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n {
+                            break;
+                        }
+                        mine.push((c, sweep_chunk(heap, c, chunk_granules)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut ordered = results;
+    ordered.sort_unstable_by_key(|(c, _)| *c);
+    let mut stats = SweepStats::default();
+    let mut all = Vec::new();
+    for (_, cs) in &ordered {
+        stats.absorb(cs);
+        all.extend(cs.extents.iter().copied());
+    }
+    heap.with_free_list(|fl| fl.rebuild(all));
+    heap.set_dark_granules(stats.dark_granules as u64);
+    stats
+}
+
+/// State of an in-progress lazy sweep: chunks are claimed (by allocating
+/// mutators or background threads) and their extents freed incrementally.
+///
+/// The next collection cycle must not start until [`LazySweep::is_done`];
+/// mark bits are still load-bearing for unswept chunks.
+#[derive(Debug)]
+pub struct LazySweep {
+    chunk_granules: usize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    total: usize,
+}
+
+impl LazySweep {
+    /// Plans a lazy sweep of the whole heap, **clearing the free list**:
+    /// all free space (including extents known before the collection) is
+    /// rediscovered chunk by chunk, so allocation gradually recovers as
+    /// chunks are swept.
+    pub fn new(heap: &Heap, chunk_granules: usize) -> LazySweep {
+        heap.with_free_list(|fl| fl.rebuild(std::iter::empty()));
+        LazySweep {
+            chunk_granules,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            total: chunk_count(heap, chunk_granules),
+        }
+    }
+
+    /// Claims and sweeps one chunk, freeing its extents to the heap's
+    /// free list. Returns the chunk's stats, or `None` if all chunks are
+    /// claimed.
+    pub fn sweep_one(&self, heap: &Heap) -> Option<ChunkSweep> {
+        let c = self.next.fetch_add(1, Ordering::Relaxed);
+        if c >= self.total {
+            return None;
+        }
+        let cs = sweep_chunk(heap, c, self.chunk_granules);
+        heap.with_free_list(|fl| {
+            for e in &cs.extents {
+                fl.free(e.start, e.len);
+            }
+        });
+        self.done.fetch_add(1, Ordering::Relaxed);
+        Some(cs)
+    }
+
+    /// True once every chunk has been swept (claimed *and* completed).
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Relaxed) >= self.total
+    }
+
+    /// Fraction of chunks completed, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done.load(Ordering::Relaxed) as f64 / self.total as f64
+        }
+    }
+
+    /// Total chunks in the plan.
+    pub fn total_chunks(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{AllocCache, HeapConfig, ObjectShape};
+    use crate::object::GRANULE_BYTES;
+
+    fn build_heap() -> (Heap, Vec<ObjectRef>) {
+        let heap = Heap::new(HeapConfig {
+            heap_bytes: 1 << 20,
+            cache_bytes: 8 << 10,
+            large_object_bytes: 4 << 10,
+            min_free_extent_granules: 2,
+        });
+        let mut cache = AllocCache::new();
+        let mut objs = Vec::new();
+        for i in 0..2000u32 {
+            let shape = ObjectShape::new((i % 4) as u32, (i % 7) as u32, 1);
+            let obj = loop {
+                match heap.alloc_small(&mut cache, shape) {
+                    Some(o) => break o,
+                    None => assert!(heap.refill_cache(&mut cache, shape.granules())),
+                }
+            };
+            objs.push(obj);
+        }
+        heap.retire_cache(&mut cache);
+        (heap, objs)
+    }
+
+    fn free_total(heap: &Heap) -> usize {
+        heap.free_bytes() / GRANULE_BYTES
+    }
+
+    #[test]
+    fn sweep_none_marked_frees_everything() {
+        let (heap, _) = build_heap();
+        let stats = sweep_serial(&heap, 1 << 10);
+        assert_eq!(stats.live_objects, 0);
+        assert_eq!(
+            stats.freed_granules + stats.dark_granules,
+            heap.granules() - 1
+        );
+        assert_eq!(free_total(&heap), stats.freed_granules);
+        assert_eq!(heap.alloc_bits().count(), 0, "all allocation bits cleared");
+    }
+
+    #[test]
+    fn sweep_all_marked_frees_only_gaps() {
+        let (heap, objs) = build_heap();
+        for &o in &objs {
+            heap.mark(o);
+        }
+        let live: usize = objs
+            .iter()
+            .map(|&o| heap.header(o).size_granules as usize)
+            .sum();
+        let stats = sweep_serial(&heap, 1 << 10);
+        assert_eq!(stats.live_objects, objs.len());
+        assert_eq!(stats.live_granules, live);
+        for &o in &objs {
+            assert!(heap.is_published(o), "live object keeps its alloc bit");
+        }
+    }
+
+    #[test]
+    fn sweep_partial_keeps_marked_only() {
+        let (heap, objs) = build_heap();
+        for (i, &o) in objs.iter().enumerate() {
+            if i % 3 == 0 {
+                heap.mark(o);
+            }
+        }
+        let stats = sweep_serial(&heap, 1 << 10);
+        assert_eq!(stats.live_objects, (objs.len() + 2) / 3);
+        for (i, &o) in objs.iter().enumerate() {
+            assert_eq!(heap.is_published(o), i % 3 == 0, "object {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (heap_a, objs_a) = build_heap();
+        let (heap_b, objs_b) = build_heap();
+        assert_eq!(objs_a, objs_b, "deterministic build");
+        for (i, (&a, &b)) in objs_a.iter().zip(&objs_b).enumerate() {
+            if i % 5 < 2 {
+                heap_a.mark(a);
+                heap_b.mark(b);
+            }
+        }
+        let sa = sweep_serial(&heap_a, 1 << 10);
+        let sb = sweep_parallel(&heap_b, 1 << 10, 4);
+        assert_eq!(sa.live_objects, sb.live_objects);
+        assert_eq!(sa.live_granules, sb.live_granules);
+        assert_eq!(sa.freed_granules, sb.freed_granules);
+        assert_eq!(sa.dark_granules, sb.dark_granules);
+        let ea: Vec<_> = heap_a.with_free_list(|fl| fl.iter().collect());
+        let eb: Vec<_> = heap_b.with_free_list(|fl| fl.iter().collect());
+        assert_eq!(ea, eb, "identical free lists");
+    }
+
+    #[test]
+    fn object_spanning_chunks_is_preserved() {
+        let heap = Heap::new(HeapConfig {
+            heap_bytes: 1 << 20,
+            cache_bytes: 8 << 10,
+            large_object_bytes: 256,
+            min_free_extent_granules: 2,
+        });
+        // Large object spanning several 1 KiB-granule chunks.
+        let big = heap.alloc_large(ObjectShape::new(0, 5000, 2)).unwrap();
+        heap.mark(big);
+        let chunk = 1 << 10;
+        let stats = sweep_serial(&heap, chunk);
+        assert_eq!(stats.live_objects, 1);
+        assert_eq!(stats.live_granules, 5001);
+        assert!(heap.is_published(big));
+        // The spanned interior chunks must not be freed.
+        assert_eq!(
+            free_total(&heap),
+            heap.granules() - 1 - 5001 - stats.dark_granules
+        );
+    }
+
+    #[test]
+    fn lazy_sweep_converges_to_same_free_space() {
+        let (heap_a, objs_a) = build_heap();
+        let (heap_b, objs_b) = build_heap();
+        for (i, (&a, &b)) in objs_a.iter().zip(&objs_b).enumerate() {
+            if i % 2 == 0 {
+                heap_a.mark(a);
+                heap_b.mark(b);
+            }
+        }
+        let eager = sweep_serial(&heap_a, 1 << 10);
+        let lazy = LazySweep::new(&heap_b, 1 << 10);
+        assert!(!lazy.is_done());
+        let mut stats = SweepStats::default();
+        while let Some(cs) = lazy.sweep_one(&heap_b) {
+            stats.absorb(&cs);
+        }
+        assert!(lazy.is_done());
+        assert!((lazy.progress() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(stats.live_objects, eager.live_objects);
+        assert_eq!(free_total(&heap_a), free_total(&heap_b));
+    }
+
+    #[test]
+    fn sweep_then_reallocate_roundtrip() {
+        let (heap, objs) = build_heap();
+        for (i, &o) in objs.iter().enumerate() {
+            if i % 10 == 0 {
+                heap.mark(o);
+            }
+        }
+        sweep_serial(&heap, DEFAULT_CHUNK_GRANULES);
+        // Allocation proceeds into the recovered space.
+        let mut cache = AllocCache::new();
+        let mut count = 0;
+        loop {
+            match heap.alloc_small(&mut cache, ObjectShape::new(1, 2, 0)) {
+                Some(_) => count += 1,
+                None => {
+                    if !heap.refill_cache(&mut cache, 4) {
+                        break;
+                    }
+                }
+            }
+        }
+        assert!(count > 10_000, "recovered space is allocatable: {count}");
+    }
+}

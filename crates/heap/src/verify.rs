@@ -1,0 +1,252 @@
+//! A heap verifier used by tests and debug assertions: walks the
+//! allocation bit vector and checks structural invariants.
+
+use crate::heap::Heap;
+use crate::object::ObjectRef;
+
+/// A structural problem found by [`verify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// An object extends past the end of the heap.
+    ObjectOutOfBounds {
+        /// Offending object.
+        obj: u32,
+        /// Its decoded end granule.
+        end: usize,
+    },
+    /// An object header decodes to zero size.
+    ZeroSizeObject {
+        /// Offending object.
+        obj: u32,
+    },
+    /// Two allocated objects overlap.
+    Overlap {
+        /// Earlier object.
+        first: u32,
+        /// Overlapping later object.
+        second: u32,
+    },
+    /// A reference slot points outside the heap.
+    DanglingRef {
+        /// Object holding the slot.
+        obj: u32,
+        /// Slot index.
+        slot: u32,
+        /// The bad target granule.
+        target: u32,
+    },
+    /// A reference targets a granule with no (published) allocation bit.
+    UnpublishedRef {
+        /// Object holding the slot.
+        obj: u32,
+        /// Slot index.
+        slot: u32,
+        /// The unpublished target.
+        target: u32,
+    },
+    /// A free-list extent overlaps an allocated object.
+    FreeListOverlap {
+        /// Extent start granule.
+        start: usize,
+        /// Extent length.
+        len: usize,
+    },
+    /// A marked granule has no allocation bit.
+    MarkWithoutAlloc {
+        /// The granule.
+        granule: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::ObjectOutOfBounds { obj, end } => {
+                write!(f, "object {obj:#x} extends to {end:#x}, past heap end")
+            }
+            Violation::ZeroSizeObject { obj } => write!(f, "object {obj:#x} has zero size"),
+            Violation::Overlap { first, second } => {
+                write!(f, "objects {first:#x} and {second:#x} overlap")
+            }
+            Violation::DanglingRef { obj, slot, target } => {
+                write!(f, "object {obj:#x} slot {slot} points out of heap: {target:#x}")
+            }
+            Violation::UnpublishedRef { obj, slot, target } => write!(
+                f,
+                "object {obj:#x} slot {slot} targets unpublished granule {target:#x}"
+            ),
+            Violation::FreeListOverlap { start, len } => {
+                write!(f, "free extent [{start:#x}, +{len}) overlaps a live object")
+            }
+            Violation::MarkWithoutAlloc { granule } => {
+                write!(f, "granule {granule:#x} is marked but not allocated")
+            }
+        }
+    }
+}
+
+/// Walks the heap and returns every structural violation found.
+///
+/// Must run while the heap is quiescent (no concurrent mutators) — e.g.,
+/// in tests, or at a safepoint with all caches retired. Unpublished
+/// references are only reported when `strict_refs` is set, because during
+/// a concurrent phase references to still-pending cache allocations are
+/// legal (§5.2 defers them).
+pub fn verify(heap: &Heap, strict_refs: bool) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let granules = heap.granules();
+    let alloc = heap.alloc_bits();
+
+    // Pass 1: object walk.
+    let mut prev: Option<(u32, usize)> = None;
+    let mut cursor = 1;
+    while let Some(start) = alloc.next_set(cursor) {
+        let obj = ObjectRef::from_granule(start as u32);
+        let h = heap.header(obj);
+        let size = h.size_granules as usize;
+        if size == 0 {
+            violations.push(Violation::ZeroSizeObject { obj: start as u32 });
+            cursor = start + 1;
+            continue;
+        }
+        let end = start + size;
+        if end > granules {
+            violations.push(Violation::ObjectOutOfBounds {
+                obj: start as u32,
+                end,
+            });
+            cursor = start + 1;
+            continue;
+        }
+        if let Some((pobj, pend)) = prev {
+            if start < pend {
+                violations.push(Violation::Overlap {
+                    first: pobj,
+                    second: start as u32,
+                });
+            }
+        }
+        for i in 0..h.ref_count {
+            if let Some(target) = heap.load_ref(obj, i) {
+                if target.index() >= granules {
+                    violations.push(Violation::DanglingRef {
+                        obj: start as u32,
+                        slot: i,
+                        target: target.granule(),
+                    });
+                } else if strict_refs && !alloc.get(target.index()) {
+                    violations.push(Violation::UnpublishedRef {
+                        obj: start as u32,
+                        slot: i,
+                        target: target.granule(),
+                    });
+                }
+            }
+        }
+        prev = Some((start as u32, end));
+        cursor = start + 1;
+    }
+
+    // Pass 2: free-list extents must not intersect allocated headers.
+    heap.with_free_list(|fl| {
+        for e in fl.iter() {
+            if alloc.count_range(e.start, (e.start + e.len).min(granules)) != 0 {
+                violations.push(Violation::FreeListOverlap {
+                    start: e.start,
+                    len: e.len,
+                });
+            }
+        }
+    });
+
+    // Pass 3: marks imply allocation.
+    let marks = heap.mark_bits();
+    let mut m = 0;
+    while let Some(g) = marks.next_set(m) {
+        if !alloc.get(g) {
+            violations.push(Violation::MarkWithoutAlloc { granule: g });
+        }
+        m = g + 1;
+    }
+
+    violations
+}
+
+/// Panics with a readable report if [`verify`] finds violations.
+pub fn assert_heap_valid(heap: &Heap, strict_refs: bool) {
+    let v = verify(heap, strict_refs);
+    if !v.is_empty() {
+        let mut msg = format!("heap verification failed with {} violations:\n", v.len());
+        for violation in v.iter().take(20) {
+            msg.push_str(&format!("  - {violation}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::{AllocCache, HeapConfig, ObjectShape};
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig::with_heap_bytes(1 << 20))
+    }
+
+    #[test]
+    fn clean_heap_verifies() {
+        let h = heap();
+        let mut cache = AllocCache::new();
+        h.refill_cache(&mut cache, 1);
+        let a = h.alloc_small(&mut cache, ObjectShape::new(1, 1, 0)).unwrap();
+        let b = h.alloc_small(&mut cache, ObjectShape::new(0, 4, 0)).unwrap();
+        h.store_ref_unbarriered(a, 0, Some(b));
+        h.retire_cache(&mut cache);
+        assert_eq!(verify(&h, true), vec![]);
+        assert_heap_valid(&h, true);
+    }
+
+    #[test]
+    fn pending_refs_only_flagged_in_strict_mode() {
+        let h = heap();
+        let mut cache = AllocCache::new();
+        h.refill_cache(&mut cache, 1);
+        let a = h.alloc_small(&mut cache, ObjectShape::new(1, 0, 0)).unwrap();
+        let b = h.alloc_small(&mut cache, ObjectShape::new(0, 0, 0)).unwrap();
+        h.publish_cache(&mut cache);
+        let c = h.alloc_small(&mut cache, ObjectShape::new(0, 0, 0)).unwrap();
+        h.store_ref_unbarriered(a, 0, Some(b));
+        h.store_ref_unbarriered(a, 0, Some(c)); // c is pending
+        assert_eq!(verify(&h, false), vec![]);
+        let strict = verify(&h, true);
+        assert_eq!(
+            strict,
+            vec![Violation::UnpublishedRef {
+                obj: a.granule(),
+                slot: 0,
+                target: c.granule()
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_mark_without_alloc() {
+        let h = heap();
+        h.mark_bits().set(500);
+        let v = verify(&h, true);
+        assert_eq!(v, vec![Violation::MarkWithoutAlloc { granule: 500 }]);
+    }
+
+    #[test]
+    fn detects_dangling_ref() {
+        let h = heap();
+        let mut cache = AllocCache::new();
+        h.refill_cache(&mut cache, 1);
+        let a = h.alloc_small(&mut cache, ObjectShape::new(1, 0, 0)).unwrap();
+        h.publish_cache(&mut cache);
+        // Forge an out-of-heap reference.
+        h.store_ref_unbarriered(a, 0, Some(ObjectRef::from_granule(u32::MAX)));
+        let v = verify(&h, true);
+        assert!(matches!(v[0], Violation::DanglingRef { .. }));
+    }
+}

@@ -1,0 +1,313 @@
+//! The per-thread tracing discipline over the packet pool (paper §4.1,
+//! §4.3): separate input and output packets, get-before-return
+//! replacement, and the overflow swap.
+
+use crate::pool::{Packet, PacketPool};
+
+/// What happened on a [`WorkBuffer::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushOutcome<T> {
+    /// The item was buffered for later tracing.
+    Pushed,
+    /// Both input and output packets are full and no replacement was
+    /// available: temporary overflow (§4.3). The caller receives the item
+    /// back and must fall back to mark-and-dirty-card.
+    Overflow(T),
+}
+
+/// A thread's window onto the packet pool: one input packet (pop only)
+/// and one output packet (push only), as §4.1 prescribes. Packets are
+/// acquired lazily and always input-before-output (§4.3, so acquisition
+/// attempts cannot mask termination).
+pub struct WorkBuffer<'p, T> {
+    pool: &'p PacketPool<T>,
+    input: Option<Packet<'p, T>>,
+    output: Option<Packet<'p, T>>,
+    /// Items popped through this buffer (tracing-factor accounting).
+    popped: u64,
+    /// Items pushed through this buffer.
+    pushed: u64,
+    /// Overflow events (§4.3; expected to be rare).
+    overflows: u64,
+}
+
+impl<'p, T> WorkBuffer<'p, T> {
+    /// Creates an empty buffer over `pool`; packets are acquired on first
+    /// use.
+    pub fn new(pool: &'p PacketPool<T>) -> WorkBuffer<'p, T> {
+        WorkBuffer {
+            pool,
+            input: None,
+            output: None,
+            popped: 0,
+            pushed: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Items popped through this buffer since creation.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Items pushed through this buffer since creation.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Overflow events since creation.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Pushes a work item to the output packet, handling replacement and
+    /// the §4.3 overflow swap.
+    pub fn push(&mut self, item: T) -> PushOutcome<T> {
+        // Fast path: room in the current output packet.
+        if let Some(out) = self.output.as_mut() {
+            if !out.is_full() {
+                let _ = out.push(item);
+                self.pushed += 1;
+                return PushOutcome::Pushed;
+            }
+        }
+        // Need a (new) non-full output packet. Get first, then return the
+        // old one (§4.3 replacement order).
+        match self.pool.get_output() {
+            Some(new_out) if !new_out.is_full() => {
+                if let Some(old) = self.output.replace(new_out) {
+                    self.pool.put(old);
+                }
+                let out = self.output.as_mut().expect("just installed");
+                let _ = out.push(item);
+                self.pushed += 1;
+                PushOutcome::Pushed
+            }
+            other => {
+                // A full packet is useless as output; return it.
+                if let Some(p) = other {
+                    self.pool.put(p);
+                }
+                // §4.3: failing that, try to swap input and output roles.
+                let in_full = self.input.as_ref().map(|p| p.is_full());
+                match (in_full, self.output.as_mut()) {
+                    (Some(false), Some(out)) => {
+                        let inp = self.input.as_mut().expect("checked above");
+                        out.swap_contents(inp);
+                        let _ = out.push(item);
+                        self.pushed += 1;
+                        PushOutcome::Pushed
+                    }
+                    (None, Some(_)) => {
+                        // No input packet: adopt the full output as input
+                        // and retry for a fresh output lazily next push.
+                        self.input = self.output.take();
+                        self.push(item)
+                    }
+                    _ => {
+                        self.overflows += 1;
+                        PushOutcome::Overflow(item)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops the next work item, replacing an exhausted input packet from
+    /// the pool (get-before-return, §4.3). Returns `None` when no input
+    /// work is available to this thread right now — the caller should try
+    /// other concurrent tasks (card cleaning), quit (mutator), or yield
+    /// and retry (background thread).
+    pub fn pop(&mut self) -> Option<T> {
+        loop {
+            if let Some(inp) = self.input.as_mut() {
+                if let Some(item) = inp.pop() {
+                    self.popped += 1;
+                    return Some(item);
+                }
+                // Input exhausted: get a new one *first*, then return the
+                // empty one (§4.3).
+                match self.pool.get_input() {
+                    Some(new_in) => {
+                        let old = self.input.replace(new_in).expect("had input");
+                        self.pool.put(old);
+                        continue;
+                    }
+                    None => {}
+                }
+            } else {
+                match self.pool.get_input() {
+                    Some(p) => {
+                        self.input = Some(p);
+                        continue;
+                    }
+                    None => {}
+                }
+            }
+            // Pool has no input work. Drain our own output: return it to
+            // the pool (it is non-empty, so this cannot fake termination)
+            // and reacquire.
+            if self.output.as_ref().is_some_and(|o| !o.is_empty()) {
+                let out = self.output.take().expect("checked");
+                self.pool.put(out);
+                continue;
+            }
+            return None;
+        }
+    }
+
+    /// The next item [`WorkBuffer::pop`] would return, if already
+    /// buffered (prefetch hint, §4.1).
+    pub fn peek(&self) -> Option<&T> {
+        self.input.as_ref().and_then(|p| p.peek())
+    }
+
+    /// Returns both packets to the pool. Equivalent to drop; named for
+    /// call-site clarity when an increment of tracing work ends (§4.1).
+    pub fn finish(self) {}
+}
+
+impl<T> std::fmt::Debug for WorkBuffer<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkBuffer")
+            .field("input_len", &self.input.as_ref().map(|p| p.len()))
+            .field("output_len", &self.output.as_ref().map(|p| p.len()))
+            .field("popped", &self.popped)
+            .field("pushed", &self.pushed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+
+    fn pool(packets: usize, capacity: usize) -> PacketPool<u64> {
+        PacketPool::new(PoolConfig { packets, capacity })
+    }
+
+    #[test]
+    fn push_then_pop_through_pool() {
+        let p = pool(8, 4);
+        let mut w = WorkBuffer::new(&p);
+        for i in 0..10 {
+            assert_eq!(w.push(i), PushOutcome::Pushed);
+        }
+        w.finish();
+        assert!(!p.is_tracing_complete());
+        let mut r = WorkBuffer::new(&p);
+        let mut got: Vec<u64> = std::iter::from_fn(|| r.pop()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(r.popped(), 10);
+        r.finish();
+        assert!(p.is_tracing_complete());
+    }
+
+    #[test]
+    fn pop_drains_own_output() {
+        let p = pool(8, 4);
+        let mut w = WorkBuffer::new(&p);
+        w.push(42);
+        // Without putting the buffer back, pop must find its own output.
+        assert_eq!(w.pop(), Some(42));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn overflow_when_pool_exhausted() {
+        // 2 packets of 2 entries: buffer holds both, fills both, then
+        // overflows.
+        let p = pool(2, 2);
+        let mut w = WorkBuffer::new(&p);
+        let mut pushed = 0;
+        let mut overflowed = Vec::new();
+        for i in 0..6 {
+            match w.push(i) {
+                PushOutcome::Pushed => pushed += 1,
+                PushOutcome::Overflow(item) => overflowed.push(item),
+            }
+        }
+        assert_eq!(pushed, 4, "both packets filled via the swap");
+        assert_eq!(overflowed, vec![4, 5]);
+        assert_eq!(w.overflows(), 2);
+        // The buffered items are still all retrievable.
+        let got: Vec<u64> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn termination_not_faked_by_replacement() {
+        // One thread holds the only non-empty packet; while it replaces
+        // its input, termination must not be observable.
+        let p = pool(4, 2);
+        let mut w = WorkBuffer::new(&p);
+        w.push(1);
+        w.push(2); // fills packet 1 (cap 2)
+        w.finish();
+        let mut r = WorkBuffer::new(&p);
+        assert_eq!(r.pop(), Some(2));
+        assert!(
+            !p.is_tracing_complete(),
+            "thread holds a non-empty input; not complete"
+        );
+        assert_eq!(r.pop(), Some(1));
+        r.finish();
+        assert!(p.is_tracing_complete());
+    }
+
+    #[test]
+    fn many_threads_process_everything_exactly_once() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let p = Arc::new(pool(32, 8));
+        // Seed a "tree": each item < 500 spawns two children 2i+1, 2i+2 up
+        // to 4000; every processed item recorded.
+        {
+            let mut w = WorkBuffer::new(&p);
+            w.push(0);
+        }
+        let processed: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let p = Arc::clone(&p);
+                    s.spawn(move || {
+                        let mut seen = Vec::new();
+                        let mut w = WorkBuffer::new(&p);
+                        let mut idle = 0;
+                        while idle < 500 {
+                            match w.pop() {
+                                Some(i) => {
+                                    idle = 0;
+                                    seen.push(i);
+                                    for c in [2 * i + 1, 2 * i + 2] {
+                                        if c < 4000 {
+                                            match w.push(c) {
+                                                PushOutcome::Pushed => {}
+                                                PushOutcome::Overflow(_) => {
+                                                    panic!("pool too small for test")
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                                None => {
+                                    idle += 1;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let all: Vec<u64> = processed.into_iter().flatten().collect();
+        let unique: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(all.len(), unique.len(), "no item processed twice");
+        assert_eq!(unique.len(), 4000, "every item processed");
+        assert!(p.is_tracing_complete());
+    }
+}

@@ -1,0 +1,107 @@
+//! Workload driver: spawns mutator threads, runs them to a deadline, and
+//! gathers the run-level report the benches print.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mcgc_core::{Gc, GcLog};
+use mcgc_membar::FenceStats;
+
+/// Run-level results of a workload execution.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Completed transactions across all threads.
+    pub transactions: u64,
+    /// Wall-clock duration of the measurement window.
+    pub wall: Duration,
+    /// Bytes allocated during the window.
+    pub allocated_bytes: u64,
+    /// The collector's per-cycle log (cycles completed by the end of the
+    /// window).
+    pub log: GcLog,
+    /// Fence counters accumulated during the window.
+    pub fences: FenceStats,
+    /// Packet-pool statistics at the end of the window.
+    pub pool: mcgc_core::PoolStats,
+    /// Number of worker threads the workload ran.
+    pub threads: usize,
+}
+
+impl RunReport {
+    /// Transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.transactions as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Allocation rate in KB/ms over the window.
+    pub fn alloc_rate_kb_per_ms(&self) -> f64 {
+        self.allocated_bytes as f64 / 1024.0 / (self.wall.as_millis().max(1) as f64)
+    }
+}
+
+/// Runs `threads` worker bodies until `duration` elapses, then joins
+/// them. Each body receives `(thread_index, &stop_flag)` and returns its
+/// transaction count; bodies must poll the stop flag frequently.
+///
+/// The report covers exactly the measurement window: cycle logs and fence
+/// counters are deltas from the window start.
+pub fn run_threads(
+    gc: &Arc<Gc>,
+    threads: usize,
+    duration: Duration,
+    body: impl Fn(usize, &AtomicBool) -> u64 + Send + Sync,
+) -> RunReport {
+    let stop = AtomicBool::new(false);
+    let fences_before = FenceStats::snapshot();
+    let cycles_before = gc.log().cycles.len();
+    let alloc_before = gc.heap().bytes_allocated();
+    let start = Instant::now();
+    let transactions: u64 = std::thread::scope(|s| {
+        let stop = &stop;
+        let body = &body;
+        let handles: Vec<_> = (0..threads)
+            .map(|i| s.spawn(move || body(i, stop)))
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::SeqCst);
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+    let wall = start.elapsed();
+    let mut log = gc.log();
+    log.cycles.drain(..cycles_before.min(log.cycles.len()));
+    RunReport {
+        transactions,
+        wall,
+        allocated_bytes: gc.heap().bytes_allocated() - alloc_before,
+        log,
+        fences: FenceStats::snapshot().since(&fences_before),
+        pool: gc.pool_stats(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgc_core::{GcConfig, ObjectShape};
+
+    #[test]
+    fn driver_runs_and_reports() {
+        let gc = mcgc_core::Gc::new(GcConfig::with_heap_bytes(8 << 20));
+        let report = run_threads(&gc, 2, Duration::from_millis(120), |_, stop| {
+            let mut m = gc.register_mutator();
+            let mut n = 0;
+            while !stop.load(Ordering::Relaxed) {
+                m.alloc(ObjectShape::new(0, 8, 0)).unwrap();
+                n += 1;
+            }
+            n
+        });
+        assert!(report.transactions > 0);
+        assert!(report.allocated_bytes > 0);
+        assert!(report.throughput() > 0.0);
+        assert_eq!(report.threads, 2);
+        gc.shutdown();
+    }
+}

@@ -1,0 +1,136 @@
+//! Object-graph builders shared by the synthetic workloads.
+
+use mcgc_core::{GcError, Mutator, ObjectRef, ObjectShape};
+
+/// Class tags used by the workloads (purely diagnostic).
+pub mod class {
+    /// Warehouse root object.
+    pub const WAREHOUSE: u8 = 1;
+    /// Stock-tree node.
+    pub const STOCK: u8 = 2;
+    /// Order-history ring.
+    pub const RING: u8 = 3;
+    /// Order header.
+    pub const ORDER: u8 = 4;
+    /// Order line item.
+    pub const ORDER_LINE: u8 = 5;
+    /// AST node (javac workload).
+    pub const AST: u8 = 6;
+    /// Symbol-table node (javac workload).
+    pub const SYMBOL: u8 = 7;
+    /// Generic payload.
+    pub const DATA: u8 = 8;
+}
+
+/// A binary tree node: 2 reference slots + 6 data granules (72 bytes).
+pub fn tree_node_shape(class: u8) -> ObjectShape {
+    ObjectShape::new(2, 6, class)
+}
+
+/// Builds a binary tree of roughly `budget_bytes` and returns its root.
+/// The tree is rooted in the caller's shadow stack before growing so a
+/// collection mid-build cannot reclaim it.
+///
+/// # Errors
+/// Propagates allocation failure.
+pub fn build_tree(
+    m: &mut Mutator,
+    class: u8,
+    budget_bytes: usize,
+) -> Result<ObjectRef, GcError> {
+    let shape = tree_node_shape(class);
+    let node_bytes = shape.bytes();
+    let count = (budget_bytes / node_bytes).max(1);
+    let root = m.alloc(shape)?;
+    let slot = m.root_push(Some(root));
+    // Grow breadth-first so depth stays logarithmic.
+    let mut frontier = vec![root];
+    let mut built = 1;
+    'grow: while built < count {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for &parent in &frontier {
+            for child_slot in 0..2 {
+                if built >= count {
+                    break 'grow;
+                }
+                let child = m.alloc_into(parent, child_slot, shape)?;
+                next.push(child);
+                built += 1;
+            }
+        }
+        frontier = next;
+    }
+    m.root_truncate(slot);
+    Ok(root)
+}
+
+/// Counts the nodes of a tree built by [`build_tree`].
+pub fn count_tree(m: &Mutator, root: ObjectRef) -> usize {
+    let mut count = 0;
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        count += 1;
+        for slot in 0..2 {
+            if let Some(child) = m.read_ref(node, slot) {
+                stack.push(child);
+            }
+        }
+    }
+    count
+}
+
+/// Samples `n` nodes of a tree (for cross-references from transactions).
+pub fn sample_tree(m: &Mutator, root: ObjectRef, n: usize) -> Vec<ObjectRef> {
+    let mut out = Vec::with_capacity(n);
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        if out.len() >= n {
+            break;
+        }
+        out.push(node);
+        for slot in 0..2 {
+            if let Some(child) = m.read_ref(node, slot) {
+                stack.push(child);
+            }
+        }
+    }
+    out
+}
+
+/// Allocates an order-history ring with `slots` reference slots.
+///
+/// # Errors
+/// Propagates allocation failure.
+pub fn build_ring(m: &mut Mutator, slots: u32) -> Result<ObjectRef, GcError> {
+    m.alloc(ObjectShape::new(slots, 1, class::RING))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgc_core::{Gc, GcConfig};
+
+    #[test]
+    fn tree_has_requested_size() {
+        let gc = Gc::new(GcConfig::with_heap_bytes(8 << 20));
+        let mut m = gc.register_mutator();
+        let root = build_tree(&mut m, class::STOCK, 72 * 1000).unwrap();
+        assert_eq!(count_tree(&m, root), 1000);
+        let sample = sample_tree(&m, root, 32);
+        assert_eq!(sample.len(), 32);
+        drop(m);
+        gc.shutdown();
+    }
+
+    #[test]
+    fn tree_survives_collection() {
+        let gc = Gc::new(GcConfig::with_heap_bytes(8 << 20));
+        let mut m = gc.register_mutator();
+        let root = build_tree(&mut m, class::STOCK, 72 * 5000).unwrap();
+        m.root_push(Some(root));
+        m.collect();
+        assert_eq!(count_tree(&m, root), 5000);
+        drop(m);
+        gc.shutdown();
+    }
+}

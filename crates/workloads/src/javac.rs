@@ -1,0 +1,145 @@
+//! A javac-like synthetic workload (paper §6): a single-threaded compiler
+//! building and discarding large ASTs over a persistent symbol table —
+//! the paper's window into small-application behaviour (25 MB heap, 70%
+//! residency, uniprocessor, one background thread).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcgc_core::{Gc, GcError, Mutator, ObjectRef, ObjectShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::framework::{run_threads, RunReport};
+use crate::graphs::{build_tree, class};
+
+/// Parameters of a javac-style run.
+#[derive(Clone, Debug)]
+pub struct JavacOptions {
+    /// Measurement window.
+    pub duration: Duration,
+    /// Persistent symbol-table bytes (the long-lived fraction).
+    pub symbol_table_bytes: usize,
+    /// Bytes of AST built (and then discarded) per compilation unit.
+    pub ast_bytes_per_unit: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl JavacOptions {
+    /// Sized for `heap_bytes` at the paper's 70% residency: most of the
+    /// residency comes from the per-unit AST (transient but large), with
+    /// a persistent symbol table underneath.
+    pub fn sized_for(heap_bytes: usize) -> JavacOptions {
+        JavacOptions {
+            duration: Duration::from_millis(1000),
+            symbol_table_bytes: (heap_bytes as f64 * 0.35) as usize,
+            ast_bytes_per_unit: (heap_bytes as f64 * 0.35) as usize,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Builds one compilation unit's AST (a ragged tree with leaf payloads),
+/// "type-checks" it (a traversal storing symbol links), and returns the
+/// node count.
+fn compile_unit(
+    m: &mut Mutator,
+    rng: &mut StdRng,
+    symbols: &[ObjectRef],
+    budget: usize,
+) -> Result<u64, GcError> {
+    let node = ObjectShape::new(3, 4, class::AST); // 2 children + 1 symbol link
+    let node_bytes = node.bytes();
+    let count = (budget / node_bytes).max(1);
+    let root = m.alloc(node)?;
+    let base = m.root_push(Some(root));
+    let mut frontier = vec![root];
+    let mut built = 1u64;
+    'grow: while (built as usize) < count {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for &parent in &frontier {
+            let fanout = rng.gen_range(1..=2);
+            for slot in 0..fanout {
+                if built as usize >= count {
+                    break 'grow;
+                }
+                let child = m.alloc_into(parent, slot, node)?;
+                // "Resolve" a name: link the AST node to a symbol.
+                let sym = symbols[rng.gen_range(0..symbols.len())];
+                m.write_ref(child, 2, Some(sym));
+                next.push(child);
+                built += 1;
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    // Traverse (constant folding pass): read-only walk.
+    let mut visited = 0u64;
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        visited += 1;
+        m.write_data(n, 0, visited);
+        for slot in 0..2 {
+            if let Some(c) = m.read_ref(n, slot) {
+                stack.push(c);
+            }
+        }
+    }
+    // Drop the AST: truncating the shadow stack makes it garbage.
+    m.root_truncate(base);
+    Ok(visited)
+}
+
+/// Runs the single-threaded javac workload; each "transaction" is one
+/// compilation unit.
+pub fn run(gc: &Arc<Gc>, opts: &JavacOptions) -> RunReport {
+    run_threads(gc, 1, opts.duration, |_, stop| {
+        let mut m = gc.register_mutator();
+        let Ok(symtab) = build_tree(&mut m, class::SYMBOL, opts.symbol_table_bytes) else {
+            return 0;
+        };
+        m.root_push(Some(symtab));
+        let symbols = crate::graphs::sample_tree(&m, symtab, 256);
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut units = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            match compile_unit(&mut m, &mut rng, &symbols, opts.ast_bytes_per_unit) {
+                Ok(_) => units += 1,
+                Err(_) => break,
+            }
+        }
+        units
+    })
+}
+
+/// Convenience: construct, run, shut down.
+pub fn run_standalone(config: mcgc_core::GcConfig, opts: &JavacOptions) -> RunReport {
+    let gc = Gc::new(config);
+    let report = run(&gc, opts);
+    gc.shutdown();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgc_core::GcConfig;
+
+    #[test]
+    fn javac_compiles_units_and_collects() {
+        let heap = 8 << 20;
+        let mut cfg = GcConfig::with_heap_bytes(heap);
+        cfg.background_threads = 1;
+        cfg.stw_workers = 1;
+        let mut opts = JavacOptions::sized_for(heap);
+        opts.duration = Duration::from_millis(400);
+        let report = run_standalone(cfg, &opts);
+        assert!(report.transactions > 0, "compiled at least one unit");
+        assert!(!report.log.cycles.is_empty(), "GC cycles occurred");
+    }
+}

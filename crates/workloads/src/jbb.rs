@@ -1,0 +1,221 @@
+//! A SPECjbb2000-like synthetic workload (paper §6): warehouse threads
+//! running order-entry transactions against a stable live set, producing
+//! steady allocation, mutation (write-barrier traffic), and
+//! medium-lifetime garbage.
+//!
+//! SPECjbb emulates the middle tier of a 3-tier system and is throughput
+//! oriented; what the collector sees — and what this synthetic preserves
+//! — is its heap shape: a per-warehouse live set (district/stock data)
+//! plus a churn of order objects that stay reachable for a bounded number
+//! of transactions (the history ring) and then die.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcgc_core::{Gc, GcError, Mutator, ObjectRef, ObjectShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::framework::{run_threads, RunReport};
+use crate::graphs::{build_ring, build_tree, class, sample_tree};
+
+/// Parameters of a jbb-style run.
+#[derive(Clone, Debug)]
+pub struct JbbOptions {
+    /// Number of warehouses. SPECjbb runs one thread per warehouse.
+    pub warehouses: usize,
+    /// Terminals (threads) per warehouse: 1 for SPECjbb; 25 for the
+    /// paper's pBOB runs.
+    pub terminals_per_warehouse: usize,
+    /// Think time between transactions (None for SPECjbb; pBOB's
+    /// autoserver mode adds think time to simulate idle processors).
+    pub think_time: Option<Duration>,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Live bytes per warehouse (the stock tree).
+    pub live_bytes_per_warehouse: usize,
+    /// Slots in each terminal's order-history ring (orders stay live for
+    /// this many transactions).
+    pub history_slots: u32,
+    /// RNG seed (runs are seeded deterministically per thread).
+    pub seed: u64,
+}
+
+impl JbbOptions {
+    /// SPECjbb-style options sized so the stable live set reaches
+    /// `residency` (e.g. 0.6 = the paper's 60%) of `heap_bytes`.
+    pub fn sized_for(heap_bytes: usize, warehouses: usize, residency: f64) -> JbbOptions {
+        let live_total = (heap_bytes as f64 * residency) as usize;
+        JbbOptions {
+            warehouses,
+            terminals_per_warehouse: 1,
+            think_time: None,
+            duration: Duration::from_millis(1000),
+            live_bytes_per_warehouse: live_total / warehouses.max(1),
+            history_slots: 64,
+            seed: 0x5EED,
+        }
+    }
+
+    /// pBOB-style options: `terminals` threads per warehouse with think
+    /// time (§6: 25 terminals per warehouse, autoserver mode).
+    pub fn pbob(heap_bytes: usize, warehouses: usize, residency: f64) -> JbbOptions {
+        let mut o = JbbOptions::sized_for(heap_bytes, warehouses, residency);
+        o.terminals_per_warehouse = 25;
+        o.think_time = Some(Duration::from_millis(2));
+        o
+    }
+
+    /// Total worker threads.
+    pub fn threads(&self) -> usize {
+        self.warehouses * self.terminals_per_warehouse
+    }
+}
+
+/// One terminal's working state.
+struct Terminal {
+    mutator: Mutator,
+    rng: StdRng,
+    /// Cross-reference targets inside the warehouse's stock tree.
+    stock_samples: Vec<ObjectRef>,
+    /// The order-history ring (rooted on the shadow stack).
+    ring: ObjectRef,
+    ring_slots: u32,
+    cursor: u32,
+}
+
+impl Terminal {
+    fn new(
+        gc: &Arc<Gc>,
+        opts: &JbbOptions,
+        thread_index: usize,
+    ) -> Result<Terminal, GcError> {
+        let mut mutator = gc.register_mutator();
+        let live = opts.live_bytes_per_warehouse / opts.terminals_per_warehouse.max(1);
+        let stock = build_tree(&mut mutator, class::STOCK, live.max(72))?;
+        mutator.root_push(Some(stock));
+        let ring = build_ring(&mut mutator, opts.history_slots)?;
+        mutator.root_push(Some(ring));
+        let stock_samples = sample_tree(&mutator, stock, 64);
+        Ok(Terminal {
+            mutator,
+            rng: StdRng::seed_from_u64(opts.seed ^ (thread_index as u64).wrapping_mul(0x9E37)),
+            stock_samples,
+            ring,
+            ring_slots: opts.history_slots,
+            cursor: 0,
+        })
+    }
+
+    /// One order-entry transaction: allocate an order with a handful of
+    /// line items, link it to stock, and publish it in the history ring
+    /// (retiring the order it displaces).
+    fn transaction(&mut self) -> Result<(), GcError> {
+        let items = self.rng.gen_range(3..=8u32);
+        let order = self
+            .mutator
+            .alloc(ObjectShape::new(items + 1, 2, class::ORDER))?;
+        let order_root = self.mutator.root_push(Some(order));
+        // Cross-reference into the stable stock data.
+        let stock = self.stock_samples[self.rng.gen_range(0..self.stock_samples.len())];
+        self.mutator.write_ref(order, 0, Some(stock));
+        for i in 0..items {
+            let payload = self.rng.gen_range(4..40u32);
+            let line = self.mutator.alloc_into(
+                order,
+                i + 1,
+                ObjectShape::new(0, payload, class::ORDER_LINE),
+            )?;
+            self.mutator.write_data(line, 0, u64::from(payload));
+        }
+        self.mutator.write_data(order, 0, u64::from(self.cursor));
+        // Publish in the ring; the displaced order becomes garbage after
+        // `history_slots` transactions.
+        self.mutator.write_ref(self.ring, self.cursor, Some(order));
+        self.cursor = (self.cursor + 1) % self.ring_slots;
+        // Occasionally a large object (a report buffer), short-lived.
+        if self.rng.gen_ratio(1, 128) {
+            let big = self
+                .mutator
+                .alloc(ObjectShape::new(0, 1500, class::DATA))?;
+            self.mutator.write_data(big, 0, 1);
+        }
+        self.mutator.root_truncate(order_root);
+        Ok(())
+    }
+}
+
+/// Runs the workload and returns the report. OOM aborts the run's thread
+/// (the report still covers completed work); sizing per
+/// [`JbbOptions::sized_for`] leaves ample headroom.
+pub fn run(gc: &Arc<Gc>, opts: &JbbOptions) -> RunReport {
+    run_threads(gc, opts.threads(), opts.duration, |i, stop| {
+        let mut terminal = match Terminal::new(gc, opts, i) {
+            Ok(t) => t,
+            Err(_) => return 0,
+        };
+        let mut n = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            if terminal.transaction().is_err() {
+                break; // OOM: stop this terminal
+            }
+            n += 1;
+            if let Some(think) = opts.think_time {
+                terminal.mutator.think(think);
+            }
+            if !stop.load(Ordering::Relaxed) {
+                terminal.mutator.safepoint();
+            }
+        }
+        n
+    })
+}
+
+/// Convenience: construct a collector, run jbb, shut down, and return the
+/// report.
+pub fn run_standalone(config: mcgc_core::GcConfig, opts: &JbbOptions) -> RunReport {
+    let gc = Gc::new(config);
+    let report = run(&gc, opts);
+    gc.shutdown();
+    report
+}
+
+/// Re-exported stop-flag type for custom drivers.
+pub type StopFlag = AtomicBool;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgc_core::GcConfig;
+
+    #[test]
+    fn jbb_runs_and_collects() {
+        let heap = 12 << 20;
+        let mut cfg = GcConfig::with_heap_bytes(heap);
+        cfg.background_threads = 1;
+        cfg.stw_workers = 2;
+        let mut opts = JbbOptions::sized_for(heap, 2, 0.5);
+        opts.duration = Duration::from_millis(400);
+        let report = run_standalone(cfg, &opts);
+        assert!(report.transactions > 50, "{}", report.transactions);
+        assert!(
+            !report.log.cycles.is_empty(),
+            "expected at least one GC cycle"
+        );
+    }
+
+    #[test]
+    fn pbob_think_time_runs() {
+        let heap = 12 << 20;
+        let mut cfg = GcConfig::with_heap_bytes(heap);
+        cfg.background_threads = 1;
+        cfg.stw_workers = 2;
+        let mut opts = JbbOptions::pbob(heap, 1, 0.4);
+        opts.terminals_per_warehouse = 4;
+        opts.duration = Duration::from_millis(300);
+        let report = run_standalone(cfg, &opts);
+        assert_eq!(report.threads, 4);
+        assert!(report.transactions > 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic workloads reproducing the heap behaviour of the paper's
+//! benchmarks (§6): `jbb` (SPECjbb2000-like order-entry transactions,
+//! throughput oriented), `pbob` (the same engine with many terminals per
+//! warehouse and think time, reaching thousands of threads with CPU idle
+//! time), and `javac` (a single-threaded compiler building and dropping
+//! large ASTs).
+//!
+//! What matters to the collector is the heap *shape* each benchmark
+//! induces — live-set residency, allocation rate, mutation rate, object
+//! lifetimes, thread count, idle time — and each synthetic makes those
+//! first-class knobs, so the benches can reproduce the paper's setups
+//! (60% residency at 8 warehouses, 25 terminals/warehouse, 70% residency
+//! javac) at any heap scale.
+//!
+//! ```no_run
+//! use mcgc_core::GcConfig;
+//! use mcgc_workloads::jbb::{run_standalone, JbbOptions};
+//!
+//! let heap = 64 << 20;
+//! let opts = JbbOptions::sized_for(heap, 8, 0.6);
+//! let report = run_standalone(GcConfig::with_heap_bytes(heap), &opts);
+//! println!("throughput: {:.0} tx/s", report.throughput());
+//! println!("avg pause:  {:.1} ms", report.log.avg_pause_ms());
+//! ```
+
+pub mod framework;
+pub mod graphs;
+pub mod javac;
+pub mod jbb;
+
+/// pBOB is the jbb engine with terminals and think time; re-exported for
+/// discoverability.
+pub mod pbob {
+    pub use crate::jbb::JbbOptions;
+    pub use crate::jbb::{run, run_standalone};
+
+    /// pBOB-style options (25 terminals per warehouse, think time).
+    pub fn options(heap_bytes: usize, warehouses: usize, residency: f64) -> JbbOptions {
+        JbbOptions::pbob(heap_bytes, warehouses, residency)
+    }
+}
+
+pub use framework::{run_threads, RunReport};

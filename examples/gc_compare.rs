@@ -1,0 +1,68 @@
+//! Side-by-side comparison of the mostly-concurrent collector (CGC) and
+//! the stop-the-world baseline (STW) on the jbb workload — the headline
+//! experiment of the paper in miniature.
+//!
+//! ```sh
+//! cargo run --release --example gc_compare [heap_mb] [warehouses] [seconds]
+//! ```
+
+use std::time::Duration;
+
+use mcgc::workloads::jbb::{run_standalone, JbbOptions};
+use mcgc::{CollectorMode, GcConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let heap_mb: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(48);
+    let warehouses: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let seconds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    let heap = heap_mb << 20;
+    let mut opts = JbbOptions::sized_for(heap, warehouses, 0.6);
+    opts.duration = Duration::from_secs(seconds);
+
+    println!(
+        "jbb: {heap_mb} MiB heap, {warehouses} warehouses, 60% residency, {seconds}s per run\n"
+    );
+    println!(
+        "{:<10} {:>12} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "collector", "throughput", "cycles", "avg pause", "max pause", "avg mark", "avg wall", "occupancy"
+    );
+
+    for (name, mode) in [
+        ("STW", CollectorMode::StopTheWorld),
+        ("CGC", CollectorMode::Concurrent),
+    ] {
+        let mut cfg = GcConfig::with_heap_bytes(heap);
+        cfg.mode = mode;
+        let report = run_standalone(cfg, &opts);
+        if std::env::var("MCGC_DUMP").is_ok() {
+            for c in &report.log.cycles {
+                println!(
+                    "  cycle {:>3} {:<18} pause {:>6.1}ms mark {:>6.1} sweep {:>5.1} conc {:>8}KB stw {:>8}KB cards c/s {:>5}/{:<5} incr {:>4} tf {:.2} freeSTW {:>6}KB ovf {} def {} hs {}",
+                    c.cycle,
+                    format!("{:?}", c.trigger.unwrap()),
+                    c.pause_ms, c.mark_ms, c.sweep_ms,
+                    c.concurrent_traced_bytes() / 1024,
+                    c.stw_traced_bytes / 1024,
+                    c.cards_cleaned_concurrent, c.cards_cleaned_stw,
+                    c.increments, c.tracing_factor(), c.free_at_stw_start/1024, c.overflows, c.deferred_objects, c.handshakes,
+                );
+            }
+        }
+        println!(
+            "{:<10} {:>9.0} tx/s {:>8} {:>9.1} ms {:>9.1} ms {:>9.1} ms {:>9.1} ms {:>9.1}%",
+            name,
+            report.throughput(),
+            report.log.cycles.len(),
+            report.log.avg_pause_ms(),
+            report.log.max_pause_ms(),
+            report.log.avg_mark_ms(),
+            report.log.avg(|c| c.pause_wall.as_secs_f64() * 1e3),
+            report.log.avg_occupancy_after() * 100.0,
+        );
+    }
+    println!("\npause times are work-model milliseconds (see DESIGN.md); the CGC");
+    println!("pause should be a small fraction of the STW pause, at a modest");
+    println!("throughput cost — the paper's Figure 1 shape.");
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the heap substrate: the free list, bitmaps,
+//! and sweep must uphold their invariants for arbitrary operation
+//! sequences.
+
+use mcgc::heap::{
+    sweep_serial, AllocCache, Bitmap, FreeList, Heap, HeapConfig, ObjectShape,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Free-list alloc/free round trips preserve the total and never
+    /// produce overlapping extents.
+    #[test]
+    fn freelist_conserves_granules(ops in prop::collection::vec((1usize..64, any::<bool>()), 1..200)) {
+        let total = 100_000usize;
+        let mut fl = FreeList::with_extent(1, total);
+        let mut held: Vec<(usize, usize)> = Vec::new();
+        for (len, free_one) in ops {
+            if free_one && !held.is_empty() {
+                let (start, len) = held.swap_remove(held.len() / 2);
+                fl.free(start, len);
+            } else if let Some(start) = fl.alloc(len) {
+                held.push((start, len));
+            }
+        }
+        let held_total: usize = held.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(fl.free_granules() + held_total, total);
+        // Extents are address-ordered and disjoint.
+        let extents: Vec<_> = fl.iter().collect();
+        for w in extents.windows(2) {
+            prop_assert!(w[0].end() <= w[1].start, "overlap: {:?}", w);
+        }
+        // Held regions never overlap each other or free extents.
+        let mut regions: Vec<(usize, usize)> = held
+            .iter()
+            .map(|&(s, l)| (s, s + l))
+            .chain(extents.iter().map(|e| (e.start, e.end())))
+            .collect();
+        regions.sort_unstable();
+        for w in regions.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "region overlap: {:?}", w);
+        }
+    }
+
+    /// Bitmap range operations agree with per-bit operations.
+    #[test]
+    fn bitmap_ranges_match_bits(
+        len in 1usize..500,
+        sets in prop::collection::vec(0usize..500, 0..100),
+        range in (0usize..500, 0usize..500),
+    ) {
+        let map = Bitmap::new(len);
+        let mut model = vec![false; len];
+        for s in sets {
+            if s < len {
+                map.set(s);
+                model[s] = true;
+            }
+        }
+        let (a, b) = range;
+        let (start, end) = (a.min(b).min(len), a.max(b).min(len));
+        prop_assert_eq!(
+            map.count_range(start, end),
+            model[start..end].iter().filter(|&&x| x).count()
+        );
+        prop_assert_eq!(
+            map.next_set_before(start, end),
+            (start..end).find(|&i| model[i])
+        );
+        prop_assert_eq!(
+            map.prev_set(end),
+            (0..end).rev().find(|&i| model[i])
+        );
+        map.clear_range(start, end);
+        for (i, m) in model.iter_mut().enumerate().take(end).skip(start) {
+            let _ = i;
+            *m = false;
+        }
+        for i in 0..len {
+            prop_assert_eq!(map.get(i), model[i], "bit {}", i);
+        }
+    }
+
+    /// Sweeping with an arbitrary mark pattern conserves every granule:
+    /// live + freed + dark = heap.
+    #[test]
+    fn sweep_conserves_heap(marks in prop::collection::vec(any::<bool>(), 500), chunk_pow in 6usize..12) {
+        let heap = Heap::new(HeapConfig {
+            heap_bytes: 1 << 20,
+            cache_bytes: 4 << 10,
+            large_object_bytes: 2 << 10,
+            min_free_extent_granules: 2,
+        });
+        let mut cache = AllocCache::new();
+        let mut objs = Vec::new();
+        for i in 0..500u32 {
+            let shape = ObjectShape::new(i % 3, i % 11, 1);
+            let obj = loop {
+                match heap.alloc_small(&mut cache, shape) {
+                    Some(o) => break o,
+                    None => prop_assert!(heap.refill_cache(&mut cache, shape.granules())),
+                }
+            };
+            objs.push((obj, shape.granules()));
+        }
+        heap.retire_cache(&mut cache);
+        let mut live_expected = 0usize;
+        for (&(obj, g), &mark) in objs.iter().zip(&marks) {
+            if mark {
+                heap.mark(obj);
+                live_expected += g;
+            }
+        }
+        let stats = sweep_serial(&heap, 1 << chunk_pow);
+        prop_assert_eq!(stats.live_granules, live_expected);
+        prop_assert_eq!(
+            stats.live_granules + stats.freed_granules + stats.dark_granules,
+            heap.granules() - 1
+        );
+        // Marked objects keep allocation bits; unmarked lose them.
+        for (&(obj, _), &mark) in objs.iter().zip(&marks) {
+            prop_assert_eq!(heap.is_published(obj), mark);
+        }
+        // The swept heap verifies.
+        let violations = mcgc::heap::verify(&heap, false);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+
+    /// Header encoding round-trips for all field values.
+    #[test]
+    fn header_roundtrip(refs in 0u32..250, data in 0u32..250, class in any::<u8>()) {
+        let shape = ObjectShape::new(refs, data, class);
+        let heap = Heap::new(HeapConfig::with_heap_bytes(1 << 20));
+        let mut cache = AllocCache::new();
+        heap.refill_cache(&mut cache, shape.granules());
+        let obj = heap.alloc_small(&mut cache, shape).unwrap();
+        let h = heap.header(obj);
+        prop_assert_eq!(h.ref_count, refs);
+        prop_assert_eq!(h.data_count(), data);
+        prop_assert_eq!(h.class_id, class);
+        prop_assert_eq!(h.size_granules as usize, shape.granules());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of the §3 pacing formulas.
+
+use mcgc::{GcConfig, Pacer};
+use proptest::prelude::*;
+
+fn pacer_with(k0: f64, heap: usize) -> Pacer {
+    let mut cfg = GcConfig::with_heap_bytes(heap);
+    cfg.tracing_rate = k0;
+    Pacer::new(&cfg, heap)
+}
+
+proptest! {
+    /// The effective tracing rate is always within [0, Kmax].
+    #[test]
+    fn rate_bounded(
+        k0 in 1.0f64..10.0,
+        traced in 0u64..(1 << 30),
+        free in 1u64..(1 << 30),
+        bg in prop::collection::vec((0u64..(1<<24), 1u64..(1<<24)), 0..10),
+    ) {
+        let mut p = pacer_with(k0, 256 << 20);
+        for (t, a) in bg {
+            p.observe_background(t, a);
+        }
+        let k = p.tracing_rate(traced, free);
+        prop_assert!(k >= 0.0, "negative rate {}", k);
+        prop_assert!(k <= 2.0 * k0 + 1e-9, "rate {} exceeds Kmax {}", k, 2.0 * k0);
+    }
+
+    /// More background credit never increases the mutator rate.
+    #[test]
+    fn background_credit_monotone(
+        traced in 0u64..(1 << 28),
+        free in 1u64..(1 << 28),
+        ratio_a in 0.0f64..4.0,
+        ratio_b in 0.0f64..4.0,
+    ) {
+        let (lo, hi) = if ratio_a <= ratio_b { (ratio_a, ratio_b) } else { (ratio_b, ratio_a) };
+        let mut p_lo = pacer_with(8.0, 256 << 20);
+        let mut p_hi = pacer_with(8.0, 256 << 20);
+        for _ in 0..30 {
+            p_lo.observe_background((lo * 1e6) as u64, 1_000_000);
+            p_hi.observe_background((hi * 1e6) as u64, 1_000_000);
+        }
+        prop_assert!(
+            p_hi.tracing_rate(traced, free) <= p_lo.tracing_rate(traced, free) + 1e-9
+        );
+    }
+
+    /// Kickoff threshold scales inversely with K0: higher desired rates
+    /// start the cycle later (§6.2's observation that rate 1 starts
+    /// immediately and rate 10 starts near heap-full).
+    #[test]
+    fn kickoff_inverse_in_k0(k0a in 1.0f64..10.0, k0b in 1.0f64..10.0) {
+        prop_assume!((k0a - k0b).abs() > 0.1);
+        let pa = pacer_with(k0a, 64 << 20);
+        let pb = pacer_with(k0b, 64 << 20);
+        let (hi_rate, lo_rate) = if k0a > k0b { (&pa, &pb) } else { (&pb, &pa) };
+        prop_assert!(hi_rate.kickoff_threshold() < lo_rate.kickoff_threshold());
+    }
+
+    /// Smoothing converges to a constant observation.
+    #[test]
+    fn estimates_converge(l in 1u64..(1 << 28), m in 1u64..(1 << 24)) {
+        let mut p = pacer_with(8.0, 256 << 20);
+        for _ in 0..100 {
+            p.end_cycle(l, m);
+        }
+        prop_assert!((p.l_est() - l as f64).abs() < l as f64 * 0.01 + 2.0);
+        prop_assert!((p.m_est() - m as f64).abs() < m as f64 * 0.01 + 2.0);
+    }
+
+    /// The quota never exceeds Kmax times the allocation.
+    #[test]
+    fn quota_bounded(alloc in 1u64..(1 << 24), traced in 0u64..(1 << 28), free in 1u64..(1 << 28)) {
+        let p = pacer_with(8.0, 256 << 20);
+        let q = p.increment_quota(alloc, traced, free);
+        prop_assert!(q <= (16.0 * alloc as f64) as u64 + 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration tests of the three synthetic workloads against the
+//! collector: they must run, collect, and report coherent statistics.
+
+use std::time::Duration;
+
+use mcgc::workloads::javac::{self, JavacOptions};
+use mcgc::workloads::jbb::{self, JbbOptions};
+use mcgc::{CollectorMode, Gc, GcConfig};
+
+#[test]
+fn jbb_reports_coherent_stats() {
+    let heap = 24 << 20;
+    let mut cfg = GcConfig::with_heap_bytes(heap);
+    cfg.background_threads = 2;
+    let mut opts = JbbOptions::sized_for(heap, 4, 0.6);
+    opts.duration = Duration::from_millis(1000);
+    let report = jbb::run_standalone(cfg, &opts);
+    assert!(report.transactions > 100);
+    assert!(report.allocated_bytes > 0);
+    assert!(report.throughput() > 0.0);
+    assert!(report.alloc_rate_kb_per_ms() > 0.0);
+    assert_eq!(report.threads, 4);
+    for c in &report.log.cycles {
+        assert!(c.pause_ms > 0.0);
+        assert!(c.mark_ms >= 0.0);
+        assert!(c.pause_ms >= c.mark_ms + c.sweep_ms - 1e-9);
+        assert!(c.occupancy_after > 0.0 && c.occupancy_after < 1.0);
+        assert!(c.free_after_bytes > 0);
+        assert!(c.trigger.is_some());
+    }
+}
+
+#[test]
+fn pbob_runs_with_many_terminals_and_idle_time() {
+    let heap = 24 << 20;
+    let mut cfg = GcConfig::with_heap_bytes(heap);
+    cfg.background_threads = 2;
+    let mut opts = mcgc::workloads::pbob::options(heap, 1, 0.5);
+    opts.terminals_per_warehouse = 12;
+    opts.duration = Duration::from_millis(1200);
+    let report = mcgc::workloads::pbob::run_standalone(cfg, &opts);
+    assert_eq!(report.threads, 12);
+    assert!(report.transactions > 0);
+    // Think time means idle CPU: background threads should have done a
+    // visible share of the concurrent tracing across the run.
+    let bg: u64 = report
+        .log
+        .cycles
+        .iter()
+        .map(|c| c.background_traced_bytes)
+        .sum();
+    let total: u64 = report
+        .log
+        .cycles
+        .iter()
+        .map(|c| c.concurrent_traced_bytes())
+        .sum();
+    if total > 0 {
+        // On a 1-CPU host the share is small but must exist when cycles
+        // ran while terminals slept.
+        assert!(bg <= total);
+    }
+}
+
+#[test]
+fn javac_single_threaded_profile() {
+    let heap = 12 << 20;
+    let mut cfg = GcConfig::with_heap_bytes(heap);
+    cfg.background_threads = 1; // §6.1: javac ran with one background thread
+    let mut opts = JavacOptions::sized_for(heap);
+    opts.duration = Duration::from_millis(1000);
+    let report = javac::run_standalone(cfg, &opts);
+    assert!(report.transactions > 0, "compiled at least one unit");
+    assert!(!report.log.cycles.is_empty());
+    assert_eq!(report.threads, 1);
+}
+
+#[test]
+fn utilization_accounting_is_consistent() {
+    let heap = 24 << 20;
+    let mut cfg = GcConfig::with_heap_bytes(heap);
+    cfg.background_threads = 2;
+    let mut opts = JbbOptions::sized_for(heap, 2, 0.6);
+    opts.duration = Duration::from_millis(1500);
+    let report = jbb::run_standalone(cfg, &opts);
+    // Table 3's inputs: concurrent and pre-concurrent allocation windows
+    // must be recorded for concurrent cycles.
+    let concurrent_cycles: Vec<_> = report
+        .log
+        .cycles
+        .iter()
+        .filter(|c| c.concurrent_traced_bytes() > 0)
+        .collect();
+    assert!(!concurrent_cycles.is_empty());
+    for c in concurrent_cycles {
+        assert!(
+            c.alloc_concurrent_bytes > 0,
+            "allocation during concurrent phase recorded"
+        );
+        assert!(c.concurrent_wall > Duration::ZERO);
+    }
+}
+
+#[test]
+fn workloads_work_under_the_baseline_collector() {
+    let heap = 16 << 20;
+    let mut cfg = GcConfig::with_heap_bytes(heap);
+    cfg.mode = CollectorMode::StopTheWorld;
+    let mut opts = JbbOptions::sized_for(heap, 2, 0.6);
+    opts.duration = Duration::from_millis(800);
+    let report = jbb::run_standalone(cfg, &opts);
+    assert!(report.transactions > 100);
+    assert!(!report.log.cycles.is_empty());
+}
+
+#[test]
+fn explicit_collect_works_mid_workload() {
+    let heap = 16 << 20;
+    let gc = Gc::new(GcConfig::with_heap_bytes(heap));
+    let mut m = gc.register_mutator();
+    let tree = mcgc::workloads::graphs::build_tree(
+        &mut m,
+        mcgc::workloads::graphs::class::STOCK,
+        1 << 20,
+    )
+    .unwrap();
+    m.root_push(Some(tree));
+    let before = mcgc::workloads::graphs::count_tree(&m, tree);
+    m.collect();
+    m.collect();
+    let after = mcgc::workloads::graphs::count_tree(&m, tree);
+    assert_eq!(before, after);
+    assert_eq!(gc.log().cycles.len(), 2);
+    drop(m);
+    gc.shutdown();
+}
