@@ -2,7 +2,7 @@
 //! cleaning pass yields a further reduction in pause time, without a
 //! noticeable impact on throughput."
 
-use mcgc_bench::{banner, steady, gc_config, heap_bytes, jbb_opts, seconds};
+use mcgc_bench::{banner, gc_config, heap_bytes, jbb_opts, seconds, steady};
 use mcgc_core::CollectorMode;
 use mcgc_workloads::jbb;
 

@@ -3,7 +3,7 @@
 //! background threads — "we would obtain a large additional reduction in
 //! pause times", bringing the pause close to the mark component alone.
 
-use mcgc_bench::{banner, steady, gc_config, heap_bytes, jbb_opts, seconds};
+use mcgc_bench::{banner, gc_config, heap_bytes, jbb_opts, seconds, steady};
 use mcgc_core::{CollectorMode, SweepMode};
 use mcgc_workloads::jbb;
 

@@ -29,21 +29,28 @@ fn main() {
     let fences = FenceStats::snapshot().since(&before);
     let objects = gc.heap().objects_allocated() - objects_before;
     let barriers = gc.heap().cards().dirty_store_count() - barrier_before;
-    let marked: u64 = report
-        .log
-        .cycles
-        .iter()
-        .map(|c| c.live_after_objects)
-        .sum();
+    let marked: u64 = report.log.cycles.iter().map(|c| c.live_after_objects).sum();
     let handshakes: u64 = report.log.cycles.iter().map(|c| c.handshakes).sum();
     let mutators = report.threads as u64;
     gc.shutdown();
 
     println!("batched (measured):");
-    println!("  alloc-cache publication fences : {:>12}", fences.alloc_batch);
-    println!("  large-object fences            : {:>12}", fences.large_alloc);
-    println!("  tracer batch fences            : {:>12}", fences.trace_batch);
-    println!("  packet publication fences      : {:>12}", fences.packet_publish);
+    println!(
+        "  alloc-cache publication fences : {:>12}",
+        fences.alloc_batch
+    );
+    println!(
+        "  large-object fences            : {:>12}",
+        fences.large_alloc
+    );
+    println!(
+        "  tracer batch fences            : {:>12}",
+        fences.trace_batch
+    );
+    println!(
+        "  packet publication fences      : {:>12}",
+        fences.packet_publish
+    );
     println!(
         "  card handshake fences          : {:>12}  ({} batches x {} mutators = {} on real HW)",
         fences.card_handshake,

@@ -6,7 +6,7 @@
 //! STW avg 266 ms / max 284 ms, CGC avg 66 ms / max 101 ms, STW mark avg
 //! 235 ms vs CGC 34 ms; CGC throughput −10%.
 
-use mcgc_bench::{banner, steady, gc_config, heap_bytes, jbb_opts, seconds};
+use mcgc_bench::{banner, gc_config, heap_bytes, jbb_opts, seconds, steady};
 use mcgc_core::CollectorMode;
 use mcgc_workloads::jbb;
 

@@ -7,7 +7,7 @@
 //! sweep is 279 ms = 42% of the total pause; mark grows much slower than
 //! heap occupancy (57%→91% occupancy, 232→314 ms mark).
 
-use mcgc_bench::{banner, steady, gc_config, heap_bytes, seconds};
+use mcgc_bench::{banner, gc_config, heap_bytes, seconds, steady};
 use mcgc_core::CollectorMode;
 use mcgc_workloads::jbb::{self, JbbOptions};
 
@@ -24,7 +24,14 @@ fn main() {
     let terminals = 8;
     println!(
         "{:<4} {:>7} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
-        "wh", "threads", "avg pause", "max pause", "avg mark", "avg sweep", "sweep share", "occupancy"
+        "wh",
+        "threads",
+        "avg pause",
+        "max pause",
+        "avg mark",
+        "avg sweep",
+        "sweep share",
+        "occupancy"
     );
     for warehouses in [4usize, 6, 8, 10, 12] {
         let mut opts = JbbOptions::pbob(heap, warehouses, 0.55);
@@ -43,7 +50,11 @@ fn main() {
             log.max_pause_ms(),
             log.avg_mark_ms(),
             avg_sweep,
-            if avg_pause > 0.0 { avg_sweep / avg_pause * 100.0 } else { 0.0 },
+            if avg_pause > 0.0 {
+                avg_sweep / avg_pause * 100.0
+            } else {
+                0.0
+            },
             log.avg_occupancy_after() * 100.0,
         );
     }

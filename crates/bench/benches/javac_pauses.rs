@@ -4,7 +4,7 @@
 //! Paper reference (25 MB heap, 550 MHz uniprocessor): CGC max 41 ms /
 //! avg 34 ms vs STW 167/138 ms; CGC throughput −12%.
 
-use mcgc_bench::{banner, steady, gc_config, heap_bytes, seconds};
+use mcgc_bench::{banner, gc_config, heap_bytes, seconds, steady};
 use mcgc_core::CollectorMode;
 use mcgc_workloads::javac::{self, JavacOptions};
 

@@ -1,84 +1,99 @@
-//! Criterion micro-benchmarks of the §4 work packet mechanism: get/put
-//! cost, push/pop throughput, contended access, and termination checks.
+//! Micro-benchmarks of the §4 work packet mechanism: get/put cost,
+//! push/pop throughput, contended access, and termination checks.
+//! Self-timed with `std::time::Instant` (no external harness) so the
+//! workspace builds hermetically.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant;
+
 use mcgc_packets::{PacketPool, PoolConfig, WorkBuffer};
 
-fn packet_get_put(c: &mut Criterion) {
+/// Times `iters` runs of `f` after `iters / 10` warmup runs and prints
+/// mean ns/iter (and per-element cost when `elements > 1`).
+fn bench(name: &str, iters: u64, elements: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per_iter = total.as_nanos() as f64 / iters as f64;
+    if elements > 1 {
+        println!(
+            "{name:<40} {per_iter:>12.1} ns/iter  {:>8.2} ns/elem",
+            per_iter / elements as f64
+        );
+    } else {
+        println!("{name:<40} {per_iter:>12.1} ns/iter");
+    }
+}
+
+fn packet_get_put() {
     let pool: PacketPool<u64> = PacketPool::new(PoolConfig::default());
-    c.bench_function("packets/get_output_put", |b| {
-        b.iter(|| {
-            let p = pool.get_output().expect("packet");
-            std::hint::black_box(&p);
-            pool.put(p);
-        })
+    bench("packets/get_output_put", 200_000, 1, || {
+        let p = pool.get_output().expect("packet");
+        std::hint::black_box(&p);
+        pool.put(p);
     });
 }
 
-fn packet_push_pop(c: &mut Criterion) {
+fn packet_push_pop() {
     let pool: PacketPool<u64> = PacketPool::new(PoolConfig::default());
-    let mut group = c.benchmark_group("packets/push_pop");
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("1000_items_roundtrip", |b| {
-        b.iter(|| {
-            let mut buf = WorkBuffer::new(&pool);
-            for i in 0..1000u64 {
-                let _ = buf.push(i);
-            }
-            let mut n = 0;
-            while buf.pop().is_some() {
-                n += 1;
-            }
-            std::hint::black_box(n);
-        })
-    });
-    group.finish();
-}
-
-fn termination_check(c: &mut Criterion) {
-    let pool: PacketPool<u64> = PacketPool::new(PoolConfig::default());
-    c.bench_function("packets/is_tracing_complete", |b| {
-        b.iter(|| std::hint::black_box(pool.is_tracing_complete()))
+    bench("packets/push_pop/1000_items_roundtrip", 2_000, 1000, || {
+        let mut buf = WorkBuffer::new(&pool);
+        for i in 0..1000u64 {
+            let _ = buf.push(i);
+        }
+        let mut n = 0;
+        while buf.pop().is_some() {
+            n += 1;
+        }
+        std::hint::black_box(n);
     });
 }
 
-fn contended_pool(c: &mut Criterion) {
+fn termination_check() {
+    let pool: PacketPool<u64> = PacketPool::new(PoolConfig::default());
+    bench("packets/is_tracing_complete", 1_000_000, 1, || {
+        std::hint::black_box(pool.is_tracing_complete());
+    });
+}
+
+fn contended_pool() {
     // Four threads hammering a small pool: measures CAS-loop behaviour
     // under contention (Table 4's cost metric at micro scale).
-    let mut group = c.benchmark_group("packets/contended");
-    group.sample_size(20);
-    group.bench_function("4_threads_2000_items_each", |b| {
-        b.iter_batched(
-            || PacketPool::<u64>::new(PoolConfig { packets: 64, capacity: 16 }),
-            |pool| {
-                std::thread::scope(|s| {
-                    for t in 0..4u64 {
-                        let pool = &pool;
-                        s.spawn(move || {
-                            let mut buf = WorkBuffer::new(pool);
-                            for i in 0..2000u64 {
-                                let _ = buf.push(t * 10_000 + i);
-                                if i % 3 == 0 {
-                                    let _ = buf.pop();
-                                }
-                            }
-                            while buf.pop().is_some() {}
-                        });
+    bench("packets/contended/4_threads_2000_each", 20, 8000, || {
+        let pool = PacketPool::<u64>::new(PoolConfig {
+            packets: 64,
+            capacity: 16,
+        });
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut buf = WorkBuffer::new(pool);
+                    for i in 0..2000u64 {
+                        let _ = buf.push(t * 10_000 + i);
+                        if i % 3 == 0 {
+                            let _ = buf.pop();
+                        }
                     }
+                    while buf.pop().is_some() {}
                 });
-                std::hint::black_box(pool.stats().cas_ops);
-            },
-            BatchSize::LargeInput,
-        )
+            }
+        });
+        std::hint::black_box(pool.stats().cas_ops);
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    packet_get_put,
-    packet_push_pop,
-    termination_check,
-    contended_pool
-);
-criterion_main!(benches);
+fn main() {
+    mcgc_bench::banner(
+        "micro: work packets",
+        "§4 get/put, push/pop, contention, termination",
+    );
+    packet_get_put();
+    packet_push_pop();
+    termination_check();
+    contended_pool();
+}

@@ -1,11 +1,49 @@
-//! Criterion micro-benchmarks of the heap substrate: bitwise sweep
-//! throughput (serial vs parallel), mark-bit operations, and the write
-//! barrier.
+//! Micro-benchmarks of the heap substrate: bitwise sweep throughput
+//! (serial vs parallel), mark-bit operations, and the write barrier.
+//! Self-timed with `std::time::Instant` (no external harness) so the
+//! workspace builds hermetically.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use mcgc_heap::{
-    sweep_parallel, sweep_serial, AllocCache, Heap, HeapConfig, ObjectShape,
-};
+use std::time::Instant;
+
+use mcgc_heap::{sweep_parallel, sweep_serial, AllocCache, Heap, HeapConfig, ObjectShape};
+
+/// Times `iters` runs of `setup` + `f` and prints the mean of `f` alone
+/// (setup cost excluded), as ns/iter and MB/s over `bytes`.
+fn bench_batched<T>(
+    name: &str,
+    iters: u64,
+    bytes: u64,
+    mut setup: impl FnMut() -> T,
+    f: impl Fn(T),
+) {
+    let mut total_ns = 0u128;
+    for _ in 0..iters {
+        let input = setup();
+        let start = Instant::now();
+        f(input);
+        total_ns += start.elapsed().as_nanos();
+    }
+    let per_iter = total_ns as f64 / iters as f64;
+    if bytes > 0 {
+        let mbps = bytes as f64 / (per_iter / 1e9) / (1 << 20) as f64;
+        println!("{name:<40} {per_iter:>14.0} ns/iter  {mbps:>9.0} MB/s");
+    } else {
+        println!("{name:<40} {per_iter:>14.1} ns/iter");
+    }
+}
+
+/// Times a cheap operation in a tight loop (with warmup).
+fn bench_op(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {per_iter:>14.2} ns/iter");
+}
 
 fn build_heap(heap_bytes: usize, live_every: u32) -> Heap {
     let heap = Heap::new(HeapConfig::with_heap_bytes(heap_bytes));
@@ -15,7 +53,7 @@ fn build_heap(heap_bytes: usize, live_every: u32) -> Heap {
     loop {
         match heap.alloc_small(&mut cache, shape) {
             Some(obj) => {
-                if i % live_every == 0 {
+                if i.is_multiple_of(live_every) {
                     heap.mark(obj);
                 }
                 i += 1;
@@ -31,31 +69,31 @@ fn build_heap(heap_bytes: usize, live_every: u32) -> Heap {
     heap
 }
 
-fn sweep_throughput(c: &mut Criterion) {
+fn sweep_throughput() {
     let heap_bytes = 16 << 20;
-    let mut group = c.benchmark_group("sweep");
-    group.sample_size(10);
-    group.throughput(Throughput::Bytes(heap_bytes as u64));
     for (name, live_every) in [("60pct_live", 2u32), ("sparse_live", 16)] {
-        group.bench_function(format!("serial/{name}"), |b| {
-            b.iter_batched(
-                || build_heap(heap_bytes, live_every),
-                |heap| std::hint::black_box(sweep_serial(&heap, 16 << 10)),
-                BatchSize::LargeInput,
-            )
-        });
-        group.bench_function(format!("parallel2/{name}"), |b| {
-            b.iter_batched(
-                || build_heap(heap_bytes, live_every),
-                |heap| std::hint::black_box(sweep_parallel(&heap, 16 << 10, 2)),
-                BatchSize::LargeInput,
-            )
-        });
+        bench_batched(
+            &format!("sweep/serial/{name}"),
+            6,
+            heap_bytes as u64,
+            || build_heap(heap_bytes, live_every),
+            |heap| {
+                std::hint::black_box(sweep_serial(&heap, 16 << 10));
+            },
+        );
+        bench_batched(
+            &format!("sweep/parallel2/{name}"),
+            6,
+            heap_bytes as u64,
+            || build_heap(heap_bytes, live_every),
+            |heap| {
+                std::hint::black_box(sweep_parallel(&heap, 16 << 10, 2));
+            },
+        );
     }
-    group.finish();
 }
 
-fn mark_bit_ops(c: &mut Criterion) {
+fn mark_bit_ops() {
     let heap = Heap::new(HeapConfig::with_heap_bytes(8 << 20));
     let mut cache = AllocCache::new();
     heap.refill_cache(&mut cache, 8);
@@ -63,65 +101,65 @@ fn mark_bit_ops(c: &mut Criterion) {
         .alloc_small(&mut cache, ObjectShape::new(0, 4, 0))
         .unwrap();
     heap.publish_cache(&mut cache);
-    c.bench_function("mark/set_already_marked", |b| {
-        heap.mark(obj);
-        b.iter(|| std::hint::black_box(heap.mark(obj)))
+    heap.mark(obj);
+    bench_op("mark/set_already_marked", 2_000_000, || {
+        std::hint::black_box(heap.mark(obj));
     });
-    c.bench_function("mark/is_marked", |b| {
-        b.iter(|| std::hint::black_box(heap.is_marked(obj)))
+    bench_op("mark/is_marked", 2_000_000, || {
+        std::hint::black_box(heap.is_marked(obj));
     });
 }
 
-fn write_barrier(c: &mut Criterion) {
+fn write_barrier() {
     // The raw store + card dirty (the mutator-side §5.3 sequence).
     let heap = Heap::new(HeapConfig::with_heap_bytes(8 << 20));
     let mut cache = AllocCache::new();
     heap.refill_cache(&mut cache, 16);
-    let a = heap.alloc_small(&mut cache, ObjectShape::new(2, 0, 0)).unwrap();
-    let b_obj = heap.alloc_small(&mut cache, ObjectShape::new(0, 2, 0)).unwrap();
+    let a = heap
+        .alloc_small(&mut cache, ObjectShape::new(2, 0, 0))
+        .unwrap();
+    let b_obj = heap
+        .alloc_small(&mut cache, ObjectShape::new(0, 2, 0))
+        .unwrap();
     heap.publish_cache(&mut cache);
-    c.bench_function("write_barrier/store_and_dirty", |bch| {
-        bch.iter(|| {
-            heap.store_ref_unbarriered(a, 0, Some(b_obj));
-            heap.cards().dirty(a.card());
-        })
+    bench_op("write_barrier/store_and_dirty", 2_000_000, || {
+        heap.store_ref_unbarriered(a, 0, Some(b_obj));
+        heap.cards().dirty(a.card());
     });
 }
 
-fn allocation_fast_path(c: &mut Criterion) {
+fn allocation_fast_path() {
     let shape = ObjectShape::new(1, 3, 0);
-    let per_batch = 10_000usize;
-    let mut group = c.benchmark_group("alloc");
-    group.throughput(Throughput::Elements(per_batch as u64));
-    group.sample_size(20);
-    group.bench_function("small_bump_10k", |b| {
-        b.iter_batched(
-            || Heap::new(HeapConfig::with_heap_bytes(16 << 20)),
-            |heap| {
-                let mut cache = AllocCache::new();
-                heap.refill_cache(&mut cache, shape.granules());
-                for _ in 0..per_batch {
-                    match heap.alloc_small(&mut cache, shape) {
-                        Some(o) => {
-                            std::hint::black_box(o);
-                        }
-                        None => {
-                            heap.refill_cache(&mut cache, shape.granules());
-                        }
+    let per_batch = 10_000u64;
+    bench_batched(
+        "alloc/small_bump_10k",
+        40,
+        0,
+        || Heap::new(HeapConfig::with_heap_bytes(16 << 20)),
+        |heap| {
+            let mut cache = AllocCache::new();
+            heap.refill_cache(&mut cache, shape.granules());
+            for _ in 0..per_batch {
+                match heap.alloc_small(&mut cache, shape) {
+                    Some(o) => {
+                        std::hint::black_box(o);
+                    }
+                    None => {
+                        heap.refill_cache(&mut cache, shape.granules());
                     }
                 }
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+            }
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    sweep_throughput,
-    mark_bit_ops,
-    write_barrier,
-    allocation_fast_path
-);
-criterion_main!(benches);
+fn main() {
+    mcgc_bench::banner(
+        "micro: sweep, mark bits, write barrier, allocation",
+        "heap substrate costs underlying §6 pause/throughput numbers",
+    );
+    sweep_throughput();
+    mark_bit_ops();
+    write_barrier();
+    allocation_fast_path();
+}

@@ -5,7 +5,7 @@
 //! Paper reference: bounded between 0.11% and 0.25% of the heap; 0.15% is
 //! called a realistic estimate.
 
-use mcgc_bench::{banner, steady, gc_config, heap_bytes, jbb_opts, seconds};
+use mcgc_bench::{banner, gc_config, heap_bytes, jbb_opts, seconds, steady};
 use mcgc_core::CollectorMode;
 use mcgc_workloads::jbb;
 

@@ -7,7 +7,7 @@
 //! 93627/40147/11772/8394 cards; avg pause 267/177/115/67/61 ms; max
 //! 284/233/134/101/126 ms.
 
-use mcgc_bench::{banner, steady, gc_config, heap_bytes, jbb_opts, seconds};
+use mcgc_bench::{banner, gc_config, heap_bytes, jbb_opts, seconds, steady};
 use mcgc_core::CollectorMode;
 use mcgc_workloads::jbb;
 

@@ -5,7 +5,7 @@
 //! Paper reference: CC-rate fails 76/61/23/21%; free-space fails
 //! 26.6/3.2/0.4/0.4%; cards left 0% at every rate.
 
-use mcgc_bench::{banner, steady, gc_config, heap_bytes, jbb_opts, seconds};
+use mcgc_bench::{banner, gc_config, heap_bytes, jbb_opts, seconds, steady};
 use mcgc_core::CollectorMode;
 use mcgc_workloads::jbb;
 

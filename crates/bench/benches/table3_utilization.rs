@@ -69,10 +69,18 @@ fn main() {
         println!(
             "TR{:<6} {:>12} KB/ms {:>10} KB/ms {:>10}%{}",
             rate,
-            if subst { format!("({})", fnum(denom, 1)) } else { fnum(denom, 1) },
+            if subst {
+                format!("({})", fnum(denom, 1))
+            } else {
+                fnum(denom, 1)
+            },
             fnum(conc_rate, 1),
             fnum(util, 0),
-            if subst { "  (pre rate from TR4, §6.2 fn 6)" } else { "" },
+            if subst {
+                "  (pre rate from TR4, §6.2 fn 6)"
+            } else {
+                ""
+            },
         );
     }
     println!("\nshape check: utilization decreases monotonically with the");

@@ -8,7 +8,7 @@
 //! packet count, cost grows moderately (251→361 per KB… ×10⁻³ in their
 //! normalization).
 
-use mcgc_bench::{banner, steady, gc_config, heap_bytes, seconds};
+use mcgc_bench::{banner, gc_config, heap_bytes, seconds, steady};
 use mcgc_core::CollectorMode;
 use mcgc_workloads::jbb::{self, JbbOptions};
 

@@ -1,0 +1,47 @@
+//! Always-on telemetry overhead: jbb throughput with the telemetry
+//! pipeline enabled vs disabled (`Telemetry::set_enabled`). The event
+//! ring, histograms, and MMU tracker are on by default; this bench
+//! verifies the A/B delta stays in the noise (<2% in release builds).
+//!
+//! Runs interleaved A/B pairs so drift (thermal, page cache) hits both
+//! arms equally.
+
+use mcgc_core::{CollectorMode, Gc};
+use mcgc_workloads::jbb;
+
+fn run_once(enabled: bool, heap: usize, secs: std::time::Duration) -> f64 {
+    let gc = Gc::new(mcgc_bench::gc_config(CollectorMode::Concurrent, heap));
+    gc.telemetry().set_enabled(enabled);
+    let opts = mcgc_bench::jbb_opts(heap, 2, secs);
+    let report = jbb::run(&gc, &opts);
+    gc.shutdown();
+    report.throughput()
+}
+
+fn main() {
+    mcgc_bench::banner(
+        "telemetry overhead: jbb throughput, telemetry on vs off",
+        "observability must not perturb the §6 throughput numbers",
+    );
+    let heap = mcgc_bench::heap_bytes(48);
+    let secs = mcgc_bench::seconds(2.0);
+    let pairs = 3;
+    // Warmup (untimed).
+    run_once(true, heap, secs / 4);
+    let (mut on_sum, mut off_sum) = (0.0, 0.0);
+    for i in 0..pairs {
+        let on = run_once(true, heap, secs);
+        let off = run_once(false, heap, secs);
+        on_sum += on;
+        off_sum += off;
+        println!("pair {i}: enabled {on:>10.0} tx/s   disabled {off:>10.0} tx/s");
+    }
+    let on = on_sum / pairs as f64;
+    let off = off_sum / pairs as f64;
+    let overhead_pct = (off - on) / off * 100.0;
+    println!("--------------------------------------------------------------");
+    println!(
+        "mean: enabled {on:>10.0} tx/s   disabled {off:>10.0} tx/s   overhead {}%",
+        mcgc_bench::fnum(overhead_pct, 2)
+    );
+}

@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mcgc_heap::{sweep_parallel, Heap, LazySweep, ObjectRef};
+use mcgc_membar::sync::{Condvar, Mutex};
 use mcgc_packets::{PacketPool, WorkBuffer};
-use parking_lot::{Condvar, Mutex};
 
 use crate::background;
 use crate::config::{CollectorMode, GcConfig, SweepMode};
@@ -16,6 +16,7 @@ use crate::mutator::Mutator;
 use crate::pacing::Pacer;
 use crate::roots::{MutatorShared, StwSync};
 use crate::stats::{CycleStats, GcLog, Trigger};
+use crate::telemetry::GcTelemetry;
 
 /// Collector phase as seen by mutators.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -84,8 +85,7 @@ impl CycleCounters {
 
     /// Total bytes traced concurrently (`T` in the progress formula).
     pub fn traced_concurrent(&self) -> u64 {
-        self.traced_mutator.load(Ordering::Relaxed)
-            + self.traced_background.load(Ordering::Relaxed)
+        self.traced_mutator.load(Ordering::Relaxed) + self.traced_background.load(Ordering::Relaxed)
     }
 }
 
@@ -176,6 +176,7 @@ pub struct Gc {
     bits_pre_cleared: AtomicBool,
 
     log: Mutex<GcLog>,
+    pub(crate) tel: GcTelemetry,
     pub(crate) shutdown_flag: AtomicBool,
     bg_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -218,6 +219,7 @@ impl Gc {
             lazy: Mutex::new(None),
             bits_pre_cleared: AtomicBool::new(false),
             log: Mutex::new(GcLog::default()),
+            tel: GcTelemetry::new(mcgc_telemetry::DEFAULT_RING_CAPACITY),
             shutdown_flag: AtomicBool::new(false),
             bg_handles: Mutex::new(Vec::new()),
             heap,
@@ -283,6 +285,31 @@ impl Gc {
     /// A clone of the completed-cycle log.
     pub fn log(&self) -> GcLog {
         self.log.lock().clone()
+    }
+
+    /// The live telemetry hub: phase-event ring, pause/increment
+    /// histograms, MMU tracker, and the metrics registry. Queryable from
+    /// any thread mid-run.
+    pub fn telemetry(&self) -> &mcgc_telemetry::Telemetry {
+        &self.tel.hub
+    }
+
+    /// Refreshes the pull-style gauges (phase, heap occupancy, pacer
+    /// `K0`/`L`/`M`/`B` estimates, packet sub-pool occupancy) from live
+    /// collector state. Call before reading or exporting the registry —
+    /// `gc_top` does so once a second.
+    pub fn telemetry_sample(&self) {
+        let estimates = self.pacer.lock().estimates();
+        let pool = self.pool.stats();
+        self.tel.refresh_gauges(
+            self.in_concurrent_phase(),
+            self.cycle(),
+            self.heap.occupancy(),
+            self.heap.free_bytes() as u64,
+            estimates,
+            &pool,
+            self.pool.occupancy(),
+        );
     }
 
     /// Runs the heap verifier (tests/debugging). Must be called while no
@@ -481,7 +508,8 @@ impl Gc {
         *self.increments.lock() = IncrementAccum::default();
         self.pool.reset_stats();
         let cycle = self.cycle.fetch_add(1, Ordering::Relaxed) + 1;
-        let _ = cycle;
+        self.tel
+            .on_cycle_begin(cycle, self.heap.free_bytes() as u64);
         {
             let mut t = self.timeline.lock();
             t.kickoff = Some(Instant::now());
@@ -528,8 +556,7 @@ impl Gc {
         // this returns without blocking.
         self.exit_safe();
 
-        if trigger == Trigger::AllocationFailure
-            && self.heap.largest_free_bytes() >= min_contiguous
+        if trigger == Trigger::AllocationFailure && self.heap.largest_free_bytes() >= min_contiguous
         {
             // Another thread's collection already freed a usable run;
             // total free space is not the test (it may be fragments).
@@ -585,6 +612,8 @@ impl Gc {
             *lazy = None;
             self.heap.mark_bits().clear_all();
             self.bits_pre_cleared.store(true, Ordering::Release);
+            self.tel
+                .on_lazy_retired(self.cycle(), self.heap.free_bytes() as u64);
         }
     }
 
@@ -596,6 +625,7 @@ impl Gc {
     /// caller holds the coordinator lock.
     fn run_pause(&self, trigger: Trigger) {
         let wall_start = Instant::now();
+        let wall_start_ns = self.tel.hub.now_ns();
         let fresh = !self.in_concurrent_phase();
         let trigger = if fresh && trigger != Trigger::Explicit {
             Trigger::Baseline
@@ -617,6 +647,12 @@ impl Gc {
             self.phase.store(PHASE_CONCURRENT, Ordering::Release);
             // timeline: no real concurrent phase
         }
+
+        let cycle_no = self.cycle();
+        if !fresh {
+            self.tel.on_concurrent_end(cycle_no, trigger.code());
+        }
+        self.tel.on_stw_start(cycle_no, trigger.code());
 
         let free_at_stw_start = self.heap.free_bytes() as u64;
 
@@ -669,11 +705,18 @@ impl Gc {
         let stw_traced = self.counters.traced_stw.load(Ordering::Relaxed) - stw_traced_before;
 
         // 5. Sweep.
+        self.tel
+            .on_sweep_start(cycle_no, self.config.sweep == SweepMode::Lazy);
         let chunk = self.config.sweep_chunk_granules;
         let (live_objects, live_granules, sweep_chunks, lazy_planned) = match self.config.sweep {
             SweepMode::Eager => {
                 let s = sweep_parallel(&self.heap, chunk, self.config.stw_workers.max(1));
-                (s.live_objects as u64, s.live_granules as u64, s.chunks as u64, false)
+                (
+                    s.live_objects as u64,
+                    s.live_granules as u64,
+                    s.chunks as u64,
+                    false,
+                )
             }
             SweepMode::Lazy => {
                 let live_objects = self.heap.mark_bits().count() as u64;
@@ -681,6 +724,7 @@ impl Gc {
                 (live_objects, 0, 0, true)
             }
         };
+        self.tel.on_sweep_end(cycle_no, live_objects);
 
         // 6. Account the cycle.
         let cost = &self.config.cost;
@@ -710,7 +754,8 @@ impl Gc {
             let allocated = self.heap.bytes_allocated();
             match t.kickoff {
                 Some(k) if !fresh => (
-                    now.duration_since(k).saturating_sub(now.duration_since(wall_start)),
+                    now.duration_since(k)
+                        .saturating_sub(now.duration_since(wall_start)),
                     k.duration_since(t.last_cycle_end),
                     allocated - t.alloc_at_kickoff,
                     t.alloc_at_kickoff - t.alloc_at_last_end,
@@ -772,6 +817,9 @@ impl Gc {
             c.card_scanned_bytes.load(Ordering::Relaxed).max(1),
         );
 
+        self.tel
+            .on_stw_end(cycle_no, wall_start_ns, self.tel.hub.now_ns());
+        self.tel.on_cycle_end(&stats);
         self.log.lock().cycles.push(stats);
         // Eager sweep leaves the mark bits dead weight: pre-clear them
         // now, while the world is still stopped, so the next cycle's
@@ -808,7 +856,9 @@ impl Gc {
         let _ = registry_left;
         let registry_left = to_clean.len() as u64;
         let mut fresh_dirty = Vec::new();
-        self.heap.cards().snapshot_dirty(0, ncards, &mut fresh_dirty);
+        self.heap
+            .cards()
+            .snapshot_dirty(0, ncards, &mut fresh_dirty);
         let unreached = fresh_dirty
             .iter()
             .filter(|&&card| card >= cursor_at_halt)
@@ -832,8 +882,7 @@ impl Gc {
             .card_scanned_bytes
             .fetch_add(scanned_bytes, Ordering::Relaxed);
         let cost = &self.config.cost;
-        let ms = cost.card_ms(ncards as u64, to_clean.len() as u64)
-            + cost.trace_ms(scanned_bytes);
+        let ms = cost.card_ms(ncards as u64, to_clean.len() as u64) + cost.trace_ms(scanned_bytes);
         (cards_left, ms)
     }
 

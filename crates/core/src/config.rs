@@ -187,8 +187,7 @@ impl CostModel {
     /// Milliseconds to scan `scanned` cards and clean `dirty` of them on
     /// one worker (tracing triggered by cleaning is costed separately).
     pub fn card_ms(&self, scanned: u64, dirty: u64) -> f64 {
-        (scanned as f64 * self.card_scan_ns_per_card
-            + dirty as f64 * self.card_clean_ns_per_card)
+        (scanned as f64 * self.card_scan_ns_per_card + dirty as f64 * self.card_clean_ns_per_card)
             / 1e6
     }
 

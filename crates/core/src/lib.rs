@@ -46,13 +46,14 @@ mod mutator;
 mod pacing;
 mod roots;
 mod stats;
+mod telemetry;
 mod tracing;
 
 pub use collector::{Gc, GcError, Phase};
 pub use config::{CollectorMode, CostModel, GcConfig, SweepMode};
 pub use mutator::Mutator;
-pub use pacing::Pacer;
-pub use stats::{CycleStats, GcLog, Trigger};
+pub use pacing::{Pacer, PacerEstimates};
+pub use stats::{emit_cycle_events, CycleStats, GcLog, Trigger};
 
 // Re-export the substrate types a user needs at the API boundary.
 pub use mcgc_heap::{HeapConfig, ObjectRef, ObjectShape};

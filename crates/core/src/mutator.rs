@@ -95,6 +95,7 @@ impl Mutator {
 
     #[cold]
     fn alloc_small_slow(&mut self, shape: ObjectShape) -> Result<ObjectRef, GcError> {
+        self.gc.tel.on_alloc_slow(false);
         let refill_bytes = self.gc.config.heap.cache_bytes as u64;
         let mut collections = 0;
         loop {
@@ -126,6 +127,7 @@ impl Mutator {
 
     #[cold]
     fn alloc_large(&mut self, shape: ObjectShape) -> Result<ObjectRef, GcError> {
+        self.gc.tel.on_alloc_slow(true);
         let bytes = shape.bytes() as u64;
         let mut collections = 0;
         loop {
@@ -257,6 +259,8 @@ impl Drop for Mutator {
 
 impl std::fmt::Debug for Mutator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mutator").field("id", &self.shared.id).finish()
+        f.debug_struct("Mutator")
+            .field("id", &self.shared.id)
+            .finish()
     }
 }

@@ -23,6 +23,22 @@ fn smooth(est: f64, observed: f64, alpha: f64) -> f64 {
     est * (1.0 - alpha) + observed * alpha
 }
 
+/// A consistent snapshot of the pacer's §3 estimates, taken under the
+/// collector's pacer lock (telemetry gauges, `gc_top`).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PacerEstimates {
+    /// Desired allocator tracing rate `K0`.
+    pub k0: f64,
+    /// Predicted bytes traced concurrently (`L`).
+    pub l: f64,
+    /// Predicted bytes on dirty cards (`M`).
+    pub m: f64,
+    /// Smoothed background tracing per allocated byte (`Best`).
+    pub b: f64,
+    /// Free-byte threshold `(L + M) / K0` that triggers kickoff.
+    pub kickoff_threshold: f64,
+}
+
 /// Adaptive pacing state for the concurrent phase (paper §3).
 #[derive(Clone, Debug)]
 pub struct Pacer {
@@ -77,6 +93,17 @@ impl Pacer {
     /// triggers a new concurrent cycle. Evaluated once per cycle.
     pub fn kickoff_threshold(&self) -> f64 {
         (self.l_est + self.m_est) / self.k0
+    }
+
+    /// All §3 estimates as one snapshot.
+    pub fn estimates(&self) -> PacerEstimates {
+        PacerEstimates {
+            k0: self.k0,
+            l: self.l_est,
+            m: self.m_est,
+            b: self.b_est,
+            kickoff_threshold: self.kickoff_threshold(),
+        }
     }
 
     /// True if a new cycle should start given current free bytes.
@@ -137,6 +164,7 @@ impl Pacer {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use crate::config::GcConfig;

@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mcgc_heap::{AllocCache, ObjectRef};
-use parking_lot::Mutex;
+use mcgc_membar::sync::Mutex;
 
 /// State a mutator shares with the collector.
 ///

@@ -1,0 +1,252 @@
+//! Collector-side telemetry glue: a [`Telemetry`] hub plus pre-resolved
+//! counter/gauge handles for every hot-path metric.
+//!
+//! Handles are registered once at collector construction; hot paths only
+//! touch the `Arc<Counter>`/`Arc<Gauge>` atomics and never the registry's
+//! name map. Counters that mirror per-cycle accounting are folded in once
+//! per cycle (from the finished [`CycleStats`]), not per object, so the
+//! always-on cost stays in the noise. Gauges are *pulled*: they refresh
+//! only when [`Gc::telemetry_sample`](crate::Gc::telemetry_sample) runs
+//! (e.g. once a second from `gc_top`).
+
+use std::sync::Arc;
+
+use mcgc_telemetry::{Counter, EventKind, Gauge, Telemetry};
+
+use crate::stats::{emit_cycle_events, CycleStats};
+use crate::tracing::TraceRole;
+
+/// The collector's telemetry bundle (one per [`crate::Gc`]).
+pub(crate) struct GcTelemetry {
+    /// The embedded hub: event ring, histograms, registry, MMU tracker.
+    pub(crate) hub: Telemetry,
+
+    // -- counters (cumulative across cycles, updated at cycle end) --
+    cycles: Arc<Counter>,
+    pauses: Arc<Counter>,
+    traced_mutator_bytes: Arc<Counter>,
+    traced_background_bytes: Arc<Counter>,
+    traced_stw_bytes: Arc<Counter>,
+    cards_cleaned_concurrent: Arc<Counter>,
+    cards_cleaned_stw: Arc<Counter>,
+    handshakes: Arc<Counter>,
+    cas_ops: Arc<Counter>,
+    overflows: Arc<Counter>,
+    deferred_objects: Arc<Counter>,
+    // -- counters bumped directly on (cold) hot paths --
+    increments_mutator: Arc<Counter>,
+    increments_background: Arc<Counter>,
+    alloc_slow: Arc<Counter>,
+    alloc_large: Arc<Counter>,
+    lazy_retirements: Arc<Counter>,
+
+    // -- gauges (refreshed by telemetry_sample) --
+    phase: Arc<Gauge>,
+    cycle: Arc<Gauge>,
+    heap_occupancy: Arc<Gauge>,
+    heap_free_bytes: Arc<Gauge>,
+    pacer_k0: Arc<Gauge>,
+    pacer_l: Arc<Gauge>,
+    pacer_m: Arc<Gauge>,
+    pacer_b: Arc<Gauge>,
+    pacer_kickoff_threshold: Arc<Gauge>,
+    pool_empty: Arc<Gauge>,
+    pool_non_empty: Arc<Gauge>,
+    pool_almost_full: Arc<Gauge>,
+    pool_deferred: Arc<Gauge>,
+    pool_entries: Arc<Gauge>,
+    pool_occupancy: Arc<Gauge>,
+}
+
+impl GcTelemetry {
+    pub(crate) fn new(ring_capacity: usize) -> GcTelemetry {
+        let hub = Telemetry::new(ring_capacity);
+        let r = hub.registry();
+        let c = |name: &str| r.counter(name);
+        let g = |name: &str| r.gauge(name);
+
+        GcTelemetry {
+            cycles: c("gc_cycles_total"),
+            pauses: c("gc_pauses_total"),
+            traced_mutator_bytes: c("gc_traced_mutator_bytes_total"),
+            traced_background_bytes: c("gc_traced_background_bytes_total"),
+            traced_stw_bytes: c("gc_traced_stw_bytes_total"),
+            cards_cleaned_concurrent: c("gc_cards_cleaned_concurrent_total"),
+            cards_cleaned_stw: c("gc_cards_cleaned_stw_total"),
+            handshakes: c("gc_handshakes_total"),
+            cas_ops: c("pool_cas_ops_total"),
+            overflows: c("pool_overflows_total"),
+            deferred_objects: c("gc_deferred_objects_total"),
+            increments_mutator: c("gc_increments_mutator_total"),
+            increments_background: c("gc_increments_background_total"),
+            alloc_slow: c("alloc_slow_path_total"),
+            alloc_large: c("alloc_large_total"),
+            lazy_retirements: c("gc_lazy_sweep_retirements_total"),
+            phase: g("gc_phase"),
+            cycle: g("gc_cycle"),
+            heap_occupancy: g("heap_occupancy"),
+            heap_free_bytes: g("heap_free_bytes"),
+            pacer_k0: g("pacer_k0"),
+            pacer_l: g("pacer_l_bytes"),
+            pacer_m: g("pacer_m_bytes"),
+            pacer_b: g("pacer_b"),
+            pacer_kickoff_threshold: g("pacer_kickoff_threshold_bytes"),
+            pool_empty: g("pool_empty_packets"),
+            pool_non_empty: g("pool_non_empty_packets"),
+            pool_almost_full: g("pool_almost_full_packets"),
+            pool_deferred: g("pool_deferred_packets"),
+            pool_entries: g("pool_entries"),
+            pool_occupancy: g("pool_occupancy"),
+            hub,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // phase events
+    // ------------------------------------------------------------------
+
+    /// Cycle initialization (§2.1): card table + mark bits cleared,
+    /// counters reset. `free_bytes` is the headroom left at kickoff.
+    pub(crate) fn on_cycle_begin(&self, cycle: u64, free_bytes: u64) {
+        self.cycles.inc();
+        self.hub.emit(EventKind::Kickoff, cycle as u32, free_bytes);
+    }
+
+    /// The concurrent phase is over (halted or exhausted); a pause with
+    /// the given trigger follows immediately.
+    pub(crate) fn on_concurrent_end(&self, cycle: u64, trigger_code: u64) {
+        self.hub
+            .emit(EventKind::ConcurrentEnd, cycle as u32, trigger_code);
+    }
+
+    pub(crate) fn on_stw_start(&self, cycle: u64, trigger_code: u64) {
+        self.hub
+            .emit(EventKind::StwStart, cycle as u32, trigger_code);
+    }
+
+    /// Pause complete: feeds the pause histogram and the MMU tracker and
+    /// publishes the `StwEnd` event carrying the wall pause in ns.
+    pub(crate) fn on_stw_end(&self, cycle: u64, start_ns: u64, end_ns: u64) {
+        self.pauses.inc();
+        self.hub.record_pause_ns(start_ns, end_ns);
+        self.hub.emit(
+            EventKind::StwEnd,
+            cycle as u32,
+            end_ns.saturating_sub(start_ns),
+        );
+    }
+
+    pub(crate) fn on_sweep_start(&self, cycle: u64, lazy: bool) {
+        self.hub
+            .emit(EventKind::SweepStart, cycle as u32, lazy as u64);
+    }
+
+    pub(crate) fn on_sweep_end(&self, cycle: u64, live_objects: u64) {
+        self.hub
+            .emit(EventKind::SweepEnd, cycle as u32, live_objects);
+    }
+
+    /// A completed lazy-sweep plan was retired; `free_bytes` is the free
+    /// space after the last chunk was swept.
+    pub(crate) fn on_lazy_retired(&self, cycle: u64, free_bytes: u64) {
+        self.lazy_retirements.inc();
+        self.hub
+            .emit(EventKind::LazySweepRetired, cycle as u32, free_bytes);
+    }
+
+    /// One §5.3 card-snapshot handshake registered `cards` dirty cards.
+    pub(crate) fn on_handshake(&self, cycle: u64, cards: u64) {
+        self.hub.emit(EventKind::Handshake, cycle as u32, cards);
+    }
+
+    /// One tracing increment finished: `bytes` of work in
+    /// `end_ns - start_ns`. Publishes the per-increment event and feeds
+    /// the increment-latency histogram.
+    pub(crate) fn on_increment(
+        &self,
+        role: TraceRole,
+        cycle: u64,
+        bytes: u64,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        let kind = match role {
+            TraceRole::Mutator => {
+                self.increments_mutator.inc();
+                EventKind::MutatorIncrement
+            }
+            TraceRole::Background => {
+                self.increments_background.inc();
+                EventKind::BackgroundIncrement
+            }
+        };
+        self.hub
+            .record_increment_ns(end_ns.saturating_sub(start_ns));
+        self.hub.emit(kind, cycle as u32, bytes);
+    }
+
+    /// An allocation took the slow path (cache refill / large object).
+    pub(crate) fn on_alloc_slow(&self, large: bool) {
+        if large {
+            self.alloc_large.inc();
+        } else {
+            self.alloc_slow.inc();
+        }
+    }
+
+    /// Cycle accounting is final: fold the per-cycle stats into the
+    /// cumulative counters and emit the replayable `CycleStat*`/`CycleEnd`
+    /// batch the §6 tables are rebuilt from.
+    pub(crate) fn on_cycle_end(&self, stats: &CycleStats) {
+        self.traced_mutator_bytes.add(stats.mutator_traced_bytes);
+        self.traced_background_bytes
+            .add(stats.background_traced_bytes);
+        self.traced_stw_bytes.add(stats.stw_traced_bytes);
+        self.cards_cleaned_concurrent
+            .add(stats.cards_cleaned_concurrent);
+        self.cards_cleaned_stw.add(stats.cards_cleaned_stw);
+        self.handshakes.add(stats.handshakes);
+        self.cas_ops.add(stats.cas_ops);
+        self.overflows.add(stats.overflows);
+        self.deferred_objects.add(stats.deferred_objects);
+        emit_cycle_events(&self.hub, stats);
+    }
+
+    // ------------------------------------------------------------------
+    // gauge refresh (pull)
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn refresh_gauges(
+        &self,
+        phase_concurrent: bool,
+        cycle: u64,
+        heap_occupancy: f64,
+        heap_free_bytes: u64,
+        pacer: crate::pacing::PacerEstimates,
+        pool: &mcgc_packets::PoolStats,
+        pool_occupancy: f64,
+    ) {
+        self.phase.set(if phase_concurrent { 1.0 } else { 0.0 });
+        self.cycle.set_u64(cycle);
+        self.heap_occupancy.set(heap_occupancy);
+        self.heap_free_bytes.set_u64(heap_free_bytes);
+        self.pacer_k0.set(pacer.k0);
+        self.pacer_l.set(pacer.l);
+        self.pacer_m.set(pacer.m);
+        self.pacer_b.set(pacer.b);
+        self.pacer_kickoff_threshold.set(pacer.kickoff_threshold);
+        self.pool_empty.set_u64(pool.empty as u64);
+        self.pool_non_empty.set_u64(pool.non_empty as u64);
+        self.pool_almost_full.set_u64(pool.almost_full as u64);
+        self.pool_deferred.set_u64(pool.deferred as u64);
+        self.pool_entries.set_u64(pool.entries as u64);
+        self.pool_occupancy.set(pool_occupancy);
+    }
+}
+
+impl std::fmt::Debug for GcTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcTelemetry").finish_non_exhaustive()
+    }
+}

@@ -48,7 +48,8 @@ impl Gc {
     #[inline]
     pub(crate) fn scan_object(&self, obj: ObjectRef, buf: &mut WorkBuffer<'_, ObjectRef>) -> u64 {
         let header = self.heap.header(obj);
-        self.heap.scan_refs(obj, |child| self.mark_and_push(child, buf));
+        self.heap
+            .scan_refs(obj, |child| self.mark_and_push(child, buf));
         header.size_bytes() as u64
     }
 
@@ -146,6 +147,11 @@ impl Gc {
         if quota == 0 || !self.in_concurrent_phase() {
             return 0;
         }
+        let start_ns = if self.tel.hub.is_enabled() {
+            Some(self.tel.hub.now_ns())
+        } else {
+            None
+        };
         let mut buf = WorkBuffer::new(&self.pool);
         let mut deferred = Vec::new();
         let mut done = 0u64;
@@ -179,6 +185,12 @@ impl Gc {
         }
         self.park_deferred(&mut deferred);
         buf.finish();
+        if let Some(start) = start_ns {
+            if done > 0 {
+                self.tel
+                    .on_increment(role, self.cycle(), done, start, self.tel.hub.now_ns());
+            }
+        }
         done
     }
 
@@ -219,10 +231,7 @@ impl Gc {
         if self.global_scanned_cycle.load(Ordering::Relaxed) < cycle {
             return false;
         }
-        self.mutators
-            .lock()
-            .iter()
-            .all(|m| m.stack_scanned(cycle))
+        self.mutators.lock().iter().all(|m| m.stack_scanned(cycle))
     }
 
     // ------------------------------------------------------------------
@@ -260,6 +269,7 @@ impl Gc {
                         // the benches from the handshake count.
                         full_fence(FenceKind::CardHandshake);
                         self.counters.handshakes.fetch_add(1, Ordering::Relaxed);
+                        self.tel.on_handshake(self.cycle(), found.len() as u64);
                         cs.registry.extend(found);
                     }
                 }
@@ -313,7 +323,9 @@ impl Gc {
             g = found + 1;
         }
         if stw {
-            self.counters.cards_cleaned_stw.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .cards_cleaned_stw
+                .fetch_add(1, Ordering::Relaxed);
         } else {
             self.counters
                 .cards_cleaned_conc

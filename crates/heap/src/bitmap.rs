@@ -18,7 +18,7 @@ pub struct Bitmap {
 impl Bitmap {
     /// Creates a bitmap covering `len` bits, all zero.
     pub fn new(len: usize) -> Bitmap {
-        let words = (len + BITS - 1) / BITS;
+        let words = len.div_ceil(BITS);
         Bitmap {
             words: (0..words).map(|_| AtomicU64::new(0)).collect(),
             len,

@@ -7,7 +7,7 @@
 //! indicators, handshake, then clean from the registry) is implemented by
 //! [`CardTable::snapshot_dirty`] plus the collector's fence handshake.
 
-use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use crate::object::GRANULES_PER_CARD;
 
@@ -26,7 +26,7 @@ pub struct CardTable {
 impl CardTable {
     /// Creates a card table covering `granules` granules of heap.
     pub fn new(granules: usize) -> CardTable {
-        let n = (granules + GRANULES_PER_CARD - 1) / GRANULES_PER_CARD;
+        let n = granules.div_ceil(GRANULES_PER_CARD);
         CardTable {
             cards: (0..n).map(|_| AtomicU8::new(CLEAN)).collect(),
             dirty_stores: AtomicU64::new(0),
@@ -167,7 +167,10 @@ mod tests {
     fn rounds_up_partial_card() {
         let t = CardTable::new(GRANULES_PER_CARD + 1);
         assert_eq!(t.len(), 2);
-        assert_eq!(CardTable::card_end_granule(1, GRANULES_PER_CARD + 1), GRANULES_PER_CARD + 1);
+        assert_eq!(
+            CardTable::card_end_granule(1, GRANULES_PER_CARD + 1),
+            GRANULES_PER_CARD + 1
+        );
         assert_eq!(CardTable::card_start_granule(1), GRANULES_PER_CARD);
     }
 

@@ -107,7 +107,9 @@ impl FreeList {
     /// front does not starve large requests.
     pub fn alloc_from_end(&mut self, len: usize) -> Option<usize> {
         debug_assert!(len > 0);
-        let pos = (0..self.extents.len()).rev().find(|&i| self.extents[i].len >= len)?;
+        let pos = (0..self.extents.len())
+            .rev()
+            .find(|&i| self.extents[i].len >= len)?;
         let e = &mut self.extents[pos];
         let start = e.end() - len;
         if e.len == len {
@@ -165,7 +167,7 @@ impl FreeList {
                 continue;
             }
             debug_assert!(
-                self.extents.back().map_or(true, |p| p.end() <= e.start),
+                self.extents.back().is_none_or(|p| p.end() <= e.start),
                 "rebuild input not address-ordered"
             );
             self.free_granules += e.len;
@@ -270,7 +272,7 @@ mod tests {
         let mut fl = FreeList::new();
         fl.free(10, 100); // [10, 110)
         fl.free(200, 50); // [200, 250)
-        // Large allocation comes from the END of the highest extent.
+                          // Large allocation comes from the END of the highest extent.
         assert_eq!(fl.alloc_from_end(20), Some(230));
         assert_eq!(fl.alloc_from_end(30), Some(200));
         // [200,250) exhausted: falls back to the earlier extent's end.

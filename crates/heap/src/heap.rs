@@ -3,8 +3,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mcgc_membar::sync::Mutex;
 use mcgc_membar::{release_fence, FenceKind};
-use parking_lot::Mutex;
 
 use crate::bitmap::Bitmap;
 use crate::cards::CardTable;
@@ -49,7 +49,7 @@ impl HeapConfig {
 
     /// Heap size in granules.
     pub fn heap_granules(&self) -> usize {
-        (self.heap_bytes + GRANULE_BYTES - 1) / GRANULE_BYTES
+        self.heap_bytes.div_ceil(GRANULE_BYTES)
     }
 }
 
@@ -419,7 +419,9 @@ impl Heap {
     pub fn retire_cache(&self, cache: &mut AllocCache) {
         self.publish_cache(cache);
         if cache.cursor < cache.end {
-            self.free.lock().free(cache.cursor, cache.end - cache.cursor);
+            self.free
+                .lock()
+                .free(cache.cursor, cache.end - cache.cursor);
         }
         cache.start = 0;
         cache.cursor = 0;
@@ -577,8 +579,12 @@ mod tests {
         let heap = small_heap();
         let mut cache = AllocCache::new();
         heap.refill_cache(&mut cache, 1);
-        let a = heap.alloc_small(&mut cache, ObjectShape::new(2, 0, 0)).unwrap();
-        let b = heap.alloc_small(&mut cache, ObjectShape::new(0, 1, 0)).unwrap();
+        let a = heap
+            .alloc_small(&mut cache, ObjectShape::new(2, 0, 0))
+            .unwrap();
+        let b = heap
+            .alloc_small(&mut cache, ObjectShape::new(0, 1, 0))
+            .unwrap();
         heap.store_ref_unbarriered(a, 0, Some(b));
         assert_eq!(heap.load_ref(a, 0), Some(b));
         assert_eq!(heap.load_ref(a, 1), None);
@@ -594,7 +600,9 @@ mod tests {
         let heap = small_heap();
         let mut cache = AllocCache::new();
         heap.refill_cache(&mut cache, 1);
-        let a = heap.alloc_small(&mut cache, ObjectShape::new(0, 0, 0)).unwrap();
+        let a = heap
+            .alloc_small(&mut cache, ObjectShape::new(0, 0, 0))
+            .unwrap();
         assert!(!heap.is_marked(a));
         assert!(heap.mark(a));
         assert!(!heap.mark(a));
@@ -621,7 +629,9 @@ mod tests {
         let heap = small_heap();
         let mut cache = AllocCache::new();
         heap.refill_cache(&mut cache, 1);
-        let a = heap.alloc_small(&mut cache, ObjectShape::new(0, 4, 0)).unwrap();
+        let a = heap
+            .alloc_small(&mut cache, ObjectShape::new(0, 4, 0))
+            .unwrap();
         heap.store_data(a, 0, 0xDEAD);
         heap.retire_cache(&mut cache);
         // Reallocate over the same region.
@@ -632,7 +642,9 @@ mod tests {
             }])
         });
         heap.refill_cache(&mut cache, 1);
-        let b = heap.alloc_small(&mut cache, ObjectShape::new(0, 4, 0)).unwrap();
+        let b = heap
+            .alloc_small(&mut cache, ObjectShape::new(0, 4, 0))
+            .unwrap();
         assert_eq!(b, a, "bump allocation reuses the region");
         assert_eq!(heap.load_data(b, 0), 0, "granules zeroed at allocation");
     }
@@ -695,7 +707,10 @@ mod tests {
             }))
         });
         let mut cache = AllocCache::new();
-        assert!(heap.refill_cache(&mut cache, 8), "halving finds a 64-granule run");
+        assert!(
+            heap.refill_cache(&mut cache, 8),
+            "halving finds a 64-granule run"
+        );
         assert!(cache.remaining_granules() >= 8);
     }
 }

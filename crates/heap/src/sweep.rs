@@ -100,7 +100,7 @@ pub fn sweep_chunk(heap: &Heap, chunk: usize, chunk_granules: usize) -> ChunkSwe
 
 /// Number of sweep chunks for `heap` at the given chunk size.
 pub fn chunk_count(heap: &Heap, chunk_granules: usize) -> usize {
-    (heap.granules() + chunk_granules - 1) / chunk_granules
+    heap.granules().div_ceil(chunk_granules)
 }
 
 /// Aggregate statistics of a completed sweep.
@@ -267,7 +267,7 @@ mod tests {
         let mut cache = AllocCache::new();
         let mut objs = Vec::new();
         for i in 0..2000u32 {
-            let shape = ObjectShape::new((i % 4) as u32, (i % 7) as u32, 1);
+            let shape = ObjectShape::new(i % 4, i % 7, 1);
             let obj = loop {
                 match heap.alloc_small(&mut cache, shape) {
                     Some(o) => break o,
@@ -324,7 +324,7 @@ mod tests {
             }
         }
         let stats = sweep_serial(&heap, 1 << 10);
-        assert_eq!(stats.live_objects, (objs.len() + 2) / 3);
+        assert_eq!(stats.live_objects, objs.len().div_ceil(3));
         for (i, &o) in objs.iter().enumerate() {
             assert_eq!(heap.is_published(o), i % 3 == 0, "object {i}");
         }

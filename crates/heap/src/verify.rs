@@ -69,7 +69,10 @@ impl std::fmt::Display for Violation {
                 write!(f, "objects {first:#x} and {second:#x} overlap")
             }
             Violation::DanglingRef { obj, slot, target } => {
-                write!(f, "object {obj:#x} slot {slot} points out of heap: {target:#x}")
+                write!(
+                    f,
+                    "object {obj:#x} slot {slot} points out of heap: {target:#x}"
+                )
             }
             Violation::UnpublishedRef { obj, slot, target } => write!(
                 f,
@@ -198,8 +201,12 @@ mod tests {
         let h = heap();
         let mut cache = AllocCache::new();
         h.refill_cache(&mut cache, 1);
-        let a = h.alloc_small(&mut cache, ObjectShape::new(1, 1, 0)).unwrap();
-        let b = h.alloc_small(&mut cache, ObjectShape::new(0, 4, 0)).unwrap();
+        let a = h
+            .alloc_small(&mut cache, ObjectShape::new(1, 1, 0))
+            .unwrap();
+        let b = h
+            .alloc_small(&mut cache, ObjectShape::new(0, 4, 0))
+            .unwrap();
         h.store_ref_unbarriered(a, 0, Some(b));
         h.retire_cache(&mut cache);
         assert_eq!(verify(&h, true), vec![]);
@@ -211,10 +218,16 @@ mod tests {
         let h = heap();
         let mut cache = AllocCache::new();
         h.refill_cache(&mut cache, 1);
-        let a = h.alloc_small(&mut cache, ObjectShape::new(1, 0, 0)).unwrap();
-        let b = h.alloc_small(&mut cache, ObjectShape::new(0, 0, 0)).unwrap();
+        let a = h
+            .alloc_small(&mut cache, ObjectShape::new(1, 0, 0))
+            .unwrap();
+        let b = h
+            .alloc_small(&mut cache, ObjectShape::new(0, 0, 0))
+            .unwrap();
         h.publish_cache(&mut cache);
-        let c = h.alloc_small(&mut cache, ObjectShape::new(0, 0, 0)).unwrap();
+        let c = h
+            .alloc_small(&mut cache, ObjectShape::new(0, 0, 0))
+            .unwrap();
         h.store_ref_unbarriered(a, 0, Some(b));
         h.store_ref_unbarriered(a, 0, Some(c)); // c is pending
         assert_eq!(verify(&h, false), vec![]);
@@ -242,7 +255,9 @@ mod tests {
         let h = heap();
         let mut cache = AllocCache::new();
         h.refill_cache(&mut cache, 1);
-        let a = h.alloc_small(&mut cache, ObjectShape::new(1, 0, 0)).unwrap();
+        let a = h
+            .alloc_small(&mut cache, ObjectShape::new(1, 0, 0))
+            .unwrap();
         h.publish_cache(&mut cache);
         // Forge an out-of-heap reference.
         h.store_ref_unbarriered(a, 0, Some(ObjectRef::from_granule(u32::MAX)));

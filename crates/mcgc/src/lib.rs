@@ -14,6 +14,8 @@
 //!   and mark bit vectors, card table, free list, bitwise sweep);
 //! * [`membar`](mcgc_membar) — counted fences and the weak-memory litmus
 //!   simulator (§5);
+//! * [`telemetry`](mcgc_telemetry) — live observability: the phase-event
+//!   ring buffer, pause/increment histograms, and the metrics registry;
 //! * [`workloads`](mcgc_workloads) — SPECjbb/pBOB/javac-like synthetic
 //!   workloads (§6).
 //!
@@ -37,9 +39,8 @@
 //! ```
 
 pub use mcgc_core::{
-    Pacer,
     CollectorMode, CostModel, CycleStats, Gc, GcConfig, GcError, GcLog, HeapConfig, Mutator,
-    ObjectRef, ObjectShape, Phase, PoolConfig, PoolStats, SweepMode, Trigger,
+    ObjectRef, ObjectShape, Pacer, Phase, PoolConfig, PoolStats, SweepMode, Trigger,
 };
 
 /// The heap substrate.
@@ -55,6 +56,11 @@ pub mod packets {
 /// Fence accounting and the weak-memory simulator (§5).
 pub mod membar {
     pub use mcgc_membar::*;
+}
+
+/// Live telemetry: event ring, histograms, metrics registry.
+pub mod telemetry {
+    pub use mcgc_telemetry::*;
 }
 
 /// Synthetic workloads (§6).

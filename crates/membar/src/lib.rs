@@ -18,6 +18,7 @@
 //!   occur with them (see [`litmus`]).
 
 pub mod litmus;
+pub mod sync;
 pub mod weaksim;
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -30,7 +30,10 @@ pub mod packet_publish {
             // output work packet to a pool"
             producer.push(Op::Fence);
         }
-        producer.push(Op::Store { loc: 1, val: PUBLISHED });
+        producer.push(Op::Store {
+            loc: 1,
+            val: PUBLISHED,
+        });
         let consumer = vec![
             Op::Load { loc: 1, reg: 0 }, // load pool head
             Op::Load { loc: 0, reg: 1 }, // data-dependent read of entry
@@ -76,8 +79,11 @@ pub mod alloc_publish {
 
     fn program(with_protocol: bool) -> Program {
         let mut mutator = vec![
-            Op::Store { loc: 0, val: INIT },   // create + initialize O2
-            Op::Store { loc: 1, val: REF_O2 }, // store ref into O1
+            Op::Store { loc: 0, val: INIT }, // create + initialize O2
+            Op::Store {
+                loc: 1,
+                val: REF_O2,
+            }, // store ref into O1
         ];
         if with_protocol {
             mutator.push(Op::Fence); // one fence per allocation cache
@@ -152,12 +158,15 @@ pub mod card_clean {
 
     fn program(with_handshake: bool) -> Program {
         let mutator = vec![
-            Op::Store { loc: 0, val: REF_O2 }, // update O1.slot := O2
-            Op::Store { loc: 1, val: DIRTY },  // write barrier: dirty card
+            Op::Store {
+                loc: 0,
+                val: REF_O2,
+            }, // update O1.slot := O2
+            Op::Store { loc: 1, val: DIRTY }, // write barrier: dirty card
         ];
         let mut collector = vec![
-            Op::Load { loc: 1, reg: 0 },   // register dirty card
-            Op::Store { loc: 1, val: 0 },  // clear the indicator
+            Op::Load { loc: 1, reg: 0 },  // register dirty card
+            Op::Store { loc: 1, val: 0 }, // clear the indicator
         ];
         if with_handshake {
             collector.push(Op::DrainOthers); // force mutators to fence
@@ -216,7 +225,10 @@ mod tests {
             "without the protocol a tracer can see uninitialized memory"
         );
         assert!(
-            !reachable(&alloc_publish::protected(), alloc_publish::violated_protected),
+            !reachable(
+                &alloc_publish::protected(),
+                alloc_publish::violated_protected
+            ),
             "the allocation-bit batch protocol removes the anomaly"
         );
     }
@@ -225,7 +237,10 @@ mod tests {
     fn alloc_publish_deferral_is_reachable() {
         // The protocol works by sometimes deferring objects; check the
         // deferral path actually occurs.
-        assert!(reachable(&alloc_publish::protected(), alloc_publish::deferred));
+        assert!(reachable(
+            &alloc_publish::protected(),
+            alloc_publish::deferred
+        ));
     }
 
     #[test]

@@ -173,9 +173,7 @@ pub fn explore(program: &Program) -> HashSet<FinalState> {
                     // otherwise the fence waits; flush actions make progress
                 }
                 Op::DrainOthers => {
-                    if (0..program.threads.len())
-                        .all(|u| u == t || state.buffers[u].is_empty())
-                    {
+                    if (0..program.threads.len()).all(|u| u == t || state.buffers[u].is_empty()) {
                         let mut next = state.clone();
                         next.pcs[t] = pc + 1;
                         stack.push(next);
@@ -189,7 +187,7 @@ pub fn explore(program: &Program) -> HashSet<FinalState> {
 
 /// Convenience: true if any final state satisfies `pred`.
 pub fn reachable<F: Fn(&FinalState) -> bool>(program: &Program, pred: F) -> bool {
-    explore(program).iter().any(|s| pred(s))
+    explore(program).iter().any(pred)
 }
 
 #[cfg(test)]
@@ -321,10 +319,7 @@ mod tests {
             threads: vec![
                 vec![Op::Store { loc: 0, val: 1 }],
                 vec![Op::Store { loc: 1, val: 1 }],
-                vec![
-                    Op::Load { loc: 0, reg: 0 },
-                    Op::Load { loc: 1, reg: 1 },
-                ],
+                vec![Op::Load { loc: 0, reg: 0 }, Op::Load { loc: 1, reg: 1 }],
             ],
             locations: 2,
             registers: 2,

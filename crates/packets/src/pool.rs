@@ -104,6 +104,10 @@ pub struct PoolStats {
     pub entries_watermark: usize,
     /// Occupied entries currently accounted (exact for pooled packets).
     pub entries: usize,
+    /// Packets acquired from the pool (gets) since the last reset.
+    pub gets: u64,
+    /// Packets returned to the pool (puts) since the last reset.
+    pub puts: u64,
 }
 
 /// The global work packet pool (paper §4).
@@ -118,6 +122,8 @@ pub struct PacketPool<T> {
     in_use_watermark: AtomicUsize,
     entries: AtomicUsize,
     entries_watermark: AtomicUsize,
+    gets: AtomicU64,
+    puts: AtomicU64,
 }
 
 // SAFETY: a packet's body is only accessed by the thread that popped its
@@ -139,12 +145,19 @@ impl<T> PacketPool<T> {
                 })
                 .collect(),
             capacity: config.capacity,
-            pools: [SubPool::new(), SubPool::new(), SubPool::new(), SubPool::new()],
+            pools: [
+                SubPool::new(),
+                SubPool::new(),
+                SubPool::new(),
+                SubPool::new(),
+            ],
             cas_ops: AtomicU64::new(0),
             in_use: AtomicUsize::new(0),
             in_use_watermark: AtomicUsize::new(0),
             entries: AtomicUsize::new(0),
             entries_watermark: AtomicUsize::new(0),
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
         };
         for i in 0..config.packets {
             pool.push_list(SubPoolKind::Empty, i as u32);
@@ -234,6 +247,7 @@ impl<T> PacketPool<T> {
     fn acquire(&self, idx: u32) -> Packet<'_, T> {
         // SAFETY: we just popped `idx` from a list, so we own the body.
         let len = unsafe { (*self.slots[idx as usize].body.get()).len() };
+        self.gets.fetch_add(1, Ordering::Relaxed);
         let held = self.in_use.fetch_add(1, Ordering::Relaxed) + 1;
         self.in_use_watermark.fetch_max(held, Ordering::Relaxed);
         Packet {
@@ -263,7 +277,8 @@ impl<T> PacketPool<T> {
 
     /// Gets an empty packet only (used for the deferred-object packet).
     pub fn get_empty(&self) -> Option<Packet<'_, T>> {
-        self.pop_list(SubPoolKind::Empty).map(|idx| self.acquire(idx))
+        self.pop_list(SubPoolKind::Empty)
+            .map(|idx| self.acquire(idx))
     }
 
     /// Returns `packet` to the sub-pool matching its occupancy. Equivalent
@@ -315,12 +330,23 @@ impl<T> PacketPool<T> {
             in_use_watermark: self.in_use_watermark.load(Ordering::Relaxed),
             entries_watermark: self.entries_watermark.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fraction of total entry slots currently occupied, in `[0, 1]`
+    /// (rough: reads the entries counter once).
+    pub fn occupancy(&self) -> f64 {
+        let total = self.slots.len() * self.capacity;
+        self.entries.load(Ordering::Relaxed) as f64 / total as f64
     }
 
     /// Resets instrumentation (not pool contents) between measurements.
     pub fn reset_stats(&self) {
         self.cas_ops.store(0, Ordering::Relaxed);
+        self.gets.store(0, Ordering::Relaxed);
+        self.puts.store(0, Ordering::Relaxed);
         self.in_use_watermark
             .store(self.in_use.load(Ordering::Relaxed), Ordering::Relaxed);
         self.entries_watermark
@@ -436,6 +462,7 @@ impl<T> Drop for Packet<'_, T> {
         }
         let kind = self.target.unwrap_or_else(|| self.pool.classify(len));
         self.pool.push_list(kind, self.idx);
+        self.pool.puts.fetch_add(1, Ordering::Relaxed);
         self.pool.in_use.fetch_sub(1, Ordering::Relaxed);
         // entries accounting (sampled at put; §6.3 watermark)
         let pool = self.pool;
@@ -644,7 +671,10 @@ mod tests {
         let p = pool(4, 4);
         let pk = p.get_output().unwrap();
         pk.defer(); // deferring an empty packet is legal
-        assert!(!p.is_tracing_complete(), "deferred packet blocks termination");
+        assert!(
+            !p.is_tracing_complete(),
+            "deferred packet blocks termination"
+        );
         p.recycle_deferred();
         assert!(p.is_tracing_complete());
     }

@@ -127,21 +127,15 @@ impl<'p, T> WorkBuffer<'p, T> {
                 }
                 // Input exhausted: get a new one *first*, then return the
                 // empty one (§4.3).
-                match self.pool.get_input() {
-                    Some(new_in) => {
-                        let old = self.input.replace(new_in).expect("had input");
-                        self.pool.put(old);
-                        continue;
-                    }
-                    None => {}
+                if let Some(new_in) = self.pool.get_input() {
+                    let old = self.input.replace(new_in).expect("had input");
+                    self.pool.put(old);
+                    continue;
                 }
             } else {
-                match self.pool.get_input() {
-                    Some(p) => {
-                        self.input = Some(p);
-                        continue;
-                    }
-                    None => {}
+                if let Some(p) = self.pool.get_input() {
+                    self.input = Some(p);
+                    continue;
                 }
             }
             // Pool has no input work. Drain our own output: return it to

@@ -1,0 +1,308 @@
+//! Log-scaled (power-of-two bucket) histograms for pause and increment
+//! latencies, plus an MMU-style minimum-mutator-utilization tracker.
+//!
+//! Recording is wait-free (three relaxed RMWs and a `fetch_max`);
+//! querying walks the 64 buckets, so percentiles are available mid-run at
+//! negligible cost. A value `v` lands in bucket `floor(log2(v))`
+//! (bucket 0 holds 0 and 1), giving a worst-case quantile error of 2x —
+//! plenty for "is p99 a millisecond or ten" questions, in exchange for a
+//! fixed 64-word footprint and no locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// Index of the bucket holding `v`: `floor(log2(max(v, 1)))`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`2^(i+1) - 1`).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// A concurrent log2-bucket histogram of `u64` samples.
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A point-in-time summary of a [`LogHistogram`].
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    pub const fn new() -> LogHistogram {
+        // `[const { ... }; N]` inline-const array repetition needs 1.79;
+        // build explicitly to keep the MSRV conservative.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        LogHistogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Wait-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The smallest bucket upper bound below which at least `q` (in
+    /// `[0, 1]`) of the samples fall, clamped to the observed maximum.
+    /// Returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max(),
+            p50: self.value_at_quantile(0.50),
+            p90: self.value_at_quantile(0.90),
+            p99: self.value_at_quantile(0.99),
+        }
+    }
+
+    /// Resets every bucket and aggregate to zero. Not atomic with respect
+    /// to concurrent `record`s; intended for between-run reuse.
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+/// Tracks recent stop-the-world intervals and answers MMU-style
+/// mutator-utilization queries: over the trailing window of length `w`,
+/// what fraction of wall time did mutators get to run?
+///
+/// Intervals are kept in a bounded buffer under a mutex — pauses are rare
+/// (tens per second at worst), so this is nowhere near a hot path.
+#[derive(Debug, Default)]
+pub struct UtilizationTracker {
+    pauses: std::sync::Mutex<std::collections::VecDeque<(u64, u64)>>,
+}
+
+const MAX_TRACKED_PAUSES: usize = 4096;
+
+impl UtilizationTracker {
+    pub fn new() -> UtilizationTracker {
+        UtilizationTracker::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, std::collections::VecDeque<(u64, u64)>> {
+        self.pauses.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one pause `[start_ns, end_ns]` (epoch-relative).
+    pub fn record_pause(&self, start_ns: u64, end_ns: u64) {
+        let mut q = self.lock();
+        if q.len() == MAX_TRACKED_PAUSES {
+            q.pop_front();
+        }
+        q.push_back((start_ns, end_ns.max(start_ns)));
+    }
+
+    /// Mutator utilization over the single trailing window
+    /// `[now_ns - window_ns, now_ns]`: `1 - pause_time / window`.
+    pub fn utilization(&self, now_ns: u64, window_ns: u64) -> f64 {
+        if window_ns == 0 {
+            return 1.0;
+        }
+        let lo = now_ns.saturating_sub(window_ns);
+        let mut paused = 0u64;
+        for &(s, e) in self.lock().iter() {
+            let s = s.max(lo);
+            let e = e.min(now_ns);
+            if e > s {
+                paused += e - s;
+            }
+        }
+        (1.0 - paused as f64 / window_ns as f64).max(0.0)
+    }
+
+    /// Minimum mutator utilization: the worst `utilization` over any
+    /// window of length `window_ns` ending at a recorded pause boundary
+    /// or at `now_ns`. (Checking windows ending at pause ends is
+    /// sufficient: utilization is locally minimized there.)
+    pub fn minimum_utilization(&self, now_ns: u64, window_ns: u64) -> f64 {
+        let ends: Vec<u64> = {
+            let q = self.lock();
+            q.iter().map(|&(_, e)| e).collect()
+        };
+        let mut worst = self.utilization(now_ns, window_ns);
+        for e in ends {
+            if e <= now_ns {
+                worst = worst.min(self.utilization(e, window_ns));
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // Satellite (c): exact boundary behaviour of the log2 buckets.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..63 {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "upper of {i}");
+            assert_eq!(bucket_index(bucket_upper_bound(i) + 1), i + 1);
+        }
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let h = LogHistogram::new();
+        // 90 small samples (bucket 3: 8..=15) and 10 large (bucket 10).
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.p50, bucket_upper_bound(bucket_index(10)));
+        assert_eq!(s.p90, bucket_upper_bound(bucket_index(10)));
+        // p99 falls in the large bucket, clamped to the observed max.
+        assert_eq!(s.p99, 1000);
+        assert!((s.mean() - (90.0 * 10.0 + 10.0 * 1000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(h.value_at_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let h = LogHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x >> 40);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.value_at_quantile(q);
+            assert!(v >= last, "quantile not monotone at {q}");
+            last = v;
+        }
+        assert_eq!(h.value_at_quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let h = LogHistogram::new();
+        h.record(5);
+        h.clear();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn utilization_windows() {
+        let u = UtilizationTracker::new();
+        // 10ms pause from t=10ms to t=20ms.
+        u.record_pause(10_000_000, 20_000_000);
+        // Over the 100ms window ending at t=100ms: 10% paused.
+        let got = u.utilization(100_000_000, 100_000_000);
+        assert!((got - 0.9).abs() < 1e-9, "{got}");
+        // A 10ms window ending right at the pause end: fully paused.
+        let got = u.utilization(20_000_000, 10_000_000);
+        assert!(got.abs() < 1e-9, "{got}");
+        // MMU over 10ms windows must find that worst case.
+        let mmu = u.minimum_utilization(100_000_000, 10_000_000);
+        assert!(mmu.abs() < 1e-9, "{mmu}");
+        // MMU over 40ms windows: worst is 10/40 paused.
+        let mmu = u.minimum_utilization(100_000_000, 40_000_000);
+        assert!((mmu - 0.75).abs() < 1e-9, "{mmu}");
+    }
+}

@@ -1,0 +1,238 @@
+//! A small counter/gauge registry with text and JSON exporters.
+//!
+//! Hot paths never touch the registry map: they hold an `Arc<Counter>` /
+//! `Arc<Gauge>` obtained once at startup and update it with a single
+//! relaxed RMW. The map itself (name -> metric) is only locked on
+//! registration and export.
+//!
+//! Export formats:
+//!
+//! - [`MetricsRegistry::render_text`]: one `name value` pair per line,
+//!   sorted by name (Prometheus exposition style, no type annotations).
+//!   Counters print as integers, gauges with six decimal places.
+//! - [`MetricsRegistry::render_json`]: a single flat JSON object,
+//!   `{"name": value, ...}`, sorted by name. Non-finite gauge values are
+//!   rendered as `null` (JSON has no NaN/Infinity literals).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+}
+
+/// The name -> metric map. Cheap to share (`Arc` the registry itself or
+/// the individual metrics, as convenient).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a gauge.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            Metric::Gauge(_) => panic!("metric {name:?} already registered as a gauge"),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a counter.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            Metric::Counter(_) => panic!("metric {name:?} already registered as a counter"),
+        }
+    }
+
+    /// Point-in-time values of every metric, sorted by name. Counters are
+    /// widened to `f64` (exact below 2^53, far beyond realistic counts).
+    pub fn sample(&self) -> Vec<(String, f64)> {
+        self.lock()
+            .iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => c.get() as f64,
+                    Metric::Gauge(g) => g.get(),
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// `name value` per line, sorted by name.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, m) in self.lock().iter() {
+            match m {
+                Metric::Counter(c) => writeln!(out, "{} {}", name, c.get()).unwrap(),
+                Metric::Gauge(g) => writeln!(out, "{} {:.6}", name, g.get()).unwrap(),
+            }
+        }
+        out
+    }
+
+    /// A flat JSON object `{"name": value, ...}`, sorted by name.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let map = self.lock();
+        for (i, (name, m)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            // Metric names are plain identifiers; escape the two JSON
+            // specials anyway so a weird name can't corrupt the document.
+            for ch in name.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\":");
+            match m {
+                Metric::Counter(c) => out.push_str(&c.get().to_string()),
+                Metric::Gauge(g) => {
+                    let v = g.get();
+                    if v.is_finite() {
+                        out.push_str(&format!("{v:.6}"));
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("mcgc_cycles_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same underlying counter.
+        assert_eq!(r.counter("mcgc_cycles_total").get(), 5);
+
+        let g = r.gauge("mcgc_heap_occupancy");
+        g.set(0.625);
+        assert!((r.gauge("mcgc_heap_occupancy").get() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn text_export_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("b_count").add(2);
+        r.gauge("a_gauge").set(1.5);
+        assert_eq!(r.render_text(), "a_gauge 1.500000\nb_count 2\n");
+    }
+
+    #[test]
+    fn json_export() {
+        let r = MetricsRegistry::new();
+        r.counter("cycles").add(3);
+        r.gauge("occ").set(0.5);
+        r.gauge("bad").set(f64::INFINITY);
+        assert_eq!(r.render_json(), r#"{"bad":null,"cycles":3,"occ":0.500000}"#);
+    }
+
+    #[test]
+    fn sample_reflects_updates() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n");
+        c.add(7);
+        let s = r.sample();
+        assert_eq!(s, vec![("n".to_string(), 7.0)]);
+    }
+}

@@ -1,0 +1,463 @@
+//! A fixed-capacity, lock-free ring buffer of GC phase events.
+//!
+//! Writers claim a slot by a single `fetch_add` on a global cursor and
+//! fill it with relaxed stores; a per-slot sequence word (seqlock style)
+//! lets readers detect slots that are mid-write or have been lapped.
+//! The ring never blocks and never allocates after construction: when it
+//! wraps, the oldest events are overwritten. All slot fields are atomics,
+//! so concurrent read/write is torn-free word by word and a stale read is
+//! detected by the sequence check rather than being undefined behaviour.
+//!
+//! Writers that produce several events for one logical step (e.g. the
+//! per-cycle statistics batch emitted at the end of a pause) should use
+//! [`EventRing::publish_batch`], which claims the whole range with one
+//! cursor RMW so the batch stays contiguous in ticket order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Discriminant for the per-cycle statistic events. Each variant mirrors
+/// one field of the collector's `CycleStats`; the event's `arg` carries
+/// the raw value (`f64::to_bits` for floating-point fields) so a log
+/// rebuilt from the stream is bit-for-bit identical to direct accounting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StatField {
+    /// Trigger code: 0 alloc-failure, 1 concurrent-done, 2 baseline,
+    /// 3 explicit, `u64::MAX` unknown.
+    Trigger,
+    /// Modelled pause cost in ms (f64 bits).
+    PauseMs,
+    /// Modelled mark cost in ms (f64 bits).
+    MarkMs,
+    /// Modelled sweep cost in ms (f64 bits).
+    SweepMs,
+    /// Modelled card-scan cost in ms (f64 bits).
+    CardMs,
+    /// Modelled root-scan cost in ms (f64 bits).
+    RootMs,
+    /// Measured wall pause in ns.
+    PauseWallNs,
+    /// Wall time spent in the concurrent phase, ns.
+    ConcurrentWallNs,
+    /// Wall time from the previous cycle's end to kickoff, ns.
+    PreConcurrentWallNs,
+    /// Bytes traced by mutators during the concurrent phase.
+    TracedMutator,
+    /// Bytes traced by background threads.
+    TracedBackground,
+    /// Bytes traced inside the pause.
+    TracedStw,
+    /// Bytes allocated during the concurrent phase.
+    AllocDuringConcurrent,
+    /// Bytes allocated during the pre-concurrent phase.
+    AllocPreConcurrent,
+    /// Cards cleaned concurrently.
+    CardsCleanedConcurrent,
+    /// Cards cleaned in the pause.
+    CardsCleanedStw,
+    /// Cards the halted concurrent cleaner never reached.
+    CardsLeft,
+    /// Card-table handshakes performed.
+    Handshakes,
+    /// Free bytes when the pause began.
+    FreeAtStwStart,
+    /// Live bytes after sweep.
+    LiveAfterBytes,
+    /// Live objects after sweep.
+    LiveAfterObjects,
+    /// Free bytes after sweep.
+    FreeAfterBytes,
+    /// Heap occupancy after sweep (f64 bits).
+    OccupancyAfter,
+    /// Mutator tracing increments run this cycle.
+    Increments,
+    /// Sum of per-increment tracing factors (f64 bits).
+    TracingFactorSum,
+    /// Sum of squared per-increment tracing factors (f64 bits).
+    TracingFactorSqSum,
+    /// Packet-pool CAS operations this cycle.
+    CasOps,
+    /// Mark-stack overflows (packet-pool exhaustion events).
+    Overflows,
+    /// Objects pushed through the deferred sub-pool.
+    DeferredObjects,
+    /// High-water mark of packets in use.
+    PacketsInUseWatermark,
+    /// High-water mark of entries queued in packets.
+    PacketEntriesWatermark,
+}
+
+impl StatField {
+    /// All variants in discriminant order (index == `as u8`).
+    pub const ALL: [StatField; 31] = [
+        StatField::Trigger,
+        StatField::PauseMs,
+        StatField::MarkMs,
+        StatField::SweepMs,
+        StatField::CardMs,
+        StatField::RootMs,
+        StatField::PauseWallNs,
+        StatField::ConcurrentWallNs,
+        StatField::PreConcurrentWallNs,
+        StatField::TracedMutator,
+        StatField::TracedBackground,
+        StatField::TracedStw,
+        StatField::AllocDuringConcurrent,
+        StatField::AllocPreConcurrent,
+        StatField::CardsCleanedConcurrent,
+        StatField::CardsCleanedStw,
+        StatField::CardsLeft,
+        StatField::Handshakes,
+        StatField::FreeAtStwStart,
+        StatField::LiveAfterBytes,
+        StatField::LiveAfterObjects,
+        StatField::FreeAfterBytes,
+        StatField::OccupancyAfter,
+        StatField::Increments,
+        StatField::TracingFactorSum,
+        StatField::TracingFactorSqSum,
+        StatField::CasOps,
+        StatField::Overflows,
+        StatField::DeferredObjects,
+        StatField::PacketsInUseWatermark,
+        StatField::PacketEntriesWatermark,
+    ];
+
+    pub fn from_u8(v: u8) -> Option<StatField> {
+        StatField::ALL.get(v as usize).copied()
+    }
+}
+
+/// What happened. Phase-transition kinds carry a context-dependent `arg`
+/// (documented per variant); `CycleStat` carries one `CycleStats` field.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A concurrent cycle kicked off (arg = free bytes at kickoff).
+    Kickoff,
+    /// The concurrent phase ended (arg = trigger code as in
+    /// [`StatField::Trigger`]; 0 means the phase was halted early by an
+    /// allocation failure).
+    ConcurrentEnd,
+    /// One card-cleaning handshake with the mutators (arg = cards cleaned
+    /// in this quantum).
+    Handshake,
+    /// The world stopped (arg = trigger code).
+    StwStart,
+    /// The world resumed (arg = measured wall pause in ns).
+    StwEnd,
+    /// Sweep began inside the pause (arg = 0 eager, 1 lazy).
+    SweepStart,
+    /// Sweep finished or was planned for lazy retirement (arg = live
+    /// objects counted).
+    SweepEnd,
+    /// A completed lazy-sweep plan was retired outside the pause (arg =
+    /// free bytes after retirement).
+    LazySweepRetired,
+    /// A mutator tracing increment completed (arg = bytes traced).
+    MutatorIncrement,
+    /// A background-thread tracing quantum completed (arg = bytes traced).
+    BackgroundIncrement,
+    /// End of a cycle's stat batch; the preceding `CycleStat` events with
+    /// the same cycle number form one complete `CycleStats` record
+    /// (arg = cycle number again, for redundancy).
+    CycleEnd,
+    /// One field of the per-cycle statistics record.
+    CycleStat(StatField),
+}
+
+const STAT_BASE: u8 = 0x80;
+
+impl EventKind {
+    /// Phase kinds in discriminant order (index == encoded byte).
+    const PHASES: [EventKind; 11] = [
+        EventKind::Kickoff,
+        EventKind::ConcurrentEnd,
+        EventKind::Handshake,
+        EventKind::StwStart,
+        EventKind::StwEnd,
+        EventKind::SweepStart,
+        EventKind::SweepEnd,
+        EventKind::LazySweepRetired,
+        EventKind::MutatorIncrement,
+        EventKind::BackgroundIncrement,
+        EventKind::CycleEnd,
+    ];
+
+    /// Encodes to one byte: phase kinds occupy `0..11`, stat kinds
+    /// `0x80 + field`.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            EventKind::CycleStat(f) => STAT_BASE + f as u8,
+            other => EventKind::PHASES
+                .iter()
+                .position(|k| *k == other)
+                .expect("phase kind") as u8,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        if v >= STAT_BASE {
+            StatField::from_u8(v - STAT_BASE).map(EventKind::CycleStat)
+        } else {
+            EventKind::PHASES.get(v as usize).copied()
+        }
+    }
+}
+
+/// One timestamped telemetry event.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct GcEvent {
+    /// Nanoseconds since the telemetry epoch (collector construction).
+    pub ts_ns: u64,
+    /// GC cycle number the event belongs to (0 before the first cycle).
+    pub cycle: u32,
+    pub kind: EventKind,
+    /// Kind-dependent payload; see [`EventKind`].
+    pub arg: u64,
+}
+
+struct Slot {
+    /// `2 * ticket + 1` while the writer of `ticket` is filling the slot,
+    /// `2 * ticket + 2` once it is complete. Readers accept a slot only
+    /// when they observe the same completed value before and after
+    /// copying the payload words.
+    seq: AtomicU64,
+    ts_ns: AtomicU64,
+    /// `cycle << 16 | kind` (kind in the low byte, room to grow).
+    meta: AtomicU64,
+    arg: AtomicU64,
+}
+
+/// The lock-free event ring. See the module docs for the protocol.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+}
+
+impl EventRing {
+    /// Creates a ring holding `capacity` events (rounded up to a power of
+    /// two, minimum 8) before the oldest are overwritten.
+    pub fn new(capacity: usize) -> EventRing {
+        let cap = capacity.next_power_of_two().max(8);
+        let slots = (0..cap)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                ts_ns: AtomicU64::new(0),
+                meta: AtomicU64::new(0),
+                arg: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EventRing {
+            slots,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever published (monotone; exceeds `capacity` once the
+    /// ring has wrapped).
+    pub fn published(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn write_slot(&self, ticket: u64, ev: &GcEvent) {
+        let slot = &self.slots[(ticket as usize) & (self.slots.len() - 1)];
+        slot.seq.store(ticket * 2 + 1, Ordering::Relaxed);
+        slot.ts_ns.store(ev.ts_ns, Ordering::Relaxed);
+        slot.meta.store(
+            (ev.cycle as u64) << 16 | ev.kind.to_u8() as u64,
+            Ordering::Relaxed,
+        );
+        slot.arg.store(ev.arg, Ordering::Relaxed);
+        slot.seq.store(ticket * 2 + 2, Ordering::Release);
+    }
+
+    /// Publishes one event. Wait-free: one `fetch_add` plus four relaxed
+    /// stores and one release store.
+    pub fn publish(&self, ev: GcEvent) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        self.write_slot(ticket, &ev);
+    }
+
+    /// Publishes a batch contiguously: the whole range is claimed with a
+    /// single cursor RMW, so no other writer's events interleave in
+    /// ticket order. Used to flush thread-local staging in one step.
+    pub fn publish_batch(&self, events: &[GcEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let first = self
+            .cursor
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        for (i, ev) in events.iter().enumerate() {
+            self.write_slot(first + i as u64, ev);
+        }
+    }
+
+    fn read_slot(&self, ticket: u64) -> Option<GcEvent> {
+        let slot = &self.slots[(ticket as usize) & (self.slots.len() - 1)];
+        let want = ticket * 2 + 2;
+        if slot.seq.load(Ordering::Acquire) != want {
+            return None;
+        }
+        let ts_ns = slot.ts_ns.load(Ordering::Relaxed);
+        let meta = slot.meta.load(Ordering::Relaxed);
+        let arg = slot.arg.load(Ordering::Relaxed);
+        if slot.seq.load(Ordering::Acquire) != want {
+            return None; // lapped mid-read
+        }
+        let kind = EventKind::from_u8((meta & 0xFF) as u8)?;
+        Some(GcEvent {
+            ts_ns,
+            cycle: (meta >> 16) as u32,
+            kind,
+            arg,
+        })
+    }
+
+    /// Copies out the events currently retained, oldest first. Slots that
+    /// are mid-write or get lapped while we read are skipped, so under a
+    /// heavy concurrent write load the snapshot can miss a few of the
+    /// oldest events; it never returns a torn one.
+    pub fn snapshot(&self) -> Vec<GcEvent> {
+        let end = self.cursor.load(Ordering::Acquire);
+        let start = end.saturating_sub(self.slots.len() as u64);
+        (start..end).filter_map(|t| self.read_slot(t)).collect()
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity())
+            .field("published", &self.published())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(kind: EventKind, cycle: u32, arg: u64) -> GcEvent {
+        GcEvent {
+            ts_ns: 123,
+            cycle,
+            kind,
+            arg,
+        }
+    }
+
+    #[test]
+    fn kind_codec_roundtrip() {
+        for i in 0..EventKind::PHASES.len() {
+            let k = EventKind::PHASES[i];
+            assert_eq!(EventKind::from_u8(k.to_u8()), Some(k));
+        }
+        for f in StatField::ALL {
+            let k = EventKind::CycleStat(f);
+            assert_eq!(EventKind::from_u8(k.to_u8()), Some(k));
+        }
+        assert_eq!(EventKind::from_u8(0x7F), None);
+        assert_eq!(EventKind::from_u8(0xFF), None);
+    }
+
+    #[test]
+    fn publish_then_snapshot_in_order() {
+        let ring = EventRing::new(64);
+        for i in 0..10u64 {
+            ring.publish(ev(EventKind::Handshake, 1, i));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 10);
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e.arg, i as u64);
+            assert_eq!(e.kind, EventKind::Handshake);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let ring = EventRing::new(8);
+        for i in 0..100u64 {
+            ring.publish(ev(EventKind::MutatorIncrement, 2, i));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 8);
+        let args: Vec<u64> = got.iter().map(|e| e.arg).collect();
+        assert_eq!(args, (92..100).collect::<Vec<_>>());
+        assert_eq!(ring.published(), 100);
+    }
+
+    #[test]
+    fn batch_is_contiguous() {
+        let ring = EventRing::new(64);
+        ring.publish(ev(EventKind::Kickoff, 1, 0));
+        let batch: Vec<GcEvent> = (0..5)
+            .map(|i| ev(EventKind::CycleStat(StatField::PauseMs), 1, i))
+            .collect();
+        ring.publish_batch(&batch);
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 6);
+        for (i, e) in got[1..].iter().enumerate() {
+            assert_eq!(e.arg, i as u64);
+        }
+    }
+
+    #[test]
+    fn wraparound_under_concurrent_writers() {
+        // Satellite (c): hammer a small ring from several threads while a
+        // reader snapshots continuously; every event a snapshot returns
+        // must be well-formed (a value some writer actually published),
+        // and the final count must equal the total published.
+        let ring = Arc::new(EventRing::new(64));
+        let writers = 4;
+        let per_writer = 20_000u64;
+        let mut handles = Vec::new();
+        for w in 0..writers {
+            let r = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_writer {
+                    r.publish(GcEvent {
+                        ts_ns: i,
+                        cycle: w as u32,
+                        kind: EventKind::BackgroundIncrement,
+                        arg: (w as u64) << 32 | i,
+                    });
+                }
+            }));
+        }
+        let reader = {
+            let r = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut snapshots = 0usize;
+                while r.published() < writers as u64 * per_writer {
+                    for e in r.snapshot() {
+                        assert_eq!(e.kind, EventKind::BackgroundIncrement);
+                        let w = e.arg >> 32;
+                        let i = e.arg & 0xFFFF_FFFF;
+                        assert!(w < writers as u64, "writer id {w}");
+                        assert!(i < per_writer, "iteration {i}");
+                        assert_eq!(e.cycle as u64, w);
+                        assert_eq!(e.ts_ns, i);
+                    }
+                    snapshots += 1;
+                }
+                snapshots
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(reader.join().unwrap() > 0);
+        assert_eq!(ring.published(), writers as u64 * per_writer);
+        // Quiescent now: a final snapshot returns exactly one ring-full.
+        assert_eq!(ring.snapshot().len(), ring.capacity());
+    }
+}

@@ -33,11 +33,7 @@ pub fn tree_node_shape(class: u8) -> ObjectShape {
 ///
 /// # Errors
 /// Propagates allocation failure.
-pub fn build_tree(
-    m: &mut Mutator,
-    class: u8,
-    budget_bytes: usize,
-) -> Result<ObjectRef, GcError> {
+pub fn build_tree(m: &mut Mutator, class: u8, budget_bytes: usize) -> Result<ObjectRef, GcError> {
     let shape = tree_node_shape(class);
     let node_bytes = shape.bytes();
     let count = (budget_bytes / node_bytes).max(1);

@@ -8,8 +8,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mcgc_core::{Gc, GcError, Mutator, ObjectRef, ObjectShape};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::SmallRng;
 
 use crate::framework::{run_threads, RunReport};
 use crate::graphs::{build_tree, class};
@@ -46,7 +46,7 @@ impl JavacOptions {
 /// node count.
 fn compile_unit(
     m: &mut Mutator,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
     symbols: &[ObjectRef],
     budget: usize,
 ) -> Result<u64, GcError> {
@@ -60,14 +60,14 @@ fn compile_unit(
     'grow: while (built as usize) < count {
         let mut next = Vec::with_capacity(frontier.len() * 2);
         for &parent in &frontier {
-            let fanout = rng.gen_range(1..=2);
+            let fanout = rng.gen_range_u32(1, 3);
             for slot in 0..fanout {
                 if built as usize >= count {
                     break 'grow;
                 }
                 let child = m.alloc_into(parent, slot, node)?;
                 // "Resolve" a name: link the AST node to a symbol.
-                let sym = symbols[rng.gen_range(0..symbols.len())];
+                let sym = symbols[rng.gen_range_usize(0, symbols.len())];
                 m.write_ref(child, 2, Some(sym));
                 next.push(child);
                 built += 1;
@@ -105,7 +105,7 @@ pub fn run(gc: &Arc<Gc>, opts: &JavacOptions) -> RunReport {
         };
         m.root_push(Some(symtab));
         let symbols = crate::graphs::sample_tree(&m, symtab, 256);
-        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut rng = SmallRng::seed_from_u64(opts.seed);
         let mut units = 0u64;
         while !stop.load(Ordering::Relaxed) {
             match compile_unit(&mut m, &mut rng, &symbols, opts.ast_bytes_per_unit) {

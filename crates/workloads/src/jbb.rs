@@ -14,8 +14,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mcgc_core::{Gc, GcError, Mutator, ObjectRef, ObjectShape};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::SmallRng;
 
 use crate::framework::{run_threads, RunReport};
 use crate::graphs::{build_ring, build_tree, class, sample_tree};
@@ -76,7 +76,7 @@ impl JbbOptions {
 /// One terminal's working state.
 struct Terminal {
     mutator: Mutator,
-    rng: StdRng,
+    rng: SmallRng,
     /// Cross-reference targets inside the warehouse's stock tree.
     stock_samples: Vec<ObjectRef>,
     /// The order-history ring (rooted on the shadow stack).
@@ -86,11 +86,7 @@ struct Terminal {
 }
 
 impl Terminal {
-    fn new(
-        gc: &Arc<Gc>,
-        opts: &JbbOptions,
-        thread_index: usize,
-    ) -> Result<Terminal, GcError> {
+    fn new(gc: &Arc<Gc>, opts: &JbbOptions, thread_index: usize) -> Result<Terminal, GcError> {
         let mut mutator = gc.register_mutator();
         let live = opts.live_bytes_per_warehouse / opts.terminals_per_warehouse.max(1);
         let stock = build_tree(&mut mutator, class::STOCK, live.max(72))?;
@@ -100,7 +96,7 @@ impl Terminal {
         let stock_samples = sample_tree(&mutator, stock, 64);
         Ok(Terminal {
             mutator,
-            rng: StdRng::seed_from_u64(opts.seed ^ (thread_index as u64).wrapping_mul(0x9E37)),
+            rng: SmallRng::seed_from_u64(opts.seed ^ (thread_index as u64).wrapping_mul(0x9E37)),
             stock_samples,
             ring,
             ring_slots: opts.history_slots,
@@ -112,16 +108,16 @@ impl Terminal {
     /// line items, link it to stock, and publish it in the history ring
     /// (retiring the order it displaces).
     fn transaction(&mut self) -> Result<(), GcError> {
-        let items = self.rng.gen_range(3..=8u32);
+        let items = self.rng.gen_range_u32(3, 9);
         let order = self
             .mutator
             .alloc(ObjectShape::new(items + 1, 2, class::ORDER))?;
         let order_root = self.mutator.root_push(Some(order));
         // Cross-reference into the stable stock data.
-        let stock = self.stock_samples[self.rng.gen_range(0..self.stock_samples.len())];
+        let stock = self.stock_samples[self.rng.gen_range_usize(0, self.stock_samples.len())];
         self.mutator.write_ref(order, 0, Some(stock));
         for i in 0..items {
-            let payload = self.rng.gen_range(4..40u32);
+            let payload = self.rng.gen_range_u32(4, 40);
             let line = self.mutator.alloc_into(
                 order,
                 i + 1,
@@ -136,9 +132,7 @@ impl Terminal {
         self.cursor = (self.cursor + 1) % self.ring_slots;
         // Occasionally a large object (a report buffer), short-lived.
         if self.rng.gen_ratio(1, 128) {
-            let big = self
-                .mutator
-                .alloc(ObjectShape::new(0, 1500, class::DATA))?;
+            let big = self.mutator.alloc(ObjectShape::new(0, 1500, class::DATA))?;
             self.mutator.write_data(big, 0, 1);
         }
         self.mutator.root_truncate(order_root);

@@ -27,6 +27,7 @@ pub mod framework;
 pub mod graphs;
 pub mod javac;
 pub mod jbb;
+pub mod rng;
 
 /// pBOB is the jbb engine with terminals and think time; re-exported for
 /// discoverability.

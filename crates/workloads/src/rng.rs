@@ -1,0 +1,119 @@
+//! A tiny deterministic PRNG (SplitMix64) so the workloads and the
+//! randomized property tests need no external `rand` crate — the
+//! workspace builds hermetically.
+//!
+//! SplitMix64 (Steele, Lea & Flood 2014) passes BigCrush for the
+//! statistical quality a synthetic workload needs, seeds from a single
+//! `u64`, and is four instructions per draw — the point here is cheap,
+//! reproducible variety, not cryptography.
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed (same seed, same stream).
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)`. Uses the widening-multiply range
+    /// reduction; the modulo bias is negligible for workload purposes.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.gen_range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// True with probability `num / denom`.
+    ///
+    /// # Panics
+    /// Panics if `denom` is zero.
+    #[inline]
+    pub fn gen_ratio(&mut self, num: u32, denom: u32) -> bool {
+        self.gen_range_u64(0, denom as u64) < num as u64
+    }
+
+    /// A random `bool` (probability 1/2).
+    #[inline]
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range_u32(3, 9);
+            assert!((3..9).contains(&v));
+            let u = r.gen_range_usize(0, 5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn ratio_roughly_calibrated() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -26,7 +26,14 @@ fn main() {
     );
     println!(
         "{:<10} {:>12} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
-        "collector", "throughput", "cycles", "avg pause", "max pause", "avg mark", "avg wall", "occupancy"
+        "collector",
+        "throughput",
+        "cycles",
+        "avg pause",
+        "max pause",
+        "avg mark",
+        "avg wall",
+        "occupancy"
     );
 
     for (name, mode) in [

@@ -1,0 +1,101 @@
+//! `gc_top` — a live, `top`-style one-line-per-second view of the
+//! collector, driven entirely by the telemetry hub (event ring,
+//! histograms, gauges). Runs a jbb-style workload in the background and
+//! prints, each second: phase, cycle, pause p50/p99/max, minimum mutator
+//! utilization, heap and packet-pool occupancy, bytes traced by
+//! mutators/background/STW, and the pacer's §3 estimates.
+//!
+//! ```text
+//! cargo run --release --example gc_top [seconds] [heap_mb]
+//! ```
+//!
+//! End with a text + JSON export of the metrics registry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcgc::workloads::jbb::{self, JbbOptions};
+use mcgc::{Gc, GcConfig, Phase};
+
+fn mb(v: f64) -> f64 {
+    v / (1 << 20) as f64
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let secs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let heap_mb: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let heap = heap_mb << 20;
+
+    let gc = Gc::new(GcConfig::with_heap_bytes(heap));
+    let mut opts = JbbOptions::sized_for(heap, 2, 0.6);
+    opts.duration = Duration::from_secs(secs);
+
+    println!(
+        "gc_top: jbb workload, {heap_mb} MB heap, {} warehouses, {secs}s",
+        opts.warehouses
+    );
+    println!(
+        "{:<4} {:>5} {:>5}  {:>9} {:>9} {:>9}  {:>6}  {:>5} {:>5}  {:>7} {:>7} {:>7}  {:>5} {:>7} {:>7} {:>6}",
+        "sec", "phase", "cycle", "p50ms", "p99ms", "maxms", "mmu1s", "heap%", "pool%",
+        "mu_MB", "bg_MB", "stw_MB", "K0", "L_MB", "M_MB", "B"
+    );
+
+    let worker = {
+        let gc = Arc::clone(&gc);
+        std::thread::spawn(move || jbb::run(&gc, &opts))
+    };
+
+    let mut sec = 0u64;
+    while !worker.is_finished() {
+        std::thread::sleep(Duration::from_secs(1));
+        sec += 1;
+        gc.telemetry_sample();
+        let tel = gc.telemetry();
+        let pauses = tel.pause_histogram().snapshot();
+        let mmu = tel.minimum_mutator_utilization(1_000_000_000);
+        let m: BTreeMap<String, f64> = tel.registry().sample().into_iter().collect();
+        let g = |name: &str| m.get(name).copied().unwrap_or(0.0);
+        println!(
+            "{:<4} {:>5} {:>5}  {:>9.2} {:>9.2} {:>9.2}  {:>6.3}  {:>5.1} {:>5.2}  {:>7.1} {:>7.1} {:>7.1}  {:>5.1} {:>7.1} {:>7.1} {:>6.3}",
+            sec,
+            match gc.phase() {
+                Phase::Concurrent => "CONC",
+                Phase::Idle => "idle",
+            },
+            g("gc_cycle") as u64,
+            pauses.p50 as f64 / 1e6,
+            pauses.p99 as f64 / 1e6,
+            pauses.max as f64 / 1e6,
+            mmu,
+            g("heap_occupancy") * 100.0,
+            g("pool_occupancy") * 100.0,
+            mb(g("gc_traced_mutator_bytes_total")),
+            mb(g("gc_traced_background_bytes_total")),
+            mb(g("gc_traced_stw_bytes_total")),
+            g("pacer_k0"),
+            mb(g("pacer_l_bytes")),
+            mb(g("pacer_m_bytes")),
+            g("pacer_b"),
+        );
+    }
+    let report = worker.join().expect("workload thread");
+    gc.shutdown();
+    gc.telemetry_sample();
+
+    println!(
+        "\nworkload: {:.0} tx/s over {:.1}s, {} cycles",
+        report.throughput(),
+        report.wall.as_secs_f64(),
+        report.log.cycles.len()
+    );
+    println!(
+        "\n--- registry (text) ---\n{}",
+        gc.telemetry().registry().render_text()
+    );
+    println!(
+        "--- registry (json) ---\n{}",
+        gc.telemetry().registry().render_json()
+    );
+}

@@ -41,7 +41,10 @@ fn main() -> Result<(), GcError> {
         cur = next;
     }
     assert_eq!(len, 10_001);
-    println!("list intact after {} GC cycles: {len} nodes", gc.log().cycles.len());
+    println!(
+        "list intact after {} GC cycles: {len} nodes",
+        gc.log().cycles.len()
+    );
 
     println!("\ncycle  trigger            pause(ms)  mark(ms)  sweep(ms)  conc-traced(KB)");
     for c in gc.log().cycles {

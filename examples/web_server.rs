@@ -43,7 +43,7 @@ fn handle_request(
     }
     // One request in 8 is a "login": its session goes in the cache ring,
     // displacing an old session (bounded live set).
-    if reqno % 8 == 0 {
+    if reqno.is_multiple_of(8) {
         m.write_ref(cache_ring, slot, Some(session));
     }
     m.root_truncate(root);

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_card_passes-2949df4b567fd392.d: crates/bench/benches/ablation_card_passes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_card_passes-2949df4b567fd392.rmeta: crates/bench/benches/ablation_card_passes.rs Cargo.toml
+
+crates/bench/benches/ablation_card_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

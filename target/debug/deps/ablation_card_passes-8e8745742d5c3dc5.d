@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_card_passes-8e8745742d5c3dc5.d: crates/bench/benches/ablation_card_passes.rs
+
+/root/repo/target/debug/deps/libablation_card_passes-8e8745742d5c3dc5.rmeta: crates/bench/benches/ablation_card_passes.rs
+
+crates/bench/benches/ablation_card_passes.rs:

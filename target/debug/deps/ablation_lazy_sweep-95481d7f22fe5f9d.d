@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lazy_sweep-95481d7f22fe5f9d.d: crates/bench/benches/ablation_lazy_sweep.rs
+
+/root/repo/target/debug/deps/libablation_lazy_sweep-95481d7f22fe5f9d.rmeta: crates/bench/benches/ablation_lazy_sweep.rs
+
+crates/bench/benches/ablation_lazy_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lazy_sweep-d20affa72d1e2fdb.d: crates/bench/benches/ablation_lazy_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lazy_sweep-d20affa72d1e2fdb.rmeta: crates/bench/benches/ablation_lazy_sweep.rs Cargo.toml
+
+crates/bench/benches/ablation_lazy_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_correctness-60ab50da3c754366.d: crates/mcgc/../../tests/concurrent_correctness.rs
+
+/root/repo/target/debug/deps/concurrent_correctness-60ab50da3c754366: crates/mcgc/../../tests/concurrent_correctness.rs
+
+crates/mcgc/../../tests/concurrent_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent_correctness-9fe80cd57e060d33.d: crates/mcgc/../../tests/concurrent_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent_correctness-9fe80cd57e060d33.rmeta: crates/mcgc/../../tests/concurrent_correctness.rs Cargo.toml
+
+crates/mcgc/../../tests/concurrent_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

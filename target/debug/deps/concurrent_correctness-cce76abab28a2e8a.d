@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_correctness-cce76abab28a2e8a.d: crates/mcgc/../../tests/concurrent_correctness.rs
+
+/root/repo/target/debug/deps/libconcurrent_correctness-cce76abab28a2e8a.rmeta: crates/mcgc/../../tests/concurrent_correctness.rs
+
+crates/mcgc/../../tests/concurrent_correctness.rs:

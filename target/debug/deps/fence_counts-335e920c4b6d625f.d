@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fence_counts-335e920c4b6d625f.d: crates/bench/benches/fence_counts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfence_counts-335e920c4b6d625f.rmeta: crates/bench/benches/fence_counts.rs Cargo.toml
+
+crates/bench/benches/fence_counts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fence_counts-f2d7fbafdbec0bc5.d: crates/bench/benches/fence_counts.rs
+
+/root/repo/target/debug/deps/libfence_counts-f2d7fbafdbec0bc5.rmeta: crates/bench/benches/fence_counts.rs
+
+crates/bench/benches/fence_counts.rs:

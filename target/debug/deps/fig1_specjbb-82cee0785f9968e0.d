@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_specjbb-82cee0785f9968e0.d: crates/bench/benches/fig1_specjbb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_specjbb-82cee0785f9968e0.rmeta: crates/bench/benches/fig1_specjbb.rs Cargo.toml
+
+crates/bench/benches/fig1_specjbb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

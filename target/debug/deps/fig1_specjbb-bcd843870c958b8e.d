@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_specjbb-bcd843870c958b8e.d: crates/bench/benches/fig1_specjbb.rs
+
+/root/repo/target/debug/deps/libfig1_specjbb-bcd843870c958b8e.rmeta: crates/bench/benches/fig1_specjbb.rs
+
+crates/bench/benches/fig1_specjbb.rs:

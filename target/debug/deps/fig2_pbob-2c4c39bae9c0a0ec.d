@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_pbob-2c4c39bae9c0a0ec.d: crates/bench/benches/fig2_pbob.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_pbob-2c4c39bae9c0a0ec.rmeta: crates/bench/benches/fig2_pbob.rs Cargo.toml
+
+crates/bench/benches/fig2_pbob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_pbob-9db0d46c7bccce39.d: crates/bench/benches/fig2_pbob.rs
+
+/root/repo/target/debug/deps/libfig2_pbob-9db0d46c7bccce39.rmeta: crates/bench/benches/fig2_pbob.rs
+
+crates/bench/benches/fig2_pbob.rs:

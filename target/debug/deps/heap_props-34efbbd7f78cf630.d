@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heap_props-34efbbd7f78cf630.d: crates/mcgc/../../tests/heap_props.rs
+
+/root/repo/target/debug/deps/libheap_props-34efbbd7f78cf630.rmeta: crates/mcgc/../../tests/heap_props.rs
+
+crates/mcgc/../../tests/heap_props.rs:

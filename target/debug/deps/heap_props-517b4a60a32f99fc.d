@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heap_props-517b4a60a32f99fc.d: crates/mcgc/../../tests/heap_props.rs
+
+/root/repo/target/debug/deps/heap_props-517b4a60a32f99fc: crates/mcgc/../../tests/heap_props.rs
+
+crates/mcgc/../../tests/heap_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heap_props-af98ccc4ab69a376.d: crates/mcgc/../../tests/heap_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheap_props-af98ccc4ab69a376.rmeta: crates/mcgc/../../tests/heap_props.rs Cargo.toml
+
+crates/mcgc/../../tests/heap_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

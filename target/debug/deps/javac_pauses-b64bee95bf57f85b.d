@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/javac_pauses-b64bee95bf57f85b.d: crates/bench/benches/javac_pauses.rs
+
+/root/repo/target/debug/deps/libjavac_pauses-b64bee95bf57f85b.rmeta: crates/bench/benches/javac_pauses.rs
+
+crates/bench/benches/javac_pauses.rs:

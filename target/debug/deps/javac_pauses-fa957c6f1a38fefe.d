@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/javac_pauses-fa957c6f1a38fefe.d: crates/bench/benches/javac_pauses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjavac_pauses-fa957c6f1a38fefe.rmeta: crates/bench/benches/javac_pauses.rs Cargo.toml
+
+crates/bench/benches/javac_pauses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcgc-3dc7e7d45cfaf6b5.d: crates/mcgc/src/lib.rs
+
+/root/repo/target/debug/deps/libmcgc-3dc7e7d45cfaf6b5.rlib: crates/mcgc/src/lib.rs
+
+/root/repo/target/debug/deps/libmcgc-3dc7e7d45cfaf6b5.rmeta: crates/mcgc/src/lib.rs
+
+crates/mcgc/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcgc-5557f61499dea7b3.d: crates/mcgc/src/lib.rs
+
+/root/repo/target/debug/deps/libmcgc-5557f61499dea7b3.rmeta: crates/mcgc/src/lib.rs
+
+crates/mcgc/src/lib.rs:

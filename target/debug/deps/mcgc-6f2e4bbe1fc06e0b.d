@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcgc-6f2e4bbe1fc06e0b.d: crates/mcgc/src/lib.rs
+
+/root/repo/target/debug/deps/mcgc-6f2e4bbe1fc06e0b: crates/mcgc/src/lib.rs
+
+crates/mcgc/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcgc-7348bf176a43b395.d: crates/mcgc/src/lib.rs
+
+/root/repo/target/debug/deps/libmcgc-7348bf176a43b395.rmeta: crates/mcgc/src/lib.rs
+
+crates/mcgc/src/lib.rs:

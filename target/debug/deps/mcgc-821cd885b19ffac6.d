@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcgc-821cd885b19ffac6.d: crates/mcgc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcgc-821cd885b19ffac6.rmeta: crates/mcgc/src/lib.rs Cargo.toml
+
+crates/mcgc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

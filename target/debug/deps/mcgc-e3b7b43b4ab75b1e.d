@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcgc-e3b7b43b4ab75b1e.d: crates/mcgc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcgc-e3b7b43b4ab75b1e.rmeta: crates/mcgc/src/lib.rs Cargo.toml
+
+crates/mcgc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcgc_bench-06644affd77fe788.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcgc_bench-06644affd77fe788.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

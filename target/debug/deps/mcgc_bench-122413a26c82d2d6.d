@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcgc_bench-122413a26c82d2d6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcgc_bench-122413a26c82d2d6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcgc_bench-1a9c7fbbcaca2906.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcgc_bench-1a9c7fbbcaca2906.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

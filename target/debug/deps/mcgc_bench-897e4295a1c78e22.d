@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcgc_bench-897e4295a1c78e22.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcgc_bench-897e4295a1c78e22.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmcgc_bench-897e4295a1c78e22.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcgc_bench-ad0599c196eb6590.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mcgc_bench-ad0599c196eb6590: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

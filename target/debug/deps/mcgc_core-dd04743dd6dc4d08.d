@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mcgc_core-dd04743dd6dc4d08.d: crates/core/src/lib.rs crates/core/src/background.rs crates/core/src/collector.rs crates/core/src/config.rs crates/core/src/mutator.rs crates/core/src/pacing.rs crates/core/src/roots.rs crates/core/src/stats.rs crates/core/src/telemetry.rs crates/core/src/tracing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcgc_core-dd04743dd6dc4d08.rmeta: crates/core/src/lib.rs crates/core/src/background.rs crates/core/src/collector.rs crates/core/src/config.rs crates/core/src/mutator.rs crates/core/src/pacing.rs crates/core/src/roots.rs crates/core/src/stats.rs crates/core/src/telemetry.rs crates/core/src/tracing.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/background.rs:
+crates/core/src/collector.rs:
+crates/core/src/config.rs:
+crates/core/src/mutator.rs:
+crates/core/src/pacing.rs:
+crates/core/src/roots.rs:
+crates/core/src/stats.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mcgc_core-f604d96f29c179f1.d: crates/core/src/lib.rs crates/core/src/background.rs crates/core/src/collector.rs crates/core/src/config.rs crates/core/src/mutator.rs crates/core/src/pacing.rs crates/core/src/roots.rs crates/core/src/stats.rs crates/core/src/telemetry.rs crates/core/src/tracing.rs
+
+/root/repo/target/debug/deps/libmcgc_core-f604d96f29c179f1.rmeta: crates/core/src/lib.rs crates/core/src/background.rs crates/core/src/collector.rs crates/core/src/config.rs crates/core/src/mutator.rs crates/core/src/pacing.rs crates/core/src/roots.rs crates/core/src/stats.rs crates/core/src/telemetry.rs crates/core/src/tracing.rs
+
+crates/core/src/lib.rs:
+crates/core/src/background.rs:
+crates/core/src/collector.rs:
+crates/core/src/config.rs:
+crates/core/src/mutator.rs:
+crates/core/src/pacing.rs:
+crates/core/src/roots.rs:
+crates/core/src/stats.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/tracing.rs:

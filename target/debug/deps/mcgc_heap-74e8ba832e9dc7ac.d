@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcgc_heap-74e8ba832e9dc7ac.d: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+/root/repo/target/debug/deps/mcgc_heap-74e8ba832e9dc7ac: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/bitmap.rs:
+crates/heap/src/cards.rs:
+crates/heap/src/freelist.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/object.rs:
+crates/heap/src/sweep.rs:
+crates/heap/src/verify.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mcgc_heap-855dbfbc38f66c9a.d: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcgc_heap-855dbfbc38f66c9a.rmeta: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs Cargo.toml
+
+crates/heap/src/lib.rs:
+crates/heap/src/bitmap.rs:
+crates/heap/src/cards.rs:
+crates/heap/src/freelist.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/object.rs:
+crates/heap/src/sweep.rs:
+crates/heap/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcgc_heap-b970474828acda18.d: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+/root/repo/target/debug/deps/libmcgc_heap-b970474828acda18.rmeta: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/bitmap.rs:
+crates/heap/src/cards.rs:
+crates/heap/src/freelist.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/object.rs:
+crates/heap/src/sweep.rs:
+crates/heap/src/verify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mcgc_heap-c79b4d1ad4a54b3f.d: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+/root/repo/target/debug/deps/libmcgc_heap-c79b4d1ad4a54b3f.rlib: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+/root/repo/target/debug/deps/libmcgc_heap-c79b4d1ad4a54b3f.rmeta: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/bitmap.rs:
+crates/heap/src/cards.rs:
+crates/heap/src/freelist.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/object.rs:
+crates/heap/src/sweep.rs:
+crates/heap/src/verify.rs:

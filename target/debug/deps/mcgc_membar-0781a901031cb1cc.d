@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcgc_membar-0781a901031cb1cc.d: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcgc_membar-0781a901031cb1cc.rmeta: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs Cargo.toml
+
+crates/membar/src/lib.rs:
+crates/membar/src/litmus.rs:
+crates/membar/src/sync.rs:
+crates/membar/src/weaksim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mcgc_membar-1b2da34575d0ff9b.d: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+/root/repo/target/debug/deps/libmcgc_membar-1b2da34575d0ff9b.rmeta: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+crates/membar/src/lib.rs:
+crates/membar/src/litmus.rs:
+crates/membar/src/sync.rs:
+crates/membar/src/weaksim.rs:

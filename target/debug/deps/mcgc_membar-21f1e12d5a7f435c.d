@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcgc_membar-21f1e12d5a7f435c.d: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcgc_membar-21f1e12d5a7f435c.rmeta: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs Cargo.toml
+
+crates/membar/src/lib.rs:
+crates/membar/src/litmus.rs:
+crates/membar/src/sync.rs:
+crates/membar/src/weaksim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mcgc_membar-86b5398e5fc6d573.d: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+/root/repo/target/debug/deps/libmcgc_membar-86b5398e5fc6d573.rlib: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+/root/repo/target/debug/deps/libmcgc_membar-86b5398e5fc6d573.rmeta: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+crates/membar/src/lib.rs:
+crates/membar/src/litmus.rs:
+crates/membar/src/sync.rs:
+crates/membar/src/weaksim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mcgc_membar-9b4d284bda2fd444.d: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+/root/repo/target/debug/deps/mcgc_membar-9b4d284bda2fd444: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+crates/membar/src/lib.rs:
+crates/membar/src/litmus.rs:
+crates/membar/src/sync.rs:
+crates/membar/src/weaksim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mcgc_membar-eedad2a880ec394f.d: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+/root/repo/target/debug/deps/libmcgc_membar-eedad2a880ec394f.rmeta: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+crates/membar/src/lib.rs:
+crates/membar/src/litmus.rs:
+crates/membar/src/sync.rs:
+crates/membar/src/weaksim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcgc_packets-57bb1a8eb75f4975.d: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+/root/repo/target/debug/deps/libmcgc_packets-57bb1a8eb75f4975.rmeta: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+crates/packets/src/lib.rs:
+crates/packets/src/pool.rs:
+crates/packets/src/tracer.rs:

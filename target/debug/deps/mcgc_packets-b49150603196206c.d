@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mcgc_packets-b49150603196206c.d: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcgc_packets-b49150603196206c.rmeta: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs Cargo.toml
+
+crates/packets/src/lib.rs:
+crates/packets/src/pool.rs:
+crates/packets/src/tracer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

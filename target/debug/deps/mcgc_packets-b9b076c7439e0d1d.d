@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcgc_packets-b9b076c7439e0d1d.d: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+/root/repo/target/debug/deps/mcgc_packets-b9b076c7439e0d1d: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+crates/packets/src/lib.rs:
+crates/packets/src/pool.rs:
+crates/packets/src/tracer.rs:

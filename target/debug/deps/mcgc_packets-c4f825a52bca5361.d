@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcgc_packets-c4f825a52bca5361.d: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+/root/repo/target/debug/deps/libmcgc_packets-c4f825a52bca5361.rlib: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+/root/repo/target/debug/deps/libmcgc_packets-c4f825a52bca5361.rmeta: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+crates/packets/src/lib.rs:
+crates/packets/src/pool.rs:
+crates/packets/src/tracer.rs:

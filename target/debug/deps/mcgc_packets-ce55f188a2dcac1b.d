@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mcgc_packets-ce55f188a2dcac1b.d: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+/root/repo/target/debug/deps/libmcgc_packets-ce55f188a2dcac1b.rmeta: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+crates/packets/src/lib.rs:
+crates/packets/src/pool.rs:
+crates/packets/src/tracer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mcgc_telemetry-4aa60dbe8d33628e.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+/root/repo/target/debug/deps/libmcgc_telemetry-4aa60dbe8d33628e.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/ring.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mcgc_telemetry-a4e10aa563c95360.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+/root/repo/target/debug/deps/mcgc_telemetry-a4e10aa563c95360: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/ring.rs:

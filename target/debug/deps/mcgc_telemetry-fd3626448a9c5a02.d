@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mcgc_telemetry-fd3626448a9c5a02.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+/root/repo/target/debug/deps/libmcgc_telemetry-fd3626448a9c5a02.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/ring.rs:

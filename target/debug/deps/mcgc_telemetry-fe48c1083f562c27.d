@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mcgc_telemetry-fe48c1083f562c27.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+/root/repo/target/debug/deps/libmcgc_telemetry-fe48c1083f562c27.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+/root/repo/target/debug/deps/libmcgc_telemetry-fe48c1083f562c27.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/ring.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mcgc_workloads-85033621eab516dc.d: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs
+
+/root/repo/target/debug/deps/libmcgc_workloads-85033621eab516dc.rmeta: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/graphs.rs:
+crates/workloads/src/javac.rs:
+crates/workloads/src/jbb.rs:
+crates/workloads/src/rng.rs:

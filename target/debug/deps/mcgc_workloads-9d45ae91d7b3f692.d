@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mcgc_workloads-9d45ae91d7b3f692.d: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcgc_workloads-9d45ae91d7b3f692.rmeta: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/graphs.rs:
+crates/workloads/src/javac.rs:
+crates/workloads/src/jbb.rs:
+crates/workloads/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

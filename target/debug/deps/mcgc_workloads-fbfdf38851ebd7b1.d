@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mcgc_workloads-fbfdf38851ebd7b1.d: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs
+
+/root/repo/target/debug/deps/libmcgc_workloads-fbfdf38851ebd7b1.rlib: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs
+
+/root/repo/target/debug/deps/libmcgc_workloads-fbfdf38851ebd7b1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/graphs.rs:
+crates/workloads/src/javac.rs:
+crates/workloads/src/jbb.rs:
+crates/workloads/src/rng.rs:

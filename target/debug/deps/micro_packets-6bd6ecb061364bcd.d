@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_packets-6bd6ecb061364bcd.d: crates/bench/benches/micro_packets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_packets-6bd6ecb061364bcd.rmeta: crates/bench/benches/micro_packets.rs Cargo.toml
+
+crates/bench/benches/micro_packets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_packets-c1d6ea43b6ab486c.d: crates/bench/benches/micro_packets.rs
+
+/root/repo/target/debug/deps/libmicro_packets-c1d6ea43b6ab486c.rmeta: crates/bench/benches/micro_packets.rs
+
+crates/bench/benches/micro_packets.rs:

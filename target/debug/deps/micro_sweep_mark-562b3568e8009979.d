@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_sweep_mark-562b3568e8009979.d: crates/bench/benches/micro_sweep_mark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_sweep_mark-562b3568e8009979.rmeta: crates/bench/benches/micro_sweep_mark.rs Cargo.toml
+
+crates/bench/benches/micro_sweep_mark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_sweep_mark-b1abfe77d69c1775.d: crates/bench/benches/micro_sweep_mark.rs
+
+/root/repo/target/debug/deps/libmicro_sweep_mark-b1abfe77d69c1775.rmeta: crates/bench/benches/micro_sweep_mark.rs
+
+crates/bench/benches/micro_sweep_mark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pacing_props-0a92d176af36cc0e.d: crates/mcgc/../../tests/pacing_props.rs
+
+/root/repo/target/debug/deps/pacing_props-0a92d176af36cc0e: crates/mcgc/../../tests/pacing_props.rs
+
+crates/mcgc/../../tests/pacing_props.rs:

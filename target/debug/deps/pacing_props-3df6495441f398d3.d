@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pacing_props-3df6495441f398d3.d: crates/mcgc/../../tests/pacing_props.rs
+
+/root/repo/target/debug/deps/libpacing_props-3df6495441f398d3.rmeta: crates/mcgc/../../tests/pacing_props.rs
+
+crates/mcgc/../../tests/pacing_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pacing_props-48438c425c576eb4.d: crates/mcgc/../../tests/pacing_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpacing_props-48438c425c576eb4.rmeta: crates/mcgc/../../tests/pacing_props.rs Cargo.toml
+
+crates/mcgc/../../tests/pacing_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

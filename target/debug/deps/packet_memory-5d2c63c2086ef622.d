@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/packet_memory-5d2c63c2086ef622.d: crates/bench/benches/packet_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpacket_memory-5d2c63c2086ef622.rmeta: crates/bench/benches/packet_memory.rs Cargo.toml
+
+crates/bench/benches/packet_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

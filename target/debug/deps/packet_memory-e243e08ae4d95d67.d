@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packet_memory-e243e08ae4d95d67.d: crates/bench/benches/packet_memory.rs
+
+/root/repo/target/debug/deps/libpacket_memory-e243e08ae4d95d67.rmeta: crates/bench/benches/packet_memory.rs
+
+crates/bench/benches/packet_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packet_protocol-474b1c2addd88e76.d: crates/mcgc/../../tests/packet_protocol.rs
+
+/root/repo/target/debug/deps/packet_protocol-474b1c2addd88e76: crates/mcgc/../../tests/packet_protocol.rs
+
+crates/mcgc/../../tests/packet_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/packet_protocol-6d22e0e390ed6dc4.d: crates/mcgc/../../tests/packet_protocol.rs
+
+/root/repo/target/debug/deps/libpacket_protocol-6d22e0e390ed6dc4.rmeta: crates/mcgc/../../tests/packet_protocol.rs
+
+crates/mcgc/../../tests/packet_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/packet_protocol-75b1105eca3d9ab7.d: crates/mcgc/../../tests/packet_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpacket_protocol-75b1105eca3d9ab7.rmeta: crates/mcgc/../../tests/packet_protocol.rs Cargo.toml
+
+crates/mcgc/../../tests/packet_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

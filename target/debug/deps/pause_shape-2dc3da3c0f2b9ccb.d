@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pause_shape-2dc3da3c0f2b9ccb.d: crates/mcgc/../../tests/pause_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpause_shape-2dc3da3c0f2b9ccb.rmeta: crates/mcgc/../../tests/pause_shape.rs Cargo.toml
+
+crates/mcgc/../../tests/pause_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pause_shape-559d6cbafb3cb32f.d: crates/mcgc/../../tests/pause_shape.rs
+
+/root/repo/target/debug/deps/pause_shape-559d6cbafb3cb32f: crates/mcgc/../../tests/pause_shape.rs
+
+crates/mcgc/../../tests/pause_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pause_shape-f5541b14cac9e5dd.d: crates/mcgc/../../tests/pause_shape.rs
+
+/root/repo/target/debug/deps/libpause_shape-f5541b14cac9e5dd.rmeta: crates/mcgc/../../tests/pause_shape.rs
+
+crates/mcgc/../../tests/pause_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_tracing_rates-2918d1bb407d710d.d: crates/bench/benches/table1_tracing_rates.rs
+
+/root/repo/target/debug/deps/libtable1_tracing_rates-2918d1bb407d710d.rmeta: crates/bench/benches/table1_tracing_rates.rs
+
+crates/bench/benches/table1_tracing_rates.rs:

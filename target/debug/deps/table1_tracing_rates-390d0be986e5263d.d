@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_tracing_rates-390d0be986e5263d.d: crates/bench/benches/table1_tracing_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_tracing_rates-390d0be986e5263d.rmeta: crates/bench/benches/table1_tracing_rates.rs Cargo.toml
+
+crates/bench/benches/table1_tracing_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

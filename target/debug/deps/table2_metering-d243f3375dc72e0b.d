@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_metering-d243f3375dc72e0b.d: crates/bench/benches/table2_metering.rs
+
+/root/repo/target/debug/deps/libtable2_metering-d243f3375dc72e0b.rmeta: crates/bench/benches/table2_metering.rs
+
+crates/bench/benches/table2_metering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_metering-df20280005b86063.d: crates/bench/benches/table2_metering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_metering-df20280005b86063.rmeta: crates/bench/benches/table2_metering.rs Cargo.toml
+
+crates/bench/benches/table2_metering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_utilization-35141b857571f9d0.d: crates/bench/benches/table3_utilization.rs
+
+/root/repo/target/debug/deps/libtable3_utilization-35141b857571f9d0.rmeta: crates/bench/benches/table3_utilization.rs
+
+crates/bench/benches/table3_utilization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_utilization-b0cb20931abe0471.d: crates/bench/benches/table3_utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_utilization-b0cb20931abe0471.rmeta: crates/bench/benches/table3_utilization.rs Cargo.toml
+
+crates/bench/benches/table3_utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_load_balancing-7ca9a3168ef480b1.d: crates/bench/benches/table4_load_balancing.rs
+
+/root/repo/target/debug/deps/libtable4_load_balancing-7ca9a3168ef480b1.rmeta: crates/bench/benches/table4_load_balancing.rs
+
+crates/bench/benches/table4_load_balancing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-9097610ffc36741b.d: crates/mcgc/../../tests/telemetry.rs
+
+/root/repo/target/debug/deps/libtelemetry-9097610ffc36741b.rmeta: crates/mcgc/../../tests/telemetry.rs
+
+crates/mcgc/../../tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-b9ac80429daf61a1.d: crates/mcgc/../../tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-b9ac80429daf61a1: crates/mcgc/../../tests/telemetry.rs
+
+crates/mcgc/../../tests/telemetry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-ccea5e2fb5d6e620.d: crates/mcgc/../../tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-ccea5e2fb5d6e620.rmeta: crates/mcgc/../../tests/telemetry.rs Cargo.toml
+
+crates/mcgc/../../tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

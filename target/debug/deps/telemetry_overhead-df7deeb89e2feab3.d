@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_overhead-df7deeb89e2feab3.d: crates/bench/benches/telemetry_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_overhead-df7deeb89e2feab3.rmeta: crates/bench/benches/telemetry_overhead.rs Cargo.toml
+
+crates/bench/benches/telemetry_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

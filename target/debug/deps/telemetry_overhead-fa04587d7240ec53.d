@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_overhead-fa04587d7240ec53.d: crates/bench/benches/telemetry_overhead.rs
+
+/root/repo/target/debug/deps/libtelemetry_overhead-fa04587d7240ec53.rmeta: crates/bench/benches/telemetry_overhead.rs
+
+crates/bench/benches/telemetry_overhead.rs:

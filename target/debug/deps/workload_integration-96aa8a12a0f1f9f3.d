@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_integration-96aa8a12a0f1f9f3.d: crates/mcgc/../../tests/workload_integration.rs
+
+/root/repo/target/debug/deps/workload_integration-96aa8a12a0f1f9f3: crates/mcgc/../../tests/workload_integration.rs
+
+crates/mcgc/../../tests/workload_integration.rs:

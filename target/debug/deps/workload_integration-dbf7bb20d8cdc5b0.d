@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_integration-dbf7bb20d8cdc5b0.d: crates/mcgc/../../tests/workload_integration.rs
+
+/root/repo/target/debug/deps/libworkload_integration-dbf7bb20d8cdc5b0.rmeta: crates/mcgc/../../tests/workload_integration.rs
+
+crates/mcgc/../../tests/workload_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_integration-e95eecdca9cf4bbb.d: crates/mcgc/../../tests/workload_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_integration-e95eecdca9cf4bbb.rmeta: crates/mcgc/../../tests/workload_integration.rs Cargo.toml
+
+crates/mcgc/../../tests/workload_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

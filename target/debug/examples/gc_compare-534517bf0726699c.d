@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_compare-534517bf0726699c.d: crates/mcgc/../../examples/gc_compare.rs
+
+/root/repo/target/debug/examples/gc_compare-534517bf0726699c: crates/mcgc/../../examples/gc_compare.rs
+
+crates/mcgc/../../examples/gc_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_compare-9f5ddf1e32b3236f.d: crates/mcgc/../../examples/gc_compare.rs
+
+/root/repo/target/debug/examples/libgc_compare-9f5ddf1e32b3236f.rmeta: crates/mcgc/../../examples/gc_compare.rs
+
+crates/mcgc/../../examples/gc_compare.rs:

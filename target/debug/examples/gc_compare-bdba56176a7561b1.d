@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gc_compare-bdba56176a7561b1.d: crates/mcgc/../../examples/gc_compare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgc_compare-bdba56176a7561b1.rmeta: crates/mcgc/../../examples/gc_compare.rs Cargo.toml
+
+crates/mcgc/../../examples/gc_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

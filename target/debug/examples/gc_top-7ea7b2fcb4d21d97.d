@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gc_top-7ea7b2fcb4d21d97.d: crates/mcgc/../../examples/gc_top.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgc_top-7ea7b2fcb4d21d97.rmeta: crates/mcgc/../../examples/gc_top.rs Cargo.toml
+
+crates/mcgc/../../examples/gc_top.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_top-9c452035979d4792.d: crates/mcgc/../../examples/gc_top.rs
+
+/root/repo/target/debug/examples/libgc_top-9c452035979d4792.rmeta: crates/mcgc/../../examples/gc_top.rs
+
+crates/mcgc/../../examples/gc_top.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gc_top-f0add5f8a1fb2746.d: crates/mcgc/../../examples/gc_top.rs
+
+/root/repo/target/debug/examples/gc_top-f0add5f8a1fb2746: crates/mcgc/../../examples/gc_top.rs
+
+crates/mcgc/../../examples/gc_top.rs:

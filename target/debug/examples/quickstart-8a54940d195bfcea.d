@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8a54940d195bfcea.d: crates/mcgc/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8a54940d195bfcea: crates/mcgc/../../examples/quickstart.rs
+
+crates/mcgc/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-9066c06c49e9ff9e.d: crates/mcgc/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-9066c06c49e9ff9e.rmeta: crates/mcgc/../../examples/quickstart.rs Cargo.toml
+
+crates/mcgc/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

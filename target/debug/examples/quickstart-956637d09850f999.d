@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-956637d09850f999.d: crates/mcgc/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-956637d09850f999.rmeta: crates/mcgc/../../examples/quickstart.rs
+
+crates/mcgc/../../examples/quickstart.rs:

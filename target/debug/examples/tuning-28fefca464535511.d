@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tuning-28fefca464535511.d: crates/mcgc/../../examples/tuning.rs
+
+/root/repo/target/debug/examples/libtuning-28fefca464535511.rmeta: crates/mcgc/../../examples/tuning.rs
+
+crates/mcgc/../../examples/tuning.rs:

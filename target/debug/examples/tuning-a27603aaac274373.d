@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tuning-a27603aaac274373.d: crates/mcgc/../../examples/tuning.rs
+
+/root/repo/target/debug/examples/tuning-a27603aaac274373: crates/mcgc/../../examples/tuning.rs
+
+crates/mcgc/../../examples/tuning.rs:

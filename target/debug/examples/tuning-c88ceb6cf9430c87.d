@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tuning-c88ceb6cf9430c87.d: crates/mcgc/../../examples/tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtuning-c88ceb6cf9430c87.rmeta: crates/mcgc/../../examples/tuning.rs Cargo.toml
+
+crates/mcgc/../../examples/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

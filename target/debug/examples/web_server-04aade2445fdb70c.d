@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/web_server-04aade2445fdb70c.d: crates/mcgc/../../examples/web_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweb_server-04aade2445fdb70c.rmeta: crates/mcgc/../../examples/web_server.rs Cargo.toml
+
+crates/mcgc/../../examples/web_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

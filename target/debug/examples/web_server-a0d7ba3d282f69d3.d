@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_server-a0d7ba3d282f69d3.d: crates/mcgc/../../examples/web_server.rs
+
+/root/repo/target/debug/examples/web_server-a0d7ba3d282f69d3: crates/mcgc/../../examples/web_server.rs
+
+crates/mcgc/../../examples/web_server.rs:

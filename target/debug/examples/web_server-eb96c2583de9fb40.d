@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_server-eb96c2583de9fb40.d: crates/mcgc/../../examples/web_server.rs
+
+/root/repo/target/debug/examples/libweb_server-eb96c2583de9fb40.rmeta: crates/mcgc/../../examples/web_server.rs
+
+crates/mcgc/../../examples/web_server.rs:

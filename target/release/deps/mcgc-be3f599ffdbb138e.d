@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcgc-be3f599ffdbb138e.d: crates/mcgc/src/lib.rs
+
+/root/repo/target/release/deps/libmcgc-be3f599ffdbb138e.rlib: crates/mcgc/src/lib.rs
+
+/root/repo/target/release/deps/libmcgc-be3f599ffdbb138e.rmeta: crates/mcgc/src/lib.rs
+
+crates/mcgc/src/lib.rs:

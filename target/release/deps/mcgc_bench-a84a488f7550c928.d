@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mcgc_bench-a84a488f7550c928.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmcgc_bench-a84a488f7550c928.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmcgc_bench-a84a488f7550c928.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mcgc_core-fddcb9adf65dd3b2.d: crates/core/src/lib.rs crates/core/src/background.rs crates/core/src/collector.rs crates/core/src/config.rs crates/core/src/mutator.rs crates/core/src/pacing.rs crates/core/src/roots.rs crates/core/src/stats.rs crates/core/src/telemetry.rs crates/core/src/tracing.rs
+
+/root/repo/target/release/deps/libmcgc_core-fddcb9adf65dd3b2.rlib: crates/core/src/lib.rs crates/core/src/background.rs crates/core/src/collector.rs crates/core/src/config.rs crates/core/src/mutator.rs crates/core/src/pacing.rs crates/core/src/roots.rs crates/core/src/stats.rs crates/core/src/telemetry.rs crates/core/src/tracing.rs
+
+/root/repo/target/release/deps/libmcgc_core-fddcb9adf65dd3b2.rmeta: crates/core/src/lib.rs crates/core/src/background.rs crates/core/src/collector.rs crates/core/src/config.rs crates/core/src/mutator.rs crates/core/src/pacing.rs crates/core/src/roots.rs crates/core/src/stats.rs crates/core/src/telemetry.rs crates/core/src/tracing.rs
+
+crates/core/src/lib.rs:
+crates/core/src/background.rs:
+crates/core/src/collector.rs:
+crates/core/src/config.rs:
+crates/core/src/mutator.rs:
+crates/core/src/pacing.rs:
+crates/core/src/roots.rs:
+crates/core/src/stats.rs:
+crates/core/src/telemetry.rs:
+crates/core/src/tracing.rs:

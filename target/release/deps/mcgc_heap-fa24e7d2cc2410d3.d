@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mcgc_heap-fa24e7d2cc2410d3.d: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+/root/repo/target/release/deps/libmcgc_heap-fa24e7d2cc2410d3.rlib: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+/root/repo/target/release/deps/libmcgc_heap-fa24e7d2cc2410d3.rmeta: crates/heap/src/lib.rs crates/heap/src/bitmap.rs crates/heap/src/cards.rs crates/heap/src/freelist.rs crates/heap/src/heap.rs crates/heap/src/object.rs crates/heap/src/sweep.rs crates/heap/src/verify.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/bitmap.rs:
+crates/heap/src/cards.rs:
+crates/heap/src/freelist.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/object.rs:
+crates/heap/src/sweep.rs:
+crates/heap/src/verify.rs:

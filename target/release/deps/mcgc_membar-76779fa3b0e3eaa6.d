@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mcgc_membar-76779fa3b0e3eaa6.d: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+/root/repo/target/release/deps/libmcgc_membar-76779fa3b0e3eaa6.rlib: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+/root/repo/target/release/deps/libmcgc_membar-76779fa3b0e3eaa6.rmeta: crates/membar/src/lib.rs crates/membar/src/litmus.rs crates/membar/src/sync.rs crates/membar/src/weaksim.rs
+
+crates/membar/src/lib.rs:
+crates/membar/src/litmus.rs:
+crates/membar/src/sync.rs:
+crates/membar/src/weaksim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mcgc_packets-47afa84bc407d820.d: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+/root/repo/target/release/deps/libmcgc_packets-47afa84bc407d820.rlib: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+/root/repo/target/release/deps/libmcgc_packets-47afa84bc407d820.rmeta: crates/packets/src/lib.rs crates/packets/src/pool.rs crates/packets/src/tracer.rs
+
+crates/packets/src/lib.rs:
+crates/packets/src/pool.rs:
+crates/packets/src/tracer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mcgc_telemetry-9bc6536a0e37344b.d: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+/root/repo/target/release/deps/libmcgc_telemetry-9bc6536a0e37344b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+/root/repo/target/release/deps/libmcgc_telemetry-9bc6536a0e37344b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/ring.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/ring.rs:

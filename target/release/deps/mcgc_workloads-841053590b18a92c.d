@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mcgc_workloads-841053590b18a92c.d: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs
+
+/root/repo/target/release/deps/libmcgc_workloads-841053590b18a92c.rlib: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs
+
+/root/repo/target/release/deps/libmcgc_workloads-841053590b18a92c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/graphs.rs crates/workloads/src/javac.rs crates/workloads/src/jbb.rs crates/workloads/src/rng.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/graphs.rs:
+crates/workloads/src/javac.rs:
+crates/workloads/src/jbb.rs:
+crates/workloads/src/rng.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pause_shape-0afc4b0db2d6ff26.d: crates/mcgc/../../tests/pause_shape.rs
+
+/root/repo/target/release/deps/pause_shape-0afc4b0db2d6ff26: crates/mcgc/../../tests/pause_shape.rs
+
+crates/mcgc/../../tests/pause_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-66706ffe4b265b67.d: crates/mcgc/../../tests/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-66706ffe4b265b67: crates/mcgc/../../tests/telemetry.rs
+
+crates/mcgc/../../tests/telemetry.rs:

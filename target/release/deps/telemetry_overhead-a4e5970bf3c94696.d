@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_overhead-a4e5970bf3c94696.d: crates/bench/benches/telemetry_overhead.rs
+
+/root/repo/target/release/deps/telemetry_overhead-a4e5970bf3c94696: crates/bench/benches/telemetry_overhead.rs
+
+crates/bench/benches/telemetry_overhead.rs:

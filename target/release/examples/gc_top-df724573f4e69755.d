@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gc_top-df724573f4e69755.d: crates/mcgc/../../examples/gc_top.rs
+
+/root/repo/target/release/examples/gc_top-df724573f4e69755: crates/mcgc/../../examples/gc_top.rs
+
+crates/mcgc/../../examples/gc_top.rs:

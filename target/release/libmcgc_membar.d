@@ -1,0 +1,1 @@
+/root/repo/target/release/libmcgc_membar.rlib: /root/repo/crates/membar/src/lib.rs /root/repo/crates/membar/src/litmus.rs /root/repo/crates/membar/src/sync.rs /root/repo/crates/membar/src/weaksim.rs

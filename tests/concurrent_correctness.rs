@@ -220,7 +220,7 @@ fn mutator_churn_during_cycles() {
         std::thread::sleep(Duration::from_millis(1200));
         stop.store(true, Ordering::SeqCst);
     });
-    assert!(gc.log().cycles.len() >= 1);
+    assert!(!gc.log().cycles.is_empty());
     gc.shutdown();
 }
 

@@ -1,7 +1,8 @@
-//! Property-based tests of the §3 pacing formulas.
+//! Property-based tests of the §3 pacing formulas, driven by the in-repo
+//! seeded PRNG so the suite runs hermetically.
 
+use mcgc::workloads::rng::SmallRng;
 use mcgc::{GcConfig, Pacer};
-use proptest::prelude::*;
 
 fn pacer_with(k0: f64, heap: usize) -> Pacer {
     let mut cfg = GcConfig::with_heap_bytes(heap);
@@ -9,72 +10,118 @@ fn pacer_with(k0: f64, heap: usize) -> Pacer {
     Pacer::new(&cfg, heap)
 }
 
-proptest! {
-    /// The effective tracing rate is always within [0, Kmax].
-    #[test]
-    fn rate_bounded(
-        k0 in 1.0f64..10.0,
-        traced in 0u64..(1 << 30),
-        free in 1u64..(1 << 30),
-        bg in prop::collection::vec((0u64..(1<<24), 1u64..(1<<24)), 0..10),
-    ) {
+/// The effective tracing rate is always within [0, Kmax].
+#[test]
+fn rate_bounded() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7A7E_0000 + seed);
+        let k0 = 1.0 + 9.0 * rng.gen_f64();
+        let traced = rng.gen_range_u64(0, 1 << 30);
+        let free = rng.gen_range_u64(1, 1 << 30);
         let mut p = pacer_with(k0, 256 << 20);
-        for (t, a) in bg {
+        for _ in 0..rng.gen_range_usize(0, 10) {
+            let t = rng.gen_range_u64(0, 1 << 24);
+            let a = rng.gen_range_u64(1, 1 << 24);
             p.observe_background(t, a);
         }
         let k = p.tracing_rate(traced, free);
-        prop_assert!(k >= 0.0, "negative rate {}", k);
-        prop_assert!(k <= 2.0 * k0 + 1e-9, "rate {} exceeds Kmax {}", k, 2.0 * k0);
+        assert!(k >= 0.0, "seed {seed}: negative rate {k}");
+        assert!(
+            k <= 2.0 * k0 + 1e-9,
+            "seed {seed}: rate {k} exceeds Kmax {}",
+            2.0 * k0
+        );
     }
+}
 
-    /// More background credit never increases the mutator rate.
-    #[test]
-    fn background_credit_monotone(
-        traced in 0u64..(1 << 28),
-        free in 1u64..(1 << 28),
-        ratio_a in 0.0f64..4.0,
-        ratio_b in 0.0f64..4.0,
-    ) {
-        let (lo, hi) = if ratio_a <= ratio_b { (ratio_a, ratio_b) } else { (ratio_b, ratio_a) };
+/// More background credit never increases the mutator rate.
+#[test]
+fn background_credit_monotone() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC4ED_0000 + seed);
+        let traced = rng.gen_range_u64(0, 1 << 28);
+        let free = rng.gen_range_u64(1, 1 << 28);
+        let ratio_a = 4.0 * rng.gen_f64();
+        let ratio_b = 4.0 * rng.gen_f64();
+        let (lo, hi) = if ratio_a <= ratio_b {
+            (ratio_a, ratio_b)
+        } else {
+            (ratio_b, ratio_a)
+        };
         let mut p_lo = pacer_with(8.0, 256 << 20);
         let mut p_hi = pacer_with(8.0, 256 << 20);
         for _ in 0..30 {
             p_lo.observe_background((lo * 1e6) as u64, 1_000_000);
             p_hi.observe_background((hi * 1e6) as u64, 1_000_000);
         }
-        prop_assert!(
-            p_hi.tracing_rate(traced, free) <= p_lo.tracing_rate(traced, free) + 1e-9
+        assert!(
+            p_hi.tracing_rate(traced, free) <= p_lo.tracing_rate(traced, free) + 1e-9,
+            "seed {seed}"
         );
     }
+}
 
-    /// Kickoff threshold scales inversely with K0: higher desired rates
-    /// start the cycle later (§6.2's observation that rate 1 starts
-    /// immediately and rate 10 starts near heap-full).
-    #[test]
-    fn kickoff_inverse_in_k0(k0a in 1.0f64..10.0, k0b in 1.0f64..10.0) {
-        prop_assume!((k0a - k0b).abs() > 0.1);
+/// Kickoff threshold scales inversely with K0: higher desired rates
+/// start the cycle later (§6.2's observation that rate 1 starts
+/// immediately and rate 10 starts near heap-full).
+#[test]
+fn kickoff_inverse_in_k0() {
+    let mut rng = SmallRng::seed_from_u64(0x10C0_FF5E);
+    let mut checked = 0;
+    while checked < 128 {
+        let k0a = 1.0 + 9.0 * rng.gen_f64();
+        let k0b = 1.0 + 9.0 * rng.gen_f64();
+        if (k0a - k0b).abs() <= 0.1 {
+            continue;
+        }
+        checked += 1;
         let pa = pacer_with(k0a, 64 << 20);
         let pb = pacer_with(k0b, 64 << 20);
         let (hi_rate, lo_rate) = if k0a > k0b { (&pa, &pb) } else { (&pb, &pa) };
-        prop_assert!(hi_rate.kickoff_threshold() < lo_rate.kickoff_threshold());
+        assert!(
+            hi_rate.kickoff_threshold() < lo_rate.kickoff_threshold(),
+            "k0 {k0a} vs {k0b}"
+        );
     }
+}
 
-    /// Smoothing converges to a constant observation.
-    #[test]
-    fn estimates_converge(l in 1u64..(1 << 28), m in 1u64..(1 << 24)) {
+/// Smoothing converges to a constant observation.
+#[test]
+fn estimates_converge() {
+    for seed in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0xE57_0000 + seed);
+        let l = rng.gen_range_u64(1, 1 << 28);
+        let m = rng.gen_range_u64(1, 1 << 24);
         let mut p = pacer_with(8.0, 256 << 20);
         for _ in 0..100 {
             p.end_cycle(l, m);
         }
-        prop_assert!((p.l_est() - l as f64).abs() < l as f64 * 0.01 + 2.0);
-        prop_assert!((p.m_est() - m as f64).abs() < m as f64 * 0.01 + 2.0);
+        assert!(
+            (p.l_est() - l as f64).abs() < l as f64 * 0.01 + 2.0,
+            "seed {seed}: L {} vs {l}",
+            p.l_est()
+        );
+        assert!(
+            (p.m_est() - m as f64).abs() < m as f64 * 0.01 + 2.0,
+            "seed {seed}: M {} vs {m}",
+            p.m_est()
+        );
     }
+}
 
-    /// The quota never exceeds Kmax times the allocation.
-    #[test]
-    fn quota_bounded(alloc in 1u64..(1 << 24), traced in 0u64..(1 << 28), free in 1u64..(1 << 28)) {
+/// The quota never exceeds Kmax times the allocation.
+#[test]
+fn quota_bounded() {
+    for seed in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x900A_0000 + seed);
+        let alloc = rng.gen_range_u64(1, 1 << 24);
+        let traced = rng.gen_range_u64(0, 1 << 28);
+        let free = rng.gen_range_u64(1, 1 << 28);
         let p = pacer_with(8.0, 256 << 20);
         let q = p.increment_quota(alloc, traced, free);
-        prop_assert!(q <= (16.0 * alloc as f64) as u64 + 1);
+        assert!(
+            q <= (16.0 * alloc as f64) as u64 + 1,
+            "seed {seed}: quota {q} for alloc {alloc}"
+        );
     }
 }

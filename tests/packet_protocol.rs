@@ -6,20 +6,25 @@ use std::sync::Arc;
 
 use mcgc::membar::FenceStats;
 use mcgc::packets::{PacketPool, PoolConfig, PushOutcome, WorkBuffer};
+use mcgc::workloads::rng::SmallRng;
 use mcgc::{Gc, GcConfig, ObjectShape};
-use proptest::prelude::*;
 
 /// §4.3 termination: after arbitrary single-threaded push/pop sequences,
 /// the pool reports completion exactly when no work remains anywhere.
+/// Sequences come from the in-repo seeded PRNG (256 cases).
 #[test]
 fn termination_matches_reality_proptest() {
-    proptest!(|(ops in prop::collection::vec(any::<bool>(), 1..500))| {
-        let pool: PacketPool<u64> = PacketPool::new(PoolConfig { packets: 16, capacity: 8 });
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7E51_0000 + seed);
+        let pool: PacketPool<u64> = PacketPool::new(PoolConfig {
+            packets: 16,
+            capacity: 8,
+        });
         let mut buf = WorkBuffer::new(&pool);
         let mut outstanding = 0u64;
         let mut next = 0u64;
-        for push in ops {
-            if push {
+        for _ in 0..rng.gen_range_usize(1, 500) {
+            if rng.gen_bool() {
                 if let PushOutcome::Pushed = buf.push(next) {
                     outstanding += 1;
                     next += 1;
@@ -32,9 +37,9 @@ fn termination_matches_reality_proptest() {
             outstanding -= 1;
         }
         buf.finish();
-        prop_assert_eq!(outstanding, 0);
-        prop_assert!(pool.is_tracing_complete());
-    });
+        assert_eq!(outstanding, 0, "seed {seed}");
+        assert!(pool.is_tracing_complete(), "seed {seed}");
+    }
 }
 
 /// Many concurrent producer/consumer threads over a small pool: every

@@ -1,0 +1,220 @@
+//! End-to-end telemetry tests: the event stream must reproduce the
+//! collector's direct accounting bit-for-bit, phase events must be
+//! well-formed, and the exporters must reflect live collector state.
+
+use std::collections::BTreeMap;
+
+use mcgc::telemetry::EventKind;
+use mcgc::{CycleStats, Gc, GcConfig, GcLog, ObjectShape};
+
+fn small_config() -> GcConfig {
+    let mut c = GcConfig::with_heap_bytes(4 << 20);
+    c.background_threads = 1;
+    c.stw_workers = 2;
+    c
+}
+
+/// Churns allocations until at least `cycles` collections completed.
+fn churn(gc: &std::sync::Arc<Gc>, cycles: usize) {
+    let mut m = gc.register_mutator();
+    let keep = m.alloc(ObjectShape::new(1, 20, 0)).unwrap();
+    m.root_push(Some(keep));
+    let junk = ObjectShape::new(0, 30, 0);
+    while gc.log().cycles.len() < cycles {
+        for _ in 0..2_000 {
+            m.alloc(junk).unwrap();
+        }
+    }
+}
+
+/// Field-by-field bit equality (floats compared via `to_bits`, so two
+/// logs agree exactly, not approximately).
+fn assert_bits_eq(a: &CycleStats, b: &CycleStats) {
+    let cy = a.cycle;
+    assert_eq!(a.cycle, b.cycle);
+    assert_eq!(a.trigger, b.trigger, "cycle {cy}");
+    for (name, x, y) in [
+        ("pause_ms", a.pause_ms, b.pause_ms),
+        ("mark_ms", a.mark_ms, b.mark_ms),
+        ("sweep_ms", a.sweep_ms, b.sweep_ms),
+        ("card_ms", a.card_ms, b.card_ms),
+        ("root_ms", a.root_ms, b.root_ms),
+        ("occupancy_after", a.occupancy_after, b.occupancy_after),
+        (
+            "tracing_factor_sum",
+            a.tracing_factor_sum,
+            b.tracing_factor_sum,
+        ),
+        (
+            "tracing_factor_sq_sum",
+            a.tracing_factor_sq_sum,
+            b.tracing_factor_sq_sum,
+        ),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "cycle {cy} field {name}");
+    }
+    assert_eq!(a.pause_wall, b.pause_wall, "cycle {cy}");
+    assert_eq!(a.concurrent_wall, b.concurrent_wall, "cycle {cy}");
+    assert_eq!(a.pre_concurrent_wall, b.pre_concurrent_wall, "cycle {cy}");
+    assert_eq!(a.mutator_traced_bytes, b.mutator_traced_bytes, "cycle {cy}");
+    assert_eq!(
+        a.background_traced_bytes, b.background_traced_bytes,
+        "cycle {cy}"
+    );
+    assert_eq!(a.stw_traced_bytes, b.stw_traced_bytes, "cycle {cy}");
+    assert_eq!(
+        a.alloc_concurrent_bytes, b.alloc_concurrent_bytes,
+        "cycle {cy}"
+    );
+    assert_eq!(
+        a.alloc_pre_concurrent_bytes, b.alloc_pre_concurrent_bytes,
+        "cycle {cy}"
+    );
+    assert_eq!(
+        a.cards_cleaned_concurrent, b.cards_cleaned_concurrent,
+        "cycle {cy}"
+    );
+    assert_eq!(a.cards_cleaned_stw, b.cards_cleaned_stw, "cycle {cy}");
+    assert_eq!(a.cards_left, b.cards_left, "cycle {cy}");
+    assert_eq!(a.handshakes, b.handshakes, "cycle {cy}");
+    assert_eq!(a.free_at_stw_start, b.free_at_stw_start, "cycle {cy}");
+    assert_eq!(a.live_after_bytes, b.live_after_bytes, "cycle {cy}");
+    assert_eq!(a.live_after_objects, b.live_after_objects, "cycle {cy}");
+    assert_eq!(a.free_after_bytes, b.free_after_bytes, "cycle {cy}");
+    assert_eq!(a.increments, b.increments, "cycle {cy}");
+    assert_eq!(a.cas_ops, b.cas_ops, "cycle {cy}");
+    assert_eq!(a.overflows, b.overflows, "cycle {cy}");
+    assert_eq!(a.deferred_objects, b.deferred_objects, "cycle {cy}");
+    assert_eq!(
+        a.packets_in_use_watermark, b.packets_in_use_watermark,
+        "cycle {cy}"
+    );
+    assert_eq!(
+        a.packet_entries_watermark, b.packet_entries_watermark,
+        "cycle {cy}"
+    );
+}
+
+/// The acceptance-criteria test: a `GcLog` rebuilt purely from the event
+/// stream matches the collector's direct accounting bit-for-bit. Older
+/// cycles may be missing if the ring wrapped; every cycle that *is*
+/// replayed must match exactly.
+#[test]
+fn event_stream_replays_gclog_bit_for_bit() {
+    let gc = Gc::new(small_config());
+    churn(&gc, 4);
+    gc.shutdown();
+    let log = gc.log();
+    let replayed = GcLog::from_events(&gc.telemetry().events());
+    assert!(
+        !replayed.cycles.is_empty(),
+        "event stream yields at least one complete cycle batch"
+    );
+    let by_cycle: BTreeMap<u64, &CycleStats> = log.cycles.iter().map(|c| (c.cycle, c)).collect();
+    for r in &replayed.cycles {
+        let direct = by_cycle
+            .get(&r.cycle)
+            .unwrap_or_else(|| panic!("replayed cycle {} not in direct log", r.cycle));
+        assert_bits_eq(direct, r);
+    }
+    // The most recent cycle is always retained (its batch is the newest
+    // thing in the ring).
+    assert_eq!(
+        replayed.cycles.last().unwrap().cycle,
+        log.cycles.last().unwrap().cycle
+    );
+}
+
+/// Phase events are well-formed: triggers decode, StwStart/StwEnd pair
+/// up in order, kickoffs carry the free-byte headroom.
+#[test]
+fn phase_events_are_well_formed() {
+    let gc = Gc::new(small_config());
+    churn(&gc, 3);
+    gc.shutdown();
+    let events = gc.telemetry().events();
+    assert!(!events.is_empty());
+    let mut last_ts = 0;
+    let mut open_stw: Option<u32> = None;
+    let mut stw_ends = 0u64;
+    for ev in &events {
+        assert!(ev.ts_ns >= last_ts, "snapshot is time-ordered");
+        last_ts = ev.ts_ns;
+        match ev.kind {
+            EventKind::StwStart => {
+                assert_eq!(open_stw, None, "no nested pauses");
+                assert!(mcgc::Trigger::from_code(ev.arg).is_some());
+                open_stw = Some(ev.cycle);
+            }
+            EventKind::StwEnd => {
+                assert_eq!(open_stw, Some(ev.cycle), "end matches open pause");
+                assert!(ev.arg > 0, "wall pause is nonzero ns");
+                open_stw = None;
+                stw_ends += 1;
+            }
+            EventKind::Kickoff => {
+                assert!(ev.arg > 0, "kickoff records free bytes");
+            }
+            _ => {}
+        }
+    }
+    // Every pause fed the histogram (the histogram never wraps, so it
+    // has at least as many samples as the ring retains StwEnd events).
+    assert!(gc.telemetry().pause_histogram().count() >= stw_ends);
+    assert!(gc.telemetry().pause_histogram().max() > 0);
+}
+
+/// Gauges refresh on demand and both exporters render the registry.
+#[test]
+fn sampling_refreshes_gauges_and_exporters_render() {
+    let gc = Gc::new(small_config());
+    churn(&gc, 2);
+    gc.telemetry_sample();
+    gc.shutdown();
+    let sample: BTreeMap<String, f64> = gc.telemetry().registry().sample().into_iter().collect();
+    assert!(sample["gc_cycles_total"] >= 2.0);
+    assert!(sample["gc_pauses_total"] >= 2.0);
+    assert!(sample["pacer_k0"] > 0.0);
+    assert!(sample["pacer_kickoff_threshold_bytes"] > 0.0);
+    assert!(sample["heap_occupancy"] > 0.0 && sample["heap_occupancy"] <= 1.0);
+    assert!(
+        sample["gc_traced_stw_bytes_total"] > 0.0 || sample["gc_traced_mutator_bytes_total"] > 0.0
+    );
+    assert!(sample.contains_key("pool_occupancy"));
+    let text = gc.telemetry().registry().render_text();
+    assert!(text.contains("gc_cycles_total"));
+    assert!(text.contains("pacer_k0"));
+    let json = gc.telemetry().registry().render_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"gc_cycles_total\":"));
+}
+
+/// MMU: after real pauses, utilization over a long window is below 1 and
+/// above 0, and the increment histogram saw the concurrent increments.
+#[test]
+fn utilization_and_increment_latencies_recorded() {
+    let gc = Gc::new(small_config());
+    churn(&gc, 3);
+    gc.shutdown();
+    let tel = gc.telemetry();
+    let window = 10_000_000_000; // 10 s, longer than the whole test
+    let u = tel.mutator_utilization(window);
+    assert!(u > 0.0 && u < 1.0, "utilization {u}");
+    assert!(tel.minimum_mutator_utilization(1_000_000) <= u);
+    let log = gc.log();
+    if log.cycles.iter().any(|c| c.increments > 0) {
+        assert!(tel.increment_histogram().count() > 0);
+    }
+}
+
+/// Disabling telemetry stops recording without disturbing collection.
+#[test]
+fn disabled_telemetry_records_nothing_but_gc_still_works() {
+    let gc = Gc::new(small_config());
+    gc.telemetry().set_enabled(false);
+    churn(&gc, 2);
+    gc.shutdown();
+    assert!(gc.log().cycles.len() >= 2, "collections still happen");
+    assert!(gc.telemetry().events().is_empty());
+    assert_eq!(gc.telemetry().pause_histogram().count(), 0);
+}

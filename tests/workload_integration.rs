@@ -118,12 +118,9 @@ fn explicit_collect_works_mid_workload() {
     let heap = 16 << 20;
     let gc = Gc::new(GcConfig::with_heap_bytes(heap));
     let mut m = gc.register_mutator();
-    let tree = mcgc::workloads::graphs::build_tree(
-        &mut m,
-        mcgc::workloads::graphs::class::STOCK,
-        1 << 20,
-    )
-    .unwrap();
+    let tree =
+        mcgc::workloads::graphs::build_tree(&mut m, mcgc::workloads::graphs::class::STOCK, 1 << 20)
+            .unwrap();
     m.root_push(Some(tree));
     let before = mcgc::workloads::graphs::count_tree(&m, tree);
     m.collect();
