@@ -1,0 +1,380 @@
+//! Model of the mostly-concurrent marking protocol: the card-table write
+//! barrier (§2.1), the §5.3 card-snapshot/handshake cleaning sequence,
+//! and the §2.2 stop-the-world finish — checked for the tri-color
+//! safety property "no reachable object is left unmarked".
+//!
+//! The scene is the smallest heap that can lose an object: three
+//! objects `A → B → C` built concurrently by a mutator while the
+//! collector traces. `A` is the only root. Reference slots are plain
+//! (buffered) locations; mark bits and card indicators are
+//! synchronization locations — exactly the §5.3 situation where a card
+//! store becomes visible *before* the slot store it covers, so a
+//! collector that snapshots the card, cleans it, and rescans without a
+//! handshake reads the stale slot and never sees the new reference.
+//!
+//! The collector state machine mirrors `mcgc_core`: kickoff root scan,
+//! packet-style worklist drain, one concurrent card-cleaning pass
+//! (snapshot-to-clean → handshake → rescan marked objects), then the
+//! stop-the-world rendezvous (which drains every mutator buffer), root
+//! rescan, final card cleaning, and final drain.
+
+use crate::mem::WeakMem;
+use crate::sched::Model;
+
+const NOBJ: usize = 3;
+const NCARDS: usize = 2;
+/// Card holding each object's header (A on card 0; B and C on card 1).
+const CARD_OF: [usize; NOBJ] = [0, 1, 1];
+/// The single marked-object rescan candidate per card (A and B; C never
+/// has references stored into it).
+const OBJ_ON_CARD: [u8; NCARDS] = [0, 1];
+const ROOT: u8 = 0;
+
+const COLLECTOR: usize = 0;
+const MUTATOR: usize = 1;
+
+/// Protocol deletions for mutation testing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BarrierMutation {
+    /// The faithful protocol.
+    None,
+    /// The write barrier stores the reference but never dirties the
+    /// card: a reference stored into an already-scanned object is lost.
+    SkipCardMark,
+    /// Concurrent cleaning rescans registered cards without the §5.3
+    /// handshake: the card indicator can be visible before the slot
+    /// store it covers, so the rescan reads a stale slot.
+    SkipHandshake,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ColState {
+    pc: u8,
+    /// 0 = concurrent trace, 1 = after concurrent cleaning, 2 = STW.
+    phase: u8,
+    cur_obj: u8,
+    reg: u64,
+    cursor: u8,
+    worklist: Vec<u8>,
+    registry: Vec<u8>,
+    done: bool,
+}
+
+/// Full system state: weak memory (slots), marks/cards (sync), thread
+/// machines.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BarrierState {
+    mem: WeakMem,
+    marks: [bool; NOBJ],
+    cards: [bool; NCARDS],
+    col: ColState,
+    mut_pc: u8,
+    mut_done: bool,
+}
+
+/// The kickoff / write-barrier / card-snapshot model.
+#[derive(Copy, Clone, Debug)]
+pub struct BarrierModel {
+    /// The protocol change under test.
+    pub mutation: BarrierMutation,
+}
+
+// Collector PCs.
+const C_ROOT: u8 = 0;
+const C_DRAIN: u8 = 1;
+const C_LOAD: u8 = 2;
+const C_PROCESS: u8 = 3;
+const C_SNAPSHOT: u8 = 4;
+const C_HANDSHAKE: u8 = 5;
+const C_RESCAN: u8 = 6;
+const C_STW: u8 = 8;
+const C_STW_ROOTS: u8 = 9;
+const C_STW_CARDS: u8 = 10;
+const C_DONE: u8 = 11;
+
+impl BarrierModel {
+    fn ref_of(v: u64) -> Option<u8> {
+        if v == 0 {
+            None
+        } else {
+            Some((v - 1) as u8)
+        }
+    }
+
+    fn step_collector(&self, s: &BarrierState) -> Vec<BarrierState> {
+        let c = &s.col;
+        let mut n = s.clone();
+        match c.pc {
+            C_ROOT => {
+                // Kickoff: scan the root set (§2.1).
+                n.marks[ROOT as usize] = true;
+                n.col.worklist.push(ROOT);
+                n.col.pc = C_DRAIN;
+                vec![n]
+            }
+            C_DRAIN => {
+                match n.col.worklist.pop() {
+                    Some(obj) => {
+                        n.col.cur_obj = obj;
+                        n.col.pc = C_LOAD;
+                    }
+                    None => {
+                        n.col.pc = match c.phase {
+                            0 => C_SNAPSHOT,
+                            1 => C_STW,
+                            _ => C_DONE,
+                        };
+                    }
+                }
+                vec![n]
+            }
+            C_LOAD => {
+                // The racy read: the collector sees shared memory only
+                // (its own buffer is always empty).
+                n.col.reg = s.mem.plain_load(COLLECTOR, c.cur_obj as usize);
+                n.col.pc = C_PROCESS;
+                vec![n]
+            }
+            C_PROCESS => {
+                if let Some(child) = Self::ref_of(c.reg) {
+                    if !n.marks[child as usize] {
+                        n.marks[child as usize] = true;
+                        n.col.worklist.push(child);
+                    }
+                }
+                n.col.pc = C_DRAIN;
+                vec![n]
+            }
+            C_SNAPSHOT => {
+                // §5.3 step 1: snapshot-to-clean one card, register it.
+                let cur = c.cursor as usize;
+                if cur < NCARDS {
+                    if s.cards[cur] {
+                        n.cards[cur] = false;
+                        n.col.registry.push(cur as u8);
+                    }
+                    n.col.cursor += 1;
+                } else if c.registry.is_empty() {
+                    n.col.phase = 1;
+                    n.col.pc = C_DRAIN;
+                } else {
+                    n.col.pc = C_HANDSHAKE;
+                }
+                vec![n]
+            }
+            C_HANDSHAKE => {
+                // §5.3 step 2: every mutator fences before the rescan.
+                if self.mutation == BarrierMutation::SkipHandshake {
+                    n.col.pc = C_RESCAN;
+                    return vec![n];
+                }
+                if !s.mem.others_drained(COLLECTOR) {
+                    return vec![]; // blocked; mutator flushes unblock it
+                }
+                n.col.pc = C_RESCAN;
+                vec![n]
+            }
+            C_RESCAN => {
+                // §5.3 step 3: queue the marked objects on registered
+                // cards for rescanning.
+                match n.col.registry.pop() {
+                    Some(card) => {
+                        let obj = OBJ_ON_CARD[card as usize];
+                        if s.marks[obj as usize] {
+                            n.col.worklist.push(obj);
+                        }
+                    }
+                    None => {
+                        n.col.phase = 1;
+                        n.col.pc = C_DRAIN;
+                    }
+                }
+                vec![n]
+            }
+            C_STW => {
+                // The stop-the-world rendezvous: mutators are parked at a
+                // safepoint with their store buffers drained.
+                if !(s.mut_done && s.mem.others_drained(COLLECTOR)) {
+                    return vec![]; // waits for the mutator to finish
+                }
+                n.col.pc = C_STW_ROOTS;
+                vec![n]
+            }
+            C_STW_ROOTS => {
+                // §2.2: rescan all roots.
+                n.marks[ROOT as usize] = true;
+                n.col.worklist.push(ROOT);
+                n.col.cursor = 0;
+                n.col.pc = C_STW_CARDS;
+                vec![n]
+            }
+            C_STW_CARDS => {
+                // §2.2 final card cleaning.
+                let cur = c.cursor as usize;
+                if cur < NCARDS {
+                    if s.cards[cur] {
+                        n.cards[cur] = false;
+                        let obj = OBJ_ON_CARD[cur];
+                        if s.marks[obj as usize] {
+                            n.col.worklist.push(obj);
+                        }
+                    }
+                    n.col.cursor += 1;
+                } else {
+                    n.col.phase = 2;
+                    n.col.pc = C_DRAIN;
+                }
+                vec![n]
+            }
+            C_DONE => {
+                n.col.done = true;
+                vec![n]
+            }
+            _ => unreachable!("collector pc"),
+        }
+    }
+
+    fn step_mutator(&self, s: &BarrierState) -> Vec<BarrierState> {
+        let mut n = s.clone();
+        match s.mut_pc {
+            // write_ref(A, 0, B): slot store, then barrier card mark.
+            0 => {
+                n.mem.plain_store(MUTATOR, 0, 2); // slot[A] = B
+                n.mut_pc = 1;
+                vec![n]
+            }
+            1 => {
+                if self.mutation != BarrierMutation::SkipCardMark {
+                    n.cards[CARD_OF[0]] = true;
+                }
+                n.mut_pc = 2;
+                vec![n]
+            }
+            // write_ref(B, 0, C)
+            2 => {
+                n.mem.plain_store(MUTATOR, 1, 3); // slot[B] = C
+                n.mut_pc = 3;
+                vec![n]
+            }
+            3 => {
+                if self.mutation != BarrierMutation::SkipCardMark {
+                    n.cards[CARD_OF[1]] = true;
+                }
+                n.mut_pc = 4;
+                n.mut_done = true;
+                vec![n]
+            }
+            _ => unreachable!("mutator pc"),
+        }
+    }
+}
+
+impl Model for BarrierModel {
+    type State = BarrierState;
+
+    fn initial(&self) -> BarrierState {
+        BarrierState {
+            mem: WeakMem::new(NOBJ, 2),
+            marks: [false; NOBJ],
+            cards: [false; NCARDS],
+            col: ColState {
+                pc: C_ROOT,
+                phase: 0,
+                cur_obj: 0,
+                reg: 0,
+                cursor: 0,
+                worklist: Vec::new(),
+                registry: Vec::new(),
+                done: false,
+            },
+            mut_pc: 0,
+            mut_done: false,
+        }
+    }
+
+    fn successors(&self, s: &BarrierState) -> Vec<BarrierState> {
+        let mut out = Vec::new();
+        for mem in s.mem.flush_succs(MUTATOR) {
+            let mut n = s.clone();
+            n.mem = mem;
+            out.push(n);
+        }
+        if !s.col.done {
+            out.extend(self.step_collector(s));
+        }
+        if !s.mut_done {
+            out.extend(self.step_mutator(s));
+        }
+        out
+    }
+
+    fn is_final(&self, s: &BarrierState) -> bool {
+        s.col.done && s.mut_done && s.mem.all_drained()
+    }
+
+    fn invariant(&self, _s: &BarrierState) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn finale(&self, s: &BarrierState) -> Result<(), String> {
+        // Ground truth: objects reachable from the root through shared
+        // memory (all buffers drained in a final state).
+        let mut reachable = [false; NOBJ];
+        let mut stack = vec![ROOT];
+        while let Some(obj) = stack.pop() {
+            if reachable[obj as usize] {
+                continue;
+            }
+            reachable[obj as usize] = true;
+            if let Some(child) = Self::ref_of(s.mem.shared_load(obj as usize)) {
+                stack.push(child);
+            }
+        }
+        for (obj, &live) in reachable.iter().enumerate() {
+            if live && !s.marks[obj] {
+                return Err(format!(
+                    "lost object: {obj} is reachable but unmarked after the cycle"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Explorer, Outcome};
+
+    fn run(mutation: BarrierMutation) -> Outcome {
+        Explorer::default().run(&BarrierModel { mutation })
+    }
+
+    #[test]
+    fn faithful_marking_never_loses_an_object() {
+        let out = run(BarrierMutation::None);
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn skipping_the_card_mark_loses_an_object() {
+        let out = run(BarrierMutation::SkipCardMark);
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("lost object"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skipping_the_handshake_loses_an_object() {
+        let out = run(BarrierMutation::SkipHandshake);
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("lost object"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Model-checker smoke runner for CI: explores the faithful protocols
+//! (must pass exhaustively) and every mutation (must be caught), within
+//! a bounded state count. Exits nonzero on any unexpected outcome.
+//!
+//! Usage: `modelcheck [--max-states N]`
+
+use mcgc_check::{BarrierModel, BarrierMutation, Explorer, Outcome, PoolModel, PoolMutation};
+
+struct Case {
+    name: &'static str,
+    expect_violation: bool,
+    run: Box<dyn Fn(&Explorer) -> Outcome>,
+}
+
+fn pool_case(name: &'static str, model: PoolModel, expect_violation: bool) -> Case {
+    Case {
+        name,
+        expect_violation,
+        run: Box::new(move |e| e.run(&model)),
+    }
+}
+
+fn barrier_case(name: &'static str, mutation: BarrierMutation, expect_violation: bool) -> Case {
+    Case {
+        name,
+        expect_violation,
+        run: Box::new(move |e| e.run(&BarrierModel { mutation })),
+    }
+}
+
+fn main() {
+    let mut max_states = Explorer::default().max_states;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-states" => {
+                let v = args.next().expect("--max-states needs a value");
+                max_states = v.parse().expect("--max-states value must be a number");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let explorer = Explorer::new(max_states);
+
+    let cases = vec![
+        pool_case(
+            "pool/produce-consume (faithful)",
+            PoolModel::produce_consume(PoolMutation::None),
+            false,
+        ),
+        pool_case(
+            "pool/aba (faithful)",
+            PoolModel::aba(PoolMutation::None),
+            false,
+        ),
+        pool_case(
+            "pool/produce-consume -fence (§5.1 deleted)",
+            PoolModel::produce_consume(PoolMutation::SkipPublishFence),
+            true,
+        ),
+        pool_case(
+            "pool/aba -tag (footnote 4 deleted)",
+            PoolModel::aba(PoolMutation::NoAbaTag),
+            true,
+        ),
+        pool_case(
+            "pool/produce-consume counter-before-op (§4.3 reversed)",
+            PoolModel::produce_consume(PoolMutation::CounterBeforeOp),
+            true,
+        ),
+        barrier_case("barrier/marking (faithful)", BarrierMutation::None, false),
+        barrier_case(
+            "barrier/marking -card-mark (write barrier deleted)",
+            BarrierMutation::SkipCardMark,
+            true,
+        ),
+        barrier_case(
+            "barrier/marking -handshake (§5.3 step 2 deleted)",
+            BarrierMutation::SkipHandshake,
+            true,
+        ),
+    ];
+
+    let mut failures = 0;
+    for case in &cases {
+        let start = std::time::Instant::now();
+        let outcome = (case.run)(&explorer);
+        let elapsed = start.elapsed();
+        let (ok, detail) = match &outcome {
+            Outcome::Pass { states, finals } => (
+                !case.expect_violation,
+                format!("pass ({states} states, {finals} final)"),
+            ),
+            Outcome::Violation { states, message } => (
+                case.expect_violation,
+                format!("violation after {states} states: {message}"),
+            ),
+            Outcome::Bounded { states } => {
+                (false, format!("INCONCLUSIVE: hit bound at {states} states"))
+            }
+        };
+        let verdict = if ok { "ok " } else { "FAIL" };
+        println!("{verdict} {:<55} {detail} [{elapsed:.2?}]", case.name);
+        if !ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} case(s) had unexpected outcomes");
+        std::process::exit(1);
+    }
+    println!("all {} cases behaved as expected", cases.len());
+}

@@ -1,0 +1,594 @@
+//! Model of the §4 work-packet pool: occupancy sub-pool lists with
+//! tagged-CAS push/pop, after-the-op packet counters (§4.3 termination
+//! detection), and the §5.1 one-fence-per-packet publication protocol.
+//!
+//! The state machines mirror `mcgc_packets::pool` step for step:
+//!
+//! * `pop_list`  = load head → load `next[head]` → CAS → `count -= 1`
+//! * `push_list` = load head → store `next[idx]` → CAS → `count += 1`
+//! * a producer's put of a dirty packet issues the §5.1 fence *before*
+//!   the push CAS; a consumer's put of an emptied packet models the
+//!   implementation's Release CAS (the CAS step requires the thread's
+//!   store buffer to be drained).
+//!
+//! List heads, next links and counters are synchronization locations
+//! (sequentially consistent, **not** barriers — see [`crate::mem`]);
+//! packet bodies are plain buffered locations, so deleting the §5.1
+//! fence lets a packet's entries lag its publication.
+//!
+//! Ghost state gives the checker teeth: `holder[p]` tracks which thread
+//! exclusively owns packet `p` (a pop returning an already-held packet
+//! is the ABA double-get), and `produced`/`consumed` count entries at
+//! the instant they are written/read (termination observed while
+//! `produced != consumed` is unsound §4.3 detection).
+
+use crate::mem::WeakMem;
+use crate::sched::Model;
+
+const NIL: u32 = u32::MAX;
+const EMPTY: usize = 0;
+const WORK: usize = 1;
+
+/// A single protocol change for mutation testing: each deletes one fence
+/// or weakens one CAS, and the checker must find the resulting bug.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PoolMutation {
+    /// The faithful protocol.
+    None,
+    /// Delete the §5.1 publication fence a producer issues before
+    /// returning a dirty packet: its entries may lag the push CAS, so a
+    /// consumer can pop the packet and read a stale (shorter) body.
+    SkipPublishFence,
+    /// CAS on the head index only, ignoring the tag (paper footnote 4
+    /// removed): the classic ABA pop hands out a packet another thread
+    /// still holds.
+    NoAbaTag,
+    /// Update the Empty-pool counter *before* the consume + push instead
+    /// of after (§4.3 reversed): termination can be observed while
+    /// entries are still unconsumed.
+    CounterBeforeOp,
+}
+
+/// What a thread does in the scenario.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Get a packet from Empty, write `items` entries, put it to Work
+    /// (§5.1 fence + push), then optionally spin until §4.3 reports
+    /// termination.
+    Producer {
+        /// Entries to write into the packet (one plain store each).
+        items: u8,
+        /// Spin on the Empty counter until it reports completion, then
+        /// verify nothing was lost.
+        await_done: bool,
+    },
+    /// Pop Work packets, consume their entries, return them to Empty,
+    /// until §4.3 reports termination.
+    Consumer,
+    /// Pop two packets from Empty and keep them (the ABA victim whose
+    /// first CAS races a concurrent pop-pop-push).
+    AbaVictim,
+    /// Pop two packets from Empty, push the first back (re-arming the
+    /// head with a previously-seen index), keep the second.
+    AbaMixer,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct TState {
+    pc: u8,
+    held: u32,
+    held2: u32,
+    rh: u32,
+    rt: u32,
+    rn: u32,
+    rlen: u64,
+    left: u8,
+    done: bool,
+}
+
+impl TState {
+    fn new(left: u8) -> TState {
+        TState {
+            pc: 0,
+            held: NIL,
+            held2: NIL,
+            rh: NIL,
+            rt: 0,
+            rn: NIL,
+            rlen: 0,
+            left,
+            done: false,
+        }
+    }
+}
+
+/// Full system state of the pool model.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PoolState {
+    mem: WeakMem,
+    /// `(index, tag)` head per sub-pool.
+    heads: [(u32, u32); 2],
+    /// Per-packet next link (synchronization location).
+    next: Vec<u32>,
+    /// §4.3 rough counters, updated after each list op.
+    counts: [i16; 2],
+    /// Ghost: exclusive owner of each packet.
+    holder: Vec<Option<u8>>,
+    /// Ghost: entries written into packet bodies so far.
+    produced: u8,
+    /// Ghost: entries read out of packet bodies so far.
+    consumed: u8,
+    /// Ghost: first safety violation observed while stepping.
+    poison: Option<&'static str>,
+    threads: Vec<TState>,
+}
+
+/// The §4 pool protocol model for a fixed scenario.
+#[derive(Clone, Debug)]
+pub struct PoolModel {
+    /// Number of packets, all initially in the Empty sub-pool.
+    pub npkt: usize,
+    /// One role per thread.
+    pub roles: Vec<Role>,
+    /// The protocol change under test.
+    pub mutation: PoolMutation,
+}
+
+impl PoolModel {
+    /// One producer (two entries, then awaits termination) and one
+    /// consumer over two packets: exercises get/put, §5.1 publication,
+    /// and §4.3 termination detection.
+    pub fn produce_consume(mutation: PoolMutation) -> PoolModel {
+        PoolModel {
+            npkt: 2,
+            roles: vec![
+                Role::Producer {
+                    items: 2,
+                    await_done: true,
+                },
+                Role::Consumer,
+            ],
+            mutation,
+        }
+    }
+
+    /// The footnote-4 ABA scenario over three packets: a victim's
+    /// load-head/load-next/CAS races a pop-pop-push.
+    pub fn aba(mutation: PoolMutation) -> PoolModel {
+        PoolModel {
+            npkt: 3,
+            roles: vec![Role::AbaVictim, Role::AbaMixer],
+            mutation,
+        }
+    }
+
+    fn cas_matches(&self, cur: (u32, u32), rh: u32, rt: u32) -> bool {
+        if self.mutation == PoolMutation::NoAbaTag {
+            cur.0 == rh
+        } else {
+            cur.0 == rh && cur.1 == rt
+        }
+    }
+
+    /// Pop steps shared by all roles. `list` is the sub-pool; returns
+    /// successor states for the micro-step at `t.pc - base`.
+    /// Sub-PCs: 0 = load head, 1 = load next, 2 = CAS, 3 = count -= 1.
+    fn step_pop(
+        &self,
+        s: &PoolState,
+        tid: usize,
+        base: u8,
+        list: usize,
+        on_nil: Option<u8>,
+    ) -> Vec<PoolState> {
+        let t = &s.threads[tid];
+        let sub = t.pc - base;
+        let mut n = s.clone();
+        match sub {
+            0 => {
+                let (hi, ht) = s.heads[list];
+                if hi == NIL {
+                    // With no `on_nil` target the thread spins: the
+                    // successor equals the current state.
+                    if let Some(pc) = on_nil {
+                        n.threads[tid].pc = pc;
+                    }
+                } else {
+                    n.threads[tid].rh = hi;
+                    n.threads[tid].rt = ht;
+                    n.threads[tid].pc = base + 1;
+                }
+                vec![n]
+            }
+            1 => {
+                n.threads[tid].rn = s.next[t.rh as usize];
+                n.threads[tid].pc = base + 2;
+                vec![n]
+            }
+            2 => {
+                if self.cas_matches(s.heads[list], t.rh, t.rt) {
+                    n.heads[list] = (t.rn, s.heads[list].1.wrapping_add(1));
+                    if s.holder[t.rh as usize].is_some() {
+                        n.poison = Some("double-get: popped a packet another thread holds");
+                    }
+                    n.holder[t.rh as usize] = Some(tid as u8);
+                    if n.threads[tid].held == NIL {
+                        n.threads[tid].held = t.rh;
+                    } else {
+                        n.threads[tid].held2 = t.rh;
+                    }
+                    n.threads[tid].pc = base + 3;
+                } else {
+                    n.threads[tid].pc = base; // retry
+                }
+                vec![n]
+            }
+            3 => {
+                n.counts[list] -= 1;
+                n.threads[tid].pc = base + 4;
+                vec![n]
+            }
+            _ => unreachable!("pop sub-pc"),
+        }
+    }
+
+    /// Push steps. Sub-PCs: 0 = load head, 1 = store next, 2 = CAS,
+    /// 3 = count += 1. `idx` is the packet being pushed; `release`
+    /// models a Release CAS (step 2 requires a drained buffer).
+    #[allow(clippy::too_many_arguments)] // one flat step fn per protocol op
+    fn step_push(
+        &self,
+        s: &PoolState,
+        tid: usize,
+        base: u8,
+        list: usize,
+        idx: u32,
+        release: bool,
+        skip_count: bool,
+    ) -> Vec<PoolState> {
+        let t = &s.threads[tid];
+        let sub = t.pc - base;
+        let mut n = s.clone();
+        match sub {
+            0 => {
+                let (hi, ht) = s.heads[list];
+                n.threads[tid].rh = hi;
+                n.threads[tid].rt = ht;
+                n.threads[tid].pc = base + 1;
+                vec![n]
+            }
+            1 => {
+                n.next[idx as usize] = t.rh;
+                n.threads[tid].pc = base + 2;
+                vec![n]
+            }
+            2 => {
+                if release && !s.mem.fence(tid) {
+                    return vec![]; // blocked until own buffer drains
+                }
+                if self.cas_matches(s.heads[list], t.rh, t.rt) {
+                    n.heads[list] = (idx, s.heads[list].1.wrapping_add(1));
+                    n.holder[idx as usize] = None;
+                    if n.threads[tid].held == idx {
+                        n.threads[tid].held = NIL;
+                    } else {
+                        n.threads[tid].held2 = NIL;
+                    }
+                    n.threads[tid].pc = base + if skip_count { 4 } else { 3 };
+                } else {
+                    n.threads[tid].pc = base; // retry
+                }
+                vec![n]
+            }
+            3 => {
+                n.counts[list] += 1;
+                n.threads[tid].pc = base + 4;
+                vec![n]
+            }
+            _ => unreachable!("push sub-pc"),
+        }
+    }
+
+    /// §4.3 termination observation: reads the Empty counter; when it
+    /// covers every packet, the thread finishes — and the ghost counts
+    /// must agree that nothing is left.
+    fn observe_termination(&self, s: &PoolState, tid: usize, retry_pc: Option<u8>) -> PoolState {
+        let mut n = s.clone();
+        if s.counts[EMPTY] >= self.npkt as i16 {
+            if s.produced != s.consumed {
+                n.poison =
+                    Some("unsound termination: Empty counter full while entries are unconsumed");
+            }
+            n.threads[tid].done = true;
+        } else if let Some(pc) = retry_pc {
+            n.threads[tid].pc = pc;
+        } // else spin (successor == current state)
+        n
+    }
+
+    fn step_thread(&self, s: &PoolState, tid: usize) -> Vec<PoolState> {
+        let t = &s.threads[tid];
+        match self.roles[tid] {
+            // PCs: 0-3 pop(Empty), 4 write entries, 5 fence, 6-9
+            // push(Work), 10 await termination.
+            Role::Producer { await_done, .. } => match t.pc {
+                0..=3 => self.step_pop(s, tid, 0, EMPTY, None),
+                4 => {
+                    let mut n = s.clone();
+                    if t.left > 0 {
+                        let cur = s.mem.plain_load(tid, t.held as usize);
+                        n.mem.plain_store(tid, t.held as usize, cur + 1);
+                        n.produced += 1;
+                        n.threads[tid].left -= 1;
+                    } else {
+                        n.threads[tid].pc = 5;
+                    }
+                    vec![n]
+                }
+                5 => {
+                    // §5.1: one fence per dirty packet, before the push.
+                    if self.mutation == PoolMutation::SkipPublishFence {
+                        let mut n = s.clone();
+                        n.threads[tid].pc = 6;
+                        return vec![n];
+                    }
+                    if !s.mem.fence(tid) {
+                        return vec![]; // wait for own flushes
+                    }
+                    let mut n = s.clone();
+                    n.threads[tid].pc = 6;
+                    vec![n]
+                }
+                6..=9 => self.step_push(s, tid, 6, WORK, t.held, false, false),
+                10 => {
+                    if await_done {
+                        vec![self.observe_termination(s, tid, None)]
+                    } else {
+                        let mut n = s.clone();
+                        n.threads[tid].done = true;
+                        vec![n]
+                    }
+                }
+                _ => unreachable!("producer pc"),
+            },
+            // PCs: 0 termination check, 1-4 pop(Work), 5 read body,
+            // 6 consume + zero body, 7-10 push(Empty) with Release CAS.
+            Role::Consumer => match t.pc {
+                0 => vec![self.observe_termination(s, tid, Some(1))],
+                1..=4 => self.step_pop(s, tid, 1, WORK, Some(0)),
+                5 => {
+                    let mut n = s.clone();
+                    n.threads[tid].rlen = s.mem.plain_load(tid, t.held as usize);
+                    if self.mutation == PoolMutation::CounterBeforeOp {
+                        // §4.3 reversed: counter bumped before the packet
+                        // is consumed and pushed.
+                        n.counts[EMPTY] += 1;
+                    }
+                    n.threads[tid].pc = 6;
+                    vec![n]
+                }
+                6 => {
+                    let mut n = s.clone();
+                    n.consumed += t.rlen as u8;
+                    n.mem.plain_store(tid, t.held as usize, 0);
+                    n.threads[tid].pc = 7;
+                    vec![n]
+                }
+                7..=10 => self.step_push(
+                    s,
+                    tid,
+                    7,
+                    EMPTY,
+                    t.held,
+                    true,
+                    self.mutation == PoolMutation::CounterBeforeOp,
+                ),
+                11 => {
+                    let mut n = s.clone();
+                    n.threads[tid].pc = 0;
+                    vec![n]
+                }
+                _ => unreachable!("consumer pc"),
+            },
+            // PCs: 0-3 pop(Empty) once per `left`, then done.
+            Role::AbaVictim => match t.pc {
+                0..=3 => self.step_pop(s, tid, 0, EMPTY, None),
+                4 => {
+                    let mut n = s.clone();
+                    n.threads[tid].left -= 1;
+                    if n.threads[tid].left > 0 {
+                        n.threads[tid].pc = 0;
+                    } else {
+                        n.threads[tid].done = true;
+                    }
+                    vec![n]
+                }
+                _ => unreachable!("victim pc"),
+            },
+            // PCs: 0-3 pop ×2 (via 4), 5-8 push the first-held packet,
+            // 9 done.
+            Role::AbaMixer => match t.pc {
+                0..=3 => self.step_pop(s, tid, 0, EMPTY, None),
+                4 => {
+                    let mut n = s.clone();
+                    n.threads[tid].left -= 1;
+                    n.threads[tid].pc = if n.threads[tid].left > 0 { 0 } else { 5 };
+                    vec![n]
+                }
+                5..=8 => self.step_push(s, tid, 5, EMPTY, t.held, false, false),
+                9 => {
+                    let mut n = s.clone();
+                    n.threads[tid].done = true;
+                    vec![n]
+                }
+                _ => unreachable!("mixer pc"),
+            },
+        }
+    }
+
+    /// Walks list `k`, returning packet indices; `None` if the chain is
+    /// longer than the packet count (a cycle — corrupted list).
+    fn walk(&self, s: &PoolState, k: usize) -> Option<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut idx = s.heads[k].0;
+        while idx != NIL {
+            if out.len() > self.npkt {
+                return None;
+            }
+            out.push(idx);
+            idx = s.next[idx as usize];
+        }
+        Some(out)
+    }
+}
+
+impl Model for PoolModel {
+    type State = PoolState;
+
+    fn initial(&self) -> PoolState {
+        // Build the Empty list as PacketPool::new does: push 0..npkt.
+        let mut next = vec![NIL; self.npkt];
+        let mut head = NIL;
+        for (i, link) in next.iter_mut().enumerate() {
+            *link = head;
+            head = i as u32;
+        }
+        let pops = |r: &Role| match r {
+            Role::Producer { items, .. } => *items,
+            Role::AbaVictim | Role::AbaMixer => 2,
+            Role::Consumer => 0,
+        };
+        PoolState {
+            mem: WeakMem::new(self.npkt, self.roles.len()),
+            heads: [(head, self.npkt as u32), (NIL, 0)],
+            next,
+            counts: [self.npkt as i16, 0],
+            holder: vec![None; self.npkt],
+            produced: 0,
+            consumed: 0,
+            poison: None,
+            threads: self.roles.iter().map(|r| TState::new(pops(r))).collect(),
+        }
+    }
+
+    fn successors(&self, s: &PoolState) -> Vec<PoolState> {
+        let mut out = Vec::new();
+        for tid in 0..self.roles.len() {
+            for mem in s.mem.flush_succs(tid) {
+                let mut n = s.clone();
+                n.mem = mem;
+                out.push(n);
+            }
+            if !s.threads[tid].done {
+                out.extend(self.step_thread(s, tid));
+            }
+        }
+        out
+    }
+
+    fn is_final(&self, s: &PoolState) -> bool {
+        s.threads.iter().all(|t| t.done) && s.mem.all_drained()
+    }
+
+    fn invariant(&self, s: &PoolState) -> Result<(), String> {
+        match s.poison {
+            Some(msg) => Err(msg.to_string()),
+            None => Ok(()),
+        }
+    }
+
+    fn finale(&self, s: &PoolState) -> Result<(), String> {
+        // No lost entries: everything produced was consumed, unless a
+        // thread deliberately kept a packet (ABA scenarios produce none).
+        if s.produced != s.consumed {
+            return Err(format!(
+                "lost entries: produced {} but consumed {}",
+                s.produced, s.consumed
+            ));
+        }
+        // No lost packet: held packets plus list contents partition the
+        // slab.
+        let mut seen = vec![0u8; self.npkt];
+        for k in [EMPTY, WORK] {
+            let Some(list) = self.walk(s, k) else {
+                return Err("corrupted list: next-link cycle".to_string());
+            };
+            for idx in list {
+                seen[idx as usize] += 1;
+            }
+        }
+        for (p, h) in s.holder.iter().enumerate() {
+            if h.is_some() {
+                seen[p] += 1;
+            }
+        }
+        for (p, &n) in seen.iter().enumerate() {
+            if n != 1 {
+                return Err(format!(
+                    "packet {p} appears {n} times across lists and holders (lost or duplicated)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Explorer, Outcome};
+
+    fn run(m: &PoolModel) -> Outcome {
+        Explorer::default().run(m)
+    }
+
+    #[test]
+    fn faithful_produce_consume_passes_exhaustively() {
+        let out = run(&PoolModel::produce_consume(PoolMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_aba_scenario_passes_exhaustively() {
+        let out = run(&PoolModel::aba(PoolMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn deleting_publish_fence_loses_entries() {
+        let out = run(&PoolModel::produce_consume(PoolMutation::SkipPublishFence));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("lost entries") || message.contains("unsound"))
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropping_aba_tag_double_gets_a_packet() {
+        let out = run(&PoolModel::aba(PoolMutation::NoAbaTag));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(
+                    message.contains("double-get")
+                        || message.contains("lost or duplicated")
+                        || message.contains("cycle"),
+                    "{message}"
+                )
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_counter_update_breaks_termination_detection() {
+        let out = run(&PoolModel::produce_consume(PoolMutation::CounterBeforeOp));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("unsound termination"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+}

@@ -319,6 +319,97 @@ impl Gc {
     }
 
     // ------------------------------------------------------------------
+    // verify-gc audits
+    // ------------------------------------------------------------------
+
+    /// Runs the full soundness audit: the structural verifier plus the
+    /// mostly-concurrent tri-color invariant ("every unmarked object
+    /// referenced from a marked object is promised to be revisited — its
+    /// parent is grey in a work packet, or its parent's card is dirty or
+    /// registered for rescanning"). Panics with a report on violation.
+    ///
+    /// Must be called at a quiescent point: no mutators running, no
+    /// packets held. Always available; the `verify-gc` cargo feature
+    /// additionally runs it automatically inside every pause and at
+    /// single-threaded increment boundaries.
+    pub fn audit_now(&self) {
+        self.audit_concurrent_state("explicit", true);
+    }
+
+    /// The audit body for points where concurrent-marking state (packet
+    /// entries, dirty cards, the cleaning registry) is live and excuses
+    /// unfinished edges. `structural` additionally runs [`verify_heap`]
+    /// — only sound when every allocation cache has been retired
+    /// (mark-and-push marks objects whose allocation bits are still
+    /// pending, so mark⊆alloc holds only after retirement).
+    fn audit_concurrent_state(&self, site: &str, structural: bool) {
+        use std::collections::HashSet;
+        // The grey set: marked-but-unscanned objects sitting in work
+        // packets.
+        // SAFETY: the caller is at a quiescent point (world stopped, or
+        // the only thread touching the pool), so no packet is held or
+        // mutated during the walk.
+        let grey: HashSet<usize> = unsafe { self.pool.snapshot_entries() }
+            .into_iter()
+            .map(|r| r.index())
+            .collect();
+        // Cards pulled out of the card table by §5.3 snapshot-to-clean
+        // but not yet rescanned still cover their objects.
+        let registry: HashSet<usize> = self.card_state.lock().registry.iter().copied().collect();
+        let cards = self.heap.cards();
+        let mut v = if structural {
+            mcgc_heap::verify(&self.heap, false)
+        } else {
+            Vec::new()
+        };
+        v.extend(mcgc_heap::verify_tricolor(
+            &self.heap,
+            |g| grey.contains(&g),
+            |g| {
+                let card = g / mcgc_heap::GRANULES_PER_CARD;
+                cards.is_dirty(card) || registry.contains(&card)
+            },
+        ));
+        Self::audit_report(site, v);
+    }
+
+    /// The exact audit for the end of marking: the pool is drained, the
+    /// card table and registry are clean, so marked objects may only
+    /// reference marked objects — no excuses.
+    #[cfg(feature = "verify-gc")]
+    fn audit_strict(&self, site: &str) {
+        let mut v = mcgc_heap::verify(&self.heap, false);
+        v.extend(mcgc_heap::verify_tricolor(&self.heap, |_| false, |_| false));
+        Self::audit_report(site, v);
+    }
+
+    /// Tri-color audit at a mutator increment boundary. Only runs in the
+    /// single-threaded configuration (one registered mutator, no
+    /// background tracers): anything else has concurrent heap walkers
+    /// and the audit itself would race.
+    #[cfg(feature = "verify-gc")]
+    pub(crate) fn audit_increment_boundary(&self) {
+        if self.config.background_threads != 0 || self.mutators.lock().len() != 1 {
+            return;
+        }
+        self.audit_concurrent_state("increment-boundary", false);
+    }
+
+    fn audit_report(site: &str, v: Vec<mcgc_heap::Violation>) {
+        if v.is_empty() {
+            return;
+        }
+        let mut msg = format!(
+            "verify-gc audit failed at {site} with {} violations:\n",
+            v.len()
+        );
+        for violation in v.iter().take(20) {
+            msg.push_str(&format!("  - {violation}\n"));
+        }
+        panic!("{msg}");
+    }
+
+    // ------------------------------------------------------------------
     // global roots
     // ------------------------------------------------------------------
 
@@ -640,6 +731,14 @@ impl Gc {
             self.heap.retire_cache(&mut m.cache.lock());
         }
 
+        // verify-gc: audit the concurrent phase's parting state — caches
+        // retired (so mark⊆alloc must hold), every marked→unmarked edge
+        // excused by a packet entry, a dirty card, or the registry.
+        #[cfg(feature = "verify-gc")]
+        if !fresh {
+            self.audit_concurrent_state("pause-start", true);
+        }
+
         // A fresh (baseline/explicit-from-idle) collection initializes
         // its cycle now, under the pause.
         if fresh {
@@ -704,6 +803,11 @@ impl Gc {
         }
         let stw_traced = self.counters.traced_stw.load(Ordering::Relaxed) - stw_traced_before;
 
+        // verify-gc: marking is complete — the tri-color invariant must
+        // now hold with no excuses.
+        #[cfg(feature = "verify-gc")]
+        self.audit_strict("post-drain");
+
         // 5. Sweep.
         self.tel
             .on_sweep_start(cycle_no, self.config.sweep == SweepMode::Lazy);
@@ -725,6 +829,13 @@ impl Gc {
             }
         };
         self.tel.on_sweep_end(cycle_no, live_objects);
+
+        // verify-gc: after an eager sweep the rebuilt free list must
+        // agree with the bitmaps (lazy sweeping checks per-chunk).
+        #[cfg(feature = "verify-gc")]
+        if !lazy_planned {
+            self.audit_strict("post-sweep");
+        }
 
         // 6. Account the cycle.
         let cost = &self.config.cost;

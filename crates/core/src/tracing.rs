@@ -452,6 +452,8 @@ impl Gc {
             acc.factor_sq_sum += factor * factor;
         }
         self.maybe_update_background_estimate();
+        #[cfg(feature = "verify-gc")]
+        self.audit_increment_boundary();
         if self.concurrent_work_exhausted() {
             self.collect_inner(crate::stats::Trigger::ConcurrentDone);
         }

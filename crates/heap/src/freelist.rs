@@ -185,6 +185,17 @@ impl FreeList {
     pub fn iter(&self) -> impl Iterator<Item = Extent> + '_ {
         self.extents.iter().copied()
     }
+
+    /// Replaces the extents verbatim, with no ordering, overlap, or
+    /// length checks. Exists so verifier tests can construct corrupted
+    /// lists that [`FreeList::rebuild`]'s debug assertions would reject;
+    /// never call it from collector code.
+    #[doc(hidden)]
+    pub fn set_extents_unchecked(&mut self, extents: Vec<Extent>) {
+        self.free_granules = extents.iter().map(|e| e.len).sum();
+        self.extents = extents.into();
+        self.hint = 0;
+    }
 }
 
 #[cfg(test)]

@@ -44,4 +44,4 @@ pub use freelist::{Extent, FreeList};
 pub use heap::{AllocCache, AllocError, Heap, HeapConfig, ObjectShape};
 pub use object::{Header, ObjectRef, CARD_BYTES, GRANULES_PER_CARD, GRANULE_BYTES};
 pub use sweep::{sweep_parallel, sweep_serial, LazySweep, SweepStats, DEFAULT_CHUNK_GRANULES};
-pub use verify::{assert_heap_valid, verify, Violation};
+pub use verify::{assert_heap_valid, verify, verify_tricolor, Violation};

@@ -56,6 +56,25 @@ pub enum Violation {
         /// The granule.
         granule: usize,
     },
+    /// The free list is not address-ordered, or holds a zero-length or
+    /// overlapping extent.
+    FreeListDisorder {
+        /// Offending extent start granule.
+        start: usize,
+        /// Offending extent length.
+        len: usize,
+    },
+    /// A marked (black) object references an unmarked object without
+    /// being covered: the mostly-concurrent tri-color invariant (§2.1)
+    /// is broken, and the referent would be swept while reachable.
+    TriColor {
+        /// The marked, already-scanned parent.
+        parent: u32,
+        /// Slot index holding the uncovered reference.
+        slot: u32,
+        /// The unmarked child.
+        child: u32,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -84,6 +103,21 @@ impl std::fmt::Display for Violation {
             Violation::MarkWithoutAlloc { granule } => {
                 write!(f, "granule {granule:#x} is marked but not allocated")
             }
+            Violation::FreeListDisorder { start, len } => {
+                write!(
+                    f,
+                    "free extent [{start:#x}, +{len}) is out of order, empty, or overlapping"
+                )
+            }
+            Violation::TriColor {
+                parent,
+                slot,
+                child,
+            } => write!(
+                f,
+                "tri-color violation: marked object {parent:#x} slot {slot} references \
+                 unmarked {child:#x} with no card coverage"
+            ),
         }
     }
 }
@@ -150,9 +184,18 @@ pub fn verify(heap: &Heap, strict_refs: bool) -> Vec<Violation> {
         cursor = start + 1;
     }
 
-    // Pass 2: free-list extents must not intersect allocated headers.
+    // Pass 2: free-list extents must be address-ordered, non-empty, and
+    // must not intersect allocated headers.
     heap.with_free_list(|fl| {
+        let mut prev_end = 0usize;
         for e in fl.iter() {
+            if e.len == 0 || e.start < prev_end {
+                violations.push(Violation::FreeListDisorder {
+                    start: e.start,
+                    len: e.len,
+                });
+            }
+            prev_end = prev_end.max(e.start + e.len);
             if alloc.count_range(e.start, (e.start + e.len).min(granules)) != 0 {
                 violations.push(Violation::FreeListOverlap {
                     start: e.start,
@@ -172,6 +215,62 @@ pub fn verify(heap: &Heap, strict_refs: bool) -> Vec<Violation> {
         m = g + 1;
     }
 
+    violations
+}
+
+/// Checks the mostly-concurrent tri-color invariant (§2.1): every
+/// reference held by a marked (black) object must lead to a marked
+/// object, unless something else promises the reference will be
+/// revisited — the parent is *grey* (marked but not yet scanned: its
+/// entry sits in a work packet), or the parent is *covered* (the card
+/// holding its header is dirty or registered for rescanning, so card
+/// cleaning will re-trace it).
+///
+/// `grey(granule)` and `covered(granule)` answer those questions for an
+/// object's header granule; the caller derives them from the packet pool
+/// and the card table + cleaning registry. Run only at a quiescent point
+/// (a safepoint, or in tests): mid-increment the mark bits are racing.
+///
+/// At the end of marking — after final card cleaning, with the packet
+/// pool drained — pass `|_| false` for both and the check is exact:
+/// marked objects may only reference marked objects.
+pub fn verify_tricolor(
+    heap: &Heap,
+    grey: impl Fn(usize) -> bool,
+    covered: impl Fn(usize) -> bool,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let granules = heap.granules();
+    let alloc = heap.alloc_bits();
+    let marks = heap.mark_bits();
+    let mut cursor = 1;
+    while let Some(start) = marks.next_set(cursor) {
+        cursor = start + 1;
+        // Structural problems (marks without alloc bits, bad headers) are
+        // verify()'s business; skip anything it would already flag.
+        if !alloc.get(start) {
+            continue;
+        }
+        let obj = ObjectRef::from_granule(start as u32);
+        let h = heap.header(obj);
+        if h.size_granules == 0 || start + h.size_granules as usize > granules {
+            continue;
+        }
+        if grey(start) || covered(start) {
+            continue;
+        }
+        for i in 0..h.ref_count {
+            if let Some(target) = heap.load_ref(obj, i) {
+                if target.index() < granules && !marks.get(target.index()) {
+                    violations.push(Violation::TriColor {
+                        parent: start as u32,
+                        slot: i,
+                        child: target.granule(),
+                    });
+                }
+            }
+        }
+    }
     violations
 }
 
@@ -248,6 +347,158 @@ mod tests {
         h.mark_bits().set(500);
         let v = verify(&h, true);
         assert_eq!(v, vec![Violation::MarkWithoutAlloc { granule: 500 }]);
+    }
+
+    #[test]
+    fn detects_zero_size_object() {
+        let h = heap();
+        let mut cache = AllocCache::new();
+        h.refill_cache(&mut cache, 1);
+        // Host object with data granules we can forge headers into.
+        let x = h
+            .alloc_small(&mut cache, ObjectShape::new(0, 4, 0))
+            .unwrap();
+        h.retire_cache(&mut cache);
+        // An allocation bit inside x's (zeroed) data area decodes as an
+        // object of size 0.
+        let g = x.index() + 2;
+        h.alloc_bits().set(g);
+        let v = verify(&h, true);
+        assert_eq!(v, vec![Violation::ZeroSizeObject { obj: g as u32 }]);
+    }
+
+    #[test]
+    fn detects_object_out_of_bounds() {
+        let h = heap();
+        let mut cache = AllocCache::new();
+        h.refill_cache(&mut cache, 1);
+        let x = h
+            .alloc_small(&mut cache, ObjectShape::new(0, 4, 0))
+            .unwrap();
+        h.retire_cache(&mut cache);
+        // Forge a header whose size runs past the end of the 1 MiB heap.
+        let huge = crate::object::Header::new(0, 1 << 20, 0);
+        h.store_data(x, 1, huge.encode());
+        let g = x.index() + 2;
+        h.alloc_bits().set(g);
+        let v = verify(&h, true);
+        assert_eq!(
+            v,
+            vec![Violation::ObjectOutOfBounds {
+                obj: g as u32,
+                end: g + huge.size_granules as usize,
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_overlapping_objects() {
+        let h = heap();
+        let mut cache = AllocCache::new();
+        h.refill_cache(&mut cache, 1);
+        let x = h
+            .alloc_small(&mut cache, ObjectShape::new(0, 4, 0))
+            .unwrap();
+        h.retire_cache(&mut cache);
+        // Forge a well-formed one-granule object inside x.
+        let forged = crate::object::Header::new(0, 0, 0);
+        h.store_data(x, 1, forged.encode());
+        let g = x.index() + 2;
+        h.alloc_bits().set(g);
+        let v = verify(&h, true);
+        assert_eq!(
+            v,
+            vec![Violation::Overlap {
+                first: x.granule(),
+                second: g as u32,
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_free_list_overlap() {
+        let h = heap();
+        // An allocation bit in the middle of free space: the covering
+        // free extent now overlaps an "object" (which also decodes as
+        // zero-size, since the memory is zeroed).
+        let g = h.granules() - 100;
+        h.alloc_bits().set(g);
+        let v = verify(&h, true);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::FreeListOverlap { .. })),
+            "{v:?}"
+        );
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::ZeroSizeObject { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_free_list_disorder() {
+        use crate::freelist::Extent;
+        let h = heap();
+        let (a, b) = h.with_free_list(|fl| {
+            let e: Vec<Extent> = fl.iter().collect();
+            assert!(!e.is_empty());
+            // Split the first real extent into two out-of-order pieces.
+            let first = e[0];
+            (
+                Extent {
+                    start: first.start + 8,
+                    len: first.len - 8,
+                },
+                Extent {
+                    start: first.start,
+                    len: 8,
+                },
+            )
+        });
+        h.with_free_list(|fl| fl.set_extents_unchecked(vec![a, b]));
+        let v = verify(&h, true);
+        assert_eq!(
+            v,
+            vec![Violation::FreeListDisorder {
+                start: b.start,
+                len: b.len,
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_tricolor_violation_and_respects_grey_and_coverage() {
+        let h = heap();
+        let mut cache = AllocCache::new();
+        h.refill_cache(&mut cache, 1);
+        let a = h
+            .alloc_small(&mut cache, ObjectShape::new(1, 0, 0))
+            .unwrap();
+        let b = h
+            .alloc_small(&mut cache, ObjectShape::new(0, 0, 0))
+            .unwrap();
+        h.retire_cache(&mut cache);
+        h.store_ref_unbarriered(a, 0, Some(b));
+        // a is black (marked, treated as scanned), b is white, no card
+        // coverage: the reference to b would be lost.
+        h.mark(a);
+        let strict = verify_tricolor(&h, |_| false, |_| false);
+        assert_eq!(
+            strict,
+            vec![Violation::TriColor {
+                parent: a.granule(),
+                slot: 0,
+                child: b.granule(),
+            }]
+        );
+        // Any of the three escape hatches clears it: a is still grey …
+        assert_eq!(verify_tricolor(&h, |g| g == a.index(), |_| false), vec![]);
+        // … or a's card is covered (dirty / registered for rescanning) …
+        assert_eq!(verify_tricolor(&h, |_| false, |g| g == a.index()), vec![]);
+        // … or b gets marked.
+        h.mark(b);
+        assert_eq!(verify_tricolor(&h, |_| false, |_| false), vec![]);
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! `mcgc-lint`: the workspace's fence/unsafe discipline, enforced by a
+//! hand-rolled token scan (no `syn`, no external dependencies — the
+//! workspace is hermetic by design).
+//!
+//! Rules:
+//!
+//! * **no-raw-fence** — `std::sync::atomic::fence` / `compiler_fence`
+//!   (calls or imports) are forbidden outside `crates/membar`. All
+//!   fences go through `mcgc_membar::{release_fence, acquire_fence,
+//!   full_fence}` so every barrier carries a [`FenceKind`] tied to a
+//!   paper section and is visible to the fence-counting tests.
+//! * **no-raw-ordering** — atomic `Ordering::{Relaxed, Acquire,
+//!   Release, AcqRel, SeqCst}` is forbidden outside `crates/membar` and
+//!   an explicit per-file allowlist ([`ORDERING_ALLOWLIST`]). Adding an
+//!   atomic to a new file is a reviewable act: extend the allowlist in
+//!   the same change.
+//! * **undocumented-unsafe** — every `unsafe` keyword (block, fn, impl,
+//!   trait) must carry a `// SAFETY:` comment (or a `/// # Safety` doc
+//!   section) on the same line or in the contiguous comment/attribute
+//!   block above it.
+//! * **no-static-mut** — `static mut` is forbidden everywhere; use an
+//!   atomic or a lock.
+//!
+//! Comments, strings (including raw and byte strings), and char
+//! literals are masked out before pattern matching, so prose and test
+//! fixtures never trip the rules.
+//!
+//! Run it with `cargo run -p mcgc-lint` from the workspace root; the
+//! binary exits nonzero if any finding is produced. A unit test lints
+//! the real tree, so `cargo test` enforces the discipline too.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Files (workspace-relative, `/`-separated) allowed to use atomic
+/// `Ordering::*` directly. Everything in `crates/membar` is implicitly
+/// allowed.
+pub const ORDERING_ALLOWLIST: &[&str] = &[
+    "crates/core/src/background.rs",
+    "crates/core/src/collector.rs",
+    "crates/core/src/roots.rs",
+    "crates/core/src/tracing.rs",
+    "crates/heap/src/bitmap.rs",
+    "crates/heap/src/cards.rs",
+    "crates/heap/src/heap.rs",
+    "crates/heap/src/sweep.rs",
+    "crates/packets/src/pool.rs",
+    "crates/telemetry/src/histogram.rs",
+    "crates/telemetry/src/lib.rs",
+    "crates/telemetry/src/registry.rs",
+    "crates/telemetry/src/ring.rs",
+    "crates/workloads/src/framework.rs",
+    "crates/workloads/src/javac.rs",
+    "crates/workloads/src/jbb.rs",
+    "examples/web_server.rs",
+    "tests/concurrent_correctness.rs",
+    "tests/gc_audit.rs",
+    "tests/packet_protocol.rs",
+];
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (e.g. `no-raw-ordering`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Replaces the contents of comments, string/char literals (including
+/// raw and byte strings) with spaces, preserving newlines and the
+/// positions of all remaining characters.
+pub fn mask_source(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(src.len());
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1;
+            out.push_str("  ");
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and raw byte) strings: r"…", r#"…"#, br#"…"#, …
+        if (c == 'r' || c == 'b') && (i == 0 || !is_ident(chars[i - 1])) {
+            let mut j = i;
+            if chars[j] == 'b' && j + 1 < n && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            if chars[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    for &p in &chars[i..=k] {
+                        out.push(p);
+                    }
+                    i = k + 1;
+                    while i < n {
+                        let closes = chars[i] == '"'
+                            && i + hashes < n
+                            && chars[i + 1..i + 1 + hashes].iter().all(|&h| h == '#');
+                        if closes {
+                            out.push('"');
+                            for _ in 0..hashes {
+                                out.push('#');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Byte-string prefix: emit the `b`, let the `"` arm mask it.
+        if c == 'b'
+            && i + 1 < n
+            && (chars[i + 1] == '"' || chars[i + 1] == '\'')
+            && (i == 0 || !is_ident(chars[i - 1]))
+        {
+            out.push('b');
+            i += 1;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: '\…' or 'x' is a char; anything
+        // else ('a in &'a, 'static) is a lifetime and passes through.
+        if c == '\'' {
+            let is_char = match chars.get(i + 1) {
+                Some('\\') => true,
+                Some(&c2) if c2 != '\'' => chars.get(i + 2) == Some(&'\''),
+                _ => false,
+            };
+            if is_char {
+                out.push('\'');
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        out.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '\'' {
+                        out.push('\'');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn contains_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = !line[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// True if the comment/attribute block ending just above `line_idx`
+/// (or `line_idx`'s own trailing comment) contains a safety note.
+fn has_safety_note(orig_lines: &[&str], line_idx: usize) -> bool {
+    let noted = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
+    if noted(orig_lines[line_idx]) {
+        return true;
+    }
+    let mut j = line_idx;
+    while j > 0 {
+        j -= 1;
+        let t = orig_lines[j].trim_start();
+        if t.is_empty() || t.starts_with("#[") || t.starts_with("#!") || t.starts_with(']') {
+            continue;
+        }
+        if t.starts_with("//") || t.starts_with('*') || t.starts_with("/*") {
+            if noted(t) {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+const ORDERING_VARIANTS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Lints one file's source. `rel` is the workspace-relative path with
+/// `/` separators; it selects which rules and allowlists apply.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let masked = mask_source(src);
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let orig_lines: Vec<&str> = src.lines().collect();
+    let in_membar = rel.starts_with("crates/membar/");
+    let ordering_allowed = in_membar || ORDERING_ALLOWLIST.contains(&rel);
+
+    for (idx, line) in masked_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if !in_membar {
+            let fence_import = line.trim_start().starts_with("use ")
+                && line.contains("sync::atomic")
+                && contains_word(line, "fence");
+            if line.contains("atomic::fence") || line.contains("compiler_fence") || fence_import {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "no-raw-fence",
+                    message: "raw atomic fence outside crates/membar; use \
+                              mcgc_membar::{release_fence, acquire_fence, full_fence}"
+                        .to_string(),
+                });
+            }
+        }
+        if !ordering_allowed {
+            if let Some(v) = ORDERING_VARIANTS.iter().find(|v| line.contains(*v)) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "no-raw-ordering",
+                    message: format!(
+                        "{v} outside crates/membar and the allowlist; either route \
+                         through mcgc_membar or add this file to ORDERING_ALLOWLIST"
+                    ),
+                });
+            }
+        }
+        if contains_word(line, "static")
+            && contains_word(line, "mut")
+            && line.contains("static mut")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "no-static-mut",
+                message: "static mut is forbidden; use an atomic or a lock".to_string(),
+            });
+        }
+        if contains_word(line, "unsafe") && !has_safety_note(&orig_lines, idx) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "undocumented-unsafe",
+                message: "unsafe without a `// SAFETY:` comment (or `# Safety` doc \
+                          section) on the preceding comment block"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+fn walk(dir: &Path, root: &Path, findings: &mut Vec<Finding>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, root, findings)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = fs::read_to_string(&path)?;
+            findings.extend(lint_source(&rel, &src));
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root` (skipping `target/` and
+/// `.git/`). Returns all findings, in path order.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    walk(root, root, &mut findings)?;
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_strings_and_chars() {
+        let src = "let x = \"Ordering::SeqCst\"; // Ordering::SeqCst\nlet c = 'a'; let s: &'static str = r#\"unsafe\"#;\n/* static mut */ let y = 1;\n";
+        let m = mask_source(src);
+        assert!(!m.contains("Ordering"), "{m}");
+        assert!(!m.contains("unsafe"), "{m}");
+        assert!(!m.contains("static mut"), "{m}");
+        assert!(m.contains("&'static str"), "lifetime survives: {m}");
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_ordering_is_flagged_outside_allowlist() {
+        let src = "fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }\n";
+        let f = lint_source("crates/core/src/new_file.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-raw-ordering");
+        assert!(lint_source("crates/core/src/collector.rs", src).is_empty());
+        assert!(lint_source("crates/membar/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_fence_is_flagged_outside_membar() {
+        let src = "use std::sync::atomic::fence;\nfn f() { std::sync::atomic::fence(x); }\n";
+        let f = lint_source("crates/core/src/tracing.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "no-raw-fence"));
+        assert!(lint_source("crates/membar/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn membar_fence_wrappers_are_fine() {
+        let src = "use mcgc_membar::release_fence;\nfn f() { release_fence(FenceKind::PacketPublish); }\n";
+        assert!(lint_source("crates/packets/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged_and_safety_comment_clears_it() {
+        let bare = "fn f() { unsafe { g() } }\n";
+        let f = lint_source("crates/heap/src/x.rs", bare);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "undocumented-unsafe");
+
+        let commented = "// SAFETY: g has no preconditions here.\nfn f() { unsafe { g() } }\n";
+        assert!(lint_source("crates/heap/src/x.rs", commented).is_empty());
+
+        let trailing = "let v = unsafe { g() }; // SAFETY: see above.\n";
+        assert!(lint_source("crates/heap/src/x.rs", trailing).is_empty());
+
+        let doc = "/// Frees it.\n///\n/// # Safety\n/// Caller must own `p`.\npub unsafe fn free(p: *mut u8) {}\n";
+        assert!(lint_source("crates/heap/src/x.rs", doc).is_empty());
+
+        let in_string = "let s = \"unsafe\";\n";
+        assert!(lint_source("crates/heap/src/x.rs", in_string).is_empty());
+    }
+
+    #[test]
+    fn static_mut_is_flagged() {
+        let src = "static mut COUNTER: usize = 0;\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-static-mut");
+    }
+
+    #[test]
+    fn the_real_tree_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = lint_tree(&root).expect("walk workspace");
+        assert!(
+            findings.is_empty(),
+            "lint findings in tree:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

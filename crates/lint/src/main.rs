@@ -1,0 +1,28 @@
+//! CLI entry point: lints the workspace tree and exits nonzero on any
+//! finding. Run from the workspace root (`cargo run -p mcgc-lint`), or
+//! pass an explicit root directory as the first argument.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match mcgc_lint::lint_tree(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("mcgc-lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("mcgc-lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(err) => {
+            eprintln!("mcgc-lint: walk failed: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -130,6 +130,8 @@ pub struct PacketPool<T> {
 // index from a sub-pool list (exclusive ownership transfers through the
 // list). `T: Send` is required to move items across threads.
 unsafe impl<T: Send> Send for PacketPool<T> {}
+// SAFETY: as above — shared references only ever touch the atomics;
+// `UnsafeCell` bodies are reached through list-transferred ownership.
 unsafe impl<T: Send> Sync for PacketPool<T> {}
 
 impl<T> PacketPool<T> {
@@ -340,6 +342,37 @@ impl<T> PacketPool<T> {
     pub fn occupancy(&self) -> f64 {
         let total = self.slots.len() * self.capacity;
         self.entries.load(Ordering::Relaxed) as f64 / total as f64
+    }
+
+    /// Copies every entry currently sitting in pooled packets, across
+    /// all four sub-pools. This is the collector's *grey set*: objects
+    /// marked but not yet scanned. Used by the `verify-gc` tri-color
+    /// audit at safepoints.
+    ///
+    /// # Safety
+    ///
+    /// The pool must be quiescent: no thread may get, put, or mutate a
+    /// packet for the duration of the call, and no packet may be held
+    /// (`in_use == 0`), since held packets' bodies are being mutated and
+    /// are not on any list. A stop-the-world pause with worker threads
+    /// parked satisfies this.
+    pub unsafe fn snapshot_entries(&self) -> Vec<T>
+    where
+        T: Copy,
+    {
+        let mut out = Vec::new();
+        for pool in &self.pools {
+            let (mut idx, _) = unpack(pool.head.load(Ordering::Acquire));
+            while idx != NIL {
+                let slot = &self.slots[idx as usize];
+                // SAFETY: quiescence (the caller's contract) means no
+                // thread owns or mutates this body while we read it.
+                let body = unsafe { &*slot.body.get() };
+                out.extend_from_slice(body);
+                idx = slot.next.load(Ordering::Relaxed);
+            }
+        }
+        out
     }
 
     /// Resets instrumentation (not pool contents) between measurements.
@@ -764,5 +797,25 @@ mod tests {
         if left == 0 {
             assert!(p.is_tracing_complete());
         }
+    }
+
+    #[test]
+    fn snapshot_entries_walks_all_sub_pools() {
+        let p = pool(4, 8);
+        let mut a = p.get_output().unwrap();
+        for v in 0..8 {
+            a.push(v).unwrap(); // full → AlmostFull
+        }
+        drop(a);
+        let mut b = p.get_empty().unwrap();
+        b.push(100).unwrap(); // 1 of 8 → NonEmpty
+        drop(b);
+        let mut c = p.get_empty().unwrap();
+        c.push(200).unwrap();
+        c.defer(); // → Deferred
+                   // SAFETY: single-threaded test; every packet is back on a list.
+        let mut got = unsafe { p.snapshot_entries() };
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5, 6, 7, 100, 200]);
     }
 }

@@ -1,0 +1,112 @@
+//! Soundness audits over real collections. Built plain, these tests
+//! exercise the explicit [`Gc::audit_now`] entry point at quiescent
+//! points. Built with `--features verify-gc` (as the CI soundness job
+//! does), every pause in these runs is additionally audited in place:
+//! tri-color at pause start, strict tri-color after the drain,
+//! structural + free-list agreement after an eager sweep, and
+//! tri-color at single-threaded increment boundaries.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcgc::{Gc, GcConfig, ObjectShape, SweepMode};
+
+/// Single mutator, no background tracers: the configuration where
+/// increment-boundary audits run after every mutator tracing duty.
+#[test]
+fn single_threaded_churn_passes_every_audit() {
+    let mut c = GcConfig::with_heap_bytes(8 << 20);
+    c.background_threads = 0;
+    c.stw_workers = 1;
+    let gc = Gc::new(c);
+    let mut m = gc.register_mutator();
+    let node = ObjectShape::new(2, 2, 1);
+    let head = m.alloc(node).unwrap();
+    m.root_push(Some(head));
+    let mut tail = head;
+    for i in 0..20_000u64 {
+        let n = m.alloc(node).unwrap();
+        m.write_data(n, 0, i);
+        // Keep a rolling window live; everything older is garbage.
+        m.write_ref(tail, 0, Some(n));
+        if i % 64 == 0 {
+            m.write_ref(head, 1, Some(n));
+        }
+        if i % 512 == 0 {
+            m.write_ref(tail, 1, None);
+        }
+        tail = n;
+    }
+    m.collect();
+    assert!(
+        !gc.log().cycles.is_empty(),
+        "workload must have run at least one audited cycle"
+    );
+    drop(m);
+    gc.audit_now();
+    gc.shutdown();
+}
+
+/// Concurrent mutators + background tracers: every triggered pause (in
+/// both sweep modes) runs the pause-start / post-drain / post-sweep
+/// audits while references race the marker.
+#[test]
+fn concurrent_churn_passes_pause_audits_in_both_sweep_modes() {
+    for sweep in [SweepMode::Eager, SweepMode::Lazy] {
+        let mut c = GcConfig::with_heap_bytes(12 << 20);
+        c.background_threads = 1;
+        c.stw_workers = 2;
+        c.sweep = sweep;
+        let gc = Gc::new(c);
+        let stop = Arc::new(AtomicBool::new(false));
+        let node = ObjectShape::new(1, 2, 1);
+        let junk = ObjectShape::new(0, 6, 0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let gc = Arc::clone(&gc);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut m = gc.register_mutator();
+                    let head = m.alloc(node).unwrap();
+                    m.root_push(Some(head));
+                    let mut tail = head;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..100 {
+                            m.alloc(junk).unwrap();
+                        }
+                        let n = m.alloc(node).unwrap();
+                        m.write_ref(tail, 0, Some(n));
+                        tail = n;
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(600));
+            stop.store(true, Ordering::SeqCst);
+        });
+        assert!(
+            !gc.log().cycles.is_empty(),
+            "churn must trigger audited cycles ({sweep:?})"
+        );
+        gc.shutdown();
+        gc.audit_now();
+    }
+}
+
+/// `audit_now` is callable on a fresh, idle collector and between
+/// cycles — a clean heap has nothing to report.
+#[test]
+fn explicit_audit_on_idle_collector_is_clean() {
+    let gc = Gc::new(GcConfig::with_heap_bytes(4 << 20));
+    gc.audit_now();
+    let mut m = gc.register_mutator();
+    let a = m.alloc(ObjectShape::new(1, 1, 0)).unwrap();
+    let b = m.alloc(ObjectShape::new(0, 1, 0)).unwrap();
+    m.root_push(Some(a));
+    m.write_ref(a, 0, Some(b));
+    m.collect();
+    m.collect();
+    drop(m);
+    gc.audit_now();
+    gc.shutdown();
+}
