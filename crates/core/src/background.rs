@@ -15,11 +15,28 @@ use crate::tracing::TraceRole;
 /// the *measured* background rate `B`, not on a particular scheduler.
 pub(crate) fn run(gc: Arc<Gc>) {
     gc.register_thread();
+    gc.bg_alive
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     while !gc.shutdown_flag.load(std::sync::atomic::Ordering::Relaxed) {
         gc.poll_safepoint();
         if gc.in_concurrent_phase() {
+            // Fault: the tracer dies mid-phase — it abandons its tracing
+            // duties abruptly (deregistering below, as a real thread
+            // death would via its runtime's exit path). Any packets it
+            // ever held are already back in the pool; the collector must
+            // finish the cycle without its help.
+            if mcgc_fault::point!("bg.death") {
+                break;
+            }
+            // Fault: the tracer stalls for the payload's duration while
+            // *holding a checked-out packet* — the scenario the pause
+            // watchdog exists for.
+            if mcgc_fault::point!("bg.stall") {
+                stall_holding_packet(&gc);
+                continue;
+            }
             let quantum = gc.config.background_quantum as u64;
-            let done = gc.trace_increment(quantum, TraceRole::Background);
+            let done = gc.trace_increment(quantum, TraceRole::Background, None);
             if done == 0 {
                 // No concurrent work right now: yield (the paper's
                 // background threads yield and retry).
@@ -35,7 +52,37 @@ pub(crate) fn run(gc: Arc<Gc>) {
             idle(&gc, Duration::from_micros(500));
         }
     }
+    gc.bg_alive
+        .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
     gc.deregister_thread();
+}
+
+/// Backs the `bg.stall` fault site: checks a non-empty packet out of the
+/// pool and sleeps on it (counted *safe*, so pauses proceed) for the
+/// plan's payload in milliseconds (default 1000, clamped to a minute).
+/// A healthy thread never parks holding a packet; the pause watchdog
+/// must condemn the handle so termination detection still fires.
+fn stall_holding_packet(gc: &Arc<Gc>) {
+    // Prefer a work-laden input packet (the worst case: greys go missing
+    // with it), but any checked-out packet wedges §4.3 termination
+    // detection, so fall back to an output-side grab.
+    let Some(held) = gc.pool.get_input().or_else(|| gc.pool.get_output()) else {
+        // Nothing to hold hostage yet; retry at the next loop turn (the
+        // site keeps firing under a `From` trigger).
+        std::thread::yield_now();
+        return;
+    };
+    let ms = match mcgc_fault::payload("bg.stall") {
+        0 => 1000,
+        ms => ms.clamp(1, 60_000),
+    };
+    let deadline = std::time::Instant::now() + Duration::from_millis(ms);
+    while !gc.shutdown_flag.load(std::sync::atomic::Ordering::Relaxed)
+        && std::time::Instant::now() < deadline
+    {
+        idle(gc, Duration::from_millis(2));
+    }
+    drop(held);
 }
 
 /// Sleeps while counted *safe* so the collector never waits on an idle

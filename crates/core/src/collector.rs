@@ -2,7 +2,7 @@
 //! stop-the-world pause (paper §2).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,20 +33,50 @@ pub(crate) const PHASE_CONCURRENT: u8 = 1;
 /// Errors surfaced to mutators.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum GcError {
-    /// The heap cannot satisfy the allocation even after a full
-    /// collection.
-    OutOfMemory,
+    /// The heap cannot satisfy the allocation even after the full
+    /// escalation ladder (lazy-sweep progress, finishing the concurrent
+    /// phase, full stop-the-world collections) has run.
+    OutOfMemory {
+        /// Bytes the failing allocation requested.
+        requested_bytes: u64,
+        /// Heap occupancy when the ladder gave up, in permille
+        /// (0..=1000).
+        occupancy_permille: u16,
+    },
 }
 
 impl std::fmt::Display for GcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GcError::OutOfMemory => write!(f, "out of memory after full collection"),
+            GcError::OutOfMemory {
+                requested_bytes,
+                occupancy_permille,
+            } => write!(
+                f,
+                "out of memory after full collection: requested {requested_bytes} B \
+                 with heap {}.{}% occupied",
+                occupancy_permille / 10,
+                occupancy_permille % 10
+            ),
         }
     }
 }
 
 impl std::error::Error for GcError {}
+
+impl From<mcgc_heap::AllocError> for GcError {
+    fn from(e: mcgc_heap::AllocError) -> GcError {
+        match e {
+            mcgc_heap::AllocError::OutOfMemory {
+                requested_bytes,
+                occupancy_permille,
+            } => GcError::OutOfMemory {
+                requested_bytes,
+                occupancy_permille,
+            },
+        }
+    }
+}
 
 /// Per-cycle atomic work counters (reset at cycle initialization).
 #[derive(Debug, Default)]
@@ -179,6 +209,14 @@ pub struct Gc {
     pub(crate) tel: GcTelemetry,
     pub(crate) shutdown_flag: AtomicBool,
     bg_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+
+    /// §5.3 handshake epoch: bumped by the collector when a card snapshot
+    /// needs every mutator to fence; mutators ack by storing the epoch
+    /// into their `handshake_seen` at the next safepoint poll.
+    pub(crate) handshake_epoch: AtomicU64,
+    /// Background tracer threads currently inside their run loop (a
+    /// `bg.death` fault or shutdown decrements it; watched by `gc_top`).
+    pub(crate) bg_alive: AtomicUsize,
 }
 
 impl Gc {
@@ -222,6 +260,8 @@ impl Gc {
             tel: GcTelemetry::new(mcgc_telemetry::DEFAULT_RING_CAPACITY),
             shutdown_flag: AtomicBool::new(false),
             bg_handles: Mutex::new(Vec::new()),
+            handshake_epoch: AtomicU64::new(0),
+            bg_alive: AtomicUsize::new(0),
             heap,
             config,
         });
@@ -309,6 +349,7 @@ impl Gc {
             estimates,
             &pool,
             self.pool.occupancy(),
+            self.bg_alive.load(Ordering::Relaxed) as u64,
         );
     }
 
@@ -316,6 +357,12 @@ impl Gc {
     /// mutators run, e.g. right after creation or with all threads idle.
     pub fn verify_heap(&self) -> Vec<mcgc_heap::Violation> {
         mcgc_heap::verify(&self.heap, false)
+    }
+
+    /// Builds the final OOM error for a failed request, capturing the
+    /// heap occupancy at the moment the escalation ladder gave up.
+    pub(crate) fn oom(&self, requested_bytes: u64) -> GcError {
+        GcError::from(self.heap.oom_error(requested_bytes))
     }
 
     // ------------------------------------------------------------------
@@ -445,6 +492,12 @@ impl Gc {
     pub fn register_mutator(self: &Arc<Self>) -> Mutator {
         let id = self.next_mutator_id.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(MutatorShared::new(id));
+        // Start already caught up with the handshake epoch, so a freshly
+        // registered thread cannot stall an in-flight card handshake.
+        shared.handshake_seen.store(
+            self.handshake_epoch.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         {
             let mut g = self.stw.lock();
             // A thread arriving mid-pause waits for the world to resume.
@@ -512,6 +565,25 @@ impl Gc {
             self.enter_safe();
             self.exit_safe();
         }
+    }
+
+    /// §5.3 handshake ack, piggybacked on the safepoint poll: when the
+    /// collector has advanced the handshake epoch, the mutator fences
+    /// (ordering its preceding slot stores against the card snapshot)
+    /// and publishes the epoch it has caught up to.
+    #[inline]
+    pub(crate) fn poll_handshake(&self, m: &MutatorShared) {
+        let epoch = self.handshake_epoch.load(Ordering::Acquire);
+        if m.handshake_seen.load(Ordering::Relaxed) == epoch {
+            return;
+        }
+        // Fault: the mutator "loses" the ack — the collector-side timeout
+        // must force completion instead.
+        if mcgc_fault::point!("handshake.delay") {
+            return;
+        }
+        mcgc_membar::full_fence(mcgc_membar::FenceKind::CardHandshake);
+        m.handshake_seen.store(epoch, Ordering::Release);
     }
 
     /// Stops the world: sets the stop flag and waits until every *other*
@@ -729,6 +801,22 @@ impl Gc {
         let mutators: Vec<Arc<MutatorShared>> = self.mutators.lock().clone();
         for m in &mutators {
             self.heap.retire_cache(&mut m.cache.lock());
+        }
+
+        // Watchdog: the world is stopped, so any packet still checked out
+        // belongs to a tracer that stalled or died mid-increment (every
+        // healthy thread returns its packets before parking). Condemn
+        // those handles — they count toward §4.3 termination and their
+        // bodies are written off — and re-derive the lost grey objects by
+        // dirtying every marked object's card: the drain loop's
+        // redirty/re-clean iteration then rediscovers their children.
+        let stalled = self.pool.outstanding();
+        if stalled > 0 {
+            let reclaimed = self.pool.condemn_outstanding();
+            if reclaimed > 0 {
+                self.flood_marked_cards();
+                self.tel.on_watchdog_reclaim(reclaimed as u64);
+            }
         }
 
         // verify-gc: audit the concurrent phase's parting state — caches
@@ -950,6 +1038,24 @@ impl Gc {
             t.last_cycle_end = Instant::now();
             t.kickoff = None;
             t.alloc_at_last_end = self.heap.bytes_allocated();
+        }
+    }
+
+    /// Degraded-mode recovery (watchdog): dirties the card of every
+    /// marked object. A condemned packet's entries were marked but their
+    /// children may be untraced; since any such parent is marked, card
+    /// flooding over the mark bitmap is a superset of the lost grey set,
+    /// and the pause's redirty/re-clean loop rescans it. Marking is
+    /// monotone, so the extra cards only cost time, never soundness.
+    fn flood_marked_cards(&self) {
+        let marks = self.heap.mark_bits();
+        let cards = self.heap.cards();
+        let mut g = 1;
+        while let Some(found) = marks.next_set(g) {
+            let card = found / mcgc_heap::GRANULES_PER_CARD;
+            cards.dirty(card);
+            // Skip to the next card: one dirty bit covers the whole card.
+            g = (card + 1) * mcgc_heap::GRANULES_PER_CARD;
         }
     }
 

@@ -76,6 +76,20 @@ pub struct GcConfig {
     /// Initial guess for `M` (bytes on dirty cards) as a fraction of the
     /// heap.
     pub initial_dirty_fraction: f64,
+    /// Escalation ladder rung 1: lazy-sweep retries allowed per
+    /// collection attempt before escalating to a pause (livelock guard —
+    /// each retry sweeps a few chunks, so progress is bounded work).
+    pub alloc_lazy_retry_cap: u32,
+    /// Escalation ladder rungs 2-3: full collections attempted before
+    /// declaring [`crate::GcError::OutOfMemory`].
+    pub alloc_full_collections: u32,
+    /// Hard cap on total slow-path iterations per allocation request —
+    /// the last-resort livelock guard should every rung keep reporting
+    /// (bogus) progress.
+    pub alloc_iteration_cap: u32,
+    /// How long the collector waits for every mutator to ack a §5.3 card
+    /// handshake before falling back to a global fence.
+    pub handshake_timeout: std::time::Duration,
 }
 
 impl Default for GcConfig {
@@ -99,6 +113,10 @@ impl Default for GcConfig {
             cost: CostModel::default(),
             initial_live_fraction: 0.35,
             initial_dirty_fraction: 0.02,
+            alloc_lazy_retry_cap: 16,
+            alloc_full_collections: 3,
+            alloc_iteration_cap: 96,
+            handshake_timeout: std::time::Duration::from_micros(500),
         }
     }
 }

@@ -325,7 +325,7 @@ mod tests {
                     m.root_set(root, Some(obj));
                     last = Some(obj);
                 }
-                Err(GcError::OutOfMemory) => {
+                Err(GcError::OutOfMemory { .. }) => {
                     oom = true;
                     break;
                 }

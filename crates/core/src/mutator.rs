@@ -8,6 +8,7 @@ use mcgc_heap::{ObjectRef, ObjectShape};
 use crate::collector::{Gc, GcError};
 use crate::roots::MutatorShared;
 use crate::stats::Trigger;
+use crate::telemetry::EscalationRung;
 
 /// How many write-barrier executions between safepoint polls (allocation
 /// polls on every slow path anyway; this bounds pause latency for
@@ -50,6 +51,15 @@ impl Mutator {
         self.shared.id
     }
 
+    /// Safepoint poll plus §5.3 handshake ack — every mutator polling
+    /// point goes through here, so a timed-out handshake completes at
+    /// this thread's next poll.
+    #[inline]
+    fn poll(&self) {
+        self.gc.poll_safepoint();
+        self.gc.poll_handshake(&self.shared);
+    }
+
     // ------------------------------------------------------------------
     // allocation
     // ------------------------------------------------------------------
@@ -65,7 +75,7 @@ impl Mutator {
     /// [`GcError::OutOfMemory`] if the request cannot be satisfied even
     /// after a full collection.
     pub fn alloc(&mut self, shape: ObjectShape) -> Result<ObjectRef, GcError> {
-        self.gc.poll_safepoint();
+        self.poll();
         let heap = &self.gc.heap;
         if heap.is_large(shape) {
             return self.alloc_large(shape);
@@ -97,8 +107,9 @@ impl Mutator {
     fn alloc_small_slow(&mut self, shape: ObjectShape) -> Result<ObjectRef, GcError> {
         self.gc.tel.on_alloc_slow(false);
         let refill_bytes = self.gc.config.heap.cache_bytes as u64;
-        let mut collections = 0;
+        let mut ladder = Escalation::new();
         loop {
+            ladder.iteration(&self.gc, shape.bytes() as u64)?;
             // Kickoff check (§3.1), then this allocation's tracing duty.
             self.gc.maybe_kickoff();
             self.gc.mutator_increment(&self.shared, refill_bytes);
@@ -110,18 +121,16 @@ impl Mutator {
                     }
                 }
             }
-            // Lazy-sweep progress may recover memory without a pause.
-            if self.gc.sweep_some_lazy() {
+            // Rung 1: lazy-sweep progress may recover memory without a
+            // pause (bounded per collection attempt — a sweep that keeps
+            // "progressing" without freeing a usable run must escalate).
+            if ladder.try_lazy(&self.gc) {
                 continue;
             }
-            if collections >= 3 {
-                // Full collections ran and the request still fails:
-                // genuinely out of memory.
-                return Err(GcError::OutOfMemory);
-            }
-            self.gc
-                .collect_for_alloc(Trigger::AllocationFailure, shape.bytes());
-            collections += 1;
+            // Rungs 2-3: finish the concurrent phase, then full
+            // stop-the-world collections; give up after the configured
+            // number of futile full collections.
+            ladder.collect_rung(&self.gc, shape.bytes())?;
         }
     }
 
@@ -129,22 +138,19 @@ impl Mutator {
     fn alloc_large(&mut self, shape: ObjectShape) -> Result<ObjectRef, GcError> {
         self.gc.tel.on_alloc_slow(true);
         let bytes = shape.bytes() as u64;
-        let mut collections = 0;
+        let mut ladder = Escalation::new();
         loop {
+            ladder.iteration(&self.gc, bytes)?;
             self.gc.maybe_kickoff();
             self.gc.mutator_increment(&self.shared, bytes);
-            if let Ok(obj) = self.gc.heap.alloc_large(shape) {
-                return Ok(obj);
+            match self.gc.heap.alloc_large(shape) {
+                Ok(obj) => return Ok(obj),
+                Err(e) => ladder.last_error = Some(e),
             }
-            if self.gc.sweep_some_lazy() {
+            if ladder.try_lazy(&self.gc) {
                 continue;
             }
-            if collections >= 3 {
-                return Err(GcError::OutOfMemory);
-            }
-            self.gc
-                .collect_for_alloc(Trigger::AllocationFailure, shape.bytes());
-            collections += 1;
+            ladder.collect_rung(&self.gc, shape.bytes())?;
         }
     }
 
@@ -166,7 +172,7 @@ impl Mutator {
         self.writes_since_poll += 1;
         if self.writes_since_poll >= WRITE_POLL_PERIOD {
             self.writes_since_poll = 0;
-            self.gc.poll_safepoint();
+            self.poll();
         }
     }
 
@@ -226,16 +232,26 @@ impl Mutator {
     /// Explicit safepoint poll (for long allocation-free stretches).
     #[inline]
     pub fn safepoint(&self) {
-        self.gc.poll_safepoint();
+        self.poll();
     }
 
     /// Runs `f` in a *blocked region*: the thread counts as stopped for
     /// the collector (like a JVM thread in native code), so GC proceeds
     /// during think times and I/O waits. `f` must not touch the heap.
     pub fn blocked<R>(&self, f: impl FnOnce() -> R) -> R {
+        // The parked flag publishes every heap write made before parking,
+        // so the card handshake may treat this mutator as pre-acked
+        // instead of burning its timeout waiting for a poll that cannot
+        // come.
+        self.shared.park_safe();
         self.gc.enter_safe();
         let r = f();
         self.gc.exit_safe();
+        // Ack any handshake that happened during the blocked region
+        // *before* dropping the parked flag, so there is no window where
+        // the collector sees neither the flag nor the ack.
+        self.gc.poll_handshake(&self.shared);
+        self.shared.unpark_safe();
         r
     }
 
@@ -248,6 +264,88 @@ impl Mutator {
     /// Requests a full collection and waits for it to complete.
     pub fn collect(&mut self) {
         self.gc.collect_inner(Trigger::Explicit);
+    }
+}
+
+/// Per-request state of the allocation-failure escalation ladder
+/// (ISSUE: lazy-sweep progress → finish concurrent phase → full
+/// stop-the-world → OOM), with per-rung telemetry and two livelock
+/// guards: a per-collection cap on lazy-sweep retries and a hard cap on
+/// total slow-path iterations.
+struct Escalation {
+    iterations: u32,
+    lazy_rungs: u32,
+    collections: u32,
+    /// Most recent heap-level failure (large allocations), preserved so
+    /// the final OOM carries the allocator's own context.
+    last_error: Option<mcgc_heap::AllocError>,
+}
+
+impl Escalation {
+    fn new() -> Escalation {
+        Escalation {
+            iterations: 0,
+            lazy_rungs: 0,
+            collections: 0,
+            last_error: None,
+        }
+    }
+
+    /// Accounts one slow-path iteration; errors out past the hard cap
+    /// (the last-resort livelock guard).
+    fn iteration(&mut self, gc: &Gc, requested_bytes: u64) -> Result<(), GcError> {
+        self.iterations += 1;
+        if self.iterations > 1 {
+            gc.tel.on_alloc_retry();
+        }
+        if self.iterations > gc.config.alloc_iteration_cap {
+            gc.tel.on_alloc_oom();
+            return Err(self.final_error(gc, requested_bytes));
+        }
+        Ok(())
+    }
+
+    /// Rung 1: sweeps a few lazy chunks if the per-collection retry
+    /// budget allows; returns true when progress was made (caller
+    /// retries allocation).
+    fn try_lazy(&mut self, gc: &Gc) -> bool {
+        if self.lazy_rungs >= gc.config.alloc_lazy_retry_cap {
+            return false;
+        }
+        if !gc.sweep_some_lazy() {
+            return false;
+        }
+        self.lazy_rungs += 1;
+        gc.tel.on_alloc_rung(EscalationRung::LazySweep);
+        true
+    }
+
+    /// Rungs 2-3: finishes the concurrent phase (if one is running) or
+    /// runs a full stop-the-world collection; errors out once the
+    /// configured number of full collections has proven futile.
+    fn collect_rung(&mut self, gc: &Gc, requested_bytes: usize) -> Result<(), GcError> {
+        if self.collections >= gc.config.alloc_full_collections {
+            gc.tel.on_alloc_oom();
+            return Err(self.final_error(gc, requested_bytes as u64));
+        }
+        let rung = if gc.in_concurrent_phase() {
+            EscalationRung::FinishConcurrent
+        } else {
+            EscalationRung::FullStw
+        };
+        gc.tel.on_alloc_rung(rung);
+        gc.collect_for_alloc(Trigger::AllocationFailure, requested_bytes);
+        self.collections += 1;
+        // A collection may have unblocked the lazy rung again.
+        self.lazy_rungs = 0;
+        Ok(())
+    }
+
+    fn final_error(&self, gc: &Gc, requested_bytes: u64) -> GcError {
+        match self.last_error {
+            Some(e) => GcError::from(e),
+            None => gc.oom(requested_bytes),
+        }
     }
 }
 

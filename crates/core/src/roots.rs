@@ -24,6 +24,15 @@ pub struct MutatorShared {
     /// Cycle number whose concurrent phase has scanned this stack
     /// (0 = never).
     pub(crate) stack_scanned_cycle: AtomicU64,
+    /// Latest §5.3 handshake epoch this mutator has fenced for (acked at
+    /// safepoint polls; the collector times out on laggards).
+    pub(crate) handshake_seen: AtomicU64,
+    /// Nonzero while the thread is parked in a [`Mutator::blocked`] safe
+    /// region (think time, I/O). A parked mutator cannot poll, but it
+    /// also has no unpublished heap writes — the release store of this
+    /// flag orders everything it did before parking — so the card
+    /// handshake treats it as implicitly acked instead of timing out.
+    pub(crate) safe_parked: AtomicU64,
 }
 
 impl MutatorShared {
@@ -33,7 +42,27 @@ impl MutatorShared {
             roots: Mutex::new(Vec::new()),
             cache: Mutex::new(AllocCache::new()),
             stack_scanned_cycle: AtomicU64::new(0),
+            handshake_seen: AtomicU64::new(0),
+            safe_parked: AtomicU64::new(0),
         }
+    }
+
+    /// Enters a parked safe region. The release ordering publishes every
+    /// heap write made before parking, which is what lets the card
+    /// handshake treat a parked mutator as pre-acked.
+    pub(crate) fn park_safe(&self) {
+        self.safe_parked.fetch_add(1, Ordering::Release);
+    }
+
+    /// Leaves the parked safe region (call after acking any pending
+    /// handshake, so the collector never sees neither flag nor ack).
+    pub(crate) fn unpark_safe(&self) {
+        self.safe_parked.fetch_sub(1, Ordering::Release);
+    }
+
+    /// True while the thread is parked in a safe region.
+    pub(crate) fn is_safe_parked(&self) -> bool {
+        self.safe_parked.load(Ordering::Acquire) != 0
     }
 
     /// Attempts to claim this stack's once-per-cycle concurrent scan

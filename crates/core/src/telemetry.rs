@@ -16,6 +16,18 @@ use mcgc_telemetry::{Counter, EventKind, Gauge, Telemetry};
 use crate::stats::{emit_cycle_events, CycleStats};
 use crate::tracing::TraceRole;
 
+/// Which rung of the allocation-failure escalation ladder ran (ISSUE:
+/// lazy-sweep progress → finish concurrent phase → full stop-the-world).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum EscalationRung {
+    /// Rung 1: lazy-sweep progress recovered memory without a pause.
+    LazySweep,
+    /// Rung 2: the concurrent phase was forced to completion.
+    FinishConcurrent,
+    /// Rung 3: a full stop-the-world collection from idle.
+    FullStw,
+}
+
 /// The collector's telemetry bundle (one per [`crate::Gc`]).
 pub(crate) struct GcTelemetry {
     /// The embedded hub: event ring, histograms, registry, MMU tracker.
@@ -39,6 +51,17 @@ pub(crate) struct GcTelemetry {
     alloc_slow: Arc<Counter>,
     alloc_large: Arc<Counter>,
     lazy_retirements: Arc<Counter>,
+    // -- degraded-mode counters (escalation ladder, watchdog, handshake
+    //    timeout, pool-exhaustion backoff) --
+    alloc_retries: Arc<Counter>,
+    alloc_rung_lazy: Arc<Counter>,
+    alloc_rung_finish: Arc<Counter>,
+    alloc_rung_stw: Arc<Counter>,
+    alloc_ooms: Arc<Counter>,
+    watchdog_reclaimed: Arc<Counter>,
+    handshake_acks: Arc<Counter>,
+    handshake_timeouts: Arc<Counter>,
+    overflow_backoffs: Arc<Counter>,
 
     // -- gauges (refreshed by telemetry_sample) --
     phase: Arc<Gauge>,
@@ -56,6 +79,7 @@ pub(crate) struct GcTelemetry {
     pool_deferred: Arc<Gauge>,
     pool_entries: Arc<Gauge>,
     pool_occupancy: Arc<Gauge>,
+    bg_tracers_alive: Arc<Gauge>,
 }
 
 impl GcTelemetry {
@@ -82,6 +106,15 @@ impl GcTelemetry {
             alloc_slow: c("alloc_slow_path_total"),
             alloc_large: c("alloc_large_total"),
             lazy_retirements: c("gc_lazy_sweep_retirements_total"),
+            alloc_retries: c("gc_alloc_retry_total"),
+            alloc_rung_lazy: c("gc_alloc_rung_lazy_total"),
+            alloc_rung_finish: c("gc_alloc_rung_finish_total"),
+            alloc_rung_stw: c("gc_alloc_rung_stw_total"),
+            alloc_ooms: c("gc_alloc_oom_total"),
+            watchdog_reclaimed: c("gc_watchdog_reclaimed_packets_total"),
+            handshake_acks: c("gc_handshake_acks_total"),
+            handshake_timeouts: c("gc_handshake_timeouts_total"),
+            overflow_backoffs: c("pool_overflow_backoffs_total"),
             phase: g("gc_phase"),
             cycle: g("gc_cycle"),
             heap_occupancy: g("heap_occupancy"),
@@ -97,6 +130,7 @@ impl GcTelemetry {
             pool_deferred: g("pool_deferred_packets"),
             pool_entries: g("pool_entries"),
             pool_occupancy: g("pool_occupancy"),
+            bg_tracers_alive: g("gc_bg_tracers_alive"),
             hub,
         }
     }
@@ -194,6 +228,51 @@ impl GcTelemetry {
         }
     }
 
+    // ------------------------------------------------------------------
+    // degraded-mode events
+    // ------------------------------------------------------------------
+
+    /// An allocation slow path looped for another attempt (any rung).
+    pub(crate) fn on_alloc_retry(&self) {
+        self.alloc_retries.inc();
+    }
+
+    /// One rung of the escalation ladder ran for a failing allocation.
+    pub(crate) fn on_alloc_rung(&self, rung: EscalationRung) {
+        match rung {
+            EscalationRung::LazySweep => self.alloc_rung_lazy.inc(),
+            EscalationRung::FinishConcurrent => self.alloc_rung_finish.inc(),
+            EscalationRung::FullStw => self.alloc_rung_stw.inc(),
+        }
+    }
+
+    /// The ladder gave up: a typed OutOfMemory was surfaced.
+    pub(crate) fn on_alloc_oom(&self) {
+        self.alloc_ooms.inc();
+    }
+
+    /// The pause watchdog condemned `n` packets checked out by stalled
+    /// or dead tracers.
+    pub(crate) fn on_watchdog_reclaim(&self, n: u64) {
+        self.watchdog_reclaimed.add(n);
+    }
+
+    /// Every mutator acked a §5.3 card handshake within the timeout.
+    pub(crate) fn on_handshake_acked(&self) {
+        self.handshake_acks.inc();
+    }
+
+    /// A card handshake timed out into the global-fence fallback.
+    pub(crate) fn on_handshake_timeout(&self) {
+        self.handshake_timeouts.inc();
+    }
+
+    /// A tracer yielded after sustained §4.3 overflow (pool exhaustion
+    /// backoff).
+    pub(crate) fn on_overflow_backoff(&self) {
+        self.overflow_backoffs.inc();
+    }
+
     /// Cycle accounting is final: fold the per-cycle stats into the
     /// cumulative counters and emit the replayable `CycleStat*`/`CycleEnd`
     /// batch the §6 tables are rebuilt from.
@@ -226,6 +305,7 @@ impl GcTelemetry {
         pacer: crate::pacing::PacerEstimates,
         pool: &mcgc_packets::PoolStats,
         pool_occupancy: f64,
+        bg_alive: u64,
     ) {
         self.phase.set(if phase_concurrent { 1.0 } else { 0.0 });
         self.cycle.set_u64(cycle);
@@ -242,6 +322,7 @@ impl GcTelemetry {
         self.pool_deferred.set_u64(pool.deferred as u64);
         self.pool_entries.set_u64(pool.entries as u64);
         self.pool_occupancy.set(pool_occupancy);
+        self.bg_tracers_alive.set_u64(bg_alive);
     }
 }
 

@@ -20,6 +20,11 @@ pub(crate) enum TraceRole {
     Background,
 }
 
+/// Every `OVERFLOW_BACKOFF_PERIOD`-th §4.3 overflow yields the tracer:
+/// sustained overflow means the pool is exhausted, and hammering it with
+/// more push attempts only steals cycles from whoever is draining it.
+const OVERFLOW_BACKOFF_PERIOD: u64 = 32;
+
 impl Gc {
     // ------------------------------------------------------------------
     // object tracing
@@ -36,8 +41,12 @@ impl Gc {
                     // §4.3: temporary overflow — the object stays marked
                     // and its card is dirtied so final card cleaning
                     // rescans it.
-                    self.counters.overflows.fetch_add(1, Ordering::Relaxed);
+                    let n = self.counters.overflows.fetch_add(1, Ordering::Relaxed) + 1;
                     self.heap.cards().dirty(obj.card());
+                    if n.is_multiple_of(OVERFLOW_BACKOFF_PERIOD) {
+                        self.tel.on_overflow_backoff();
+                        std::thread::yield_now();
+                    }
                 }
             }
         }
@@ -143,7 +152,12 @@ impl Gc {
     /// behalf of `role`: packet tracing first, then card cleaning, then
     /// leftover-stack scanning and deferred recycling. Returns the bytes
     /// of work done.
-    pub(crate) fn trace_increment(&self, quota: u64, role: TraceRole) -> u64 {
+    pub(crate) fn trace_increment(
+        &self,
+        quota: u64,
+        role: TraceRole,
+        requester: Option<&Arc<MutatorShared>>,
+    ) -> u64 {
         if quota == 0 || !self.in_concurrent_phase() {
             return 0;
         }
@@ -157,6 +171,12 @@ impl Gc {
         let mut done = 0u64;
         let mut recycled_this_increment = false;
         while done < quota {
+            // A tracing increment can run for a long time without passing
+            // an allocation or write-barrier poll; ack any concurrent
+            // handshake here so peers don't wait out their timeout.
+            if let Some(m) = requester {
+                self.poll_handshake(m);
+            }
             let (n, bytes) = self.trace_batch_concurrent(&mut buf, &mut deferred);
             if n > 0 {
                 done += bytes;
@@ -165,7 +185,7 @@ impl Gc {
             }
             // No packet work: clean cards (§2.1 — deferred as long as
             // tracing work was available).
-            let cleaned = self.clean_cards_quantum(&mut buf);
+            let cleaned = self.clean_cards_quantum(&mut buf, requester);
             if cleaned > 0 {
                 done += cleaned;
                 self.credit_tracing(role, cleaned);
@@ -219,11 +239,12 @@ impl Gc {
         if !self.all_stacks_scanned() {
             return false;
         }
-        // Packets: everything is empty or deferred (deferred objects wait
+        // Packets: everything is empty, deferred (deferred objects wait
         // for the stop-the-world phase when their allocation bits must be
-        // published).
+        // published), or condemned by the watchdog (written off; their
+        // lost greys are re-derived via card flooding at the pause).
         let s = self.pool.stats();
-        s.empty + s.deferred >= self.pool.total_packets()
+        s.empty + s.deferred + s.condemned >= self.pool.total_packets()
     }
 
     fn all_stacks_scanned(&self) -> bool {
@@ -242,50 +263,56 @@ impl Gc {
     /// slice of the card table (one handshake per batch, §5.3), then
     /// cleans a few registered cards. Returns bytes of work done (0 =
     /// no cards left this pass).
-    pub(crate) fn clean_cards_quantum(&self, buf: &mut WorkBuffer<'_, ObjectRef>) -> u64 {
+    pub(crate) fn clean_cards_quantum(
+        &self,
+        buf: &mut WorkBuffer<'_, ObjectRef>,
+        requester: Option<&Arc<MutatorShared>>,
+    ) -> u64 {
         let ncards = self.heap.cards().len();
-        let take: Vec<usize> = {
+        let take: Vec<usize> = loop {
             let mut cs = self.card_state.lock();
             if cs.done {
                 return 0;
             }
-            if cs.registry.is_empty() {
-                // §5.3 step 1: register dirty cards from the next slice and
-                // clear their indicators.
-                while cs.registry.is_empty() && cs.cursor < ncards {
-                    let end = (cs.cursor + self.config.card_clean_batch).min(ncards);
-                    let mut found = Vec::new();
-                    self.heap.cards().snapshot_dirty(cs.cursor, end, &mut found);
-                    self.counters
-                        .cards_table_scanned
-                        .fetch_add((end - cs.cursor) as u64, Ordering::Relaxed);
-                    cs.cursor = end;
-                    if !found.is_empty() {
-                        // §5.3 step 2: force mutators to fence before the
-                        // registered cards are cleaned. The heavy fence here
-                        // globally orders the snapshot against mutator slot
-                        // stores on the host; the per-mutator fences of a
-                        // real weak-ordering implementation are accounted in
-                        // the benches from the handshake count.
-                        full_fence(FenceKind::CardHandshake);
-                        self.counters.handshakes.fetch_add(1, Ordering::Relaxed);
-                        self.tel.on_handshake(self.cycle(), found.len() as u64);
-                        cs.registry.extend(found);
-                    }
-                }
-                if cs.registry.is_empty() {
-                    // Slice scan finished with nothing found: pass done.
-                    if cs.pass + 1 < self.config.card_clean_passes {
-                        cs.pass += 1;
-                        cs.cursor = 0;
-                        return 1; // report progress; next quantum rescans
-                    }
-                    cs.done = true;
-                    return 0;
-                }
+            if !cs.registry.is_empty() {
+                let n = cs.registry.len().min(16);
+                break cs.registry.drain(..n).collect();
             }
-            let n = cs.registry.len().min(16);
-            cs.registry.drain(..n).collect()
+            // §5.3 step 1: register dirty cards from the next slice and
+            // clear their indicators.
+            let mut found = Vec::new();
+            while found.is_empty() && cs.cursor < ncards {
+                let end = (cs.cursor + self.config.card_clean_batch).min(ncards);
+                self.heap.cards().snapshot_dirty(cs.cursor, end, &mut found);
+                self.counters
+                    .cards_table_scanned
+                    .fetch_add((end - cs.cursor) as u64, Ordering::Relaxed);
+                cs.cursor = end;
+            }
+            if found.is_empty() {
+                // Slice scan finished with nothing found: pass done.
+                if cs.pass + 1 < self.config.card_clean_passes {
+                    cs.pass += 1;
+                    cs.cursor = 0;
+                    return 1; // report progress; next quantum rescans
+                }
+                cs.done = true;
+                return 0;
+            }
+            // §5.3 step 2: force mutators to fence before the registered
+            // cards are cleaned. A real rendezvous: every mutator acks
+            // (with a fence) at its next safepoint poll, or the collector
+            // times out into a global-fence fallback. The snapshot cards
+            // are still thread-local here, so the registry lock is
+            // released across the wait: a peer stuck on it could never
+            // poll, which would turn every rendezvous into a timeout.
+            drop(cs);
+            self.card_handshake(requester);
+            self.counters.handshakes.fetch_add(1, Ordering::Relaxed);
+            self.tel.on_handshake(self.cycle(), found.len() as u64);
+            self.card_state.lock().registry.extend(found);
+            // Loop back: drain from the registry (possibly racing other
+            // cleaners for these cards, which is fine — they fenced too).
         };
         let mut bytes = 0;
         for card in take {
@@ -295,6 +322,49 @@ impl Gc {
             .card_scanned_bytes
             .fetch_add(bytes, Ordering::Relaxed);
         bytes.max(1)
+    }
+
+    /// §5.3 step 2 as a real rendezvous: advances the handshake epoch and
+    /// waits (bounded by `config.handshake_timeout`) for every registered
+    /// mutator to fence and ack at its next safepoint poll. On timeout —
+    /// a mutator blocked in think time, or one whose ack a fault plan
+    /// swallowed — the collector falls back to a global full fence, which
+    /// on the host orders the snapshot by itself; the laggard completes
+    /// the protocol at its next poll. Returns true if everyone acked.
+    pub(crate) fn card_handshake(&self, requester: Option<&Arc<MutatorShared>>) -> bool {
+        let epoch = self.handshake_epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        // The collector side of the rendezvous fences unconditionally;
+        // the requesting mutator is inside this call, so ack for it.
+        full_fence(FenceKind::CardHandshake);
+        if let Some(m) = requester {
+            m.handshake_seen.store(epoch, Ordering::Release);
+        }
+        let deadline = std::time::Instant::now() + self.config.handshake_timeout;
+        loop {
+            // A mutator parked in a safe region has no unpublished writes
+            // (its `safe_parked` release store ordered them) and cannot
+            // poll until it wakes — count it as implicitly acked.
+            let pending =
+                self.mutators.lock().iter().any(|m| {
+                    m.handshake_seen.load(Ordering::Acquire) < epoch && !m.is_safe_parked()
+                });
+            if !pending {
+                self.tel.on_handshake_acked();
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                full_fence(FenceKind::CardHandshake);
+                self.tel.on_handshake_timeout();
+                return false;
+            }
+            // Two mutators can rendezvous concurrently (the registry lock
+            // is not held here); ack the peer's epoch while waiting for
+            // ours or neither ever completes.
+            if let Some(m) = requester {
+                self.poll_handshake(m);
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// §5.3 step 3: cleans one registered card — rescans the marked
@@ -311,16 +381,30 @@ impl Gc {
         let mut bytes = 0;
         let alloc = self.heap.alloc_bits();
         let marks = self.heap.mark_bits();
+        // Walk the *mark* bitmap, not the allocation bitmap: a deferred
+        // object parked onto its card by the pool-exhaustion fallback is
+        // marked but not yet published, and walking allocation bits
+        // would skip it while the card's dirty indicator has already
+        // been consumed — silently losing its children.
         let mut g = start.max(1);
-        while let Some(found) = alloc.next_set(g) {
+        let mut unpublished = false;
+        while let Some(found) = marks.next_set(g) {
             if found >= end {
                 break;
             }
-            if marks.get(found) {
+            if alloc.get(found) {
                 let obj = ObjectRef::from_granule(found as u32);
                 bytes += self.scan_object(obj, buf);
+            } else {
+                // §5.2: unsafe to scan until its allocation bit batch is
+                // published; keep the card as coverage instead.
+                unpublished = true;
             }
             g = found + 1;
+        }
+        if unpublished {
+            debug_assert!(!stw, "unpublished marks survive cache retirement");
+            self.heap.cards().dirty(card);
         }
         if stw {
             self.counters
@@ -431,6 +515,11 @@ impl Gc {
         if !self.in_concurrent_phase() {
             return;
         }
+        // Fault: an artificial burst of dirty cards (write-barrier storm)
+        // to stress card cleaning and the §5.3 handshake machinery.
+        if mcgc_fault::point!("cards.flood") {
+            self.fault_flood_cards();
+        }
         // §2.1: the first allocation request per thread scans its stack.
         {
             let mut buf = WorkBuffer::new(&self.pool);
@@ -444,7 +533,7 @@ impl Gc {
             .lock()
             .increment_quota(allocated_bytes, traced, free);
         if quota > 0 {
-            let done = self.trace_increment(quota, TraceRole::Mutator);
+            let done = self.trace_increment(quota, TraceRole::Mutator, Some(m));
             let factor = done as f64 / quota as f64;
             let mut acc = self.increments.lock();
             acc.n += 1;
@@ -456,6 +545,24 @@ impl Gc {
         self.audit_increment_boundary();
         if self.concurrent_work_exhausted() {
             self.collect_inner(crate::stats::Trigger::ConcurrentDone);
+        }
+    }
+
+    /// Backs the `cards.flood` fault site: dirties an evenly spaced set
+    /// of cards (count = the plan's payload, default 128), simulating a
+    /// mutator write storm that stresses card cleaning and handshakes.
+    fn fault_flood_cards(&self) {
+        let ncards = self.heap.cards().len();
+        if ncards == 0 {
+            return;
+        }
+        let payload = mcgc_fault::payload("cards.flood");
+        let n = if payload == 0 { 128 } else { payload as usize }.min(ncards);
+        let step = (ncards / n).max(1);
+        let mut card = 0;
+        while card < ncards {
+            self.heap.cards().dirty(card);
+            card += step;
         }
     }
 

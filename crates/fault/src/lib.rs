@@ -1,0 +1,395 @@
+//! Deterministic, seeded fault injection for chaos testing.
+//!
+//! The collector's degraded paths — refill failure, packet-pool
+//! exhaustion and overflow (§4.3), starved background tracers (§3),
+//! slow card-handshake acks (§5.3) — are exactly the paths ordinary
+//! workloads almost never reach. This crate makes them reachable *on
+//! demand and replayably*: production code marks each degraded branch
+//! with a named [`point!`] site, and a test installs a [`FaultPlan`]
+//! that decides, deterministically from a seed and per-site hit
+//! counters, which hits of which sites fire.
+//!
+//! Design rules:
+//!
+//! - **Zero cost when off.** [`point!`] expands under the *consuming*
+//!   crate's `fault-inject` feature; without it the site is the literal
+//!   `false` and the branch folds away entirely.
+//! - **Deterministic.** Triggers depend only on the plan seed, the site
+//!   name, and that site's hit index — never on wall-clock time or an
+//!   ambient RNG. The same plan over the same schedule fires the same
+//!   way; probability triggers are a pure hash of (seed, site, hit).
+//! - **One plan at a time.** [`FaultPlan::install`] holds a global
+//!   session lock for the life of the returned [`FaultGuard`], so
+//!   concurrently-run chaos tests serialize instead of corrupting each
+//!   other's counters. With no plan installed, an armed-flag fast path
+//!   keeps `should_fire` to a single atomic load.
+//! - **No dead sites.** Every call-site name must appear in
+//!   [`site::ALL`]; `mcgc-lint` rejects `point!` literals that do not,
+//!   and [`FaultPlan::install`] panics on unknown names, so a typo can
+//!   not silently produce a site no plan can ever reach.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use mcgc_membar::sync::{Mutex, MutexGuard};
+
+/// The registered injection-site catalog. Call sites must use these
+/// names as string literals (the lint checks literals, not consts).
+pub mod site {
+    /// `Heap::refill_cache` reports the free list empty before trying.
+    pub const HEAP_REFILL: &str = "heap.refill";
+    /// `Heap::alloc_large` fails before consulting the free list.
+    pub const HEAP_ALLOC_LARGE: &str = "heap.alloc_large";
+    /// `PacketPool::get_output` / `get_empty` report the pool empty,
+    /// forcing the §4.3 overflow (mark-and-dirty-card) fallback.
+    pub const POOL_EXHAUSTED: &str = "pool.exhausted";
+    /// Sub-pool head CAS loops spin one extra iteration, simulating
+    /// heavy contention on the tagged-head lists.
+    pub const POOL_CAS_STORM: &str = "pool.cas_storm";
+    /// A background tracer checks out an input packet and stalls on it
+    /// (payload = milliseconds), simulating priority starvation.
+    pub const BG_STALL: &str = "bg.stall";
+    /// A background tracer exits its loop entirely.
+    pub const BG_DEATH: &str = "bg.death";
+    /// A mutator skips acknowledging the §5.3 card-snapshot handshake
+    /// at a safepoint poll, exercising the cleaner's timeout fallback.
+    pub const HANDSHAKE_DELAY: &str = "handshake.delay";
+    /// A mutator increment dirties a spread of cards (payload = card
+    /// count), flooding the cleaning and redirty loops with work.
+    pub const CARD_FLOOD: &str = "cards.flood";
+
+    /// Every registered site. `mcgc-lint` requires each `point!`
+    /// literal in the tree to appear here.
+    pub const ALL: &[&str] = &[
+        HEAP_REFILL,
+        HEAP_ALLOC_LARGE,
+        POOL_EXHAUSTED,
+        POOL_CAS_STORM,
+        BG_STALL,
+        BG_DEATH,
+        HANDSHAKE_DELAY,
+        CARD_FLOOD,
+    ];
+}
+
+/// Marks a degraded-mode branch: `if mcgc_fault::point!("site.name") {
+/// /* inject */ }`. Evaluates to whether the installed plan fires this
+/// hit; compiles to the literal `false` unless the *calling* crate's
+/// `fault-inject` feature is on.
+#[macro_export]
+macro_rules! point {
+    ($name:expr) => {{
+        #[cfg(feature = "fault-inject")]
+        {
+            $crate::should_fire($name)
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
+        }
+    }};
+}
+
+/// When a site fires, relative to that site's own 1-based hit count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire exactly on the `n`-th hit.
+    Nth(u64),
+    /// Fire on every `k`-th hit (hits `k`, `2k`, `3k`, ...).
+    EveryK(u64),
+    /// Fire on every hit from the `n`-th onward.
+    From(u64),
+    /// Fire with the given per-mille probability, hashed
+    /// deterministically from (plan seed, site name, hit index).
+    ProbabilityPermille(u64),
+}
+
+struct SiteState {
+    name: &'static str,
+    trigger: FaultTrigger,
+    payload: u64,
+    hits: u64,
+    fires: u64,
+}
+
+struct PlanState {
+    seed: u64,
+    sites: Vec<SiteState>,
+}
+
+// Fast path: a single load decides whether any plan is installed at
+// all, so un-armed test binaries pay one atomic read per site hit.
+static ARMED: AtomicBool = AtomicBool::new(false);
+// Serializes whole chaos scenarios (held by the FaultGuard), not
+// individual site hits; `cargo test`'s default parallelism would
+// otherwise interleave plans.
+static SESSION: Mutex<()> = Mutex::new(());
+static STATE: Mutex<Option<PlanState>> = Mutex::new(None);
+
+/// A replayable injection plan: a seed plus per-site triggers and
+/// payloads. Build with the chained setters, then [`install`].
+///
+/// [`install`]: FaultPlan::install
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: Vec<(&'static str, FaultTrigger, u64)>,
+}
+
+impl FaultPlan {
+    /// Starts an empty plan. The seed only matters for
+    /// [`FaultTrigger::ProbabilityPermille`] sites, but logging it with
+    /// every chaos scenario keeps all of them replayable.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            sites: Vec::new(),
+        }
+    }
+
+    fn with(mut self, name: &'static str, trigger: FaultTrigger) -> FaultPlan {
+        self.sites.push((name, trigger, 0));
+        self
+    }
+
+    /// Fire `site` exactly on its `n`-th hit (1-based).
+    pub fn nth(self, site: &'static str, n: u64) -> FaultPlan {
+        self.with(site, FaultTrigger::Nth(n.max(1)))
+    }
+
+    /// Fire `site` on every `k`-th hit.
+    pub fn every_k(self, site: &'static str, k: u64) -> FaultPlan {
+        self.with(site, FaultTrigger::EveryK(k.max(1)))
+    }
+
+    /// Fire `site` on every hit from the `n`-th onward.
+    pub fn from(self, site: &'static str, n: u64) -> FaultPlan {
+        self.with(site, FaultTrigger::From(n.max(1)))
+    }
+
+    /// Fire `site` with probability `permille`/1000 per hit, derived
+    /// deterministically from the plan seed.
+    pub fn probability_permille(self, site: &'static str, permille: u64) -> FaultPlan {
+        self.with(site, FaultTrigger::ProbabilityPermille(permille.min(1000)))
+    }
+
+    /// Attaches a payload (site-specific meaning, e.g. stall duration
+    /// in ms) to the most recently added site.
+    ///
+    /// # Panics
+    /// If no site has been added yet.
+    pub fn payload(mut self, value: u64) -> FaultPlan {
+        self.sites
+            .last_mut()
+            .expect("payload() must follow a site trigger")
+            .2 = value;
+        self
+    }
+
+    /// Installs the plan globally, returning a guard that uninstalls it
+    /// on drop. Blocks until any previously installed plan's guard is
+    /// dropped (chaos scenarios serialize).
+    ///
+    /// # Panics
+    /// If the plan names a site not registered in [`site::ALL`].
+    pub fn install(self) -> FaultGuard {
+        for (name, _, _) in &self.sites {
+            assert!(
+                site::ALL.contains(name),
+                "fault plan targets unregistered site {name:?}; add it to mcgc_fault::site::ALL"
+            );
+        }
+        let session = SESSION.lock();
+        *STATE.lock() = Some(PlanState {
+            seed: self.seed,
+            sites: self
+                .sites
+                .into_iter()
+                .map(|(name, trigger, payload)| SiteState {
+                    name,
+                    trigger,
+                    payload,
+                    hits: 0,
+                    fires: 0,
+                })
+                .collect(),
+        });
+        ARMED.store(true, Ordering::Release);
+        FaultGuard { _session: session }
+    }
+}
+
+/// Keeps a [`FaultPlan`] installed; dropping it disarms every site and
+/// releases the global session lock. Read [`hits`]/[`fires`] *before*
+/// dropping the guard.
+///
+/// [`hits`]: hits
+/// [`fires`]: fires
+pub struct FaultGuard {
+    _session: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::Release);
+        *STATE.lock() = None;
+    }
+}
+
+/// SplitMix64 finalizer over (seed, site, hit): the whole source of
+/// randomness for probability triggers, so runs replay from the seed.
+fn mix(seed: u64, site: &str, hit: u64) -> u64 {
+    // FNV-1a folds the site name in, so distinct sites sharing a seed
+    // see independent streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    let mut z = seed ^ h ^ hit.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Records a hit on `site` and reports whether the installed plan fires
+/// it. Call through [`point!`], not directly, so the site disappears
+/// when `fault-inject` is off.
+pub fn should_fire(site: &str) -> bool {
+    if !ARMED.load(Ordering::Acquire) {
+        return false;
+    }
+    let mut state = STATE.lock();
+    let Some(plan) = state.as_mut() else {
+        return false;
+    };
+    let seed = plan.seed;
+    let Some(s) = plan.sites.iter_mut().find(|s| s.name == site) else {
+        return false;
+    };
+    s.hits += 1;
+    let hit = s.hits; // 1-based
+    let fire = match s.trigger {
+        FaultTrigger::Nth(n) => hit == n,
+        FaultTrigger::EveryK(k) => hit % k == 0,
+        FaultTrigger::From(n) => hit >= n,
+        FaultTrigger::ProbabilityPermille(p) => mix(seed, site, hit) % 1000 < p,
+    };
+    if fire {
+        s.fires += 1;
+    }
+    fire
+}
+
+fn read_site<R>(site: &str, f: impl FnOnce(&SiteState) -> R, default: R) -> R {
+    if !ARMED.load(Ordering::Acquire) {
+        return default;
+    }
+    let state = STATE.lock();
+    state
+        .as_ref()
+        .and_then(|p| p.sites.iter().find(|s| s.name == site))
+        .map_or(default, f)
+}
+
+/// The installed plan's payload for `site` (0 when absent). Injection
+/// code reads this for magnitudes: stall milliseconds, flood widths.
+pub fn payload(site: &str) -> u64 {
+    read_site(site, |s| s.payload, 0)
+}
+
+/// How many times `site` has been hit under the installed plan.
+pub fn hits(site: &str) -> u64 {
+    read_site(site, |s| s.hits, 0)
+}
+
+/// How many times `site` has fired under the installed plan.
+pub fn fires(site: &str) -> u64 {
+    read_site(site, |s| s.fires, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        assert!(!should_fire(site::HEAP_REFILL));
+        assert_eq!(hits(site::HEAP_REFILL), 0);
+        assert_eq!(payload(site::BG_STALL), 0);
+    }
+
+    #[test]
+    fn nth_every_k_and_from_triggers() {
+        let _g = FaultPlan::new(1)
+            .nth(site::HEAP_REFILL, 3)
+            .every_k(site::POOL_EXHAUSTED, 2)
+            .from(site::BG_STALL, 4)
+            .install();
+        let pattern: Vec<bool> = (0..6).map(|_| should_fire(site::HEAP_REFILL)).collect();
+        assert_eq!(pattern, [false, false, true, false, false, false]);
+        let pattern: Vec<bool> = (0..6).map(|_| should_fire(site::POOL_EXHAUSTED)).collect();
+        assert_eq!(pattern, [false, true, false, true, false, true]);
+        let pattern: Vec<bool> = (0..6).map(|_| should_fire(site::BG_STALL)).collect();
+        assert_eq!(pattern, [false, false, false, true, true, true]);
+        assert_eq!(hits(site::HEAP_REFILL), 6);
+        assert_eq!(fires(site::HEAP_REFILL), 1);
+        assert_eq!(fires(site::POOL_EXHAUSTED), 3);
+        // A site with no trigger in the plan never fires.
+        assert!(!should_fire(site::BG_DEATH));
+    }
+
+    #[test]
+    fn probability_replays_from_seed_and_tracks_rate() {
+        let run = |seed: u64| -> Vec<bool> {
+            let _g = FaultPlan::new(seed)
+                .probability_permille(site::HANDSHAKE_DELAY, 300)
+                .install();
+            (0..512)
+                .map(|_| should_fire(site::HANDSHAKE_DELAY))
+                .collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed replays bit-for-bit");
+        assert_ne!(a, c, "different seed differs");
+        let rate = a.iter().filter(|f| **f).count();
+        assert!((80..230).contains(&rate), "~30% of 512, got {rate}");
+    }
+
+    #[test]
+    fn payload_rides_with_its_site() {
+        let _g = FaultPlan::new(7)
+            .from(site::BG_STALL, 1)
+            .payload(2500)
+            .nth(site::CARD_FLOOD, 1)
+            .payload(128)
+            .install();
+        assert_eq!(payload(site::BG_STALL), 2500);
+        assert_eq!(payload(site::CARD_FLOOD), 128);
+        assert_eq!(payload(site::BG_DEATH), 0);
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        {
+            let _g = FaultPlan::new(9).from(site::HEAP_REFILL, 1).install();
+            assert!(should_fire(site::HEAP_REFILL));
+        }
+        assert!(!should_fire(site::HEAP_REFILL));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered site")]
+    fn unknown_site_rejected_at_install() {
+        let _ = FaultPlan::new(0).nth("heap.typo", 1).install();
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn point_macro_resolves_under_feature() {
+        let _g = FaultPlan::new(0).nth(site::HEAP_REFILL, 1).install();
+        assert!(point!("heap.refill"));
+        assert!(!point!("heap.refill"));
+    }
+}

@@ -126,13 +126,27 @@ impl AllocCache {
 pub enum AllocError {
     /// The free list has no extent large enough; a GC (or more sweeping)
     /// is required.
-    OutOfMemory,
+    OutOfMemory {
+        /// Bytes the failing request asked for.
+        requested_bytes: u64,
+        /// Heap occupancy when the request failed, in permille of total
+        /// granules (see [`Heap::occupancy`]).
+        occupancy_permille: u16,
+    },
 }
 
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocError::OutOfMemory => write!(f, "heap exhausted: allocation failure"),
+            AllocError::OutOfMemory {
+                requested_bytes,
+                occupancy_permille,
+            } => write!(
+                f,
+                "heap exhausted: requested {requested_bytes} B with heap {}.{}% occupied",
+                occupancy_permille / 10,
+                occupancy_permille % 10
+            ),
         }
     }
 }
@@ -393,6 +407,12 @@ impl Heap {
     /// refill; the new cache is at least that big even if the configured
     /// cache size is unavailable.
     pub fn refill_cache(&self, cache: &mut AllocCache, min_granules: usize) -> bool {
+        if mcgc_fault::point!("heap.refill") {
+            // Injected refill failure: report the free list exhausted
+            // without touching the cache, driving the caller onto the
+            // allocation-failure escalation ladder.
+            return false;
+        }
         self.retire_cache(cache);
         let want = (self.config.cache_bytes / GRANULE_BYTES).max(min_granules);
         let mut free = self.free.lock();
@@ -439,11 +459,15 @@ impl Heap {
     /// Returns [`AllocError::OutOfMemory`] if no extent is large enough.
     pub fn alloc_large(&self, shape: ObjectShape) -> Result<ObjectRef, AllocError> {
         let need = shape.granules();
-        let start = self
-            .free
-            .lock()
-            .alloc_from_end(need)
-            .ok_or(AllocError::OutOfMemory)?;
+        if mcgc_fault::point!("heap.alloc_large") {
+            return Err(self.oom_error(shape.bytes() as u64));
+        }
+        // Taken as its own statement so the free-list guard drops before
+        // `oom_error` re-locks the free list for the occupancy figure.
+        let extent = self.free.lock().alloc_from_end(need);
+        let Some(start) = extent else {
+            return Err(self.oom_error(shape.bytes() as u64));
+        };
         self.format_object(start, shape);
         release_fence(FenceKind::LargeAlloc);
         self.alloc_bits.set(start);
@@ -484,6 +508,15 @@ impl Heap {
         let total = self.granules as f64;
         let free = self.free.lock().free_granules() as f64;
         (total - free) / total
+    }
+
+    /// Builds the contextful out-of-memory error for a failed request of
+    /// `requested_bytes`, capturing current occupancy.
+    pub fn oom_error(&self, requested_bytes: u64) -> AllocError {
+        AllocError::OutOfMemory {
+            requested_bytes,
+            occupancy_permille: (self.occupancy() * 1000.0).round().clamp(0.0, 1000.0) as u16,
+        }
     }
 }
 
@@ -571,7 +604,10 @@ mod tests {
     fn alloc_large_oom() {
         let heap = small_heap();
         let too_big = ObjectShape::new(0, (heap.granules() + 10) as u32, 0);
-        assert_eq!(heap.alloc_large(too_big), Err(AllocError::OutOfMemory));
+        let err = heap.alloc_large(too_big).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("requested"), "{msg}");
     }
 
     #[test]

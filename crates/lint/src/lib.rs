@@ -20,6 +20,10 @@
 //!   block above it.
 //! * **no-static-mut** — `static mut` is forbidden everywhere; use an
 //!   atomic or a lock.
+//! * **unknown-fault-site** — every `mcgc_fault::point!` call must name
+//!   its site as a string literal registered in `mcgc_fault::site::ALL`.
+//!   A typo'd or unregistered name would create a site no fault plan can
+//!   ever reach (plans validate against the same catalog).
 //!
 //! Comments, strings (including raw and byte strings), and char
 //! literals are masked out before pattern matching, so prose and test
@@ -39,6 +43,7 @@ use std::path::Path;
 pub const ORDERING_ALLOWLIST: &[&str] = &[
     "crates/core/src/background.rs",
     "crates/core/src/collector.rs",
+    "crates/fault/src/lib.rs",
     "crates/core/src/roots.rs",
     "crates/core/src/tracing.rs",
     "crates/heap/src/bitmap.rs",
@@ -176,7 +181,10 @@ pub fn mask_source(src: &str) -> String {
             i += 1;
             while i < n {
                 if chars[i] == '\\' && i + 1 < n {
-                    out.push_str("  ");
+                    // Preserve an escaped newline (line continuation) so
+                    // masked and original line numbers stay aligned.
+                    out.push(' ');
+                    out.push(blank(chars[i + 1]));
                     i += 2;
                 } else if chars[i] == '"' {
                     out.push('"');
@@ -328,6 +336,36 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                 message: "static mut is forbidden; use an atomic or a lock".to_string(),
             });
         }
+        if line.contains("point!(") {
+            // The masked line proves this is code (not prose or a string
+            // fixture); the original line still carries the literal.
+            let site = orig_lines[idx].find("point!(").and_then(|p| {
+                let rest = orig_lines[idx][p + "point!(".len()..].trim_start();
+                rest.strip_prefix('"')?.split('"').next()
+            });
+            match site {
+                Some(name) if mcgc_fault::site::ALL.contains(&name) => {}
+                Some(name) => findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "unknown-fault-site",
+                    message: format!(
+                        "fault site \"{name}\" is not registered in \
+                         mcgc_fault::site::ALL; register it (and document it \
+                         in DESIGN.md's fault-site catalog) or fix the typo"
+                    ),
+                }),
+                None => findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "unknown-fault-site",
+                    message: "mcgc_fault::point! requires a string-literal site \
+                              name (registered in mcgc_fault::site::ALL) so the \
+                              catalog stays checkable"
+                        .to_string(),
+                }),
+            }
+        }
         if contains_word(line, "unsafe") && !has_safety_note(&orig_lines, idx) {
             findings.push(Finding {
                 file: rel.to_string(),
@@ -433,6 +471,27 @@ mod tests {
 
         let in_string = "let s = \"unsafe\";\n";
         assert!(lint_source("crates/heap/src/x.rs", in_string).is_empty());
+    }
+
+    #[test]
+    fn fault_sites_must_be_registered_literals() {
+        let ok = "if mcgc_fault::point!(\"heap.refill\") { return false; }\n";
+        assert!(lint_source("crates/heap/src/heap.rs", ok).is_empty());
+
+        let typo = "if mcgc_fault::point!(\"heap.refil\") { return false; }\n";
+        let f = lint_source("crates/heap/src/heap.rs", typo);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unknown-fault-site");
+        assert!(f[0].message.contains("heap.refil"), "{}", f[0].message);
+
+        let non_literal = "if mcgc_fault::point!(SITE_NAME) { return false; }\n";
+        let f = lint_source("crates/heap/src/heap.rs", non_literal);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unknown-fault-site");
+        assert!(f[0].message.contains("string-literal"), "{}", f[0].message);
+
+        let prose = "// mark the branch with a point!(\"anything\") site\n";
+        assert!(lint_source("crates/heap/src/heap.rs", prose).is_empty());
     }
 
     #[test]

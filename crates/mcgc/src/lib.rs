@@ -67,3 +67,10 @@ pub mod telemetry {
 pub mod workloads {
     pub use mcgc_workloads::*;
 }
+
+/// Deterministic fault injection (chaos testing). The sites only fire
+/// when the `fault-inject` cargo feature is enabled AND a seeded
+/// [`fault::FaultPlan`] is installed; otherwise they compile to `false`.
+pub mod fault {
+    pub use mcgc_fault::*;
+}

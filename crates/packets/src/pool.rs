@@ -31,6 +31,10 @@ pub enum SubPoolKind {
 
 const SUBPOOLS: usize = 4;
 const NIL: u32 = u32::MAX;
+/// Sentinel checkout stamp marking a revoked (condemned) packet: the
+/// stop-the-world watchdog writes it over the owner stamp of a packet
+/// whose holder stalled or died, turning the holder's handle inert.
+const CONDEMNED: u64 = u64::MAX;
 
 /// Pool sizing parameters.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -54,6 +58,9 @@ impl Default for PoolConfig {
 struct Slot<T> {
     next: AtomicU32,
     body: UnsafeCell<Vec<T>>,
+    /// 0 when pooled; a unique checkout stamp while held by a thread;
+    /// [`CONDEMNED`] after the watchdog revoked the holder's handle.
+    owner: AtomicU64,
 }
 
 struct SubPool {
@@ -108,6 +115,9 @@ pub struct PoolStats {
     pub gets: u64,
     /// Packets returned to the pool (puts) since the last reset.
     pub puts: u64,
+    /// Packets condemned by the watchdog and not yet surrendered by
+    /// their (stalled) holders.
+    pub condemned: usize,
 }
 
 /// The global work packet pool (paper §4).
@@ -124,6 +134,11 @@ pub struct PacketPool<T> {
     entries_watermark: AtomicUsize,
     gets: AtomicU64,
     puts: AtomicU64,
+    /// Monotonic checkout-stamp source (starts at 1; 0 means pooled).
+    next_checkout: AtomicU64,
+    /// Packets condemned and not yet returned; counts toward §4.3
+    /// termination detection in place of their Empty-pool membership.
+    condemned: AtomicUsize,
 }
 
 // SAFETY: a packet's body is only accessed by the thread that popped its
@@ -144,6 +159,7 @@ impl<T> PacketPool<T> {
                 .map(|_| Slot {
                     next: AtomicU32::new(NIL),
                     body: UnsafeCell::new(Vec::with_capacity(config.capacity)),
+                    owner: AtomicU64::new(0),
                 })
                 .collect(),
             capacity: config.capacity,
@@ -160,6 +176,8 @@ impl<T> PacketPool<T> {
             entries_watermark: AtomicUsize::new(0),
             gets: AtomicU64::new(0),
             puts: AtomicU64::new(0),
+            next_checkout: AtomicU64::new(1),
+            condemned: AtomicUsize::new(0),
         };
         for i in 0..config.packets {
             pool.push_list(SubPoolKind::Empty, i as u32);
@@ -189,6 +207,12 @@ impl<T> PacketPool<T> {
     fn push_list(&self, kind: SubPoolKind, idx: u32) {
         let pool = &self.pools[Self::pool_index(kind)];
         loop {
+            if mcgc_fault::point!("pool.cas_storm") {
+                // Simulated head contention: yield between the head read
+                // and the CAS so concurrent list operations interleave
+                // (and genuinely fail the CAS) far more often.
+                std::thread::yield_now();
+            }
             let head = pool.head.load(Ordering::Acquire);
             let (hidx, tag) = unpack(head);
             self.slots[idx as usize].next.store(hidx, Ordering::Relaxed);
@@ -213,6 +237,9 @@ impl<T> PacketPool<T> {
     fn pop_list(&self, kind: SubPoolKind) -> Option<u32> {
         let pool = &self.pools[Self::pool_index(kind)];
         loop {
+            if mcgc_fault::point!("pool.cas_storm") {
+                std::thread::yield_now();
+            }
             let head = pool.head.load(Ordering::Acquire);
             let (hidx, tag) = unpack(head);
             if hidx == NIL {
@@ -249,6 +276,10 @@ impl<T> PacketPool<T> {
     fn acquire(&self, idx: u32) -> Packet<'_, T> {
         // SAFETY: we just popped `idx` from a list, so we own the body.
         let len = unsafe { (*self.slots[idx as usize].body.get()).len() };
+        let stamp = self.next_checkout.fetch_add(1, Ordering::Relaxed);
+        self.slots[idx as usize]
+            .owner
+            .store(stamp, Ordering::Relaxed);
         self.gets.fetch_add(1, Ordering::Relaxed);
         let held = self.in_use.fetch_add(1, Ordering::Relaxed) + 1;
         self.in_use_watermark.fetch_max(held, Ordering::Relaxed);
@@ -272,6 +303,12 @@ impl<T> PacketPool<T> {
     /// Gets an *output* packet: the lowest occupancy range that has
     /// packets (§4.2) — Empty first, then Non-empty.
     pub fn get_output(&self) -> Option<Packet<'_, T>> {
+        // Injected exhaustion forces the §4.3 overflow fallback. Only
+        // output-side gets are injectable: failing `get_input` would
+        // starve the STW drain, which retries it unconditionally.
+        if mcgc_fault::point!("pool.exhausted") {
+            return None;
+        }
         self.pop_list(SubPoolKind::Empty)
             .or_else(|| self.pop_list(SubPoolKind::NonEmpty))
             .map(|idx| self.acquire(idx))
@@ -279,6 +316,9 @@ impl<T> PacketPool<T> {
 
     /// Gets an empty packet only (used for the deferred-object packet).
     pub fn get_empty(&self) -> Option<Packet<'_, T>> {
+        if mcgc_fault::point!("pool.exhausted") {
+            return None;
+        }
         self.pop_list(SubPoolKind::Empty)
             .map(|idx| self.acquire(idx))
     }
@@ -305,12 +345,59 @@ impl<T> PacketPool<T> {
     }
 
     /// §4.3 termination detection: tracing is complete when the Empty
-    /// pool's counter equals the total number of packets.
+    /// pool's counter equals the total number of packets. Condemned
+    /// packets count as surrendered — their entries were written off by
+    /// the watchdog (and re-derived through dirty cards), so a stalled
+    /// holder can no longer block termination.
     pub fn is_tracing_complete(&self) -> bool {
         self.pools[Self::pool_index(SubPoolKind::Empty)]
             .count
             .load(Ordering::Relaxed)
+            + self.condemned.load(Ordering::Relaxed)
             >= self.slots.len()
+    }
+
+    /// Packets currently checked out by threads (rough).
+    pub fn outstanding(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Packets condemned and not yet surrendered by their holders.
+    pub fn condemned(&self) -> usize {
+        self.condemned.load(Ordering::Relaxed)
+    }
+
+    /// Revokes every currently checked-out packet: overwrites its owner
+    /// stamp with the condemned sentinel, so the (stalled or dead)
+    /// holder's handle rejects pushes, pops nothing, and clears its body
+    /// on drop, while termination detection counts the packet as
+    /// surrendered. Returns the number of packets condemned.
+    ///
+    /// The caller must guarantee every holder is descheduled for the
+    /// duration of the call — a stop-the-world pause qualifies. A holder
+    /// racing its own (pre-pause) drop wins the stamp swap and is
+    /// skipped; its packet returned normally.
+    ///
+    /// Safety note on the written-off entries: the condemning collector
+    /// must re-derive the lost grey set some other way. The core
+    /// watchdog does this by dirtying the card of every marked object
+    /// before the pause's final card-cleaning pass.
+    pub fn condemn_outstanding(&self) -> usize {
+        let mut n = 0;
+        for slot in self.slots.iter() {
+            let owner = slot.owner.load(Ordering::Acquire);
+            if owner != 0
+                && owner != CONDEMNED
+                && slot
+                    .owner
+                    .compare_exchange(owner, CONDEMNED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                self.condemned.fetch_add(1, Ordering::Release);
+                n += 1;
+            }
+        }
+        n
     }
 
     /// True if any deferred packets are waiting.
@@ -334,6 +421,7 @@ impl<T> PacketPool<T> {
             entries: self.entries.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
+            condemned: self.condemned.load(Ordering::Relaxed),
         }
     }
 
@@ -352,10 +440,12 @@ impl<T> PacketPool<T> {
     /// # Safety
     ///
     /// The pool must be quiescent: no thread may get, put, or mutate a
-    /// packet for the duration of the call, and no packet may be held
-    /// (`in_use == 0`), since held packets' bodies are being mutated and
-    /// are not on any list. A stop-the-world pause with worker threads
-    /// parked satisfies this.
+    /// packet for the duration of the call, and no packet may be held by
+    /// a thread that could mutate it during the call — held packets are
+    /// not on any list, so they are skipped, which is only sound if
+    /// their holders are descheduled (e.g. stalled holders whose packets
+    /// the watchdog condemned and re-derived via dirty cards). A
+    /// stop-the-world pause with worker threads parked satisfies this.
     pub unsafe fn snapshot_entries(&self) -> Vec<T>
     where
         T: Copy,
@@ -441,9 +531,20 @@ impl<'p, T> Packet<'p, T> {
         self.pool.capacity
     }
 
-    /// Pushes `item`; fails with the item back if the packet is full.
+    /// True if the watchdog revoked this handle: its entries are
+    /// written off and the handle must act inert.
+    pub(crate) fn is_condemned(&self) -> bool {
+        self.pool.slots[self.idx as usize]
+            .owner
+            .load(Ordering::Relaxed)
+            == CONDEMNED
+    }
+
+    /// Pushes `item`; fails with the item back if the packet is full or
+    /// the handle was condemned (a condemned body is cleared on drop, so
+    /// accepting the item would silently lose it).
     pub fn push(&mut self, item: T) -> Result<(), T> {
-        if self.is_full() {
+        if self.is_full() || self.is_condemned() {
             return Err(item);
         }
         self.body().push(item);
@@ -451,8 +552,13 @@ impl<'p, T> Packet<'p, T> {
         Ok(())
     }
 
-    /// Pops an entry (LIFO within the packet).
+    /// Pops an entry (LIFO within the packet). A condemned handle yields
+    /// nothing: its entries belong to a marking epoch that may already
+    /// be over, and the condemning pause re-derived them from cards.
     pub fn pop(&mut self) -> Option<T> {
+        if self.is_condemned() {
+            return None;
+        }
         self.body().pop()
     }
 
@@ -486,6 +592,18 @@ impl<'p, T> Packet<'p, T> {
 
 impl<T> Drop for Packet<'_, T> {
     fn drop(&mut self) {
+        // Resolve the checkout stamp first: if the watchdog condemned
+        // this handle while its holder was descheduled, the entries were
+        // already written off (the condemning pause re-derived them from
+        // dirty cards) and reference a marking epoch that may be over —
+        // clear them rather than leak stale grey objects into a future
+        // cycle.
+        let slot_owner = &self.pool.slots[self.idx as usize].owner;
+        let was_condemned = slot_owner.swap(0, Ordering::AcqRel) == CONDEMNED;
+        if was_condemned {
+            // SAFETY: exclusive ownership while the handle exists.
+            unsafe { (*self.pool.slots[self.idx as usize].body.get()).clear() };
+        }
         let len = self.len();
         if self.dirty && len > 0 {
             // §5.1: one fence before returning an output packet to a pool;
@@ -493,7 +611,13 @@ impl<T> Drop for Packet<'_, T> {
             // pointer).
             release_fence(FenceKind::PacketPublish);
         }
-        let kind = self.target.unwrap_or_else(|| self.pool.classify(len));
+        let kind = if was_condemned {
+            // Cleared above; never honor a Deferred routing request from
+            // before the condemnation.
+            SubPoolKind::Empty
+        } else {
+            self.target.unwrap_or_else(|| self.pool.classify(len))
+        };
         self.pool.push_list(kind, self.idx);
         self.pool.puts.fetch_add(1, Ordering::Relaxed);
         self.pool.in_use.fetch_sub(1, Ordering::Relaxed);
@@ -508,6 +632,13 @@ impl<T> Drop for Packet<'_, T> {
         } else {
             pool.entries
                 .fetch_sub(self.acquired_len - len, Ordering::Relaxed);
+        }
+        if was_condemned {
+            // Only after the packet is back on the Empty list: the §4.3
+            // termination inequality stays satisfied throughout (the
+            // packet is transiently counted both as condemned and as
+            // empty, never as neither).
+            pool.condemned.fetch_sub(1, Ordering::Release);
         }
     }
 }
@@ -797,6 +928,56 @@ mod tests {
         if left == 0 {
             assert!(p.is_tracing_complete());
         }
+    }
+
+    #[test]
+    fn condemned_handle_is_inert_and_counts_toward_termination() {
+        let p = pool(4, 4);
+        let mut held = p.get_output().unwrap();
+        held.push(1).unwrap();
+        held.push(2).unwrap();
+        assert!(!p.is_tracing_complete());
+        assert_eq!(p.outstanding(), 1);
+        assert_eq!(p.condemn_outstanding(), 1);
+        assert_eq!(p.condemned(), 1);
+        assert!(p.is_tracing_complete(), "condemned counts as surrendered");
+        // The stalled holder's handle is inert from here on.
+        assert_eq!(held.push(3), Err(3));
+        assert_eq!(held.pop(), None);
+        drop(held);
+        let s = p.stats();
+        assert_eq!(s.condemned, 0, "surrender clears the condemnation");
+        assert_eq!(s.empty, 4, "cleared body returns to Empty");
+        assert_eq!(s.entries, 0, "written-off entries leave the accounting");
+        // The slot is fully reusable afterwards.
+        let mut pk = p.get_output().unwrap();
+        pk.push(9).unwrap();
+        assert_eq!(pk.pop(), Some(9));
+    }
+
+    #[test]
+    fn condemn_skips_pooled_packets() {
+        let p = pool(4, 4);
+        let mut a = p.get_output().unwrap();
+        a.push(5).unwrap();
+        p.put(a); // back on a list: no longer outstanding
+        assert_eq!(p.condemn_outstanding(), 0);
+        let mut b = p.get_input().unwrap();
+        assert_eq!(b.pop(), Some(5), "pooled packets were untouched");
+    }
+
+    #[test]
+    fn condemned_deferred_request_is_ignored() {
+        let p = pool(4, 4);
+        let mut a = p.get_output().unwrap();
+        a.push(7).unwrap();
+        assert_eq!(p.condemn_outstanding(), 1);
+        a.defer();
+        assert!(
+            !p.has_deferred(),
+            "condemned packet cannot hide in Deferred"
+        );
+        assert!(p.is_tracing_complete());
     }
 
     #[test]

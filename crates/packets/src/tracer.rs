@@ -61,14 +61,23 @@ impl<'p, T> WorkBuffer<'p, T> {
     }
 
     /// Pushes a work item to the output packet, handling replacement and
-    /// the §4.3 overflow swap.
+    /// the §4.3 overflow swap. Every `Packet::push` result is honored:
+    /// a packet may also reject the item because the watchdog condemned
+    /// the handle, and silently dropping a marked-but-unscanned object
+    /// would lose its children.
     pub fn push(&mut self, item: T) -> PushOutcome<T> {
-        // Fast path: room in the current output packet.
+        let mut item = item;
+        // Fast path: room in the current (usable) output packet.
         if let Some(out) = self.output.as_mut() {
             if !out.is_full() {
-                let _ = out.push(item);
-                self.pushed += 1;
-                return PushOutcome::Pushed;
+                match out.push(item) {
+                    Ok(()) => {
+                        self.pushed += 1;
+                        return PushOutcome::Pushed;
+                    }
+                    // Condemned handle: fall through and replace it.
+                    Err(back) => item = back,
+                }
             }
         }
         // Need a (new) non-full output packet. Get first, then return the
@@ -79,9 +88,19 @@ impl<'p, T> WorkBuffer<'p, T> {
                     self.pool.put(old);
                 }
                 let out = self.output.as_mut().expect("just installed");
-                let _ = out.push(item);
-                self.pushed += 1;
-                PushOutcome::Pushed
+                match out.push(item) {
+                    Ok(()) => {
+                        self.pushed += 1;
+                        PushOutcome::Pushed
+                    }
+                    // A freshly acquired packet is non-full and cannot
+                    // already be condemned, but overflow remains the
+                    // sound answer to any rejection.
+                    Err(back) => {
+                        self.overflows += 1;
+                        PushOutcome::Overflow(back)
+                    }
+                }
             }
             other => {
                 // A full packet is useless as output; return it.
@@ -89,14 +108,27 @@ impl<'p, T> WorkBuffer<'p, T> {
                     self.pool.put(p);
                 }
                 // §4.3: failing that, try to swap input and output roles.
-                let in_full = self.input.as_ref().map(|p| p.is_full());
-                match (in_full, self.output.as_mut()) {
-                    (Some(false), Some(out)) => {
+                // Condemned packets are excluded: swapping entries into a
+                // body that is cleared on drop would lose them.
+                let in_swappable = self
+                    .input
+                    .as_ref()
+                    .map(|p| !p.is_full() && !p.is_condemned());
+                let out_usable = self.output.as_ref().is_some_and(|o| !o.is_condemned());
+                match (in_swappable, self.output.as_mut()) {
+                    (Some(true), Some(out)) if out_usable => {
                         let inp = self.input.as_mut().expect("checked above");
                         out.swap_contents(inp);
-                        let _ = out.push(item);
-                        self.pushed += 1;
-                        PushOutcome::Pushed
+                        match out.push(item) {
+                            Ok(()) => {
+                                self.pushed += 1;
+                                PushOutcome::Pushed
+                            }
+                            Err(back) => {
+                                self.overflows += 1;
+                                PushOutcome::Overflow(back)
+                            }
+                        }
                     }
                     (None, Some(_)) => {
                         // No input packet: adopt the full output as input
@@ -249,6 +281,21 @@ mod tests {
         assert_eq!(r.pop(), Some(1));
         r.finish();
         assert!(p.is_tracing_complete());
+    }
+
+    #[test]
+    fn push_replaces_condemned_output_instead_of_dropping() {
+        let p = pool(4, 4);
+        let mut w = WorkBuffer::new(&p);
+        assert_eq!(w.push(1), PushOutcome::Pushed);
+        assert_eq!(p.condemn_outstanding(), 1); // w's output packet
+                                                // The next push must not vanish into the condemned body: the
+                                                // buffer notices the rejection, replaces its output, and the item
+                                                // survives.
+        assert_eq!(w.push(2), PushOutcome::Pushed);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None, "1 was written off with the condemned packet");
+        assert_eq!(p.condemned(), 0);
     }
 
     #[test]

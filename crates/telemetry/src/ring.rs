@@ -324,10 +324,18 @@ impl EventRing {
     /// are mid-write or get lapped while we read are skipped, so under a
     /// heavy concurrent write load the snapshot can miss a few of the
     /// oldest events; it never returns a torn one.
+    ///
+    /// Writers stamp their clock before the wait-free ticket claim, so
+    /// under contention ticket order and timestamp order can disagree by
+    /// a pair or two; a snapshot presents a timeline, so it re-sorts by
+    /// stamp (stable: ties keep publication order, and any single
+    /// thread's events are already monotone).
     pub fn snapshot(&self) -> Vec<GcEvent> {
         let end = self.cursor.load(Ordering::Acquire);
         let start = end.saturating_sub(self.slots.len() as u64);
-        (start..end).filter_map(|t| self.read_slot(t)).collect()
+        let mut evs: Vec<GcEvent> = (start..end).filter_map(|t| self.read_slot(t)).collect();
+        evs.sort_by_key(|e| e.ts_ns);
+        evs
     }
 }
 

@@ -90,6 +90,35 @@ fn main() {
         report.wall.as_secs_f64(),
         report.log.cycles.len()
     );
+    // Degraded-mode health: all zeros on a healthy run; non-zero rows
+    // show the resilience machinery (escalation ladder, pause watchdog,
+    // handshake timeout fallback, overflow backoff) actually engaging.
+    let m: BTreeMap<String, f64> = gc.telemetry().registry().sample().into_iter().collect();
+    let g = |name: &str| m.get(name).copied().unwrap_or(0.0) as u64;
+    println!("\n--- degraded-mode counters ---");
+    println!(
+        "alloc ladder : {} retries, rungs lazy/finish/stw {}/{}/{}, {} OOMs",
+        g("gc_alloc_retry_total"),
+        g("gc_alloc_rung_lazy_total"),
+        g("gc_alloc_rung_finish_total"),
+        g("gc_alloc_rung_stw_total"),
+        g("gc_alloc_oom_total"),
+    );
+    println!(
+        "watchdog     : {} packets reclaimed from stalled tracers ({} alive)",
+        g("gc_watchdog_reclaimed_packets_total"),
+        g("gc_bg_tracers_alive"),
+    );
+    println!(
+        "handshakes   : {} acked, {} timed out into the global fence",
+        g("gc_handshake_acks_total"),
+        g("gc_handshake_timeouts_total"),
+    );
+    println!(
+        "pool         : {} overflow backoffs",
+        g("pool_overflow_backoffs_total"),
+    );
+
     println!(
         "\n--- registry (text) ---\n{}",
         gc.telemetry().registry().render_text()
