@@ -85,10 +85,11 @@ fn stall_holding_packet(gc: &Arc<Gc>) {
     drop(held);
 }
 
-/// Sleeps while counted *safe* so the collector never waits on an idle
-/// background thread.
+/// Parks while counted *safe* so the collector never waits on an idle
+/// background thread; kickoff wakes the park early so the tracer
+/// engages the concurrent phase from its first moment.
 fn idle(gc: &Gc, d: Duration) {
     gc.enter_safe();
-    std::thread::sleep(d);
+    gc.background_park(d);
     gc.exit_safe();
 }

@@ -217,6 +217,14 @@ pub struct Gc {
     /// Background tracer threads currently inside their run loop (a
     /// `bg.death` fault or shutdown decrements it; watched by `gc_top`).
     pub(crate) bg_alive: AtomicUsize,
+
+    /// Background threads park here between polls; kickoff notifies so
+    /// they engage the concurrent phase immediately. With the sharded
+    /// allocator, mutators can burn the post-kickoff headroom faster
+    /// than a timed poll interval — an unwoken tracer would miss the
+    /// whole phase.
+    bg_idle: Mutex<()>,
+    bg_wake: Condvar,
 }
 
 impl Gc {
@@ -262,6 +270,8 @@ impl Gc {
             bg_handles: Mutex::new(Vec::new()),
             handshake_epoch: AtomicU64::new(0),
             bg_alive: AtomicUsize::new(0),
+            bg_idle: Mutex::new(()),
+            bg_wake: Condvar::new(),
             heap,
             config,
         });
@@ -350,6 +360,7 @@ impl Gc {
             &pool,
             self.pool.occupancy(),
             self.bg_alive.load(Ordering::Relaxed) as u64,
+            &self.heap.alloc_stats(),
         );
     }
 
@@ -697,6 +708,28 @@ impl Gc {
             );
         }
         self.phase.store(PHASE_CONCURRENT, Ordering::Release);
+        self.wake_background();
+    }
+
+    /// Parks a background thread for up to `d` between polls;
+    /// [`Gc::wake_background`] cuts the sleep short the moment a
+    /// concurrent phase begins. The phase re-check under the `bg_idle`
+    /// lock closes the check-then-park race against kickoff.
+    pub(crate) fn background_park(&self, d: Duration) {
+        let mut g = self.bg_idle.lock();
+        if self.in_concurrent_phase() {
+            return;
+        }
+        self.bg_wake.wait_for(&mut g, d);
+    }
+
+    /// Wakes parked background threads at kickoff: the paper's
+    /// background tracers exist to soak up exactly the window that
+    /// opens here, and on a busy host that window can be shorter than
+    /// their poll interval.
+    fn wake_background(&self) {
+        let _g = self.bg_idle.lock();
+        self.bg_wake.notify_all();
     }
 
     /// Requests a collection: finishes the concurrent phase (or runs a

@@ -80,6 +80,10 @@ pub(crate) struct GcTelemetry {
     pool_entries: Arc<Gauge>,
     pool_occupancy: Arc<Gauge>,
     bg_tracers_alive: Arc<Gauge>,
+    alloc_shards: Arc<Gauge>,
+    alloc_shard_contention: Arc<Gauge>,
+    alloc_refill_steals: Arc<Gauge>,
+    alloc_wilderness_refills: Arc<Gauge>,
 }
 
 impl GcTelemetry {
@@ -131,6 +135,10 @@ impl GcTelemetry {
             pool_entries: g("pool_entries"),
             pool_occupancy: g("pool_occupancy"),
             bg_tracers_alive: g("gc_bg_tracers_alive"),
+            alloc_shards: g("alloc_shards"),
+            alloc_shard_contention: g("alloc_shard_lock_contention_total"),
+            alloc_refill_steals: g("alloc_refill_steals_total"),
+            alloc_wilderness_refills: g("alloc_wilderness_refills_total"),
             hub,
         }
     }
@@ -306,6 +314,7 @@ impl GcTelemetry {
         pool: &mcgc_packets::PoolStats,
         pool_occupancy: f64,
         bg_alive: u64,
+        alloc: &mcgc_heap::AllocShardStats,
     ) {
         self.phase.set(if phase_concurrent { 1.0 } else { 0.0 });
         self.cycle.set_u64(cycle);
@@ -323,6 +332,11 @@ impl GcTelemetry {
         self.pool_entries.set_u64(pool.entries as u64);
         self.pool_occupancy.set(pool_occupancy);
         self.bg_tracers_alive.set_u64(bg_alive);
+        self.alloc_shards.set_u64(alloc.shards as u64);
+        self.alloc_shard_contention.set_u64(alloc.contended_locks);
+        self.alloc_refill_steals.set_u64(alloc.refill_steals);
+        self.alloc_wilderness_refills
+            .set_u64(alloc.wilderness_refills);
     }
 }
 

@@ -3,13 +3,13 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mcgc_membar::sync::Mutex;
 use mcgc_membar::{release_fence, FenceKind};
 
 use crate::bitmap::Bitmap;
 use crate::cards::CardTable;
-use crate::freelist::FreeList;
+use crate::freelist::Extent;
 use crate::object::{Header, ObjectRef, GRANULE_BYTES, MAX_OBJECT_GRANULES};
+use crate::shards::{AllocShardStats, ShardedFreeList};
 
 /// Heap sizing and allocation parameters.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -25,6 +25,10 @@ pub struct HeapConfig {
     /// Free runs shorter than this many granules are left as dark matter
     /// instead of going on the free list.
     pub min_free_extent_granules: usize,
+    /// Number of free-list shards mutator refills spread over: `0` picks
+    /// one per available core, `1` selects the single-lock baseline
+    /// allocator (the pre-sharding design, kept for A/B benchmarking).
+    pub alloc_shards: usize,
 }
 
 impl Default for HeapConfig {
@@ -34,6 +38,7 @@ impl Default for HeapConfig {
             cache_bytes: 32 << 10,
             large_object_bytes: 8 << 10,
             min_free_extent_granules: 2,
+            alloc_shards: 0,
         }
     }
 }
@@ -97,6 +102,13 @@ pub struct AllocCache {
     end: usize,
     /// Object start granules awaiting allocation-bit publication.
     pending: Vec<u32>,
+    /// Free-list shard the last refill succeeded on; tried first next
+    /// time so a steadily churning mutator stays on one uncontended lock.
+    home: usize,
+    /// Refills since the cache was last retired at a safepoint. Sustained
+    /// pressure grows the next refill request (adaptive cache sizing), so
+    /// allocation-heavy mutators take the refill lock less often.
+    pressure: u32,
 }
 
 impl AllocCache {
@@ -119,7 +131,17 @@ impl AllocCache {
     pub fn is_retired(&self) -> bool {
         self.start == self.end
     }
+
+    /// Refills since the last retire (drives adaptive cache growth).
+    pub fn refill_pressure(&self) -> u32 {
+        self.pressure
+    }
 }
+
+/// Consecutive refills before the adaptive cache doubles its request.
+const REFILL_PRESSURE_WINDOW: u32 = 4;
+/// Cap on adaptive growth: at most `base << MAX_CACHE_BOOST` granules.
+const MAX_CACHE_BOOST: u32 = 3;
 
 /// Why an allocation request could not be satisfied.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -153,7 +175,8 @@ impl std::fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
-/// The shared heap: slot arena, bitmaps, card table, and free list.
+/// The shared heap: slot arena, bitmaps, card table, and the sharded
+/// free-space substrate.
 ///
 /// All slot accesses are atomic (the mutators and the concurrent tracer
 /// race by design, exactly the surface the paper's protocols manage);
@@ -166,7 +189,7 @@ pub struct Heap {
     alloc_bits: Bitmap,
     mark_bits: Bitmap,
     cards: CardTable,
-    free: Mutex<FreeList>,
+    free: ShardedFreeList,
     bytes_allocated: AtomicU64,
     objects_allocated: AtomicU64,
     /// Granules lost to sub-minimum free runs in the last sweep.
@@ -187,13 +210,29 @@ impl Heap {
             "heap smaller than one allocation cache"
         );
         assert!(granules <= u32::MAX as usize, "heap exceeds 32 GiB");
+        let shards = match config.alloc_shards {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            n => n,
+        };
+        // Stripes hold many refills' worth of granules so a mutator's
+        // whole retire/refill working set tends to stay inside one stripe
+        // — and therefore one shard — keeping its home-shard hit rate
+        // high and its lock traffic off the other shards.
+        let stripe = 64 * (config.cache_bytes / GRANULE_BYTES).max(1);
+        let free = ShardedFreeList::new(shards, stripe);
+        free.rebuild([Extent {
+            start: 1,
+            len: granules - 1,
+        }]);
         Heap {
             granules,
             slots: (0..granules).map(|_| AtomicU64::new(0)).collect(),
             alloc_bits: Bitmap::new(granules),
             mark_bits: Bitmap::new(granules),
             cards: CardTable::new(granules),
-            free: Mutex::new(FreeList::with_extent(1, granules - 1)),
+            free,
             config,
             bytes_allocated: AtomicU64::new(0),
             objects_allocated: AtomicU64::new(0),
@@ -217,19 +256,27 @@ impl Heap {
     }
 
     /// Free bytes currently on the free list (excludes space inside live
-    /// allocation caches and dark matter).
+    /// allocation caches and dark matter). Reads the substrate's relaxed
+    /// atomic counter — no lock, so the pacer may poll it on every
+    /// allocation slow path without contending with refills.
     pub fn free_bytes(&self) -> usize {
-        self.free.lock().free_granules() * GRANULE_BYTES
+        self.free.free_granules() * GRANULE_BYTES
     }
 
-    /// Number of extents on the free list.
+    /// Number of extents on the free list (diagnostics; takes each shard
+    /// lock once).
     pub fn free_extent_count(&self) -> usize {
-        self.free.lock().extent_count()
+        self.free.extent_count()
     }
 
     /// Largest free extent, in bytes.
     pub fn largest_free_bytes(&self) -> usize {
-        self.free.lock().largest_extent() * GRANULE_BYTES
+        self.free.largest_extent() * GRANULE_BYTES
+    }
+
+    /// Cumulative shard contention / refill-steal statistics.
+    pub fn alloc_stats(&self) -> AllocShardStats {
+        self.free.stats()
     }
 
     /// Granules lost to dark matter in the last sweep.
@@ -267,9 +314,10 @@ impl Heap {
         &self.cards
     }
 
-    /// Locked access to the free list (sweep rebuild, diagnostics).
-    pub fn with_free_list<R>(&self, f: impl FnOnce(&mut FreeList) -> R) -> R {
-        f(&mut self.free.lock())
+    /// The sharded free-space substrate (sweep rebuild, lazy-sweep frees,
+    /// verification, diagnostics).
+    pub fn free_list(&self) -> &ShardedFreeList {
+        &self.free
     }
 
     // ------------------------------------------------------------------
@@ -399,13 +447,17 @@ impl Heap {
     }
 
     /// Publishes pending allocations, then replaces `cache`'s region with
-    /// a fresh extent from the free list. The unused tail of the old
-    /// region is returned to the free list. Returns `false` if the free
-    /// list cannot supply a new cache (time to collect).
+    /// a fresh extent from the free-list substrate (home shard first,
+    /// stealing round-robin, wilderness last). The unused tail of the old
+    /// region is returned first. Returns `false` if no shard can supply a
+    /// new cache (time to collect).
     ///
     /// `min_granules` is the size of the allocation that prompted the
     /// refill; the new cache is at least that big even if the configured
-    /// cache size is unavailable.
+    /// cache size is unavailable. Sustained refill pressure (no retire
+    /// since several refills) grows the request up to 8x the configured
+    /// cache size, so allocation-heavy mutators visit the substrate less
+    /// often.
     pub fn refill_cache(&self, cache: &mut AllocCache, min_granules: usize) -> bool {
         if mcgc_fault::point!("heap.refill") {
             // Injected refill failure: report the free list exhausted
@@ -413,14 +465,16 @@ impl Heap {
             // allocation-failure escalation ladder.
             return false;
         }
-        self.retire_cache(cache);
-        let want = (self.config.cache_bytes / GRANULE_BYTES).max(min_granules);
-        let mut free = self.free.lock();
+        self.release_cache_region(cache);
+        cache.pressure = cache.pressure.saturating_add(1);
+        let base = (self.config.cache_bytes / GRANULE_BYTES).max(1);
+        let boost = (cache.pressure / REFILL_PRESSURE_WINDOW).min(MAX_CACHE_BOOST);
+        let want = (base << boost).max(min_granules);
         // Prefer a full-size cache; fall back to halves so a fragmented
         // heap still yields a usable cache before we give up.
         let mut size = want;
         loop {
-            if let Some(start) = free.alloc(size) {
+            if let Some(start) = self.free.alloc(size, &mut cache.home) {
                 cache.start = start;
                 cache.cursor = start;
                 cache.end = start + size;
@@ -435,25 +489,33 @@ impl Heap {
 
     /// Publishes pending allocations and returns the cache's unused tail
     /// to the free list, leaving the cache empty. Mutators retire their
-    /// caches at safepoints so sweep sees a consistent heap.
+    /// caches at safepoints so sweep sees a consistent heap; retiring also
+    /// resets the adaptive-sizing pressure, so cache growth reflects
+    /// refill rate *between* safepoints.
     pub fn retire_cache(&self, cache: &mut AllocCache) {
+        self.release_cache_region(cache);
+        cache.pressure = 0;
+    }
+
+    /// Publishes and gives back the cache's region without resetting the
+    /// refill-pressure counter (refills call this; only a real safepoint
+    /// retire resets pressure).
+    fn release_cache_region(&self, cache: &mut AllocCache) {
         self.publish_cache(cache);
         if cache.cursor < cache.end {
-            self.free
-                .lock()
-                .free(cache.cursor, cache.end - cache.cursor);
+            self.free.free(cache.cursor, cache.end - cache.cursor);
         }
         cache.start = 0;
         cache.cursor = 0;
         cache.end = 0;
     }
 
-    /// Allocates a large object directly from the free list, publishing
-    /// its allocation bit immediately with an individual fence. Large
-    /// objects carve from the high end of the heap (wilderness
-    /// preservation, per the compaction-avoidance design [12] the
-    /// collector builds on) so the small-object allocation front cannot
-    /// starve them through fragmentation.
+    /// Allocates a large object directly from the wilderness bin,
+    /// publishing its allocation bit immediately with an individual
+    /// fence. Large objects carve from the high end of the heap
+    /// (wilderness preservation, per the compaction-avoidance design [12]
+    /// the collector builds on) so the small-object allocation front
+    /// cannot starve them through fragmentation.
     ///
     /// # Errors
     /// Returns [`AllocError::OutOfMemory`] if no extent is large enough.
@@ -462,10 +524,7 @@ impl Heap {
         if mcgc_fault::point!("heap.alloc_large") {
             return Err(self.oom_error(shape.bytes() as u64));
         }
-        // Taken as its own statement so the free-list guard drops before
-        // `oom_error` re-locks the free list for the occupancy figure.
-        let extent = self.free.lock().alloc_from_end(need);
-        let Some(start) = extent else {
+        let Some(start) = self.free.alloc_from_end(need) else {
             return Err(self.oom_error(shape.bytes() as u64));
         };
         self.format_object(start, shape);
@@ -504,14 +563,18 @@ impl Heap {
 
     /// Approximate heap occupancy in `[0, 1]`: allocated fraction of total
     /// (free-list space and dark matter excluded from the numerator).
+    /// Lock-free: reads the substrate's relaxed free-granule counter.
     pub fn occupancy(&self) -> f64 {
         let total = self.granules as f64;
-        let free = self.free.lock().free_granules() as f64;
+        let free = self.free.free_granules() as f64;
         (total - free) / total
     }
 
     /// Builds the contextful out-of-memory error for a failed request of
-    /// `requested_bytes`, capturing current occupancy.
+    /// `requested_bytes`, capturing current occupancy. Reads only the
+    /// atomic free counter: the allocator is already in a failure path,
+    /// and OOM reporting must not contend on the very locks whose
+    /// exhaustion it is describing.
     pub fn oom_error(&self, requested_bytes: u64) -> AllocError {
         AllocError::OutOfMemory {
             requested_bytes,
@@ -540,6 +603,7 @@ mod tests {
             cache_bytes: 4 << 10,
             large_object_bytes: 1 << 10,
             min_free_extent_granules: 2,
+            alloc_shards: 4,
         })
     }
 
@@ -671,12 +735,10 @@ mod tests {
         heap.store_data(a, 0, 0xDEAD);
         heap.retire_cache(&mut cache);
         // Reallocate over the same region.
-        heap.with_free_list(|fl| {
-            fl.rebuild([crate::freelist::Extent {
-                start: 1,
-                len: heap.granules() - 1,
-            }])
-        });
+        heap.free_list().rebuild([crate::freelist::Extent {
+            start: 1,
+            len: heap.granules() - 1,
+        }]);
         heap.refill_cache(&mut cache, 1);
         let b = heap
             .alloc_small(&mut cache, ObjectShape::new(0, 4, 0))
@@ -736,12 +798,11 @@ mod tests {
     fn refill_falls_back_to_smaller_extents() {
         let heap = small_heap();
         // Fragment the free list into extents smaller than a cache.
-        heap.with_free_list(|fl| {
-            fl.rebuild((0..16).map(|i| crate::freelist::Extent {
+        heap.free_list()
+            .rebuild((0..16).map(|i| crate::freelist::Extent {
                 start: 1 + i * 128,
                 len: 64,
-            }))
-        });
+            }));
         let mut cache = AllocCache::new();
         assert!(
             heap.refill_cache(&mut cache, 8),

@@ -6,9 +6,10 @@
 //! * an allocation bit vector and a mark bit vector, one bit per granule
 //!   ([`bitmap`]);
 //! * a 512-byte-card table dirtied by the write barrier ([`cards`]);
-//! * an address-ordered extent free list ([`freelist`]) fed by bitwise
-//!   sweep ([`sweep`]) and consumed through per-thread allocation caches
-//!   ([`heap`]);
+//! * a sharded, size-class-binned free-extent substrate ([`shards`]) —
+//!   address-interleaved shards over a next-fit wilderness list
+//!   ([`freelist`]) — fed by bitwise sweep ([`sweep`]) and consumed
+//!   through per-thread allocation caches ([`heap`]);
 //! * a structural verifier for tests ([`verify`]).
 //!
 //! The arena's slot accesses are atomic: mutators and the concurrent
@@ -35,6 +36,7 @@ pub mod freelist;
 #[allow(clippy::module_inception)]
 pub mod heap;
 pub mod object;
+pub mod shards;
 pub mod sweep;
 pub mod verify;
 
@@ -43,5 +45,6 @@ pub use cards::CardTable;
 pub use freelist::{Extent, FreeList};
 pub use heap::{AllocCache, AllocError, Heap, HeapConfig, ObjectShape};
 pub use object::{Header, ObjectRef, CARD_BYTES, GRANULES_PER_CARD, GRANULE_BYTES};
+pub use shards::{AllocShardStats, ShardedFreeList};
 pub use sweep::{sweep_parallel, sweep_serial, LazySweep, SweepStats, DEFAULT_CHUNK_GRANULES};
 pub use verify::{assert_heap_valid, verify, verify_tricolor, Violation};

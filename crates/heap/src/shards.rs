@@ -1,0 +1,684 @@
+//! Sharded, size-class-binned allocation substrate.
+//!
+//! The paper's premise is scaling a server collector across many
+//! mutators, but a single `Mutex<FreeList>` with an O(n) next-fit scan
+//! serializes every cache refill, retire, and large allocation. This
+//! module replaces it with the structure per-thread allocators converge
+//! on (Multicore OCaml's size-classed pools, LXR's block regions, the
+//! Dimpsey et al. free-list lineage the paper builds on):
+//!
+//! * **N address-interleaved shards**, each its own lock. The heap is cut
+//!   into power-of-two *stripes*; a freed extent lands in the shard of
+//!   its stripe (`(start / stripe) % n`) when it lies wholly inside one
+//!   stripe. Extents that straddle a stripe boundary (or exceed a
+//!   stripe) go to the wilderness whole instead of being split —
+//!   splitting would strand fragments that match no refill size until
+//!   the next rebuild. Re-coalescing across shard boundaries happens at
+//!   the stop-the-world [`ShardedFreeList::rebuild`].
+//! * **Power-of-two size-class bins** inside each shard: class
+//!   `floor(log2(len))`, so the common cache-refill size pops in O(1)
+//!   instead of scanning an address-ordered list. Bins do not coalesce
+//!   intra-cycle (segregated fit); the sweep rebuild restores maximal
+//!   extents each cycle.
+//! * **One shared wilderness bin** — a plain [`FreeList`] — holding
+//!   extents longer than a stripe. Large objects carve from its end
+//!   (compaction avoidance [12]); refills fall back to its front.
+//! * **A relaxed atomic free-granule counter**, so `free_bytes()` and
+//!   `occupancy()` (polled by the pacer on every allocation slow path and
+//!   by OOM reporting) never take a lock.
+//!
+//! Refills try the mutator's *home shard* first, steal round-robin from
+//! the other shards on a miss — skipping shards a relaxed occupancy
+//! bitmask marks empty — and fall back to the wilderness; the home shard
+//! is updated to wherever the refill last succeeded, so a mutator that
+//! keeps retiring and re-allocating the same stripe stays on one
+//! uncontended lock. The mask is a hint, never a verdict: after the
+//! wilderness also misses, one unfiltered sweep over every shard runs
+//! before the refill reports out-of-memory, so a stale mask bit can cost
+//! a retry but never a spurious OOM.
+//!
+//! With `nshards <= 1` the shard array is empty and every operation
+//! routes through the wilderness `FreeList` — byte-for-byte the old
+//! single-lock allocator, kept as the A/B baseline for the alloc-scaling
+//! benchmark.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use mcgc_membar::sync::{Mutex, MutexGuard};
+
+use crate::freelist::{Extent, FreeList};
+
+/// Size classes cover `floor(log2(len))` for any extent a shard can hold
+/// (the heap is at most `u32::MAX` granules).
+const NUM_CLASSES: usize = 33;
+
+#[inline]
+fn class_of(len: usize) -> usize {
+    debug_assert!(len > 0);
+    ((usize::BITS - 1 - len.leading_zeros()) as usize).min(NUM_CLASSES - 1)
+}
+
+/// One shard: segregated power-of-two bins, no intra-shard coalescing.
+#[derive(Debug)]
+struct Shard {
+    bins: [Vec<Extent>; NUM_CLASSES],
+    free_granules: usize,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            bins: std::array::from_fn(|_| Vec::new()),
+            free_granules: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        for bin in &mut self.bins {
+            bin.clear();
+        }
+        self.free_granules = 0;
+    }
+
+    fn push(&mut self, e: Extent) {
+        debug_assert!(e.len > 0);
+        self.free_granules += e.len;
+        self.bins[class_of(e.len)].push(e);
+    }
+
+    /// O(1) segregated-fit pop: scan the request's own class for a fit
+    /// (its extents may be shorter than `len`), then pop from any higher
+    /// class, whose extents all fit. The remainder after splitting goes
+    /// back into its own class bin.
+    fn take(&mut self, len: usize) -> Option<usize> {
+        let fc = class_of(len);
+        if let Some(i) = self.bins[fc].iter().position(|e| e.len >= len) {
+            return Some(self.pop_split(fc, i, len));
+        }
+        for c in fc + 1..NUM_CLASSES {
+            if !self.bins[c].is_empty() {
+                let i = self.bins[c].len() - 1;
+                return Some(self.pop_split(c, i, len));
+            }
+        }
+        None
+    }
+
+    fn pop_split(&mut self, class: usize, idx: usize, len: usize) -> usize {
+        let e = self.bins[class].swap_remove(idx);
+        debug_assert!(e.len >= len);
+        self.free_granules -= len;
+        if e.len > len {
+            // The remainder stays inside the same stripe, so re-binning it
+            // here never crosses a shard boundary.
+            let rem = Extent {
+                start: e.start + len,
+                len: e.len - len,
+            };
+            self.bins[class_of(rem.len)].push(rem);
+        }
+        e.start
+    }
+}
+
+/// Cumulative substrate statistics (all counters relaxed, monotone).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllocShardStats {
+    /// Number of allocation locks (1 in single-lock baseline mode).
+    pub shards: usize,
+    /// Lock acquisitions that found the lock held (`try_lock` missed and
+    /// the caller had to block).
+    pub contended_locks: u64,
+    /// Refills served by a shard other than the mutator's home shard.
+    pub refill_steals: u64,
+    /// Refills that fell through every shard to the wilderness bin.
+    pub wilderness_refills: u64,
+}
+
+/// The sharded free-space substrate. See the module docs for the layout.
+///
+/// All methods take `&self`; internal locking is per shard plus one
+/// wilderness lock. The aggregate free-granule count is maintained in a
+/// relaxed atomic beside the locks.
+#[derive(Debug)]
+pub struct ShardedFreeList {
+    /// Empty in single-lock baseline mode (`nshards <= 1`).
+    shards: Box<[Mutex<Shard>]>,
+    /// Shared bin for extents longer than one stripe; also the entire
+    /// substrate in baseline mode.
+    wilderness: Mutex<FreeList>,
+    /// Total free granules across shards and wilderness. Relaxed: readers
+    /// (pacer, occupancy, OOM reports) tolerate a stale value; updates
+    /// happen on the same paths that take the structure's locks.
+    free_granules: AtomicUsize,
+    /// Occupancy hint: bit `i` set while shard `i` (i < 64) holds any
+    /// granules. Mutated only while that shard's lock is held, so per-shard
+    /// transitions are ordered; readers load it relaxed as a filter for the
+    /// steal loop. Shards beyond bit 63 are treated as always-occupied.
+    nonempty: AtomicU64,
+    stripe_granules: usize,
+    stripe_shift: u32,
+    contended_locks: AtomicU64,
+    refill_steals: AtomicU64,
+    wilderness_refills: AtomicU64,
+}
+
+impl ShardedFreeList {
+    /// Creates an empty substrate with `nshards` shards (`<= 1` selects
+    /// the single-lock baseline) and the given power-of-two stripe.
+    pub fn new(nshards: usize, stripe_granules: usize) -> ShardedFreeList {
+        let stripe = stripe_granules.next_power_of_two().max(2);
+        let n = if nshards <= 1 { 0 } else { nshards };
+        ShardedFreeList {
+            shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
+            wilderness: Mutex::new(FreeList::new()),
+            free_granules: AtomicUsize::new(0),
+            nonempty: AtomicU64::new(0),
+            stripe_granules: stripe,
+            stripe_shift: stripe.trailing_zeros(),
+            contended_locks: AtomicU64::new(0),
+            refill_steals: AtomicU64::new(0),
+            wilderness_refills: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of allocation locks mutators spread over (1 in baseline
+    /// mode; the wilderness lock is not counted separately).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len().max(1)
+    }
+
+    /// Stripe length in granules (extents longer than this live in the
+    /// wilderness bin).
+    pub fn stripe_granules(&self) -> usize {
+        self.stripe_granules
+    }
+
+    /// Total free granules (relaxed atomic read; no lock).
+    #[inline]
+    pub fn free_granules(&self) -> usize {
+        self.free_granules.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative contention/steal statistics.
+    pub fn stats(&self) -> AllocShardStats {
+        AllocShardStats {
+            shards: self.shard_count(),
+            contended_locks: self.contended_locks.load(Ordering::Relaxed),
+            refill_steals: self.refill_steals.load(Ordering::Relaxed),
+            wilderness_refills: self.wilderness_refills.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, start: usize) -> usize {
+        (start >> self.stripe_shift) % self.shards.len()
+    }
+
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, Shard> {
+        match self.shards[idx].try_lock() {
+            Some(g) => g,
+            None => {
+                self.contended_locks.fetch_add(1, Ordering::Relaxed);
+                self.shards[idx].lock()
+            }
+        }
+    }
+
+    fn lock_wilderness(&self) -> MutexGuard<'_, FreeList> {
+        match self.wilderness.try_lock() {
+            Some(g) => g,
+            None => {
+                self.contended_locks.fetch_add(1, Ordering::Relaxed);
+                self.wilderness.lock()
+            }
+        }
+    }
+
+    /// Locks shard `idx` and takes `len` granules from it, maintaining
+    /// the occupancy mask and the global free-granule counter.
+    fn take_from(&self, idx: usize, len: usize) -> Option<usize> {
+        let mut g = self.lock_shard(idx);
+        let start = g.take(len)?;
+        if g.free_granules == 0 && idx < 64 {
+            // Still under the shard lock, so this clear cannot race with a
+            // concurrent free's set on the same shard.
+            self.nonempty.fetch_and(!(1u64 << idx), Ordering::Relaxed);
+        }
+        drop(g);
+        self.free_granules.fetch_sub(len, Ordering::Relaxed);
+        Some(start)
+    }
+
+    /// Allocates `len` granules for a cache refill: home shard, then
+    /// round-robin steal from the other shards (skipping shards the
+    /// occupancy mask marks empty), then the wilderness front, then one
+    /// unfiltered sweep of every shard so a stale mask bit can never turn
+    /// into a spurious out-of-memory. On success `home` is updated to the
+    /// serving shard.
+    pub fn alloc(&self, len: usize, home: &mut usize) -> Option<usize> {
+        debug_assert!(len > 0);
+        let n = self.shards.len();
+        if n > 0 {
+            let h = *home % n;
+            if let Some(start) = self.take_from(h, len) {
+                *home = h;
+                return Some(start);
+            }
+            let mask = self.nonempty.load(Ordering::Relaxed);
+            for i in 1..n {
+                let idx = (h + i) % n;
+                if idx < 64 && mask & (1u64 << idx) == 0 {
+                    continue;
+                }
+                if let Some(start) = self.take_from(idx, len) {
+                    *home = idx;
+                    self.refill_steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(start);
+                }
+            }
+        }
+        if let Some(start) = self.lock_wilderness().alloc(len) {
+            self.wilderness_refills.fetch_add(1, Ordering::Relaxed);
+            self.free_granules.fetch_sub(len, Ordering::Relaxed);
+            return Some(start);
+        }
+        // Last resort: revisit every shard without the mask filter, so
+        // free space a stale mask hid is still found before we fail.
+        for idx in 0..n {
+            if let Some(start) = self.take_from(idx, len) {
+                *home = idx;
+                self.refill_steals.fetch_add(1, Ordering::Relaxed);
+                return Some(start);
+            }
+        }
+        None
+    }
+
+    /// Wilderness-style allocation for large objects: carve from the end
+    /// of the wilderness bin, falling back to the highest-ending fitting
+    /// extent across the shard bins when the wilderness cannot serve.
+    pub fn alloc_from_end(&self, len: usize) -> Option<usize> {
+        debug_assert!(len > 0);
+        if let Some(start) = self.lock_wilderness().alloc_from_end(len) {
+            self.free_granules.fetch_sub(len, Ordering::Relaxed);
+            return Some(start);
+        }
+        if self.shards.is_empty() {
+            return None;
+        }
+        // Rare fallback: hold every shard lock (ascending order, the same
+        // order rebuild uses, so lock acquisition cannot deadlock) and
+        // take the globally highest-ending extent that fits.
+        let mut guards: Vec<MutexGuard<'_, Shard>> =
+            (0..self.shards.len()).map(|i| self.lock_shard(i)).collect();
+        let mut best: Option<(usize, usize, usize, usize)> = None; // (shard, class, idx, end)
+        for (si, g) in guards.iter().enumerate() {
+            for c in class_of(len)..NUM_CLASSES {
+                for (i, e) in g.bins[c].iter().enumerate() {
+                    if e.len >= len && best.is_none_or(|b| e.end() > b.3) {
+                        best = Some((si, c, i, e.end()));
+                    }
+                }
+            }
+        }
+        let (si, class, idx, _) = best?;
+        let g = &mut guards[si];
+        let e = g.bins[class].swap_remove(idx);
+        g.free_granules -= e.len;
+        if e.len > len {
+            g.push(Extent {
+                start: e.start,
+                len: e.len - len,
+            });
+        }
+        if g.free_granules == 0 && si < 64 {
+            self.nonempty.fetch_and(!(1u64 << si), Ordering::Relaxed);
+        }
+        self.free_granules.fetch_sub(len, Ordering::Relaxed);
+        Some(e.end() - len)
+    }
+
+    /// Returns an extent to the substrate: the owning shard's size-class
+    /// bin when the extent lies wholly inside one stripe, the wilderness
+    /// otherwise (longer than a stripe, or straddling a stripe boundary —
+    /// splitting straddlers would strand fragments that match no refill
+    /// size until the next rebuild; the wilderness next-fit handles odd
+    /// extents and coalesces as it goes).
+    pub fn free(&self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.free_granules.fetch_add(len, Ordering::Relaxed);
+        // Same-stripe test: first and last granule share a stripe index
+        // (also false whenever `len > stripe_granules`).
+        if self.shards.is_empty() || (start ^ (start + len - 1)) >> self.stripe_shift != 0 {
+            self.lock_wilderness().free(start, len);
+            return;
+        }
+        let idx = self.shard_of(start);
+        let mut g = self.lock_shard(idx);
+        let was_empty = g.free_granules == 0;
+        g.push(Extent { start, len });
+        if was_empty && idx < 64 {
+            // Set under the shard lock so it orders with take_from's clear.
+            self.nonempty.fetch_or(1u64 << idx, Ordering::Relaxed);
+        }
+    }
+
+    /// Replaces the contents with `extents`, which must be address-ordered
+    /// and non-overlapping (as produced by sweep). Adjacent extents are
+    /// coalesced first — including pieces that lived in different shards
+    /// before the rebuild, which is why maximal extents are restored every
+    /// stop-the-world rebuild despite bins never coalescing — and the
+    /// coalesced runs are then dealt back out by address.
+    pub fn rebuild<I: IntoIterator<Item = Extent>>(&self, extents: I) {
+        // Canonical lock order: wilderness, then shards ascending.
+        let mut wild = self.lock_wilderness();
+        let mut guards: Vec<MutexGuard<'_, Shard>> =
+            (0..self.shards.len()).map(|i| self.lock_shard(i)).collect();
+        wild.rebuild(std::iter::empty());
+        for g in guards.iter_mut() {
+            g.clear();
+        }
+        let mut total = 0usize;
+        let mut pending: Option<Extent> = None;
+        for e in extents {
+            if e.len == 0 {
+                continue;
+            }
+            debug_assert!(
+                pending.is_none_or(|p| p.end() <= e.start),
+                "rebuild input not address-ordered"
+            );
+            total += e.len;
+            match &mut pending {
+                Some(p) if p.end() == e.start => p.len += e.len,
+                Some(p) => {
+                    let done = *p;
+                    *p = e;
+                    self.deal(&mut wild, &mut guards, done);
+                }
+                None => pending = Some(e),
+            }
+        }
+        if let Some(p) = pending {
+            self.deal(&mut wild, &mut guards, p);
+        }
+        let mut mask = 0u64;
+        for (i, g) in guards.iter().enumerate().take(64) {
+            if g.free_granules > 0 {
+                mask |= 1u64 << i;
+            }
+        }
+        self.nonempty.store(mask, Ordering::Relaxed);
+        self.free_granules.store(total, Ordering::Relaxed);
+    }
+
+    /// Routes one coalesced extent under the locks `rebuild` holds, with
+    /// the same stripe-local-or-wilderness rule as [`ShardedFreeList::free`].
+    fn deal(
+        &self,
+        wild: &mut MutexGuard<'_, FreeList>,
+        guards: &mut [MutexGuard<'_, Shard>],
+        e: Extent,
+    ) {
+        if guards.is_empty() || (e.start ^ (e.end() - 1)) >> self.stripe_shift != 0 {
+            wild.free(e.start, e.len);
+            return;
+        }
+        guards[self.shard_of(e.start)].push(e);
+    }
+
+    /// Every extent, sorted by start address (diagnostics, verification,
+    /// tests). Takes each lock once, sequentially.
+    pub fn extents_sorted(&self) -> Vec<Extent> {
+        let mut all = self.wilderness_extents();
+        all.extend(self.shard_extents());
+        all.sort_unstable_by_key(|e| (e.start, e.len));
+        all
+    }
+
+    /// The wilderness bin's extents in its own (address) iteration order.
+    pub fn wilderness_extents(&self) -> Vec<Extent> {
+        self.lock_wilderness().iter().collect()
+    }
+
+    /// All shard-binned extents, in no particular order.
+    pub fn shard_extents(&self) -> Vec<Extent> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            let g = self.lock_shard(i);
+            for bin in &g.bins {
+                out.extend(bin.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Number of extents across all bins.
+    pub fn extent_count(&self) -> usize {
+        let mut n = self.lock_wilderness().extent_count();
+        for i in 0..self.shards.len() {
+            n += self.lock_shard(i).bins.iter().map(Vec::len).sum::<usize>();
+        }
+        n
+    }
+
+    /// Size of the largest extent anywhere, in granules.
+    pub fn largest_extent(&self) -> usize {
+        let mut best = self.lock_wilderness().largest_extent();
+        for i in 0..self.shards.len() {
+            let g = self.lock_shard(i);
+            for bin in g.bins.iter().rev() {
+                if let Some(m) = bin.iter().map(|e| e.len).max() {
+                    best = best.max(m);
+                    break; // higher classes checked first; lower can't beat it
+                }
+            }
+        }
+        best
+    }
+
+    /// Installs `extents` verbatim into the wilderness bin with no
+    /// ordering, overlap, or length checks, clearing the shards. Exists so
+    /// verifier tests can construct corrupted states that
+    /// [`ShardedFreeList::rebuild`]'s debug assertions would reject; never
+    /// call it from collector code.
+    #[doc(hidden)]
+    pub fn set_extents_unchecked(&self, extents: Vec<Extent>) {
+        let mut wild = self.lock_wilderness();
+        let mut guards: Vec<MutexGuard<'_, Shard>> =
+            (0..self.shards.len()).map(|i| self.lock_shard(i)).collect();
+        for g in guards.iter_mut() {
+            g.clear();
+        }
+        let total = extents.iter().map(|e| e.len).sum();
+        wild.set_extents_unchecked(extents);
+        self.nonempty.store(0, Ordering::Relaxed);
+        self.free_granules.store(total, Ordering::Relaxed);
+    }
+
+    #[cfg(test)]
+    fn nonempty_mask(&self) -> u64 {
+        self.nonempty.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(nshards: usize, stripe: usize, total: usize) -> ShardedFreeList {
+        let fl = ShardedFreeList::new(nshards, stripe);
+        fl.rebuild([Extent {
+            start: 1,
+            len: total,
+        }]);
+        fl
+    }
+
+    #[test]
+    fn class_of_is_floor_log2() {
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(2), 1);
+        assert_eq!(class_of(3), 1);
+        assert_eq!(class_of(64), 6);
+        assert_eq!(class_of(127), 6);
+        assert_eq!(class_of(128), 7);
+    }
+
+    #[test]
+    fn fresh_extent_lands_in_wilderness() {
+        let fl = filled(4, 256, 10_000);
+        assert_eq!(fl.free_granules(), 10_000);
+        assert_eq!(fl.wilderness_extents().len(), 1);
+        assert!(fl.shard_extents().is_empty());
+    }
+
+    #[test]
+    fn small_free_routes_to_shard_by_stripe() {
+        let fl = ShardedFreeList::new(4, 256);
+        fl.free(10, 20); // stripe 0 -> shard 0
+        fl.free(256 * 3 + 5, 30); // stripe 3 -> shard 3
+        assert_eq!(fl.free_granules(), 50);
+        assert_eq!(fl.wilderness_extents().len(), 0);
+        assert_eq!(fl.shard_extents().len(), 2);
+        let mut home = 0;
+        assert_eq!(fl.alloc(20, &mut home), Some(10));
+        assert_eq!(home, 0);
+        // Miss at home shard 0, steal from shard 3.
+        assert_eq!(fl.alloc(30, &mut home), Some(256 * 3 + 5));
+        assert_eq!(home, 3);
+        assert_eq!(fl.stats().refill_steals, 1);
+        assert_eq!(fl.free_granules(), 0);
+    }
+
+    #[test]
+    fn straddling_free_routes_to_wilderness_whole() {
+        let fl = ShardedFreeList::new(4, 256);
+        fl.free(250, 20); // [250, 270) crosses the 256 boundary
+        assert_eq!(
+            fl.wilderness_extents(),
+            vec![Extent {
+                start: 250,
+                len: 20
+            }],
+            "straddler must not be split into unusable fragments"
+        );
+        assert!(fl.shard_extents().is_empty());
+        assert_eq!(fl.free_granules(), 20);
+        // Still allocatable at full size via the wilderness fallback.
+        let mut home = 0;
+        assert_eq!(fl.alloc(20, &mut home), Some(250));
+    }
+
+    #[test]
+    fn occupancy_mask_tracks_shard_transitions() {
+        let fl = ShardedFreeList::new(4, 256);
+        assert_eq!(fl.nonempty_mask(), 0);
+        fl.free(256 * 3 + 5, 30); // stripe 3 -> shard 3
+        assert_eq!(fl.nonempty_mask(), 1 << 3);
+        fl.free(10, 5); // stripe 0 -> shard 0
+        assert_eq!(fl.nonempty_mask(), (1 << 3) | 1);
+        let mut home = 0;
+        assert_eq!(fl.alloc(5, &mut home), Some(10));
+        assert_eq!(fl.nonempty_mask(), 1 << 3, "emptied shard 0 clears bit");
+        // The mask-guided steal still finds shard 3 from an empty home.
+        assert_eq!(fl.alloc(30, &mut home), Some(256 * 3 + 5));
+        assert_eq!(fl.nonempty_mask(), 0);
+        assert_eq!(fl.alloc(1, &mut home), None, "clean miss, no free space");
+        // Rebuild repopulates the mask from what it dealt out.
+        fl.rebuild([Extent { start: 10, len: 5 }]);
+        assert_eq!(fl.nonempty_mask(), 1);
+    }
+
+    #[test]
+    fn rebuild_coalesces_across_shard_boundaries() {
+        let fl = ShardedFreeList::new(4, 256);
+        // Two shard-resident pieces that are address-adjacent across a
+        // stripe boundary, plus a separate run.
+        fl.free(250, 6);
+        fl.free(256, 14);
+        fl.free(600, 10);
+        let sorted = fl.extents_sorted();
+        assert_eq!(sorted.len(), 3, "bins do not coalesce intra-cycle");
+        fl.rebuild(sorted);
+        assert_eq!(fl.free_granules(), 30);
+        // After rebuild the adjacent pieces coalesced into [250, 270),
+        // which straddles a stripe boundary and so was dealt to the
+        // wilderness whole: conservation holds and no two pieces overlap.
+        let after = fl.extents_sorted();
+        let total: usize = after.iter().map(|e| e.len).sum();
+        assert_eq!(total, 30);
+        for w in after.windows(2) {
+            assert!(w[0].end() <= w[1].start, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn wilderness_serves_refills_when_shards_empty() {
+        let fl = filled(4, 256, 100_000);
+        let mut home = 0;
+        assert_eq!(fl.alloc(512, &mut home), Some(1));
+        assert_eq!(fl.stats().wilderness_refills, 1);
+        assert_eq!(fl.free_granules(), 100_000 - 512);
+    }
+
+    #[test]
+    fn alloc_from_end_prefers_wilderness_then_shards() {
+        let fl = filled(4, 256, 1000);
+        assert_eq!(fl.alloc_from_end(100), Some(901));
+        // Drain the wilderness, then free a shard-resident extent high up.
+        let mut home = 0;
+        while fl.alloc(64, &mut home).is_some() {}
+        while fl.alloc(1, &mut home).is_some() {}
+        assert_eq!(fl.free_granules(), 0);
+        // Two stripe-local extents in different shards; the fallback must
+        // pick the globally highest-ending one.
+        fl.free(300, 50);
+        fl.free(600, 50);
+        assert_eq!(fl.alloc_from_end(40), Some(610), "highest-ending fit");
+        assert_eq!(fl.free_granules(), 60);
+    }
+
+    #[test]
+    fn baseline_mode_uses_single_wilderness_list() {
+        let fl = filled(1, 256, 10_000);
+        assert_eq!(fl.shard_count(), 1);
+        fl.free(20_000, 10); // small extents also go to the wilderness
+        assert!(fl.shard_extents().is_empty());
+        assert_eq!(fl.wilderness_extents().len(), 2);
+        let mut home = 0;
+        assert_eq!(fl.alloc(100, &mut home), Some(1));
+        assert_eq!(fl.free_granules(), 10_000 - 100 + 10);
+    }
+
+    #[test]
+    fn conservation_through_mixed_ops() {
+        let fl = filled(8, 64, 50_000);
+        let mut home = 0;
+        let mut held: Vec<(usize, usize)> = Vec::new();
+        for i in 0..2000 {
+            let len = 1 + (i * 7) % 120;
+            if i % 3 == 2 && !held.is_empty() {
+                let (s, l) = held.swap_remove(held.len() / 2);
+                fl.free(s, l);
+            } else if let Some(s) = fl.alloc(len, &mut home) {
+                held.push((s, len));
+            }
+        }
+        let held_total: usize = held.iter().map(|&(_, l)| l).sum();
+        assert_eq!(fl.free_granules() + held_total, 50_000);
+        // No extent overlaps another or a held region.
+        let mut regions: Vec<(usize, usize)> = held
+            .iter()
+            .map(|&(s, l)| (s, s + l))
+            .chain(fl.extents_sorted().iter().map(|e| (e.start, e.end())))
+            .collect();
+        regions.sort_unstable();
+        for w in regions.windows(2) {
+            assert!(w[0].1 <= w[1].0, "region overlap: {w:?}");
+        }
+    }
+}

@@ -139,7 +139,7 @@ pub fn sweep_serial(heap: &Heap, chunk_granules: usize) -> SweepStats {
         stats.absorb(&cs);
         all.extend(cs.extents);
     }
-    heap.with_free_list(|fl| fl.rebuild(all));
+    heap.free_list().rebuild(all);
     heap.set_dark_granules(stats.dark_granules as u64);
     stats
 }
@@ -180,7 +180,7 @@ pub fn sweep_parallel(heap: &Heap, chunk_granules: usize, workers: usize) -> Swe
         stats.absorb(cs);
         all.extend(cs.extents.iter().copied());
     }
-    heap.with_free_list(|fl| fl.rebuild(all));
+    heap.free_list().rebuild(all);
     heap.set_dark_granules(stats.dark_granules as u64);
     stats
 }
@@ -204,7 +204,7 @@ impl LazySweep {
     /// rediscovered chunk by chunk, so allocation gradually recovers as
     /// chunks are swept.
     pub fn new(heap: &Heap, chunk_granules: usize) -> LazySweep {
-        heap.with_free_list(|fl| fl.rebuild(std::iter::empty()));
+        heap.free_list().rebuild(std::iter::empty());
         LazySweep {
             chunk_granules,
             next: AtomicUsize::new(0),
@@ -222,11 +222,9 @@ impl LazySweep {
             return None;
         }
         let cs = sweep_chunk(heap, c, self.chunk_granules);
-        heap.with_free_list(|fl| {
-            for e in &cs.extents {
-                fl.free(e.start, e.len);
-            }
-        });
+        for e in &cs.extents {
+            heap.free_list().free(e.start, e.len);
+        }
         self.done.fetch_add(1, Ordering::Relaxed);
         Some(cs)
     }
@@ -263,6 +261,7 @@ mod tests {
             cache_bytes: 8 << 10,
             large_object_bytes: 4 << 10,
             min_free_extent_granules: 2,
+            alloc_shards: 4,
         });
         let mut cache = AllocCache::new();
         let mut objs = Vec::new();
@@ -347,8 +346,8 @@ mod tests {
         assert_eq!(sa.live_granules, sb.live_granules);
         assert_eq!(sa.freed_granules, sb.freed_granules);
         assert_eq!(sa.dark_granules, sb.dark_granules);
-        let ea: Vec<_> = heap_a.with_free_list(|fl| fl.iter().collect());
-        let eb: Vec<_> = heap_b.with_free_list(|fl| fl.iter().collect());
+        let ea = heap_a.free_list().extents_sorted();
+        let eb = heap_b.free_list().extents_sorted();
         assert_eq!(ea, eb, "identical free lists");
     }
 
@@ -359,6 +358,7 @@ mod tests {
             cache_bytes: 8 << 10,
             large_object_bytes: 256,
             min_free_extent_granules: 2,
+            alloc_shards: 4,
         });
         // Large object spanning several 1 KiB-granule chunks.
         let big = heap.alloc_large(ObjectShape::new(0, 5000, 2)).unwrap();

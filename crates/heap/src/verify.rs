@@ -184,26 +184,41 @@ pub fn verify(heap: &Heap, strict_refs: bool) -> Vec<Violation> {
         cursor = start + 1;
     }
 
-    // Pass 2: free-list extents must be address-ordered, non-empty, and
-    // must not intersect allocated headers.
-    heap.with_free_list(|fl| {
-        let mut prev_end = 0usize;
-        for e in fl.iter() {
-            if e.len == 0 || e.start < prev_end {
-                violations.push(Violation::FreeListDisorder {
-                    start: e.start,
-                    len: e.len,
-                });
-            }
-            prev_end = prev_end.max(e.start + e.len);
-            if alloc.count_range(e.start, (e.start + e.len).min(granules)) != 0 {
-                violations.push(Violation::FreeListOverlap {
-                    start: e.start,
-                    len: e.len,
-                });
-            }
+    // Pass 2: free extents must be well-formed. The wilderness bin is a
+    // next-fit list that keeps address order, so its iteration order is
+    // checked directly; shard size-class bins are unordered by design, so
+    // across the whole substrate the *sorted* union is checked for
+    // zero-length extents, overlap, and alloc-bit intersection.
+    let fl = heap.free_list();
+    let mut prev_end = 0usize;
+    for e in fl.wilderness_extents() {
+        if e.start < prev_end {
+            violations.push(Violation::FreeListDisorder {
+                start: e.start,
+                len: e.len,
+            });
         }
-    });
+        prev_end = prev_end.max(e.start + e.len);
+    }
+    let mut all = fl.wilderness_extents();
+    all.extend(fl.shard_extents());
+    all.sort_unstable_by_key(|e| (e.start, e.len));
+    let mut prev_end = 0usize;
+    for e in all {
+        if e.len == 0 || e.start < prev_end {
+            violations.push(Violation::FreeListDisorder {
+                start: e.start,
+                len: e.len,
+            });
+        }
+        prev_end = prev_end.max(e.start + e.len);
+        if alloc.count_range(e.start, (e.start + e.len).min(granules)) != 0 {
+            violations.push(Violation::FreeListOverlap {
+                start: e.start,
+                len: e.len,
+            });
+        }
+    }
 
     // Pass 3: marks imply allocation.
     let marks = heap.mark_bits();
@@ -440,23 +455,19 @@ mod tests {
     fn detects_free_list_disorder() {
         use crate::freelist::Extent;
         let h = heap();
-        let (a, b) = h.with_free_list(|fl| {
-            let e: Vec<Extent> = fl.iter().collect();
-            assert!(!e.is_empty());
-            // Split the first real extent into two out-of-order pieces.
-            let first = e[0];
-            (
-                Extent {
-                    start: first.start + 8,
-                    len: first.len - 8,
-                },
-                Extent {
-                    start: first.start,
-                    len: 8,
-                },
-            )
-        });
-        h.with_free_list(|fl| fl.set_extents_unchecked(vec![a, b]));
+        let e = h.free_list().extents_sorted();
+        assert!(!e.is_empty());
+        // Split the first real extent into two out-of-order pieces.
+        let first = e[0];
+        let a = Extent {
+            start: first.start + 8,
+            len: first.len - 8,
+        };
+        let b = Extent {
+            start: first.start,
+            len: 8,
+        };
+        h.free_list().set_extents_unchecked(vec![a, b]);
         let v = verify(&h, true);
         assert_eq!(
             v,

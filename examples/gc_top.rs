@@ -118,6 +118,13 @@ fn main() {
         "pool         : {} overflow backoffs",
         g("pool_overflow_backoffs_total"),
     );
+    println!(
+        "alloc shards : {} shards, {} contended locks, {} refill steals, {} wilderness refills",
+        g("alloc_shards"),
+        g("alloc_shard_lock_contention_total"),
+        g("alloc_refill_steals_total"),
+        g("alloc_wilderness_refills_total"),
+    );
 
     println!(
         "\n--- registry (text) ---\n{}",

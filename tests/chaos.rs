@@ -230,9 +230,29 @@ fn delayed_handshake_acks_hit_timeout_fallback() {
         // Two mutator threads: every handshake one of them requests (or
         // the background tracer drives) leaves the other un-acked, so
         // with acks suppressed each one must resolve via timeout.
+        // Whether a given cycle cleans any card *concurrently* (rather
+        // than deferring them all to the pause, where parked mutators
+        // are implicitly acked) is schedule-dependent, so churn cycles
+        // until a concurrent handshake has both fired the fault and
+        // been forced through the timeout fallback, bounded by the
+        // cycle cap (and, ultimately, the wall-clock watchdog).
         let gc2 = Arc::clone(&gc);
-        let t = std::thread::spawn(move || churn(&gc2, 3, 2_000_000).unwrap());
-        churn(&gc, 3, 2_000_000).unwrap();
+        let done = Arc::new(std::sync::Mutex::new(false));
+        let done2 = Arc::clone(&done);
+        let t = std::thread::spawn(move || {
+            while !*done2.lock().unwrap() {
+                churn(&gc2, gc2.log().cycles.len() + 1, 500_000).unwrap();
+            }
+        });
+        for _ in 0..40 {
+            churn(&gc, gc.log().cycles.len() + 1, 500_000).unwrap();
+            if fault::fires(site::HANDSHAKE_DELAY) > 0
+                && counters(&gc)["gc_handshake_timeouts_total"] >= 1.0
+            {
+                break;
+            }
+        }
+        *done.lock().unwrap() = true;
         t.join().unwrap();
         assert!(fault::fires(site::HANDSHAKE_DELAY) > 0, "plan never fired");
         let s = counters(&gc);

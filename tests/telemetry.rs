@@ -177,8 +177,13 @@ fn sampling_refreshes_gauges_and_exporters_render() {
     assert!(sample["pacer_k0"] > 0.0);
     assert!(sample["pacer_kickoff_threshold_bytes"] > 0.0);
     assert!(sample["heap_occupancy"] > 0.0 && sample["heap_occupancy"] <= 1.0);
+    // Which role the traced bytes land on is schedule-dependent (the
+    // background tracer is woken at kickoff and can do all of it on a
+    // small heap); some role must have been credited.
     assert!(
-        sample["gc_traced_stw_bytes_total"] > 0.0 || sample["gc_traced_mutator_bytes_total"] > 0.0
+        sample["gc_traced_stw_bytes_total"] > 0.0
+            || sample["gc_traced_mutator_bytes_total"] > 0.0
+            || sample["gc_traced_background_bytes_total"] > 0.0
     );
     assert!(sample.contains_key("pool_occupancy"));
     let text = gc.telemetry().registry().render_text();
