@@ -1,0 +1,175 @@
+//! Pause scaling across gang sizes: the measured stop-the-world wall
+//! time at `stw_workers` ∈ {1, 2, 4, 8}, for both the mostly-concurrent
+//! collector and the stop-the-world baseline (whose pauses carry the
+//! whole mark in-pause and so have the most parallelizable work).
+//!
+//! What this isolates: every pause phase — final card cleaning, root
+//! rescanning, packet drain, sweep, bitmap pre-clear — runs on the
+//! *persistent* gang, claimed from atomic cursors. `stw_workers = 1`
+//! runs every phase inline on the leader (the serial pause, zero
+//! dispatch overhead); higher counts split the same cursors across the
+//! parked helper threads with one condvar wakeup per phase and no
+//! `thread::spawn` anywhere on the pause path.
+//!
+//! On a multi-core host the cursor split is the speedup: each phase's
+//! wall time approaches `work / workers` plus the (microsecond-scale)
+//! barrier. A single-CPU runner cannot exhibit that half of the story —
+//! the OS serializes the workers, so wall time at best stays flat and
+//! the numbers below mostly measure the dispatch protocol's overhead;
+//! what the structural half still shows everywhere is that adding
+//! workers costs only the barrier, not a per-pause thread spawn. Columns
+//! are measured wall (not work-model) milliseconds; the per-phase
+//! breakdown uses the pause-phase timers recorded in every `CycleStats`.
+//!
+//! Prints one row per (mode, workers) point and writes machine-readable
+//! results to `BENCH_pause.json` (override with `MCGC_BENCH_OUT`); CI's
+//! `bench-smoke` job archives that file and appends the speedups to
+//! EXPERIMENTS.md.
+
+use std::time::Duration;
+
+use mcgc_core::{CollectorMode, GcLog, SweepMode};
+use mcgc_workloads::jbb::run_standalone;
+
+struct Point {
+    mode: &'static str,
+    workers: usize,
+    cycles: usize,
+    avg_pause_ms: f64,
+    max_pause_ms: f64,
+    avg_cards_ms: f64,
+    avg_roots_ms: f64,
+    avg_drain_ms: f64,
+    avg_sweep_ms: f64,
+    avg_clear_ms: f64,
+}
+
+fn avg_ms(log: &GcLog, f: impl Fn(&mcgc_core::CycleStats) -> Duration) -> f64 {
+    if log.cycles.is_empty() {
+        return f64::NAN;
+    }
+    log.cycles
+        .iter()
+        .map(|c| f(c).as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / log.cycles.len() as f64
+}
+
+fn run(mode: CollectorMode, mode_name: &'static str, workers: usize) -> Point {
+    let heap = mcgc_bench::heap_bytes(32);
+    let mut cfg = mcgc_bench::gc_config(mode, heap);
+    cfg.stw_workers = workers;
+    cfg.sweep = SweepMode::Eager;
+    cfg.background_threads = if mode == CollectorMode::Concurrent {
+        2
+    } else {
+        0
+    };
+    let opts = mcgc_bench::jbb_opts(heap, 2, mcgc_bench::seconds(1.5));
+    let report = run_standalone(cfg, &opts);
+    let log = mcgc_bench::steady(&report.log);
+    Point {
+        mode: mode_name,
+        workers,
+        cycles: log.cycles.len(),
+        avg_pause_ms: log.avg_pause_wall_ms(),
+        max_pause_ms: log.max_pause_wall_ms(),
+        avg_cards_ms: avg_ms(&log, |c| c.cards_wall),
+        avg_roots_ms: avg_ms(&log, |c| c.roots_wall),
+        avg_drain_ms: avg_ms(&log, |c| c.drain_wall),
+        avg_sweep_ms: avg_ms(&log, |c| c.sweep_wall),
+        avg_clear_ms: avg_ms(&log, |c| c.clear_wall),
+    }
+}
+
+fn main() {
+    mcgc_bench::banner(
+        "pause scaling: persistent STW gang at 1/2/4/8 workers",
+        "fully parallel stop-the-world phase (§2.2, §6)",
+    );
+    println!(
+        "{:<6} {:>7} {:>7}  {:>9} {:>9}  {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "mode",
+        "workers",
+        "cycles",
+        "avg_ms",
+        "max_ms",
+        "cards",
+        "roots",
+        "drain",
+        "sweep",
+        "clear"
+    );
+    let worker_points = [1usize, 2, 4, 8];
+    let mut points = Vec::new();
+    for &(mode, name) in &[
+        (CollectorMode::StopTheWorld, "stw"),
+        (CollectorMode::Concurrent, "cgc"),
+    ] {
+        for &workers in &worker_points {
+            let p = run(mode, name, workers);
+            println!(
+                "{:<6} {:>7} {:>7}  {:>9.3} {:>9.3}  {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                p.mode,
+                p.workers,
+                p.cycles,
+                p.avg_pause_ms,
+                p.max_pause_ms,
+                p.avg_cards_ms,
+                p.avg_roots_ms,
+                p.avg_drain_ms,
+                p.avg_sweep_ms,
+                p.avg_clear_ms,
+            );
+            points.push(p);
+        }
+    }
+
+    let pause = |mode: &str, workers: usize| {
+        points
+            .iter()
+            .find(|p| p.mode == mode && p.workers == workers)
+            .map(|p| p.avg_pause_ms)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup_4 = pause("stw", 1) / pause("stw", 4);
+    let speedup_8 = pause("stw", 1) / pause("stw", 8);
+    println!();
+    println!("stw avg-pause speedup, 1 -> 4 workers: {speedup_4:.2}x");
+    println!("stw avg-pause speedup, 1 -> 8 workers: {speedup_8:.2}x");
+    println!("(>1 needs real cores: on a 1-CPU host the workers time-slice");
+    println!(" and these ratios measure only the dispatch-barrier overhead)");
+
+    let mut json = String::from("{\n  \"bench\": \"pause_scaling\",\n");
+    json.push_str(&format!(
+        "  \"heap_bytes\": {},\n  \"worker_points\": [1, 2, 4, 8],\n",
+        mcgc_bench::heap_bytes(32)
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"workers\": {}, \"cycles\": {}, \
+             \"avg_pause_wall_ms\": {:.4}, \"max_pause_wall_ms\": {:.4}, \
+             \"avg_cards_ms\": {:.4}, \"avg_roots_ms\": {:.4}, \"avg_drain_ms\": {:.4}, \
+             \"avg_sweep_ms\": {:.4}, \"avg_clear_ms\": {:.4}}}{}\n",
+            p.mode,
+            p.workers,
+            p.cycles,
+            p.avg_pause_ms,
+            p.max_pause_ms,
+            p.avg_cards_ms,
+            p.avg_roots_ms,
+            p.avg_drain_ms,
+            p.avg_sweep_ms,
+            p.avg_clear_ms,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_4_workers\": {speedup_4:.3},\n  \"speedup_8_workers\": {speedup_8:.3}\n}}\n"
+    ));
+    let out = std::env::var("MCGC_BENCH_OUT").unwrap_or_else(|_| "BENCH_pause.json".into());
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}

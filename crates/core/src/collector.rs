@@ -6,12 +6,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mcgc_heap::{sweep_parallel, Heap, LazySweep, ObjectRef};
+use mcgc_heap::{Heap, LazySweep, ObjectRef, ParallelSweep};
 use mcgc_membar::sync::{Condvar, Mutex};
 use mcgc_packets::{PacketPool, WorkBuffer};
 
 use crate::background;
 use crate::config::{CollectorMode, GcConfig, SweepMode};
+use crate::gang::{Gang, GangTask};
 use crate::mutator::Mutator;
 use crate::pacing::Pacer;
 use crate::roots::{MutatorShared, StwSync};
@@ -207,6 +208,10 @@ pub struct Gc {
 
     log: Mutex<GcLog>,
     pub(crate) tel: GcTelemetry,
+    /// Persistent stop-the-world worker gang: `stw_workers - 1` helper
+    /// threads spawned once at construction and parked between pauses,
+    /// so no pause phase ever pays a `thread::spawn`.
+    pub(crate) gang: Gang,
     pub(crate) shutdown_flag: AtomicBool,
     bg_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 
@@ -265,7 +270,8 @@ impl Gc {
             lazy: Mutex::new(None),
             bits_pre_cleared: AtomicBool::new(false),
             log: Mutex::new(GcLog::default()),
-            tel: GcTelemetry::new(mcgc_telemetry::DEFAULT_RING_CAPACITY),
+            tel: GcTelemetry::new(mcgc_telemetry::DEFAULT_RING_CAPACITY, config.stw_workers),
+            gang: Gang::new(config.stw_workers),
             shutdown_flag: AtomicBool::new(false),
             bg_handles: Mutex::new(Vec::new()),
             handshake_epoch: AtomicU64::new(0),
@@ -290,13 +296,15 @@ impl Gc {
         gc
     }
 
-    /// Stops the background threads and waits for them. Idempotent.
+    /// Stops the background threads and the pause gang and waits for
+    /// them. Idempotent.
     pub fn shutdown(&self) {
         self.shutdown_flag.store(true, Ordering::SeqCst);
         let handles: Vec<_> = self.bg_handles.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
+        self.gang.shutdown();
     }
 
     /// The collector configuration.
@@ -362,6 +370,7 @@ impl Gc {
             self.bg_alive.load(Ordering::Relaxed) as u64,
             &self.heap.alloc_stats(),
         );
+        self.tel.refresh_gang(&self.gang);
     }
 
     /// Runs the heap verifier (tests/debugging). Must be called while no
@@ -879,20 +888,19 @@ impl Gc {
         // 2. Final card cleaning (§2.2) — only meaningful if a concurrent
         //    phase ran (fresh cycles have a clean card table *except* for
         //    barrier activity before this instant, which is harmless to
-        //    clean).
+        //    clean). Cleaned on the gang; `cards_wall` also absorbs the
+        //    drain loop's re-clean passes below.
+        let cards_t = Instant::now();
         let (cards_left, stw_clean_work) = self.stw_clean_cards(fresh);
+        let mut cards_wall = cards_t.elapsed();
 
-        // 3. Rescan all thread stacks and global roots (§2.2).
+        // 3. Rescan all thread stacks and global roots (§2.2), on the
+        //    gang: one task per mutator stack plus chunked global roots.
+        let roots_t = Instant::now();
         let root_slots_before = self.counters.root_slots.load(Ordering::Relaxed);
-        {
-            let mut buf = WorkBuffer::new(&self.pool);
-            for m in &mutators {
-                self.scan_stack(m, &mut buf);
-            }
-            self.scan_global_roots(&mut buf);
-            buf.finish();
-        }
+        self.gang_scan_roots(&mutators);
         let root_slots = self.counters.root_slots.load(Ordering::Relaxed) - root_slots_before;
+        let roots_wall = roots_t.elapsed();
 
         // 4. Complete marking in parallel (§2.2; marker similar to Endo
         //    et al.). Packet overflow during this drain falls back to
@@ -901,8 +909,11 @@ impl Gc {
         //    Marking is monotone, so this terminates.
         let stw_traced_before = self.counters.traced_stw.load(Ordering::Relaxed);
         let mut extra_clean_ms = 0.0;
+        let mut drain_wall = Duration::ZERO;
         loop {
+            let drain_t = Instant::now();
             self.drain_marking_parallel();
+            drain_wall += drain_t.elapsed();
             let mut redirty = Vec::new();
             self.heap
                 .cards()
@@ -910,12 +921,9 @@ impl Gc {
             if redirty.is_empty() {
                 break;
             }
-            let mut scanned = 0u64;
-            let mut buf = WorkBuffer::new(&self.pool);
-            for card in &redirty {
-                scanned += self.clean_one_card(*card, &mut buf, true);
-            }
-            buf.finish();
+            let reclean_t = Instant::now();
+            let scanned = self.gang_clean_cards(&redirty);
+            cards_wall += reclean_t.elapsed();
             extra_clean_ms += self
                 .config
                 .cost
@@ -929,13 +937,21 @@ impl Gc {
         #[cfg(feature = "verify-gc")]
         self.audit_strict("post-drain");
 
-        // 5. Sweep.
+        // 5. Sweep. The eager path drives [`ParallelSweep`] from the
+        //    persistent gang: workers claim chunk ranges off its atomic
+        //    cursor and the leader folds the results.
         self.tel
             .on_sweep_start(cycle_no, self.config.sweep == SweepMode::Lazy);
+        let sweep_t = Instant::now();
         let chunk = self.config.sweep_chunk_granules;
         let (live_objects, live_granules, sweep_chunks, lazy_planned) = match self.config.sweep {
             SweepMode::Eager => {
-                let s = sweep_parallel(&self.heap, chunk, self.config.stw_workers.max(1));
+                let ps = ParallelSweep::new(&self.heap, chunk);
+                self.gang.run(GangTask::Sweep, |w| {
+                    let swept = ps.worker(&self.heap);
+                    self.gang.add_claimed(w, swept);
+                });
+                let s = ps.finish(&self.heap);
                 (
                     s.live_objects as u64,
                     s.live_granules as u64,
@@ -949,6 +965,7 @@ impl Gc {
                 (live_objects, 0, 0, true)
             }
         };
+        let sweep_wall = sweep_t.elapsed();
         self.tel.on_sweep_end(cycle_no, live_objects);
 
         // verify-gc: after an eager sweep the rebuilt free list must
@@ -958,7 +975,24 @@ impl Gc {
             self.audit_strict("post-sweep");
         }
 
-        // 6. Account the cycle.
+        // 6. End-of-pause mark-bit pre-clear. Eager sweep leaves the mark
+        //    bits dead weight: pre-clear them now, while the world is
+        //    still stopped, so the next cycle's initialization is
+        //    near-instant (clearing megabytes of bitmap at kickoff would
+        //    let mutators race through the remaining headroom on a busy
+        //    machine). The clear runs as word-range stripes on the gang.
+        //    The card table is NOT pre-cleared: it keeps recording
+        //    pre-concurrent stores, and is dropped at kickoff as the
+        //    paper's initialization does. Lazy sweep still needs the mark
+        //    bits, so it cannot pre-clear.
+        let clear_t = Instant::now();
+        if !lazy_planned && self.config.mode == CollectorMode::Concurrent {
+            self.gang_clear_mark_bits();
+            self.bits_pre_cleared.store(true, Ordering::Release);
+        }
+        let clear_wall = clear_t.elapsed();
+
+        // 7. Account the cycle.
         let cost = &self.config.cost;
         let card_single_ms = stw_clean_work + extra_clean_ms;
         let root_single_ms = cost.roots_ms(root_slots);
@@ -1013,6 +1047,11 @@ impl Gc {
             card_ms: card_single_ms / workers,
             root_ms: root_single_ms / workers,
             pause_wall: now.duration_since(wall_start),
+            cards_wall,
+            roots_wall,
+            drain_wall,
+            sweep_wall,
+            clear_wall,
             concurrent_wall,
             pre_concurrent_wall,
             mutator_traced_bytes: c.traced_mutator.load(Ordering::Relaxed),
@@ -1039,7 +1078,7 @@ impl Gc {
             packet_entries_watermark: pool_stats.entries_watermark,
         };
 
-        // 7. Feed the pacer (§3.1). The `L` observation must be the FULL
+        // 8. Feed the pacer (§3.1). The `L` observation must be the FULL
         //    trace volume (concurrent + stop-the-world): when a phase is
         //    halted by an allocation failure, the concurrently-traced
         //    bytes alone would underestimate `L`, shrink the kickoff
@@ -1053,18 +1092,6 @@ impl Gc {
             .on_stw_end(cycle_no, wall_start_ns, self.tel.hub.now_ns());
         self.tel.on_cycle_end(&stats);
         self.log.lock().cycles.push(stats);
-        // Eager sweep leaves the mark bits dead weight: pre-clear them
-        // now, while the world is still stopped, so the next cycle's
-        // initialization is near-instant (clearing megabytes of bitmap at
-        // kickoff would let mutators race through the remaining headroom
-        // on a busy machine). The card table is NOT pre-cleared: it keeps
-        // recording pre-concurrent stores, and is dropped at kickoff as
-        // the paper's initialization does. Lazy sweep still needs the
-        // mark bits, so it cannot pre-clear.
-        if !lazy_planned && self.config.mode == CollectorMode::Concurrent {
-            self.heap.mark_bits().clear_all();
-            self.bits_pre_cleared.store(true, Ordering::Release);
-        }
         self.phase.store(PHASE_IDLE, Ordering::Release);
         {
             let mut t = self.timeline.lock();
@@ -1080,30 +1107,164 @@ impl Gc {
     /// flooding over the mark bitmap is a superset of the lost grey set,
     /// and the pause's redirty/re-clean loop rescans it. Marking is
     /// monotone, so the extra cards only cost time, never soundness.
+    ///
+    /// Walks the mark bitmap a 64-bit word at a time (at the current
+    /// geometry one word covers exactly one card), striped across the
+    /// gang; all-zero words — the vast majority — cost one load.
     fn flood_marked_cards(&self) {
+        const STRIPE_WORDS: usize = 1 << 12; // 32 KiB of bitmap per claim
         let marks = self.heap.mark_bits();
         let cards = self.heap.cards();
-        let mut g = 1;
-        while let Some(found) = marks.next_set(g) {
-            let card = found / mcgc_heap::GRANULES_PER_CARD;
-            cards.dirty(card);
-            // Skip to the next card: one dirty bit covers the whole card.
-            g = (card + 1) * mcgc_heap::GRANULES_PER_CARD;
+        let words = marks.word_len();
+        let cursor = AtomicUsize::new(0);
+        let gpc = mcgc_heap::GRANULES_PER_CARD;
+        self.gang.run(GangTask::Flood, |wk| {
+            let mut claims = 0u64;
+            loop {
+                let start = cursor.fetch_add(STRIPE_WORDS, Ordering::Relaxed);
+                if start >= words {
+                    break;
+                }
+                claims += 1;
+                for w in start..(start + STRIPE_WORDS).min(words) {
+                    let mut bits = marks.load_word(w);
+                    if bits == 0 {
+                        continue;
+                    }
+                    let base = w * 64;
+                    if gpc >= 64 {
+                        // The whole word maps into a single card.
+                        cards.dirty(base / gpc);
+                    } else {
+                        // Several cards per word: dirty each card that
+                        // has a set bit, skipping by card.
+                        while bits != 0 {
+                            let g = base + bits.trailing_zeros() as usize;
+                            let card = g / gpc;
+                            cards.dirty(card);
+                            let card_end = (card + 1) * gpc;
+                            if card_end >= base + 64 {
+                                break;
+                            }
+                            bits &= !0u64 << (card_end - base);
+                        }
+                    }
+                }
+            }
+            self.gang.add_claimed(wk, claims);
+        });
+    }
+
+    /// Cleans `cards` on the gang: workers claim fixed-size stripes from
+    /// an atomic cursor and fill their own packet buffers. Returns the
+    /// bytes scanned (callers decide which accounting it feeds).
+    fn gang_clean_cards(&self, cards: &[usize]) -> u64 {
+        const STRIPE: usize = 32;
+        if cards.is_empty() {
+            return 0;
         }
+        let cursor = AtomicUsize::new(0);
+        let scanned = AtomicU64::new(0);
+        self.gang.run(GangTask::Cards, |w| {
+            let mut buf = WorkBuffer::new(&self.pool);
+            let mut local = 0u64;
+            let mut claims = 0u64;
+            loop {
+                let i = cursor.fetch_add(STRIPE, Ordering::Relaxed);
+                if i >= cards.len() {
+                    break;
+                }
+                claims += 1;
+                for &card in &cards[i..(i + STRIPE).min(cards.len())] {
+                    local += self.clean_one_card(card, &mut buf, true);
+                }
+            }
+            buf.finish();
+            scanned.fetch_add(local, Ordering::Relaxed);
+            self.gang.add_claimed(w, claims);
+        });
+        scanned.load(Ordering::Relaxed)
+    }
+
+    /// §2.2 root rescanning on the gang: each mutator stack is one task;
+    /// the global-roots table is claimed in fixed-size chunks. Stack
+    /// snapshotting credits `root_slots` inside [`Gc::scan_stack`]; the
+    /// leader credits the global slots here, mirroring
+    /// [`Gc::scan_global_roots`].
+    fn gang_scan_roots(&self, mutators: &[Arc<MutatorShared>]) {
+        const GLOBAL_CHUNK: usize = 256;
+        let globals: Vec<u64> = self.global_roots.lock().clone();
+        self.counters
+            .root_slots
+            .fetch_add(globals.len() as u64, Ordering::Relaxed);
+        let stacks = mutators.len();
+        let tasks = stacks + globals.len().div_ceil(GLOBAL_CHUNK);
+        let cursor = AtomicUsize::new(0);
+        self.gang.run(GangTask::Roots, |w| {
+            let mut buf = WorkBuffer::new(&self.pool);
+            let mut claims = 0u64;
+            loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= tasks {
+                    break;
+                }
+                claims += 1;
+                if t < stacks {
+                    self.scan_stack(&mutators[t], &mut buf);
+                } else {
+                    let start = (t - stacks) * GLOBAL_CHUNK;
+                    let end = (start + GLOBAL_CHUNK).min(globals.len());
+                    for &raw in &globals[start..end] {
+                        if let Some(r) = ObjectRef::decode(raw) {
+                            self.mark_and_push(r, &mut buf);
+                        }
+                    }
+                }
+            }
+            buf.finish();
+            self.gang.add_claimed(w, claims);
+        });
+    }
+
+    /// End-of-pause mark-bit pre-clear as disjoint word-range stripes on
+    /// the gang. ([`Gc::retire_lazy_plan`] keeps the serial `clear_all`:
+    /// it runs outside the pause, where the gang may be contended.)
+    fn gang_clear_mark_bits(&self) {
+        const STRIPE_WORDS: usize = 1 << 12;
+        let marks = self.heap.mark_bits();
+        let words = marks.word_len();
+        let cursor = AtomicUsize::new(0);
+        self.gang.run(GangTask::ClearBits, |w| {
+            let mut claims = 0u64;
+            loop {
+                let start = cursor.fetch_add(STRIPE_WORDS, Ordering::Relaxed);
+                if start >= words {
+                    break;
+                }
+                claims += 1;
+                marks.clear_words(start, (start + STRIPE_WORDS).min(words));
+            }
+            self.gang.add_claimed(w, claims);
+        });
     }
 
     /// §2.2 final card cleaning: drains the concurrent registry and
-    /// freshly dirty cards. Returns `(cards_left, single-worker ms)`.
+    /// freshly dirty cards on the gang. Returns `(cards_left, ms)` where
+    /// `ms` is the single-worker modelled cost and `cards_left` is
+    /// Table 2's "Cards Left" observation: cards still registered for
+    /// rescanning plus dirty cards past the halted concurrent cleaner's
+    /// snapshot cursor (cards before the cursor were re-dirtied *after*
+    /// cleaning, not left behind by it).
     fn stw_clean_cards(&self, fresh: bool) -> (u64, f64) {
         let ncards = self.heap.cards().len();
-        let (mut to_clean, cursor_at_halt, registry_left) = {
+        // Halt the concurrent cleaner and take over its registry.
+        let (mut to_clean, cursor_at_halt) = {
             let mut cs = self.card_state.lock();
             let cursor = if cs.done { ncards } else { cs.cursor };
             let reg: Vec<usize> = cs.registry.drain(..).collect();
             cs.done = true;
-            (reg, cursor, 0u64)
+            (reg, cursor)
         };
-        let _ = registry_left;
         let registry_left = to_clean.len() as u64;
         let mut fresh_dirty = Vec::new();
         self.heap
@@ -1114,19 +1275,14 @@ impl Gc {
             .filter(|&&card| card >= cursor_at_halt)
             .count() as u64;
         to_clean.extend(fresh_dirty);
-        let cards_left = if fresh { 0 } else { registry_left + unreached };
 
         if fresh {
             // Baseline/fresh cycle: the card table content predates the
             // cycle; nothing is marked yet, so cleaning is a no-op.
             return (0, 0.0);
         }
-        let mut scanned_bytes = 0u64;
-        let mut buf = WorkBuffer::new(&self.pool);
-        for card in &to_clean {
-            scanned_bytes += self.clean_one_card(*card, &mut buf, true);
-        }
-        buf.finish();
+        let cards_left = registry_left + unreached;
+        let scanned_bytes = self.gang_clean_cards(&to_clean);
         // Final cleaning contributes to the `M` observation too.
         self.counters
             .card_scanned_bytes
@@ -1137,15 +1293,13 @@ impl Gc {
     }
 
     /// Parallel drain of all remaining marking work (§2.2). World is
-    /// stopped; the coordinator and `stw_workers - 1` helpers pop packets
-    /// until the pool reports termination.
+    /// stopped; the leader and the persistent gang helpers pop packets
+    /// until the pool reports termination — no thread is created on this
+    /// path.
     fn drain_marking_parallel(&self) {
-        let helpers = self.config.stw_workers.saturating_sub(1);
-        std::thread::scope(|s| {
-            for _ in 0..helpers {
-                s.spawn(|| self.drain_marking_worker());
-            }
+        self.gang.run(GangTask::Drain, |w| {
             self.drain_marking_worker();
+            self.gang.add_claimed(w, 1);
         });
         debug_assert!(self.pool.is_tracing_complete());
         debug_assert!(!self.pool.has_deferred());

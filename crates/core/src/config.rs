@@ -50,7 +50,12 @@ pub struct GcConfig {
     /// Number of low-priority background tracing threads (§3).
     pub background_threads: usize,
     /// Worker threads (including the coordinator) for the parallel
-    /// stop-the-world phase.
+    /// stop-the-world phase. `stw_workers - 1` persistent helper threads
+    /// are spawned once at [`Gc::new`](crate::Gc::new) and parked between
+    /// pauses; every pause phase (final card cleaning, root rescanning,
+    /// packet drain, sweep, bitmap clears) is dispatched to this gang
+    /// with no thread creation on the pause path. `1` runs every phase
+    /// inline on the coordinator — exactly the serial behaviour.
     pub stw_workers: usize,
     /// Concurrent card-cleaning passes (§2.1; 1 in the paper, 2 as the
     /// footnote-2 ablation).

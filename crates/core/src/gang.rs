@@ -1,0 +1,360 @@
+//! The persistent stop-the-world worker gang (paper §2.2, §6).
+//!
+//! The paper's pause is *fully* parallel: final card cleaning, root
+//! rescanning, mark completion, and sweep are all load-balanced across
+//! the GC threads. Spawning those threads per pause (or worse, per
+//! phase, as the old `thread::scope` drain and sweep did) puts thread
+//! creation on the latency-critical pause path; a server collector keeps
+//! a *persistent* gang parked between pauses instead.
+//!
+//! [`Gang`] owns `stw_workers - 1` long-lived helper threads created
+//! once at [`crate::Gc`] construction. Between pauses they sleep on a
+//! condvar. The pause leader drives them through a task-barrier
+//! protocol:
+//!
+//! 1. The leader publishes a job (a type-erased closure) together with a
+//!    bumped **epoch** counter and issues one `notify_all`.
+//! 2. Every helper that observes the new epoch runs the job with its
+//!    worker index. Work *within* a job is claimed from atomic cursors
+//!    by the closures themselves, so load balancing is dynamic, exactly
+//!    like the packet pool's.
+//! 3. Each helper decrements the `active` count when done; the leader —
+//!    who also ran the job as worker 0 — waits for it to reach zero.
+//!
+//! **Termination argument.** A dispatch cannot hang: every job is a
+//! finite loop over an atomic cursor (or the packet pool's §4.3
+//! termination-detecting drain), each helper runs the job exactly once
+//! per epoch (it records the epoch it has seen), and the barrier wait is
+//! over a plain counter guarded by the same mutex as the condvar — no
+//! helper can decrement `active` without the leader eventually observing
+//! it. A helper stalled *inside* a job (see the `gang.stall` chaos
+//! site) delays only the barrier, never correctness: the cursors let
+//! the remaining workers — at minimum the leader — finish all the work.
+//!
+//! With `stw_workers = 1` there are no helpers and [`Gang::run`] calls
+//! the job inline, degenerating to exactly the serial pause.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcgc_membar::sync::{Condvar, Mutex};
+
+/// Which pause phase a dispatch executes. Purely a label: the job
+/// closure carries the actual work; the label feeds per-phase dispatch
+/// accounting (and makes progress visible in thread dumps).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum GangTask {
+    /// Final card cleaning (§2.2), including redirty/re-clean passes.
+    Cards,
+    /// Stack + global root rescanning (§2.2).
+    Roots,
+    /// Packet drain to mark completion (§2.2, §4).
+    Drain,
+    /// Eager bitwise sweep (§2.2).
+    Sweep,
+    /// Watchdog recovery: flood marked objects' cards.
+    Flood,
+    /// End-of-pause mark-bit pre-clear.
+    ClearBits,
+}
+
+impl GangTask {
+    pub(crate) const COUNT: usize = 6;
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            GangTask::Cards => 0,
+            GangTask::Roots => 1,
+            GangTask::Drain => 2,
+            GangTask::Sweep => 3,
+            GangTask::Flood => 4,
+            GangTask::ClearBits => 5,
+        }
+    }
+}
+
+/// A published job: a borrowed closure with its lifetime erased.
+///
+/// The `'static` here is a lie told to the type system only; see the
+/// SAFETY comment in [`Gang::run`] for why no helper can outlive the
+/// real borrow.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct GangState {
+    /// Bumped once per dispatch; helpers run a job exactly once per
+    /// epoch they observe.
+    epoch: u64,
+    /// The current job, present from dispatch until the barrier closes.
+    job: Option<Job>,
+    /// Helpers still running the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct GangShared {
+    state: Mutex<GangState>,
+    /// Helpers park here between pauses, waiting for a new epoch.
+    dispatch_cv: Condvar,
+    /// The leader waits here for `active == 0`.
+    done_cv: Condvar,
+    /// Work items claimed per worker (slot 0 = the pause leader), for
+    /// the gang-utilization telemetry.
+    claimed: Box<[AtomicU64]>,
+    /// Dispatches per [`GangTask`].
+    dispatched: [AtomicU64; GangTask::COUNT],
+    /// Helpers that hit the `gang.stall` chaos site.
+    stalls: AtomicU64,
+}
+
+/// The persistent gang. One per [`crate::Gc`]; dispatched only by the
+/// pause leader (who holds the coordinator lock), so `run` is never
+/// re-entered.
+pub(crate) struct Gang {
+    shared: Arc<GangShared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Total workers including the leader (`>= 1`).
+    workers: usize,
+}
+
+impl Gang {
+    /// Creates the gang and spawns its `workers - 1` helper threads.
+    /// They park immediately and cost nothing until the first dispatch.
+    pub(crate) fn new(workers: usize) -> Gang {
+        let workers = workers.max(1);
+        let shared = Arc::new(GangShared {
+            state: Mutex::new(GangState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            dispatch_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            claimed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            dispatched: std::array::from_fn(|_| AtomicU64::new(0)),
+            stalls: AtomicU64::new(0),
+        });
+        let mut handles = Vec::with_capacity(workers - 1);
+        for idx in 1..workers {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mcgc-gang-{idx}"))
+                    .spawn(move || helper_loop(&shared, idx))
+                    .expect("spawn gang helper"),
+            );
+        }
+        Gang {
+            shared,
+            handles: Mutex::new(handles),
+            workers,
+        }
+    }
+
+    /// Total workers including the leader.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Dispatches `f` to every worker (helpers + the calling leader as
+    /// worker 0) and blocks until all have finished — one condvar wakeup
+    /// per phase, no thread creation. With no helpers, runs `f(0)`
+    /// inline: `stw_workers = 1` is byte-for-byte the serial pause.
+    ///
+    /// Must only be called by the pause leader (under the coordinator
+    /// lock); dispatches never overlap.
+    pub(crate) fn run(&self, task: GangTask, f: impl Fn(usize) + Sync) {
+        self.shared.dispatched[task.index()].fetch_add(1, Ordering::Relaxed);
+        if self.workers == 1 {
+            f(0);
+            return;
+        }
+        {
+            let job: &(dyn Fn(usize) + Sync) = &f;
+            // SAFETY: erasing the borrow's lifetime to 'static is sound
+            // because this function does not return until the barrier
+            // below observes `active == 0`, i.e. until every helper has
+            // finished running the job and can never dereference it
+            // again (`job` is also cleared before return). `f` therefore
+            // strictly outlives all uses of the erased reference.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            let mut st = self.shared.state.lock();
+            debug_assert!(
+                st.active == 0 && st.job.is_none(),
+                "gang dispatch overlapped a running job"
+            );
+            st.job = Some(job);
+            st.active = self.workers - 1;
+            st.epoch += 1;
+            self.shared.dispatch_cv.notify_all();
+        }
+        // The leader is worker 0 and pulls from the same cursors.
+        f(0);
+        let mut st = self.shared.state.lock();
+        while st.active > 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+    }
+
+    /// Credits `n` claimed work items to `worker` (utilization stats).
+    pub(crate) fn add_claimed(&self, worker: usize, n: u64) {
+        self.shared.claimed[worker].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Work items claimed per worker since construction (slot 0 = the
+    /// pause leader).
+    pub(crate) fn claimed_per_worker(&self) -> Vec<u64> {
+        self.shared
+            .claimed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Dispatches so far for `task`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn dispatched(&self, task: GangTask) -> u64 {
+        self.shared.dispatched[task.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total dispatches across all tasks.
+    pub(crate) fn dispatched_total(&self) -> u64 {
+        self.shared
+            .dispatched
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Times a helper hit the `gang.stall` chaos site.
+    pub(crate) fn stalls(&self) -> u64 {
+        self.shared.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Stops and joins the helper threads. Idempotent; must not be
+    /// called while a dispatch is in flight.
+    pub(crate) fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.dispatch_cv.notify_all();
+        }
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Gang {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gang")
+            .field("workers", &self.workers)
+            .field("dispatched", &self.dispatched_total())
+            .finish()
+    }
+}
+
+fn helper_loop(shared: &GangShared, idx: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    break;
+                }
+                shared.dispatch_cv.wait(&mut st);
+            }
+            seen = st.epoch;
+            st.job.expect("gang epoch advanced without a job")
+        };
+        // Chaos: a helper stalls at dispatch (payload = milliseconds).
+        // The pause must still complete — the leader and the remaining
+        // helpers drain the job's cursors — delayed at most by the
+        // bounded sleep at the barrier.
+        if mcgc_fault::point!("gang.stall") {
+            shared.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(
+                mcgc_fault::payload("gang.stall").max(1),
+            ));
+        }
+        job(idx);
+        let mut st = shared.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let gang = Gang::new(1);
+        let hits = AtomicUsize::new(0);
+        gang.run(GangTask::Drain, |w| {
+            assert_eq!(w, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert_eq!(gang.dispatched(GangTask::Drain), 1);
+        gang.shutdown();
+    }
+
+    #[test]
+    fn all_workers_run_each_dispatch() {
+        let gang = Gang::new(4);
+        for round in 1..=3u64 {
+            let ran = AtomicU64::new(0);
+            gang.run(GangTask::Sweep, |w| {
+                assert!(w < 4);
+                ran.fetch_add(1 << (8 * w), Ordering::Relaxed);
+            });
+            // Each worker ran exactly once: one count in each byte lane.
+            assert_eq!(ran.load(Ordering::Relaxed), 0x01_01_01_01);
+            assert_eq!(gang.dispatched(GangTask::Sweep), round);
+        }
+        gang.shutdown();
+    }
+
+    #[test]
+    fn cursor_work_is_fully_claimed() {
+        let gang = Gang::new(3);
+        const N: usize = 10_000;
+        let cursor = AtomicUsize::new(0);
+        let sum = AtomicU64::new(0);
+        gang.run(GangTask::Cards, |w| {
+            let mut claims = 0;
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= N {
+                    break;
+                }
+                claims += 1;
+                sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            }
+            gang.add_claimed(w, claims);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (N as u64 * (N as u64 + 1)) / 2);
+        assert_eq!(gang.claimed_per_worker().iter().sum::<u64>(), N as u64);
+        gang.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let gang = Gang::new(2);
+        gang.run(GangTask::Roots, |_| {});
+        gang.shutdown();
+        gang.shutdown();
+    }
+}

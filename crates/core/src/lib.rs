@@ -42,6 +42,7 @@
 mod background;
 mod collector;
 mod config;
+mod gang;
 mod mutator;
 mod pacing;
 mod roots;

@@ -74,6 +74,22 @@ pub struct CycleStats {
     /// Wall-clock pause measured on the host (noisy; for reference).
     pub pause_wall: Duration,
 
+    // -- measured per-phase pause walls (gang-parallel; host wall time,
+    //    noisy — the `*_ms` fields above stay the host-independent work
+    //    model) --
+    /// Wall time of the final card cleaning, including the drain loop's
+    /// redirty/re-clean passes.
+    pub cards_wall: Duration,
+    /// Wall time of stack + global root rescanning.
+    pub roots_wall: Duration,
+    /// Wall time of the parallel packet drain (excluding re-clean
+    /// passes, which are accounted to `cards_wall`).
+    pub drain_wall: Duration,
+    /// Wall time of the sweep phase (eager sweep, or lazy-plan setup).
+    pub sweep_wall: Duration,
+    /// Wall time of the end-of-pause mark-bit pre-clear.
+    pub clear_wall: Duration,
+
     // -- concurrent phase --
     /// Wall-clock duration of the concurrent phase.
     pub concurrent_wall: Duration,
@@ -161,6 +177,13 @@ impl CycleStats {
         self.mutator_traced_bytes + self.background_traced_bytes
     }
 
+    /// Sum of the measured per-phase pause walls (cards, roots, drain,
+    /// sweep, clear). Always at most [`CycleStats::pause_wall`]; the
+    /// remainder is cache retirement, audits, and accounting.
+    pub fn phase_wall_total(&self) -> Duration {
+        self.cards_wall + self.roots_wall + self.drain_wall + self.sweep_wall + self.clear_wall
+    }
+
     /// CAS cost normalized by live KB at cycle end (Table 4 "cost").
     pub fn normalized_cas_cost(&self) -> f64 {
         if self.live_after_bytes == 0 {
@@ -236,6 +259,17 @@ impl GcLog {
     /// Average modelled mark component, ms.
     pub fn avg_mark_ms(&self) -> f64 {
         self.avg(|c| c.mark_ms)
+    }
+
+    /// Average *measured* wall pause, ms (host wall time — noisy, unlike
+    /// the modelled [`GcLog::avg_pause_ms`]).
+    pub fn avg_pause_wall_ms(&self) -> f64 {
+        self.avg(|c| c.pause_wall.as_secs_f64() * 1e3)
+    }
+
+    /// Maximum measured wall pause, ms.
+    pub fn max_pause_wall_ms(&self) -> f64 {
+        self.max(|c| c.pause_wall.as_secs_f64() * 1e3)
     }
 
     /// Average modelled sweep component, ms.
@@ -365,6 +399,11 @@ fn apply_stat(c: &mut CycleStats, field: StatField, arg: u64) {
         StatField::DeferredObjects => c.deferred_objects = arg,
         StatField::PacketsInUseWatermark => c.packets_in_use_watermark = arg as usize,
         StatField::PacketEntriesWatermark => c.packet_entries_watermark = arg as usize,
+        StatField::CardsWallNs => c.cards_wall = Duration::from_nanos(arg),
+        StatField::RootsWallNs => c.roots_wall = Duration::from_nanos(arg),
+        StatField::DrainWallNs => c.drain_wall = Duration::from_nanos(arg),
+        StatField::SweepWallNs => c.sweep_wall = Duration::from_nanos(arg),
+        StatField::ClearWallNs => c.clear_wall = Duration::from_nanos(arg),
     }
 }
 
@@ -442,6 +481,11 @@ pub fn emit_cycle_events(tel: &Telemetry, stats: &CycleStats) {
         StatField::PacketEntriesWatermark,
         stats.packet_entries_watermark as u64,
     );
+    put(StatField::CardsWallNs, stats.cards_wall.as_nanos() as u64);
+    put(StatField::RootsWallNs, stats.roots_wall.as_nanos() as u64);
+    put(StatField::DrainWallNs, stats.drain_wall.as_nanos() as u64);
+    put(StatField::SweepWallNs, stats.sweep_wall.as_nanos() as u64);
+    put(StatField::ClearWallNs, stats.clear_wall.as_nanos() as u64);
     tel.stage(&mut stage, EventKind::CycleEnd, cycle, cycle as u64);
     tel.flush(&mut stage);
 }
@@ -575,6 +619,11 @@ mod tests {
             mark_ms: 0.1 + 0.2, // 0.30000000000000004
             sweep_ms: f64::MIN_POSITIVE,
             pause_wall: Duration::from_nanos(123_456_789),
+            cards_wall: Duration::from_nanos(11_111),
+            roots_wall: Duration::from_nanos(22_222),
+            drain_wall: Duration::from_nanos(33_333),
+            sweep_wall: Duration::from_nanos(44_444),
+            clear_wall: Duration::from_nanos(55_555),
             concurrent_wall: Duration::from_micros(777),
             pre_concurrent_wall: Duration::from_millis(5),
             mutator_traced_bytes: u64::MAX / 3,
@@ -609,6 +658,11 @@ mod tests {
                 got.occupancy_after.to_bits()
             );
             assert_eq!(orig.pause_wall, got.pause_wall);
+            assert_eq!(orig.cards_wall, got.cards_wall);
+            assert_eq!(orig.roots_wall, got.roots_wall);
+            assert_eq!(orig.drain_wall, got.drain_wall);
+            assert_eq!(orig.sweep_wall, got.sweep_wall);
+            assert_eq!(orig.clear_wall, got.clear_wall);
             assert_eq!(orig.concurrent_wall, got.concurrent_wall);
             assert_eq!(orig.pre_concurrent_wall, got.pre_concurrent_wall);
             assert_eq!(orig.mutator_traced_bytes, got.mutator_traced_bytes);

@@ -62,6 +62,12 @@ pub(crate) struct GcTelemetry {
     handshake_acks: Arc<Counter>,
     handshake_timeouts: Arc<Counter>,
     overflow_backoffs: Arc<Counter>,
+    // -- measured per-phase pause wall time (folded at cycle end) --
+    pause_cards_ns: Arc<Counter>,
+    pause_roots_ns: Arc<Counter>,
+    pause_drain_ns: Arc<Counter>,
+    pause_sweep_ns: Arc<Counter>,
+    pause_clear_ns: Arc<Counter>,
 
     // -- gauges (refreshed by telemetry_sample) --
     phase: Arc<Gauge>,
@@ -84,16 +90,26 @@ pub(crate) struct GcTelemetry {
     alloc_shard_contention: Arc<Gauge>,
     alloc_refill_steals: Arc<Gauge>,
     alloc_wilderness_refills: Arc<Gauge>,
+    // -- STW gang (refreshed by telemetry_sample from gang atomics) --
+    gang_workers: Arc<Gauge>,
+    gang_dispatches: Arc<Gauge>,
+    gang_stalls: Arc<Gauge>,
+    /// Work items claimed per worker, one gauge per gang slot
+    /// (`gang_worker{i}_tasks_total`; slot 0 = the pause leader).
+    gang_claimed: Vec<Arc<Gauge>>,
 }
 
 impl GcTelemetry {
-    pub(crate) fn new(ring_capacity: usize) -> GcTelemetry {
+    pub(crate) fn new(ring_capacity: usize, gang_workers: usize) -> GcTelemetry {
         let hub = Telemetry::new(ring_capacity);
         let r = hub.registry();
         let c = |name: &str| r.counter(name);
         let g = |name: &str| r.gauge(name);
 
         GcTelemetry {
+            gang_claimed: (0..gang_workers.max(1))
+                .map(|i| g(&format!("gang_worker{i}_tasks_total")))
+                .collect(),
             cycles: c("gc_cycles_total"),
             pauses: c("gc_pauses_total"),
             traced_mutator_bytes: c("gc_traced_mutator_bytes_total"),
@@ -119,6 +135,11 @@ impl GcTelemetry {
             handshake_acks: c("gc_handshake_acks_total"),
             handshake_timeouts: c("gc_handshake_timeouts_total"),
             overflow_backoffs: c("pool_overflow_backoffs_total"),
+            pause_cards_ns: c("gc_pause_cards_ns_total"),
+            pause_roots_ns: c("gc_pause_roots_ns_total"),
+            pause_drain_ns: c("gc_pause_drain_ns_total"),
+            pause_sweep_ns: c("gc_pause_sweep_ns_total"),
+            pause_clear_ns: c("gc_pause_clear_ns_total"),
             phase: g("gc_phase"),
             cycle: g("gc_cycle"),
             heap_occupancy: g("heap_occupancy"),
@@ -139,6 +160,9 @@ impl GcTelemetry {
             alloc_shard_contention: g("alloc_shard_lock_contention_total"),
             alloc_refill_steals: g("alloc_refill_steals_total"),
             alloc_wilderness_refills: g("alloc_wilderness_refills_total"),
+            gang_workers: g("gang_workers"),
+            gang_dispatches: g("gang_dispatches_total"),
+            gang_stalls: g("gang_stalls_total"),
             hub,
         }
     }
@@ -296,6 +320,11 @@ impl GcTelemetry {
         self.cas_ops.add(stats.cas_ops);
         self.overflows.add(stats.overflows);
         self.deferred_objects.add(stats.deferred_objects);
+        self.pause_cards_ns.add(stats.cards_wall.as_nanos() as u64);
+        self.pause_roots_ns.add(stats.roots_wall.as_nanos() as u64);
+        self.pause_drain_ns.add(stats.drain_wall.as_nanos() as u64);
+        self.pause_sweep_ns.add(stats.sweep_wall.as_nanos() as u64);
+        self.pause_clear_ns.add(stats.clear_wall.as_nanos() as u64);
         emit_cycle_events(&self.hub, stats);
     }
 
@@ -337,6 +366,17 @@ impl GcTelemetry {
         self.alloc_refill_steals.set_u64(alloc.refill_steals);
         self.alloc_wilderness_refills
             .set_u64(alloc.wilderness_refills);
+    }
+
+    /// Refreshes the STW-gang gauges from the gang's own atomics
+    /// (pull-style, alongside [`GcTelemetry::refresh_gauges`]).
+    pub(crate) fn refresh_gang(&self, gang: &crate::gang::Gang) {
+        self.gang_workers.set_u64(gang.workers() as u64);
+        self.gang_dispatches.set_u64(gang.dispatched_total());
+        self.gang_stalls.set_u64(gang.stalls());
+        for (gauge, claimed) in self.gang_claimed.iter().zip(gang.claimed_per_worker()) {
+            gauge.set_u64(claimed);
+        }
     }
 }
 

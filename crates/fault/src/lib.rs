@@ -56,6 +56,10 @@ pub mod site {
     /// A mutator increment dirties a spread of cards (payload = card
     /// count), flooding the cleaning and redirty loops with work.
     pub const CARD_FLOOD: &str = "cards.flood";
+    /// A stop-the-world gang helper stalls at dispatch (payload =
+    /// milliseconds), leaving the pause leader to absorb its share of
+    /// the phase's work.
+    pub const GANG_STALL: &str = "gang.stall";
 
     /// Every registered site. `mcgc-lint` requires each `point!`
     /// literal in the tree to appear here.
@@ -68,6 +72,7 @@ pub mod site {
         BG_DEATH,
         HANDSHAKE_DELAY,
         CARD_FLOOD,
+        GANG_STALL,
     ];
 }
 

@@ -73,6 +73,32 @@ impl Bitmap {
         }
     }
 
+    /// Number of 64-bit words backing the map (the unit of
+    /// [`Bitmap::load_word`] / [`Bitmap::clear_words`] striping).
+    #[inline]
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads backing word `w` (bits `[64w, 64w + 64)`); bits at or past
+    /// [`Bitmap::len`] are always zero. Lets scanners advance a word at
+    /// a time instead of probing bit by bit.
+    #[inline]
+    pub fn load_word(&self, w: usize) -> u64 {
+        self.words[w].load(Ordering::Relaxed)
+    }
+
+    /// Zeroes whole backing words `[start_word, end_word)`. Together
+    /// with [`Bitmap::word_len`] this is the parallel form of
+    /// [`Bitmap::clear_all`]: workers clear disjoint word ranges, so the
+    /// plain stores never race. Same safepoint contract as `clear_all`.
+    pub fn clear_words(&self, start_word: usize, end_word: usize) {
+        assert!(start_word <= end_word && end_word <= self.words.len());
+        for w in &self.words[start_word..end_word] {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Clears all bits in `[start, end)`.
     ///
     /// Word-interior boundaries are handled with atomic masks so bits
@@ -281,6 +307,24 @@ mod tests {
         c.clear_range(64, 128);
         assert_eq!(c.count(), 128);
         assert!(c.get(63) && !c.get(64) && !c.get(127) && c.get(128));
+    }
+
+    #[test]
+    fn word_level_access() {
+        let b = Bitmap::new(200);
+        assert_eq!(b.word_len(), 4);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(199);
+        assert_eq!(b.load_word(0), (1 << 63) | 1);
+        assert_eq!(b.load_word(1), 1);
+        assert_eq!(b.load_word(3), 1 << (199 % 64));
+        b.clear_words(0, 1);
+        assert_eq!(b.load_word(0), 0);
+        assert!(b.get(64) && b.get(199), "other words untouched");
+        b.clear_words(1, 4);
+        assert_eq!(b.count(), 0);
     }
 
     #[test]

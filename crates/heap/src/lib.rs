@@ -46,5 +46,7 @@ pub use freelist::{Extent, FreeList};
 pub use heap::{AllocCache, AllocError, Heap, HeapConfig, ObjectShape};
 pub use object::{Header, ObjectRef, CARD_BYTES, GRANULES_PER_CARD, GRANULE_BYTES};
 pub use shards::{AllocShardStats, ShardedFreeList};
-pub use sweep::{sweep_parallel, sweep_serial, LazySweep, SweepStats, DEFAULT_CHUNK_GRANULES};
+pub use sweep::{
+    sweep_parallel, sweep_serial, LazySweep, ParallelSweep, SweepStats, DEFAULT_CHUNK_GRANULES,
+};
 pub use verify::{assert_heap_valid, verify, verify_tricolor, Violation};

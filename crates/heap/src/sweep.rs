@@ -19,6 +19,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use mcgc_membar::sync::Mutex;
+
 use crate::freelist::Extent;
 use crate::heap::Heap;
 use crate::object::ObjectRef;
@@ -144,45 +146,89 @@ pub fn sweep_serial(heap: &Heap, chunk_granules: usize) -> SweepStats {
     stats
 }
 
-/// Sweeps the whole heap with `workers` threads claiming chunks from a
-/// shared counter, then rebuilds the free list. All mutator caches must
-/// be retired (stop-the-world).
-pub fn sweep_parallel(heap: &Heap, chunk_granules: usize, workers: usize) -> SweepStats {
-    let n = chunk_count(heap, chunk_granules);
-    let next = AtomicUsize::new(0);
-    let results: Vec<(usize, ChunkSweep)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers.max(1))
-            .map(|_| {
-                let next = &next;
-                s.spawn(move || {
-                    let mut mine = Vec::new();
-                    loop {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= n {
-                            break;
-                        }
-                        mine.push((c, sweep_chunk(heap, c, chunk_granules)));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    let mut ordered = results;
-    ordered.sort_unstable_by_key(|(c, _)| *c);
-    let mut stats = SweepStats::default();
-    let mut all = Vec::new();
-    for (_, cs) in &ordered {
-        stats.absorb(cs);
-        all.extend(cs.extents.iter().copied());
+/// A parallel sweep decoupled from thread management: any set of
+/// already-running workers (a persistent STW gang, a `thread::scope`,
+/// tests) claims chunks via [`ParallelSweep::worker`]; one thread then
+/// calls [`ParallelSweep::finish`] to rebuild the free list.
+///
+/// Results are sorted by chunk index before the rebuild, so the final
+/// free list is identical regardless of how many workers ran or how the
+/// chunks interleaved — serial and parallel sweeps are byte-for-byte
+/// equivalent.
+#[derive(Debug)]
+pub struct ParallelSweep {
+    chunk_granules: usize,
+    total: usize,
+    next: AtomicUsize,
+    results: Mutex<Vec<(usize, ChunkSweep)>>,
+}
+
+impl ParallelSweep {
+    /// Plans a sweep of the whole heap. All mutator caches must already
+    /// be retired (stop-the-world).
+    pub fn new(heap: &Heap, chunk_granules: usize) -> ParallelSweep {
+        let total = chunk_count(heap, chunk_granules);
+        ParallelSweep {
+            chunk_granules,
+            total,
+            next: AtomicUsize::new(0),
+            results: Mutex::new(Vec::with_capacity(total)),
+        }
     }
-    heap.free_list().rebuild(all);
-    heap.set_dark_granules(stats.dark_granules as u64);
-    stats
+
+    /// Claims and sweeps chunks until none remain; call from each
+    /// worker. Returns the number of chunks this call swept.
+    pub fn worker(&self, heap: &Heap) -> u64 {
+        let mut mine = Vec::new();
+        loop {
+            let c = self.next.fetch_add(1, Ordering::Relaxed);
+            if c >= self.total {
+                break;
+            }
+            mine.push((c, sweep_chunk(heap, c, self.chunk_granules)));
+        }
+        let swept = mine.len() as u64;
+        if swept > 0 {
+            self.results.lock().extend(mine);
+        }
+        swept
+    }
+
+    /// Rebuilds the free list from the swept chunks (address order) and
+    /// returns the aggregate stats. Call once, after every worker has
+    /// returned.
+    pub fn finish(self, heap: &Heap) -> SweepStats {
+        let mut ordered = self.results.into_inner();
+        debug_assert_eq!(ordered.len(), self.total, "finish before all workers done");
+        ordered.sort_unstable_by_key(|(c, _)| *c);
+        let mut stats = SweepStats::default();
+        let mut all = Vec::new();
+        for (_, cs) in &ordered {
+            stats.absorb(cs);
+            all.extend(cs.extents.iter().copied());
+        }
+        heap.free_list().rebuild(all);
+        heap.set_dark_granules(stats.dark_granules as u64);
+        stats
+    }
+}
+
+/// Sweeps the whole heap with `workers` freshly spawned threads claiming
+/// chunks from a shared counter, then rebuilds the free list. All
+/// mutator caches must be retired (stop-the-world).
+///
+/// Convenience wrapper over [`ParallelSweep`] for tests and benches; the
+/// collector's pause drives `ParallelSweep` from its persistent gang
+/// instead, keeping thread creation off the pause path.
+pub fn sweep_parallel(heap: &Heap, chunk_granules: usize, workers: usize) -> SweepStats {
+    let ps = ParallelSweep::new(heap, chunk_granules);
+    std::thread::scope(|s| {
+        for _ in 1..workers.max(1) {
+            s.spawn(|| ps.worker(heap));
+        }
+        ps.worker(heap);
+    });
+    ps.finish(heap)
 }
 
 /// State of an in-progress lazy sweep: chunks are claimed (by allocating

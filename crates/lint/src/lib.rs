@@ -43,6 +43,7 @@ use std::path::Path;
 pub const ORDERING_ALLOWLIST: &[&str] = &[
     "crates/core/src/background.rs",
     "crates/core/src/collector.rs",
+    "crates/core/src/gang.rs",
     "crates/fault/src/lib.rs",
     "crates/core/src/roots.rs",
     "crates/core/src/tracing.rs",

@@ -85,11 +85,22 @@ pub enum StatField {
     PacketsInUseWatermark,
     /// High-water mark of entries queued in packets.
     PacketEntriesWatermark,
+    /// Measured wall time of the pause's final card cleaning (incl.
+    /// redirty/re-clean passes), ns.
+    CardsWallNs,
+    /// Measured wall time of the pause's root rescanning, ns.
+    RootsWallNs,
+    /// Measured wall time of the pause's parallel packet drain, ns.
+    DrainWallNs,
+    /// Measured wall time of the pause's sweep phase, ns.
+    SweepWallNs,
+    /// Measured wall time of the end-of-pause mark-bit pre-clear, ns.
+    ClearWallNs,
 }
 
 impl StatField {
     /// All variants in discriminant order (index == `as u8`).
-    pub const ALL: [StatField; 31] = [
+    pub const ALL: [StatField; 36] = [
         StatField::Trigger,
         StatField::PauseMs,
         StatField::MarkMs,
@@ -121,6 +132,11 @@ impl StatField {
         StatField::DeferredObjects,
         StatField::PacketsInUseWatermark,
         StatField::PacketEntriesWatermark,
+        StatField::CardsWallNs,
+        StatField::RootsWallNs,
+        StatField::DrainWallNs,
+        StatField::SweepWallNs,
+        StatField::ClearWallNs,
     ];
 
     pub fn from_u8(v: u8) -> Option<StatField> {

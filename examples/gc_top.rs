@@ -125,6 +125,26 @@ fn main() {
         g("alloc_refill_steals_total"),
         g("alloc_wilderness_refills_total"),
     );
+    // Pause-gang utilization: per-worker claimed task counts show the
+    // atomic-cursor load balancing; stalls come from the chaos site.
+    let claimed: Vec<String> = (0..g("gang_workers") as usize)
+        .map(|i| g(&format!("gang_worker{i}_tasks_total")).to_string())
+        .collect();
+    println!(
+        "pause gang   : {} workers, {} dispatches, {} stalls, claims/worker [{}]",
+        g("gang_workers"),
+        g("gang_dispatches_total"),
+        g("gang_stalls_total"),
+        claimed.join(" "),
+    );
+    println!(
+        "pause phases : cards {}ms roots {}ms drain {}ms sweep {}ms clear {}ms (wall, cumulative)",
+        g("gc_pause_cards_ns_total") / 1_000_000,
+        g("gc_pause_roots_ns_total") / 1_000_000,
+        g("gc_pause_drain_ns_total") / 1_000_000,
+        g("gc_pause_sweep_ns_total") / 1_000_000,
+        g("gc_pause_clear_ns_total") / 1_000_000,
+    );
 
     println!(
         "\n--- registry (text) ---\n{}",

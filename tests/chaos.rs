@@ -335,3 +335,36 @@ fn kitchen_sink_matrix_completes_or_fails_typed() {
         });
     }
 }
+
+/// A gang helper stalling at dispatch (satellite of the persistent
+/// pause gang) must delay the pause by at most its bounded sleep, never
+/// hang it: the leader pulls the same atomic cursors and finishes the
+/// phase's work alone. The stall is watchdog-visible through the
+/// `gang_stalls_total` gauge.
+#[test]
+fn stalled_gang_helper_never_hangs_the_pause() {
+    with_deadline("gang_stall", || {
+        let _guard = FaultPlan::new(0x6A46)
+            .every_k(site::GANG_STALL, 3)
+            .payload(50) // 50 ms nap per hit: bounded, leader-visible
+            .install();
+        let gc = Gc::new(config(16 << 20, SweepMode::Eager));
+        churn(&gc, 3, 2_000_000).unwrap();
+        assert!(fault::fires(site::GANG_STALL) > 0, "helper never stalled");
+        let s = counters(&gc);
+        assert!(
+            s["gang_stalls_total"] >= 1.0,
+            "stall not visible in telemetry"
+        );
+        assert_eq!(s["gang_workers"], 2.0);
+        assert!(
+            s["gang_dispatches_total"] >= 1.0,
+            "pauses must dispatch through the gang"
+        );
+        assert!(gc.log().cycles.len() >= 3, "pauses stopped completing");
+        // The collector is still fully functional after the stalls.
+        churn(&gc, 4, 2_000_000).unwrap();
+        gc.audit_now();
+        gc.shutdown();
+    });
+}

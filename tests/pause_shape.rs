@@ -133,3 +133,28 @@ fn two_card_passes_reduce_final_cleaning() {
         "second pass should not increase final cleaning much: {one_final:.0} -> {two_final:.0}"
     );
 }
+
+#[test]
+fn measured_phase_walls_partition_the_pause() {
+    let cgc = run(CollectorMode::Concurrent, |c| c.sweep = SweepMode::Eager);
+    assert!(cgc.log.cycles.len() >= 3);
+    for c in &cgc.log.cycles {
+        // The five timed phases never exceed the whole pause; the
+        // remainder is cache retirement, audits, and accounting.
+        assert!(
+            c.phase_wall_total() <= c.pause_wall,
+            "cycle {}: phases {:?} > pause {:?}",
+            c.cycle,
+            c.phase_wall_total(),
+            c.pause_wall
+        );
+        // Eager cycles always drain packets and sweep under the pause.
+        assert!(c.drain_wall > Duration::ZERO, "cycle {}", c.cycle);
+        assert!(c.sweep_wall > Duration::ZERO, "cycle {}", c.cycle);
+    }
+    // At least one non-fresh cycle spent wall time cleaning cards.
+    assert!(
+        cgc.log.cycles.iter().any(|c| c.cards_wall > Duration::ZERO),
+        "no cycle recorded card-cleaning wall time"
+    );
+}
