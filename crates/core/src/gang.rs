@@ -31,6 +31,18 @@
 //! site) delays only the barrier, never correctness: the cursors let
 //! the remaining workers — at minimum the leader — finish all the work.
 //!
+//! **Panic discipline.** The barrier must hold even when a job panics.
+//! If the *leader's* slice of a job unwinds, a drop guard in
+//! [`Gang::run`] still waits out the helpers before the dispatching
+//! frame — which owns the lifetime-erased job closure — is torn down,
+//! then lets the panic propagate. If a *helper's* slice unwinds, the
+//! process aborts: a helper that died without decrementing `active`
+//! would strand the leader (and the stopped world) forever, and a gang
+//! silently short one worker would hang every later dispatch, so the
+//! failure is made loud instead. Shutdown is similarly ordered:
+//! helpers finish a pending dispatch before honoring the shutdown
+//! flag, and a dispatch that observes shutdown runs inline.
+//!
 //! With `stw_workers = 1` there are no helpers and [`Gang::run`] calls
 //! the job inline, degenerating to exactly the serial pause.
 
@@ -163,7 +175,9 @@ impl Gang {
     /// inline: `stw_workers = 1` is byte-for-byte the serial pause.
     ///
     /// Must only be called by the pause leader (under the coordinator
-    /// lock); dispatches never overlap.
+    /// lock); dispatches never overlap. If [`Gang::shutdown`] has
+    /// already begun, the helpers may be gone, so the job runs inline on
+    /// the caller instead of being dispatched.
     pub(crate) fn run(&self, task: GangTask, f: impl Fn(usize) + Sync) {
         self.shared.dispatched[task.index()].fetch_add(1, Ordering::Relaxed);
         if self.workers == 1 {
@@ -173,13 +187,24 @@ impl Gang {
         {
             let job: &(dyn Fn(usize) + Sync) = &f;
             // SAFETY: erasing the borrow's lifetime to 'static is sound
-            // because this function does not return until the barrier
-            // below observes `active == 0`, i.e. until every helper has
+            // because this frame — which owns `f`, the referent of the
+            // erased reference — is not torn down until the barrier
+            // observes `active == 0`, i.e. until every helper has
             // finished running the job and can never dereference it
-            // again (`job` is also cleared before return). `f` therefore
-            // strictly outlives all uses of the erased reference.
+            // again (`job` is also cleared at the barrier). The barrier
+            // wait runs from `BarrierGuard::drop`, so it closes on the
+            // unwind path too: a panic in the leader's `f(0)` below
+            // still waits out the helpers before the frame is freed.
             let job: Job = unsafe { std::mem::transmute(job) };
             let mut st = self.shared.state.lock();
+            if st.shutdown {
+                // Shutdown raced ahead of this dispatch: helpers are
+                // exiting (or already joined), so nobody would pick the
+                // job up. Run it serially instead of hanging.
+                drop(st);
+                f(0);
+                return;
+            }
             debug_assert!(
                 st.active == 0 && st.job.is_none(),
                 "gang dispatch overlapped a running job"
@@ -189,13 +214,22 @@ impl Gang {
             st.epoch += 1;
             self.shared.dispatch_cv.notify_all();
         }
+        /// Closes the dispatch barrier on drop — on the normal path and,
+        /// critically, on unwind (see the SAFETY comment above).
+        struct BarrierGuard<'a>(&'a GangShared);
+        impl Drop for BarrierGuard<'_> {
+            fn drop(&mut self) {
+                let mut st = self.0.state.lock();
+                while st.active > 0 {
+                    self.0.done_cv.wait(&mut st);
+                }
+                st.job = None;
+            }
+        }
+        let barrier = BarrierGuard(&self.shared);
         // The leader is worker 0 and pulls from the same cursors.
         f(0);
-        let mut st = self.shared.state.lock();
-        while st.active > 0 {
-            self.shared.done_cv.wait(&mut st);
-        }
-        st.job = None;
+        drop(barrier);
     }
 
     /// Credits `n` claimed work items to `worker` (utilization stats).
@@ -233,8 +267,10 @@ impl Gang {
         self.shared.stalls.load(Ordering::Relaxed)
     }
 
-    /// Stops and joins the helper threads. Idempotent; must not be
-    /// called while a dispatch is in flight.
+    /// Stops and joins the helper threads. Idempotent, and safe to race
+    /// with a dispatch: helpers finish a pending job (closing its
+    /// barrier) before exiting, and a [`Gang::run`] that observes the
+    /// shutdown flag executes its job inline instead of dispatching.
     pub(crate) fn shutdown(&self) {
         {
             let mut st = self.shared.state.lock();
@@ -263,11 +299,15 @@ fn helper_loop(shared: &GangShared, idx: usize) {
         let job = {
             let mut st = shared.state.lock();
             loop {
-                if st.shutdown {
-                    return;
-                }
+                // A pending dispatch takes priority over shutdown: the
+                // leader is blocked at its barrier sized to the helper
+                // count, so exiting here without running the job (and
+                // decrementing `active`) would strand it forever.
                 if st.epoch != seen {
                     break;
+                }
+                if st.shutdown {
+                    return;
                 }
                 shared.dispatch_cv.wait(&mut st);
             }
@@ -284,7 +324,16 @@ fn helper_loop(shared: &GangShared, idx: usize) {
                 mcgc_fault::payload("gang.stall").max(1),
             ));
         }
-        job(idx);
+        // A helper must never unwind past the barrier: dying without
+        // decrementing `active` would hang the leader — and the whole
+        // stopped world — forever, and silently leave every later
+        // dispatch one worker short. A panic in a GC job is not
+        // recoverable, so surface it (the panic hook has already
+        // printed the message and backtrace) and abort.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(idx))).is_err() {
+            eprintln!("mcgc-gang-{idx}: panic in GC job; aborting");
+            std::process::abort();
+        }
         let mut st = shared.state.lock();
         st.active -= 1;
         if st.active == 0 {
@@ -356,5 +405,59 @@ mod tests {
         gang.run(GangTask::Roots, |_| {});
         gang.shutdown();
         gang.shutdown();
+    }
+
+    #[test]
+    fn leader_panic_closes_barrier_and_gang_survives() {
+        let gang = Gang::new(3);
+        let helpers_ran = AtomicU64::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gang.run(GangTask::Cards, |w| {
+                if w == 0 {
+                    panic!("leader slice panics");
+                }
+                helpers_ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(caught.is_err(), "leader panic propagates");
+        assert_eq!(helpers_ran.load(Ordering::Relaxed), 2);
+        // The unwind path closed the barrier (active == 0, job cleared),
+        // so the gang is still dispatchable.
+        let ran = AtomicU64::new(0);
+        gang.run(GangTask::Cards, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+        gang.shutdown();
+    }
+
+    #[test]
+    fn dispatch_after_shutdown_runs_inline() {
+        let gang = Gang::new(4);
+        gang.shutdown();
+        let ran = AtomicU64::new(0);
+        gang.run(GangTask::Drain, |w| {
+            assert_eq!(w, 0, "only the caller runs after shutdown");
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shutdown_racing_dispatches_never_hangs() {
+        for _ in 0..50 {
+            let gang = std::sync::Arc::new(Gang::new(3));
+            let g = std::sync::Arc::clone(&gang);
+            let t = std::thread::spawn(move || g.shutdown());
+            for _ in 0..10 {
+                let ran = AtomicU64::new(0);
+                gang.run(GangTask::Roots, |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+                // Inline (post-shutdown) or full-gang, the job ran.
+                assert!(ran.load(Ordering::Relaxed) >= 1);
+            }
+            t.join().unwrap();
+        }
     }
 }

@@ -199,7 +199,11 @@ impl ParallelSweep {
     /// returned.
     pub fn finish(self, heap: &Heap) -> SweepStats {
         let mut ordered = self.results.into_inner();
-        debug_assert_eq!(ordered.len(), self.total, "finish before all workers done");
+        // Unconditional: finishing with unswept chunks would silently
+        // rebuild a partial free list (losing memory, or handing out
+        // unswept extents). Runs once per pause — free next to the sort
+        // and rebuild below.
+        assert_eq!(ordered.len(), self.total, "finish before all workers done");
         ordered.sort_unstable_by_key(|(c, _)| *c);
         let mut stats = SweepStats::default();
         let mut all = Vec::new();
