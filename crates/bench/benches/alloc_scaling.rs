@@ -190,6 +190,7 @@ fn main() {
     println!("1-thread ratio (sharded / baseline):       {ratio_1t:.2}x");
 
     let mut json = String::from("{\n  \"bench\": \"alloc_scaling\",\n");
+    json.push_str(&mcgc_bench::host_meta_json("baseline|sharded"));
     json.push_str(&format!(
         "  \"churn_granules\": {CHURN_GRANULES},\n  \"survivor_holes_per_field\": {PINS_PER_FIELD},\n  \"shards\": {SHARDS},\n  \"ring\": {RING},\n  \"iters_per_thread\": {ITERS},\n"
     ));

@@ -141,6 +141,7 @@ fn main() {
     println!(" and these ratios measure only the dispatch-barrier overhead)");
 
     let mut json = String::from("{\n  \"bench\": \"pause_scaling\",\n");
+    json.push_str(&mcgc_bench::host_meta_json("stw|cgc"));
     json.push_str(&format!(
         "  \"heap_bytes\": {},\n  \"worker_points\": [1, 2, 4, 8],\n",
         mcgc_bench::heap_bytes(32)

@@ -63,6 +63,26 @@ pub fn steady(log: &mcgc_core::GcLog) -> mcgc_core::GcLog {
     }
 }
 
+/// Usable host parallelism (1 when the platform can't say).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The host/mode metadata fragment every `BENCH_*.json` embeds: how much
+/// real parallelism the run had and which mode axis the points cover.
+/// Scaling ratios from a 1-CPU host — where gang workers time-slice and
+/// "speedups" sit near 0.9x — must never be misread as a
+/// real-parallelism regression, so the parallelism travels with the
+/// numbers.
+pub fn host_meta_json(modes: &str) -> String {
+    format!(
+        "  \"available_parallelism\": {},\n  \"modes\": \"{modes}\",\n",
+        available_parallelism()
+    )
+}
+
 /// Prints the standard bench header naming the reproduced result.
 pub fn banner(what: &str, paper: &str) {
     println!("==============================================================");

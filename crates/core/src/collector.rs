@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use mcgc_heap::{Heap, LazySweep, ObjectRef, ParallelSweep};
 use mcgc_membar::sync::{Condvar, Mutex};
 use mcgc_packets::{PacketPool, WorkBuffer};
+use mcgc_telemetry::{SpanGuard, SpanKind, TrackId};
 
 use crate::background;
 use crate::config::{CollectorMode, GcConfig, SweepMode};
@@ -208,6 +209,14 @@ pub struct Gc {
 
     log: Mutex<GcLog>,
     pub(crate) tel: GcTelemetry,
+    /// Flight-recorder track for cycle/pause-phase spans. Claimed once at
+    /// construction: whichever thread wins the coordinator role records
+    /// onto this one timeline, so pause phases from different coordinator
+    /// threads still render as one track.
+    coord_track: Option<TrackId>,
+    /// Flight-recorder timestamp of the current cycle's kickoff, for the
+    /// cycle-level span recorded when the pause ends.
+    cycle_begin_ns: AtomicU64,
     /// Persistent stop-the-world worker gang: `stw_workers - 1` helper
     /// threads spawned once at construction and parked between pauses,
     /// so no pause phase ever pays a `thread::spawn`.
@@ -240,6 +249,12 @@ impl Gc {
         let heap = Heap::new(config.heap);
         let pacer = Pacer::new(&config, heap.total_bytes());
         let now = Instant::now();
+        let tel = GcTelemetry::new(mcgc_telemetry::DEFAULT_RING_CAPACITY, config.stw_workers);
+        let spans = Arc::clone(tel.hub.spans());
+        let coord_track = spans.named_track("gc coordinator");
+        heap.free_list().attach_recorder(Arc::clone(&spans));
+        let gang = Gang::new(config.stw_workers);
+        gang.attach_spans(spans);
         let gc = Arc::new(Gc {
             pool: PacketPool::new(config.pool),
             pacer: Mutex::new(pacer),
@@ -270,8 +285,10 @@ impl Gc {
             lazy: Mutex::new(None),
             bits_pre_cleared: AtomicBool::new(false),
             log: Mutex::new(GcLog::default()),
-            tel: GcTelemetry::new(mcgc_telemetry::DEFAULT_RING_CAPACITY, config.stw_workers),
-            gang: Gang::new(config.stw_workers),
+            tel,
+            coord_track,
+            cycle_begin_ns: AtomicU64::new(0),
+            gang,
             shutdown_flag: AtomicBool::new(false),
             bg_handles: Mutex::new(Vec::new()),
             handshake_epoch: AtomicU64::new(0),
@@ -352,6 +369,17 @@ impl Gc {
         &self.tel.hub
     }
 
+    /// Opens a flight-recorder span on the coordinator track (the one
+    /// timeline carrying cycle and pause-phase spans). `None` when the
+    /// recorder is disabled or out of track slots.
+    fn pause_span(&self, kind: SpanKind, arg: u64) -> Option<SpanGuard<'_>> {
+        let rec = self.tel.hub.spans();
+        if !rec.is_enabled() {
+            return None;
+        }
+        Some(rec.span_on(self.coord_track?, kind, arg))
+    }
+
     /// Refreshes the pull-style gauges (phase, heap occupancy, pacer
     /// `K0`/`L`/`M`/`B` estimates, packet sub-pool occupancy) from live
     /// collector state. Call before reading or exporting the registry —
@@ -371,6 +399,7 @@ impl Gc {
             &self.heap.alloc_stats(),
         );
         self.tel.refresh_gang(&self.gang);
+        self.tel.refresh_postmortem();
     }
 
     /// Runs the heap verifier (tests/debugging). Must be called while no
@@ -657,6 +686,11 @@ impl Gc {
         }
         // Lazy sweep from the previous cycle must finish before mark bits
         // are recycled.
+        let _kick = self
+            .tel
+            .hub
+            .spans()
+            .span(SpanKind::KickoffDecision, self.heap.free_bytes() as u64);
         self.finish_lazy_sweep();
         if !self
             .pacer
@@ -693,6 +727,9 @@ impl Gc {
         let cycle = self.cycle.fetch_add(1, Ordering::Relaxed) + 1;
         self.tel
             .on_cycle_begin(cycle, self.heap.free_bytes() as u64);
+        let spans = self.tel.hub.spans();
+        spans.set_cycle(cycle as u32);
+        self.cycle_begin_ns.store(spans.now_ns(), Ordering::Relaxed);
         {
             let mut t = self.timeline.lock();
             t.kickoff = Some(Instant::now());
@@ -837,12 +874,17 @@ impl Gc {
         } else {
             trigger
         };
+        let pause_span = self.pause_span(SpanKind::Pause, trigger.code());
+        let mut retire_span = self.pause_span(SpanKind::PauseRetire, 0);
 
         // 1. Retire every allocation cache (publishes pending allocation
         //    bits; sweep needs cache tails back on the free list).
         let mutators: Vec<Arc<MutatorShared>> = self.mutators.lock().clone();
         for m in &mutators {
             self.heap.retire_cache(&mut m.cache.lock());
+        }
+        if let Some(s) = retire_span.as_mut() {
+            s.set_arg(mutators.len() as u64);
         }
 
         // Watchdog: the world is stopped, so any packet still checked out
@@ -890,15 +932,20 @@ impl Gc {
         //    barrier activity before this instant, which is harmless to
         //    clean). Cleaned on the gang; `cards_wall` also absorbs the
         //    drain loop's re-clean passes below.
+        drop(retire_span);
         let cards_t = Instant::now();
+        let cards_span = self.pause_span(SpanKind::PauseCards, 0);
         let (cards_left, stw_clean_work) = self.stw_clean_cards(fresh);
+        drop(cards_span);
         let mut cards_wall = cards_t.elapsed();
 
         // 3. Rescan all thread stacks and global roots (§2.2), on the
         //    gang: one task per mutator stack plus chunked global roots.
         let roots_t = Instant::now();
         let root_slots_before = self.counters.root_slots.load(Ordering::Relaxed);
+        let roots_span = self.pause_span(SpanKind::PauseRoots, mutators.len() as u64);
         self.gang_scan_roots(&mutators);
+        drop(roots_span);
         let root_slots = self.counters.root_slots.load(Ordering::Relaxed) - root_slots_before;
         let roots_wall = roots_t.elapsed();
 
@@ -910,9 +957,12 @@ impl Gc {
         let stw_traced_before = self.counters.traced_stw.load(Ordering::Relaxed);
         let mut extra_clean_ms = 0.0;
         let mut drain_wall = Duration::ZERO;
+        let mut drain_round = 0u64;
         loop {
             let drain_t = Instant::now();
+            let drain_span = self.pause_span(SpanKind::PauseDrain, drain_round);
             self.drain_marking_parallel();
+            drop(drain_span);
             drain_wall += drain_t.elapsed();
             let mut redirty = Vec::new();
             self.heap
@@ -921,8 +971,11 @@ impl Gc {
             if redirty.is_empty() {
                 break;
             }
+            drain_round += 1;
             let reclean_t = Instant::now();
+            let reclean_span = self.pause_span(SpanKind::PauseReclean, redirty.len() as u64);
             let scanned = self.gang_clean_cards(&redirty);
+            drop(reclean_span);
             cards_wall += reclean_t.elapsed();
             extra_clean_ms += self
                 .config
@@ -943,10 +996,12 @@ impl Gc {
         self.tel
             .on_sweep_start(cycle_no, self.config.sweep == SweepMode::Lazy);
         let sweep_t = Instant::now();
+        let sweep_span = self.pause_span(SpanKind::PauseSweep, 0);
         let chunk = self.config.sweep_chunk_granules;
         let (live_objects, live_granules, sweep_chunks, lazy_planned) = match self.config.sweep {
             SweepMode::Eager => {
-                let ps = ParallelSweep::new(&self.heap, chunk);
+                let ps = ParallelSweep::new(&self.heap, chunk)
+                    .with_recorder(Arc::clone(self.tel.hub.spans()));
                 self.gang.run(GangTask::Sweep, |w| {
                     let swept = ps.worker(&self.heap);
                     self.gang.add_claimed(w, swept);
@@ -961,10 +1016,14 @@ impl Gc {
             }
             SweepMode::Lazy => {
                 let live_objects = self.heap.mark_bits().count() as u64;
-                *self.lazy.lock() = Some(Arc::new(LazySweep::new(&self.heap, chunk)));
+                *self.lazy.lock() = Some(Arc::new(
+                    LazySweep::new(&self.heap, chunk)
+                        .with_recorder(Arc::clone(self.tel.hub.spans())),
+                ));
                 (live_objects, 0, 0, true)
             }
         };
+        drop(sweep_span);
         let sweep_wall = sweep_t.elapsed();
         self.tel.on_sweep_end(cycle_no, live_objects);
 
@@ -986,13 +1045,16 @@ impl Gc {
         //    paper's initialization does. Lazy sweep still needs the mark
         //    bits, so it cannot pre-clear.
         let clear_t = Instant::now();
+        let clear_span = self.pause_span(SpanKind::PauseClear, 0);
         if !lazy_planned && self.config.mode == CollectorMode::Concurrent {
             self.gang_clear_mark_bits();
             self.bits_pre_cleared.store(true, Ordering::Release);
         }
+        drop(clear_span);
         let clear_wall = clear_t.elapsed();
 
         // 7. Account the cycle.
+        let account_span = self.pause_span(SpanKind::PauseAccount, 0);
         let cost = &self.config.cost;
         let card_single_ms = stw_clean_work + extra_clean_ms;
         let root_single_ms = cost.roots_ms(root_slots);
@@ -1099,6 +1161,26 @@ impl Gc {
             t.kickoff = None;
             t.alloc_at_last_end = self.heap.bytes_allocated();
         }
+
+        // 9. Flight-recorder epilogue: snapshot heap occupancy into the
+        //    trace's counter tracks (still inside the accounting span),
+        //    close the pause, then record the enclosing cycle span —
+        //    begin = kickoff — so pause phases nest under their cycle.
+        let rec = self.tel.hub.spans();
+        if rec.is_enabled() {
+            mcgc_heap::inspect(&self.heap).record_counters(rec);
+        }
+        drop(account_span);
+        drop(pause_span);
+        if let Some(track) = self.coord_track {
+            rec.record_span(
+                track,
+                SpanKind::Cycle,
+                self.cycle_begin_ns.load(Ordering::Relaxed),
+                rec.now_ns(),
+                cycle_no,
+            );
+        }
     }
 
     /// Degraded-mode recovery (watchdog): dirties the card of every
@@ -1113,6 +1195,7 @@ impl Gc {
     /// gang; all-zero words — the vast majority — cost one load.
     fn flood_marked_cards(&self) {
         const STRIPE_WORDS: usize = 1 << 12; // 32 KiB of bitmap per claim
+        let _flood_span = self.pause_span(SpanKind::PauseFlood, 0);
         let marks = self.heap.mark_bits();
         let cards = self.heap.cards();
         let words = marks.word_len();
@@ -1314,7 +1397,17 @@ impl Gc {
                 let bytes = self.trace_object_stw(obj, &mut buf);
                 self.counters.traced_stw.fetch_add(bytes, Ordering::Relaxed);
             }
+            self.tel
+                .on_packet_claims(buf.input_claims(), buf.output_claims());
             buf.finish();
+            // A §4.3 termination attempt follows a productive batch; only
+            // those are recorded, so a worker spinning while peers finish
+            // does not flood its span ring.
+            let _attempt = if did_work {
+                Some(self.tel.hub.spans().span(SpanKind::TerminationAttempt, 0))
+            } else {
+                None
+            };
             if self.pool.has_deferred() {
                 // All allocation bits are published now (caches retired);
                 // deferred objects trace normally.

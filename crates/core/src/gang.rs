@@ -47,10 +47,11 @@
 //! the job inline, degenerating to exactly the serial pause.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use mcgc_membar::sync::{Condvar, Mutex};
+use mcgc_telemetry::{SpanKind, SpanRecorder};
 
 /// Which pause phase a dispatch executes. Purely a label: the job
 /// closure carries the actual work; the label feeds per-phase dispatch
@@ -117,6 +118,17 @@ struct GangShared {
     dispatched: [AtomicU64; GangTask::COUNT],
     /// Helpers that hit the `gang.stall` chaos site.
     stalls: AtomicU64,
+    /// Flight recorder, attached once by the collector after
+    /// construction. Helpers record `gang.job` spans (arg = work items
+    /// claimed) on their own tracks; the leader records the dispatch and
+    /// its barrier wait.
+    spans: OnceLock<Arc<SpanRecorder>>,
+}
+
+impl GangShared {
+    fn recorder(&self) -> Option<&SpanRecorder> {
+        self.spans.get().map(Arc::as_ref).filter(|r| r.is_enabled())
+    }
 }
 
 /// The persistent gang. One per [`crate::Gc`]; dispatched only by the
@@ -146,6 +158,7 @@ impl Gang {
             claimed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             dispatched: std::array::from_fn(|_| AtomicU64::new(0)),
             stalls: AtomicU64::new(0),
+            spans: OnceLock::new(),
         });
         let mut handles = Vec::with_capacity(workers - 1);
         for idx in 1..workers {
@@ -169,6 +182,13 @@ impl Gang {
         self.workers
     }
 
+    /// Attaches the flight recorder (first caller wins; later calls are
+    /// no-ops). Kept out of `new` so the ~8 test construction sites
+    /// don't need a recorder.
+    pub(crate) fn attach_spans(&self, rec: Arc<SpanRecorder>) {
+        let _ = self.shared.spans.set(rec);
+    }
+
     /// Dispatches `f` to every worker (helpers + the calling leader as
     /// worker 0) and blocks until all have finished — one condvar wakeup
     /// per phase, no thread creation. With no helpers, runs `f(0)`
@@ -180,8 +200,10 @@ impl Gang {
     /// the caller instead of being dispatched.
     pub(crate) fn run(&self, task: GangTask, f: impl Fn(usize) + Sync) {
         self.shared.dispatched[task.index()].fetch_add(1, Ordering::Relaxed);
+        let rec = self.shared.recorder();
+        let _dispatch = rec.map(|r| r.span(SpanKind::GangDispatch, task.index() as u64));
         if self.workers == 1 {
-            f(0);
+            run_job_with_span(&self.shared, rec, 0, &f);
             return;
         }
         {
@@ -202,7 +224,7 @@ impl Gang {
                 // exiting (or already joined), so nobody would pick the
                 // job up. Run it serially instead of hanging.
                 drop(st);
-                f(0);
+                run_job_with_span(&self.shared, rec, 0, &f);
                 return;
             }
             debug_assert!(
@@ -216,9 +238,10 @@ impl Gang {
         }
         /// Closes the dispatch barrier on drop — on the normal path and,
         /// critically, on unwind (see the SAFETY comment above).
-        struct BarrierGuard<'a>(&'a GangShared);
+        struct BarrierGuard<'a>(&'a GangShared, Option<&'a SpanRecorder>);
         impl Drop for BarrierGuard<'_> {
             fn drop(&mut self) {
+                let _wait = self.1.map(|r| r.span(SpanKind::BarrierWait, 0));
                 let mut st = self.0.state.lock();
                 while st.active > 0 {
                     self.0.done_cv.wait(&mut st);
@@ -226,9 +249,9 @@ impl Gang {
                 st.job = None;
             }
         }
-        let barrier = BarrierGuard(&self.shared);
+        let barrier = BarrierGuard(&self.shared, rec);
         // The leader is worker 0 and pulls from the same cursors.
-        f(0);
+        run_job_with_span(&self.shared, rec, 0, &f);
         drop(barrier);
     }
 
@@ -293,6 +316,24 @@ impl std::fmt::Debug for Gang {
     }
 }
 
+/// Runs one worker's slice of a job under a `gang.job` span whose arg is
+/// the work items the worker claimed while inside it (read from the
+/// gang's per-worker claim counters before and after).
+fn run_job_with_span(
+    shared: &GangShared,
+    rec: Option<&SpanRecorder>,
+    idx: usize,
+    job: &(dyn Fn(usize) + Sync),
+) {
+    let before = shared.claimed[idx].load(Ordering::Relaxed);
+    let mut span = rec.map(|r| r.span(SpanKind::GangJob, 0));
+    job(idx);
+    if let Some(s) = span.as_mut() {
+        let after = shared.claimed[idx].load(Ordering::Relaxed);
+        s.set_arg(after.saturating_sub(before));
+    }
+}
+
 fn helper_loop(shared: &GangShared, idx: usize) {
     let mut seen = 0u64;
     loop {
@@ -330,7 +371,11 @@ fn helper_loop(shared: &GangShared, idx: usize) {
         // dispatch one worker short. A panic in a GC job is not
         // recoverable, so surface it (the panic hook has already
         // printed the message and backtrace) and abort.
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(idx))).is_err() {
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job_with_span(shared, shared.recorder(), idx, job)
+        }))
+        .is_err()
+        {
             eprintln!("mcgc-gang-{idx}: panic in GC job; aborting");
             std::process::abort();
         }

@@ -53,6 +53,8 @@ pub(crate) struct GcTelemetry {
     lazy_retirements: Arc<Counter>,
     // -- degraded-mode counters (escalation ladder, watchdog, handshake
     //    timeout, pool-exhaustion backoff) --
+    pool_input_claims: Arc<Counter>,
+    pool_output_claims: Arc<Counter>,
     alloc_retries: Arc<Counter>,
     alloc_rung_lazy: Arc<Counter>,
     alloc_rung_finish: Arc<Counter>,
@@ -90,6 +92,12 @@ pub(crate) struct GcTelemetry {
     alloc_shard_contention: Arc<Gauge>,
     alloc_refill_steals: Arc<Gauge>,
     alloc_wilderness_refills: Arc<Gauge>,
+    // -- worst-pause postmortem (refreshed by telemetry_sample from the
+    //    flight recorder's span rings) --
+    postmortem_coverage: Arc<Gauge>,
+    postmortem_wall_ns: Arc<Gauge>,
+    postmortem_imbalance: Arc<Gauge>,
+    postmortem_barrier_ns: Arc<Gauge>,
     // -- STW gang (refreshed by telemetry_sample from gang atomics) --
     gang_workers: Arc<Gauge>,
     gang_dispatches: Arc<Gauge>,
@@ -118,14 +126,16 @@ impl GcTelemetry {
             cards_cleaned_concurrent: c("gc_cards_cleaned_concurrent_total"),
             cards_cleaned_stw: c("gc_cards_cleaned_stw_total"),
             handshakes: c("gc_handshakes_total"),
-            cas_ops: c("pool_cas_ops_total"),
-            overflows: c("pool_overflows_total"),
+            cas_ops: c("gc_pool_cas_ops_total"),
+            overflows: c("gc_pool_overflows_total"),
             deferred_objects: c("gc_deferred_objects_total"),
             increments_mutator: c("gc_increments_mutator_total"),
             increments_background: c("gc_increments_background_total"),
-            alloc_slow: c("alloc_slow_path_total"),
-            alloc_large: c("alloc_large_total"),
+            alloc_slow: c("heap_alloc_slow_path_total"),
+            alloc_large: c("heap_alloc_large_total"),
             lazy_retirements: c("gc_lazy_sweep_retirements_total"),
+            pool_input_claims: c("gc_pool_input_claims_total"),
+            pool_output_claims: c("gc_pool_output_claims_total"),
             alloc_retries: c("gc_alloc_retry_total"),
             alloc_rung_lazy: c("gc_alloc_rung_lazy_total"),
             alloc_rung_finish: c("gc_alloc_rung_finish_total"),
@@ -134,7 +144,7 @@ impl GcTelemetry {
             watchdog_reclaimed: c("gc_watchdog_reclaimed_packets_total"),
             handshake_acks: c("gc_handshake_acks_total"),
             handshake_timeouts: c("gc_handshake_timeouts_total"),
-            overflow_backoffs: c("pool_overflow_backoffs_total"),
+            overflow_backoffs: c("gc_pool_overflow_backoffs_total"),
             pause_cards_ns: c("gc_pause_cards_ns_total"),
             pause_roots_ns: c("gc_pause_roots_ns_total"),
             pause_drain_ns: c("gc_pause_drain_ns_total"),
@@ -144,22 +154,26 @@ impl GcTelemetry {
             cycle: g("gc_cycle"),
             heap_occupancy: g("heap_occupancy"),
             heap_free_bytes: g("heap_free_bytes"),
-            pacer_k0: g("pacer_k0"),
-            pacer_l: g("pacer_l_bytes"),
-            pacer_m: g("pacer_m_bytes"),
-            pacer_b: g("pacer_b"),
-            pacer_kickoff_threshold: g("pacer_kickoff_threshold_bytes"),
-            pool_empty: g("pool_empty_packets"),
-            pool_non_empty: g("pool_non_empty_packets"),
-            pool_almost_full: g("pool_almost_full_packets"),
-            pool_deferred: g("pool_deferred_packets"),
-            pool_entries: g("pool_entries"),
-            pool_occupancy: g("pool_occupancy"),
+            pacer_k0: g("gc_pacer_k0"),
+            pacer_l: g("gc_pacer_l_bytes"),
+            pacer_m: g("gc_pacer_m_bytes"),
+            pacer_b: g("gc_pacer_b"),
+            pacer_kickoff_threshold: g("gc_pacer_kickoff_threshold_bytes"),
+            pool_empty: g("gc_pool_empty_packets"),
+            pool_non_empty: g("gc_pool_non_empty_packets"),
+            pool_almost_full: g("gc_pool_almost_full_packets"),
+            pool_deferred: g("gc_pool_deferred_packets"),
+            pool_entries: g("gc_pool_entries"),
+            pool_occupancy: g("gc_pool_occupancy"),
             bg_tracers_alive: g("gc_bg_tracers_alive"),
-            alloc_shards: g("alloc_shards"),
-            alloc_shard_contention: g("alloc_shard_lock_contention_total"),
-            alloc_refill_steals: g("alloc_refill_steals_total"),
-            alloc_wilderness_refills: g("alloc_wilderness_refills_total"),
+            alloc_shards: g("heap_alloc_shards"),
+            alloc_shard_contention: g("heap_alloc_shard_lock_contention_total"),
+            alloc_refill_steals: g("heap_alloc_refill_steals_total"),
+            alloc_wilderness_refills: g("heap_alloc_wilderness_refills_total"),
+            postmortem_coverage: g("gc_postmortem_coverage"),
+            postmortem_wall_ns: g("gc_postmortem_pause_wall_ns"),
+            postmortem_imbalance: g("gc_postmortem_worst_imbalance"),
+            postmortem_barrier_ns: g("gc_postmortem_barrier_wait_ns"),
             gang_workers: g("gang_workers"),
             gang_dispatches: g("gang_dispatches_total"),
             gang_stalls: g("gang_stalls_total"),
@@ -249,6 +263,19 @@ impl GcTelemetry {
         self.hub
             .record_increment_ns(end_ns.saturating_sub(start_ns));
         self.hub.emit(kind, cycle as u32, bytes);
+    }
+
+    /// A tracing stint returned its [`WorkBuffer`]: fold the packets it
+    /// claimed from the input/output sub-pools into the claim counters.
+    ///
+    /// [`WorkBuffer`]: mcgc_packets::WorkBuffer
+    pub(crate) fn on_packet_claims(&self, input: u64, output: u64) {
+        if input > 0 {
+            self.pool_input_claims.add(input);
+        }
+        if output > 0 {
+            self.pool_output_claims.add(output);
+        }
     }
 
     /// An allocation took the slow path (cache refill / large object).
@@ -366,6 +393,18 @@ impl GcTelemetry {
         self.alloc_refill_steals.set_u64(alloc.refill_steals);
         self.alloc_wilderness_refills
             .set_u64(alloc.wilderness_refills);
+    }
+
+    /// Refreshes the worst-pause postmortem gauges from the flight
+    /// recorder. Pull-style: computing a postmortem scans the span
+    /// rings, so it runs on the sampling thread, never the pause path.
+    pub(crate) fn refresh_postmortem(&self) {
+        if let Some(pm) = mcgc_telemetry::trace_export::worst_pause_postmortem(self.hub.spans()) {
+            self.postmortem_coverage.set(pm.coverage);
+            self.postmortem_wall_ns.set_u64(pm.wall_ns);
+            self.postmortem_imbalance.set(pm.worst_imbalance);
+            self.postmortem_barrier_ns.set_u64(pm.barrier_wait_ns);
+        }
     }
 
     /// Refreshes the STW-gang gauges from the gang's own atomics

@@ -8,6 +8,8 @@ use mcgc_heap::ObjectRef;
 use mcgc_membar::{acquire_fence, full_fence, FenceKind};
 use mcgc_packets::{PushOutcome, WorkBuffer};
 
+use mcgc_telemetry::SpanKind;
+
 use crate::collector::Gc;
 use crate::roots::MutatorShared;
 
@@ -166,6 +168,13 @@ impl Gc {
         } else {
             None
         };
+        let mut incr_span = self.tel.hub.spans().span(
+            match role {
+                TraceRole::Mutator => SpanKind::MutatorIncrement,
+                TraceRole::Background => SpanKind::BackgroundIncrement,
+            },
+            0,
+        );
         let mut buf = WorkBuffer::new(&self.pool);
         let mut deferred = Vec::new();
         let mut done = 0u64;
@@ -204,7 +213,10 @@ impl Gc {
             break; // genuinely out of concurrent work
         }
         self.park_deferred(&mut deferred);
+        self.tel
+            .on_packet_claims(buf.input_claims(), buf.output_claims());
         buf.finish();
+        incr_span.set_arg(done);
         if let Some(start) = start_ns {
             if done > 0 {
                 self.tel
@@ -332,6 +344,9 @@ impl Gc {
     /// on the host orders the snapshot by itself; the laggard completes
     /// the protocol at its next poll. Returns true if everyone acked.
     pub(crate) fn card_handshake(&self, requester: Option<&Arc<MutatorShared>>) -> bool {
+        // Span arg: 1 = every mutator acked, 0 = timed out into the
+        // global-fence fallback.
+        let mut hs_span = self.tel.hub.spans().span(SpanKind::Handshake, 0);
         let epoch = self.handshake_epoch.fetch_add(1, Ordering::AcqRel) + 1;
         // The collector side of the rendezvous fences unconditionally;
         // the requesting mutator is inside this call, so ack for it.
@@ -350,6 +365,7 @@ impl Gc {
                 });
             if !pending {
                 self.tel.on_handshake_acked();
+                hs_span.set_arg(1);
                 return true;
             }
             if std::time::Instant::now() >= deadline {

@@ -35,6 +35,7 @@ pub mod cards;
 pub mod freelist;
 #[allow(clippy::module_inception)]
 pub mod heap;
+pub mod inspect;
 pub mod object;
 pub mod shards;
 pub mod sweep;
@@ -44,8 +45,9 @@ pub use bitmap::Bitmap;
 pub use cards::CardTable;
 pub use freelist::{Extent, FreeList};
 pub use heap::{AllocCache, AllocError, Heap, HeapConfig, ObjectShape};
+pub use inspect::{inspect, HeapInspection};
 pub use object::{Header, ObjectRef, CARD_BYTES, GRANULES_PER_CARD, GRANULE_BYTES};
-pub use shards::{AllocShardStats, ShardedFreeList};
+pub use shards::{AllocShardStats, BinOccupancy, ShardedFreeList};
 pub use sweep::{
     sweep_parallel, sweep_serial, LazySweep, ParallelSweep, SweepStats, DEFAULT_CHUNK_GRANULES,
 };

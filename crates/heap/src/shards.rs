@@ -43,14 +43,16 @@
 //! benchmark.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use mcgc_membar::sync::{Mutex, MutexGuard};
+use mcgc_telemetry::{SpanKind, SpanRecorder};
 
 use crate::freelist::{Extent, FreeList};
 
 /// Size classes cover `floor(log2(len))` for any extent a shard can hold
 /// (the heap is at most `u32::MAX` granules).
-const NUM_CLASSES: usize = 33;
+pub const NUM_CLASSES: usize = 33;
 
 #[inline]
 fn class_of(len: usize) -> usize {
@@ -121,6 +123,16 @@ impl Shard {
     }
 }
 
+/// Point-in-time occupancy of one shard, the wilderness bin, or one size
+/// class (the heap inspector's unit of aggregation).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BinOccupancy {
+    /// Free granules binned here right now.
+    pub free_granules: usize,
+    /// Free extents binned here right now.
+    pub extents: usize,
+}
+
 /// Cumulative substrate statistics (all counters relaxed, monotone).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct AllocShardStats {
@@ -161,6 +173,10 @@ pub struct ShardedFreeList {
     contended_locks: AtomicU64,
     refill_steals: AtomicU64,
     wilderness_refills: AtomicU64,
+    /// Optional flight recorder: refill/steal/wilderness spans on the
+    /// slow paths. Unset (tests, benches without telemetry) or disabled,
+    /// the hooks cost one load and a branch.
+    recorder: OnceLock<Arc<SpanRecorder>>,
 }
 
 impl ShardedFreeList {
@@ -179,7 +195,23 @@ impl ShardedFreeList {
             contended_locks: AtomicU64::new(0),
             refill_steals: AtomicU64::new(0),
             wilderness_refills: AtomicU64::new(0),
+            recorder: OnceLock::new(),
         }
+    }
+
+    /// Attaches the flight recorder that refill/steal/wilderness spans
+    /// are recorded against (once, at collector construction; later
+    /// calls are ignored).
+    pub fn attach_recorder(&self, rec: Arc<SpanRecorder>) {
+        let _ = self.recorder.set(rec);
+    }
+
+    #[inline]
+    fn recorder(&self) -> Option<&SpanRecorder> {
+        self.recorder
+            .get()
+            .map(Arc::as_ref)
+            .filter(|r| r.is_enabled())
     }
 
     /// Number of allocation locks mutators spread over (1 in baseline
@@ -258,6 +290,11 @@ impl ShardedFreeList {
     /// serving shard.
     pub fn alloc(&self, len: usize, home: &mut usize) -> Option<usize> {
         debug_assert!(len > 0);
+        // One span per refill; the kind is settled where the refill lands
+        // (home shard / steal / wilderness), the payload is the length.
+        let mut span = self
+            .recorder()
+            .map(|r| r.span(SpanKind::ShardRefill, len as u64));
         let n = self.shards.len();
         if n > 0 {
             let h = *home % n;
@@ -274,6 +311,10 @@ impl ShardedFreeList {
                 if let Some(start) = self.take_from(idx, len) {
                     *home = idx;
                     self.refill_steals.fetch_add(1, Ordering::Relaxed);
+                    if let Some(s) = &mut span {
+                        s.set_kind(SpanKind::ShardSteal);
+                        s.set_arg(idx as u64);
+                    }
                     return Some(start);
                 }
             }
@@ -281,6 +322,9 @@ impl ShardedFreeList {
         if let Some(start) = self.lock_wilderness().alloc(len) {
             self.wilderness_refills.fetch_add(1, Ordering::Relaxed);
             self.free_granules.fetch_sub(len, Ordering::Relaxed);
+            if let Some(s) = &mut span {
+                s.set_kind(SpanKind::WildernessRefill);
+            }
             return Some(start);
         }
         // Last resort: revisit every shard without the mask filter, so
@@ -289,6 +333,10 @@ impl ShardedFreeList {
             if let Some(start) = self.take_from(idx, len) {
                 *home = idx;
                 self.refill_steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = &mut span {
+                    s.set_kind(SpanKind::ShardSteal);
+                    s.set_arg(idx as u64);
+                }
                 return Some(start);
             }
         }
@@ -300,6 +348,9 @@ impl ShardedFreeList {
     /// extent across the shard bins when the wilderness cannot serve.
     pub fn alloc_from_end(&self, len: usize) -> Option<usize> {
         debug_assert!(len > 0);
+        let _span = self
+            .recorder()
+            .map(|r| r.span(SpanKind::WildernessRefill, len as u64));
         if let Some(start) = self.lock_wilderness().alloc_from_end(len) {
             self.free_granules.fetch_sub(len, Ordering::Relaxed);
             return Some(start);
@@ -452,6 +503,49 @@ impl ShardedFreeList {
             for bin in &g.bins {
                 out.extend(bin.iter().copied());
             }
+        }
+        out
+    }
+
+    /// Point-in-time occupancy of each shard, in shard order (empty in
+    /// baseline mode). One lock per shard, taken sequentially.
+    pub fn shard_occupancy(&self) -> Vec<BinOccupancy> {
+        (0..self.shards.len())
+            .map(|i| {
+                let g = self.lock_shard(i);
+                BinOccupancy {
+                    free_granules: g.free_granules,
+                    extents: g.bins.iter().map(Vec::len).sum(),
+                }
+            })
+            .collect()
+    }
+
+    /// Point-in-time occupancy of the wilderness bin.
+    pub fn wilderness_occupancy(&self) -> BinOccupancy {
+        let g = self.lock_wilderness();
+        BinOccupancy {
+            free_granules: g.iter().map(|e| e.len).sum(),
+            extents: g.extent_count(),
+        }
+    }
+
+    /// Point-in-time occupancy per power-of-two size class (class
+    /// `floor(log2(len))`), aggregated across every shard and the
+    /// wilderness bin.
+    pub fn class_occupancy(&self) -> [BinOccupancy; NUM_CLASSES] {
+        let mut out = [BinOccupancy::default(); NUM_CLASSES];
+        for i in 0..self.shards.len() {
+            let g = self.lock_shard(i);
+            for (c, bin) in g.bins.iter().enumerate() {
+                out[c].extents += bin.len();
+                out[c].free_granules += bin.iter().map(|e| e.len).sum::<usize>();
+            }
+        }
+        for e in self.lock_wilderness().iter() {
+            let c = class_of(e.len);
+            out[c].extents += 1;
+            out[c].free_granules += e.len;
         }
         out
     }

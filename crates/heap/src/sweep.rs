@@ -18,8 +18,10 @@
 //! [`Bitmap::prev_set`]: crate::bitmap::Bitmap::prev_set
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use mcgc_membar::sync::Mutex;
+use mcgc_telemetry::{SpanKind, SpanRecorder};
 
 use crate::freelist::Extent;
 use crate::heap::Heap;
@@ -161,6 +163,7 @@ pub struct ParallelSweep {
     total: usize,
     next: AtomicUsize,
     results: Mutex<Vec<(usize, ChunkSweep)>>,
+    recorder: Option<Arc<SpanRecorder>>,
 }
 
 impl ParallelSweep {
@@ -173,18 +176,28 @@ impl ParallelSweep {
             total,
             next: AtomicUsize::new(0),
             results: Mutex::new(Vec::with_capacity(total)),
+            recorder: None,
         }
+    }
+
+    /// Attaches a flight recorder: each chunk claim is recorded as a
+    /// `sweep.chunk` span on the claiming worker's track.
+    pub fn with_recorder(mut self, rec: Arc<SpanRecorder>) -> ParallelSweep {
+        self.recorder = Some(rec);
+        self
     }
 
     /// Claims and sweeps chunks until none remain; call from each
     /// worker. Returns the number of chunks this call swept.
     pub fn worker(&self, heap: &Heap) -> u64 {
+        let rec = self.recorder.as_deref().filter(|r| r.is_enabled());
         let mut mine = Vec::new();
         loop {
             let c = self.next.fetch_add(1, Ordering::Relaxed);
             if c >= self.total {
                 break;
             }
+            let _span = rec.map(|r| r.span(SpanKind::SweepChunk, c as u64));
             mine.push((c, sweep_chunk(heap, c, self.chunk_granules)));
         }
         let swept = mine.len() as u64;
@@ -246,6 +259,7 @@ pub struct LazySweep {
     next: AtomicUsize,
     done: AtomicUsize,
     total: usize,
+    recorder: Option<Arc<SpanRecorder>>,
 }
 
 impl LazySweep {
@@ -260,7 +274,15 @@ impl LazySweep {
             next: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             total: chunk_count(heap, chunk_granules),
+            recorder: None,
         }
+    }
+
+    /// Attaches a flight recorder: each lazily swept chunk is recorded
+    /// as a `sweep.lazy_chunk` span on the sweeping thread's track.
+    pub fn with_recorder(mut self, rec: Arc<SpanRecorder>) -> LazySweep {
+        self.recorder = Some(rec);
+        self
     }
 
     /// Claims and sweeps one chunk, freeing its extents to the heap's
@@ -271,6 +293,11 @@ impl LazySweep {
         if c >= self.total {
             return None;
         }
+        let _span = self
+            .recorder
+            .as_deref()
+            .filter(|r| r.is_enabled())
+            .map(|r| r.span(SpanKind::LazySweepChunk, c as u64));
         let cs = sweep_chunk(heap, c, self.chunk_granules);
         for e in &cs.extents {
             heap.free_list().free(e.start, e.len);

@@ -24,6 +24,15 @@
 //!   its site as a string literal registered in `mcgc_fault::site::ALL`.
 //!   A typo'd or unregistered name would create a site no fault plan can
 //!   ever reach (plans validate against the same catalog).
+//! * **unknown-span-kind** — every `SpanKind::Variant` token must name a
+//!   real flight-recorder variant from `mcgc_telemetry::SpanKind::ALL`.
+//!   The span taxonomy is a closed catalog (like the fault sites): the
+//!   Perfetto exporter, the postmortem, and the docs all key off it.
+//! * **missing-pause-span** — `crates/core/src/collector.rs` must carry
+//!   a span guard for every kind in `SpanKind::PAUSE_PHASES`. The
+//!   postmortem's ≥95%-coverage criterion holds only because the phase
+//!   guards tile the pause; deleting one would silently degrade every
+//!   postmortem rather than fail a test.
 //!
 //! Comments, strings (including raw and byte strings), and char
 //! literals are masked out before pattern matching, so prose and test
@@ -53,10 +62,12 @@ pub const ORDERING_ALLOWLIST: &[&str] = &[
     "crates/heap/src/shards.rs",
     "crates/heap/src/sweep.rs",
     "crates/packets/src/pool.rs",
+    "crates/bench/benches/telemetry_overhead.rs",
     "crates/telemetry/src/histogram.rs",
     "crates/telemetry/src/lib.rs",
     "crates/telemetry/src/registry.rs",
     "crates/telemetry/src/ring.rs",
+    "crates/telemetry/src/spans.rs",
     "crates/workloads/src/framework.rs",
     "crates/workloads/src/javac.rs",
     "crates/workloads/src/jbb.rs",
@@ -279,6 +290,31 @@ fn has_safety_note(orig_lines: &[&str], line_idx: usize) -> bool {
     false
 }
 
+/// The flight-recorder span catalog, as `Debug` names (`PauseDrain`,
+/// `GangJob`, …), taken from the telemetry crate so the lint can never
+/// drift from the enum.
+fn span_catalog() -> &'static [String] {
+    static CATALOG: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    CATALOG.get_or_init(|| {
+        mcgc_telemetry::SpanKind::ALL
+            .iter()
+            .map(|k| format!("{k:?}"))
+            .collect()
+    })
+}
+
+/// The pause-phase kinds `collector.rs` must guard (same source of
+/// truth as the postmortem's coverage metric).
+fn pause_phase_names() -> &'static [String] {
+    static PHASES: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    PHASES.get_or_init(|| {
+        mcgc_telemetry::SpanKind::PAUSE_PHASES
+            .iter()
+            .map(|k| format!("{k:?}"))
+            .collect()
+    })
+}
+
 const ORDERING_VARIANTS: &[&str] = &[
     "Ordering::Relaxed",
     "Ordering::Acquire",
@@ -368,6 +404,32 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                 }),
             }
         }
+        // Closed span catalog: any `SpanKind::CamelCase` token must be a
+        // real variant. Associated items (`ALL`, `PAUSE_PHASES`,
+        // `from_u8`, …) are not variant-shaped and pass through.
+        let mut start = 0;
+        while let Some(pos) = line[start..].find("SpanKind::") {
+            let at = start + pos + "SpanKind::".len();
+            let ident: &str = line[at..]
+                .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                .next()
+                .unwrap_or("");
+            start = at + ident.len().max(1);
+            let variant_shaped = ident.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && ident.chars().any(|c| c.is_ascii_lowercase());
+            if variant_shaped && !span_catalog().iter().any(|v| v == ident) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "unknown-span-kind",
+                    message: format!(
+                        "SpanKind::{ident} is not a flight-recorder variant; the span \
+                         taxonomy is a closed catalog (mcgc_telemetry::SpanKind::ALL) — \
+                         add the variant there (exporter name, docs) or fix the typo"
+                    ),
+                });
+            }
+        }
         if contains_word(line, "unsafe") && !has_safety_note(&orig_lines, idx) {
             findings.push(Finding {
                 file: rel.to_string(),
@@ -377,6 +439,25 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                           section) on the preceding comment block"
                     .to_string(),
             });
+        }
+    }
+    // The pause path must keep a guard per pause-phase kind: the
+    // postmortem's coverage criterion rests on the guards tiling the
+    // pause, and losing one degrades silently, not loudly.
+    if rel == "crates/core/src/collector.rs" {
+        for phase in pause_phase_names() {
+            if !masked.contains(&format!("SpanKind::{phase}")) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: 1,
+                    rule: "missing-pause-span",
+                    message: format!(
+                        "collector.rs no longer opens a SpanKind::{phase} guard; every \
+                         SpanKind::PAUSE_PHASES kind must wrap its pause phase or the \
+                         postmortem's coverage criterion silently degrades"
+                    ),
+                });
+            }
         }
     }
     findings
@@ -436,7 +517,11 @@ mod tests {
         let f = lint_source("crates/core/src/new_file.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "no-raw-ordering");
-        assert!(lint_source("crates/core/src/collector.rs", src).is_empty());
+        // collector.rs is ordering-allowlisted (it still trips the
+        // missing-pause-span markers on this synthetic source).
+        assert!(lint_source("crates/core/src/collector.rs", src)
+            .iter()
+            .all(|f| f.rule == "missing-pause-span"));
         assert!(lint_source("crates/membar/src/lib.rs", src).is_empty());
     }
 
@@ -494,6 +579,42 @@ mod tests {
 
         let prose = "// mark the branch with a point!(\"anything\") site\n";
         assert!(lint_source("crates/heap/src/heap.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn span_kinds_must_be_in_catalog() {
+        let ok = "let _g = rec.span(SpanKind::PauseDrain, 0);\n";
+        assert!(lint_source("crates/core/src/x.rs", ok).is_empty());
+
+        let assoc = "for k in SpanKind::ALL { let _ = SpanKind::from_u8(k as u8); }\n";
+        assert!(lint_source("crates/core/src/x.rs", assoc).is_empty());
+
+        let typo = "let _g = rec.span(SpanKind::PauseDrian, 0);\n";
+        let f = lint_source("crates/core/src/x.rs", typo);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unknown-span-kind");
+        assert!(f[0].message.contains("PauseDrian"), "{}", f[0].message);
+
+        let prose = "// imagine a SpanKind::MadeUpPhase here\n";
+        assert!(lint_source("crates/core/src/x.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn collector_must_guard_every_pause_phase() {
+        // A collector.rs that opens only some of the phase guards is
+        // flagged once per missing phase.
+        let partial = "fn run_pause() { let _a = s.span(SpanKind::PauseRetire, 0); \
+                       let _b = s.span(SpanKind::PauseDrain, 0); }\n";
+        let f = lint_source("crates/core/src/collector.rs", partial);
+        let missing: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == "missing-pause-span")
+            .collect();
+        assert_eq!(missing.len(), 6, "{missing:?}");
+        assert!(missing.iter().any(|f| f.message.contains("PauseSweep")));
+
+        // Any other file is exempt from the marker requirement.
+        assert!(lint_source("crates/core/src/other.rs", partial).is_empty());
     }
 
     #[test]

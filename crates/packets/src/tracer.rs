@@ -29,6 +29,10 @@ pub struct WorkBuffer<'p, T> {
     pushed: u64,
     /// Overflow events (§4.3; expected to be rare).
     overflows: u64,
+    /// Input packets claimed from the pool (get-before-return cycles).
+    input_claims: u64,
+    /// Output packets claimed from the pool.
+    output_claims: u64,
 }
 
 impl<'p, T> WorkBuffer<'p, T> {
@@ -42,6 +46,8 @@ impl<'p, T> WorkBuffer<'p, T> {
             popped: 0,
             pushed: 0,
             overflows: 0,
+            input_claims: 0,
+            output_claims: 0,
         }
     }
 
@@ -58,6 +64,16 @@ impl<'p, T> WorkBuffer<'p, T> {
     /// Overflow events since creation.
     pub fn overflows(&self) -> u64 {
         self.overflows
+    }
+
+    /// Input packets claimed from the pool since creation.
+    pub fn input_claims(&self) -> u64 {
+        self.input_claims
+    }
+
+    /// Output packets claimed from the pool since creation.
+    pub fn output_claims(&self) -> u64 {
+        self.output_claims
     }
 
     /// Pushes a work item to the output packet, handling replacement and
@@ -84,6 +100,7 @@ impl<'p, T> WorkBuffer<'p, T> {
         // old one (§4.3 replacement order).
         match self.pool.get_output() {
             Some(new_out) if !new_out.is_full() => {
+                self.output_claims += 1;
                 if let Some(old) = self.output.replace(new_out) {
                     self.pool.put(old);
                 }
@@ -160,12 +177,14 @@ impl<'p, T> WorkBuffer<'p, T> {
                 // Input exhausted: get a new one *first*, then return the
                 // empty one (§4.3).
                 if let Some(new_in) = self.pool.get_input() {
+                    self.input_claims += 1;
                     let old = self.input.replace(new_in).expect("had input");
                     self.pool.put(old);
                     continue;
                 }
             } else {
                 if let Some(p) = self.pool.get_input() {
+                    self.input_claims += 1;
                     self.input = Some(p);
                     continue;
                 }

@@ -57,14 +57,21 @@
 pub mod histogram;
 pub mod registry;
 pub mod ring;
+pub mod spans;
+pub mod trace_export;
 
 pub use histogram::{
     bucket_index, bucket_upper_bound, HistogramSnapshot, LogHistogram, UtilizationTracker,
 };
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use ring::{EventKind, EventRing, GcEvent, StatField};
+pub use spans::{Span, SpanGuard, SpanKind, SpanRecorder, SpanRing, TrackId};
+pub use trace_export::{
+    export_chrome_trace, pause_postmortems, validate_chrome_trace, Postmortem, TraceStats,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default event-ring capacity (events retained before overwrite).
@@ -111,6 +118,9 @@ pub struct Telemetry {
     increment_ns: LogHistogram,
     registry: MetricsRegistry,
     utilization: UtilizationTracker,
+    /// The flight recorder (shared so the gang, heap, and exporters can
+    /// hold their own handle). Timestamps share this hub's epoch.
+    spans: Arc<SpanRecorder>,
 }
 
 impl Default for Telemetry {
@@ -122,14 +132,19 @@ impl Default for Telemetry {
 impl Telemetry {
     /// Creates a hub whose ring retains `ring_capacity` events.
     pub fn new(ring_capacity: usize) -> Telemetry {
+        let epoch = Instant::now();
         Telemetry {
-            epoch: Instant::now(),
+            epoch,
             enabled: AtomicBool::new(true),
             ring: EventRing::new(ring_capacity),
             pause_ns: LogHistogram::new(),
             increment_ns: LogHistogram::new(),
             registry: MetricsRegistry::new(),
             utilization: UtilizationTracker::new(),
+            spans: Arc::new(SpanRecorder::with_epoch(
+                epoch,
+                spans::DEFAULT_TRACK_CAPACITY,
+            )),
         }
     }
 
@@ -147,8 +162,18 @@ impl Telemetry {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Toggles the whole pipeline, flight recorder included (the A/B
+    /// overhead benchmark's "off" arm).
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
+        self.spans.set_enabled(on);
+    }
+
+    /// The flight recorder: per-thread span rings sharing this hub's
+    /// timestamp epoch. Clone the `Arc` to hand subsystems (the pause
+    /// gang, the heap's free list) their own recording handle.
+    pub fn spans(&self) -> &Arc<SpanRecorder> {
+        &self.spans
     }
 
     /// Publishes one event timestamped now.

@@ -1,0 +1,867 @@
+//! Flight-recorder consumers: a Chrome trace-event / Perfetto JSON
+//! exporter, a dependency-free schema validator for its output, and the
+//! automated pause postmortem.
+//!
+//! # Exporter
+//!
+//! [`export_chrome_trace`] renders a [`SpanRecorder`] snapshot as the
+//! JSON-object form of the Chrome trace-event format — load it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. Every recorder track
+//! becomes one thread track (`tid = track index + 1`, named by an `"M"`
+//! metadata event), spans become matched `"B"`/`"E"` duration events
+//! nested by interval containment, and counter points become `"C"`
+//! counter events (Perfetto draws each name as its own counter track).
+//! Events are globally sorted by timestamp.
+//!
+//! # Validator
+//!
+//! [`validate_chrome_trace`] re-parses exporter output with a built-in
+//! minimal JSON parser (the workspace is dependency-free by design) and
+//! checks the structural schema: a `traceEvents` array, non-decreasing
+//! timestamps, and per-tid `"B"`/`"E"` events that match like brackets.
+//! CI runs it against a trace captured from a live collector; the golden
+//! test below pins the exact output for a synthetic recorder.
+//!
+//! # Postmortem
+//!
+//! [`pause_postmortems`] folds the spans inside each recorded pause into
+//! a per-phase, per-worker attribution: wall time per pause phase, busy
+//! versus idle time per gang worker within each phase, items claimed, an
+//! imbalance ratio (max/mean worker busy time), and the fraction of the
+//! pause wall clock covered by phase spans (the collector's phase guards
+//! tile the pause, so coverage ≥ 95% is an acceptance criterion, not an
+//! aspiration).
+
+use crate::spans::{Span, SpanKind, SpanRecorder, TrackSnapshot};
+
+// ---------------------------------------------------------------------
+// Chrome trace-event exporter
+// ---------------------------------------------------------------------
+
+fn push_escaped(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microseconds with nanosecond precision, as Chrome's `ts` expects.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// One track's spans as a properly nested `"B"`/`"E"` event sequence.
+///
+/// Guard scoping makes same-track spans nest structurally; this walk
+/// re-derives the nesting from the intervals (sort by begin ascending,
+/// end descending, so an outer span precedes the inner ones it contains)
+/// and defensively clips a child that would overhang its parent — a
+/// clock-resolution artifact, never a recorded fact — so the output
+/// always brackets.
+fn track_events(track: &TrackSnapshot, out: &mut Vec<(u64, String)>) {
+    let tid = track.id.0 as u32 + 1;
+    let mut spans = track.spans.clone();
+    spans.sort_by(|a, b| a.begin_ns.cmp(&b.begin_ns).then(b.end_ns.cmp(&a.end_ns)));
+    // (name, end_ns) of currently open spans.
+    let mut stack: Vec<(&'static str, u64)> = Vec::new();
+    let close = |stack: &mut Vec<(&'static str, u64)>, out: &mut Vec<(u64, String)>| {
+        let (name, end) = stack.pop().expect("caller checked");
+        let mut e = String::new();
+        e.push_str("{\"name\":\"");
+        e.push_str(name);
+        e.push_str("\",\"ph\":\"E\",\"pid\":1,\"tid\":");
+        e.push_str(&tid.to_string());
+        e.push_str(",\"ts\":");
+        e.push_str(&ts_us(end));
+        e.push('}');
+        out.push((end, e));
+    };
+    for s in &spans {
+        while stack.last().is_some_and(|(_, end)| *end <= s.begin_ns) {
+            close(&mut stack, out);
+        }
+        let end = match stack.last() {
+            Some((_, parent_end)) => s.end_ns.min(*parent_end),
+            None => s.end_ns,
+        };
+        let mut b = String::new();
+        b.push_str("{\"name\":\"");
+        b.push_str(s.kind.name());
+        b.push_str("\",\"cat\":\"gc\",\"ph\":\"B\",\"pid\":1,\"tid\":");
+        b.push_str(&tid.to_string());
+        b.push_str(",\"ts\":");
+        b.push_str(&ts_us(s.begin_ns));
+        b.push_str(",\"args\":{\"cycle\":");
+        b.push_str(&s.cycle.to_string());
+        b.push_str(",\"arg\":");
+        b.push_str(&s.arg.to_string());
+        b.push_str("}}");
+        out.push((s.begin_ns, b));
+        stack.push((s.kind.name(), end));
+    }
+    while !stack.is_empty() {
+        close(&mut stack, out);
+    }
+}
+
+/// Renders the recorder's retained spans and counter points as Chrome
+/// trace-event JSON (the `{"traceEvents": [...]}` object form).
+pub fn export_chrome_trace(rec: &SpanRecorder) -> String {
+    let tracks = rec.tracks();
+    let mut events: Vec<(u64, String)> = Vec::new();
+    events.push((
+        0,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"ts\":0,\
+         \"args\":{\"name\":\"mcgc\"}}"
+            .to_string(),
+    ));
+    for t in &tracks {
+        let mut m = String::new();
+        m.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        m.push_str(&(t.id.0 as u32 + 1).to_string());
+        m.push_str(",\"ts\":0,\"args\":{\"name\":\"");
+        push_escaped(&mut m, &t.name);
+        m.push_str("\"}}");
+        events.push((0, m));
+    }
+    for t in &tracks {
+        track_events(t, &mut events);
+    }
+    for p in rec.counter_points() {
+        if !p.value.is_finite() {
+            continue; // JSON has no NaN/Infinity literals
+        }
+        let mut c = String::new();
+        c.push_str("{\"name\":\"");
+        push_escaped(&mut c, &p.name);
+        c.push_str("\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":");
+        c.push_str(&ts_us(p.ts_ns));
+        c.push_str(",\"args\":{\"value\":");
+        c.push_str(&format!("{:.6}", p.value));
+        c.push_str("}}");
+        events.push((p.ts_ns, c));
+    }
+    // Stable: equal timestamps keep their per-track emission order, so
+    // same-instant B/E pairs still bracket correctly.
+    events.sort_by_key(|(ts, _)| *ts);
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, (_, e)) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser + trace validator
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (just enough for trace validation; the workspace
+/// stays dependency-free).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("JSON error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u hex"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u hex"))?;
+                            self.pos += 4;
+                            // Lone surrogates render as the replacement
+                            // character; the exporter never emits them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Take the whole run of plain characters up to the
+                    // next quote or escape in one go — validating only
+                    // the run keeps parsing linear in document size.
+                    self.pos -= 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => self.string().map(Json::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected , or ]")),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let v = self.value()?;
+                    fields.push((key, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(self.err("expected , or }")),
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// What a validated trace contains.
+#[derive(Debug, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events of any phase.
+    pub events: usize,
+    /// Matched `"B"`/`"E"` span pairs.
+    pub spans: usize,
+    /// `"C"` counter events.
+    pub counters: usize,
+    /// Distinct tids that carried at least one span.
+    pub span_tracks: usize,
+}
+
+/// Validates `text` against the Chrome trace-event schema subset the
+/// exporter emits: a JSON object with a `traceEvents` array, every event
+/// an object with a string `ph`, timestamps globally non-decreasing, and
+/// per-tid `"B"`/`"E"` events matching like brackets (same names, no
+/// unclosed or stray ends).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut stats = TraceStats {
+        events: events.len(),
+        spans: 0,
+        counters: 0,
+        span_tracks: 0,
+    };
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    let mut span_tids: std::collections::BTreeSet<u64> = Default::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing ph"))?;
+        let ts = ev.get("ts").and_then(Json::as_num).unwrap_or(0.0);
+        if ts < last_ts {
+            return Err(format!("event {i}: ts {ts} < previous {last_ts}"));
+        }
+        last_ts = ts;
+        let tid = ev.get("tid").and_then(Json::as_num).unwrap_or(0.0) as u64;
+        let name = ev.get("name").and_then(Json::as_str);
+        match ph {
+            "B" => {
+                let name = name.ok_or(format!("event {i}: B without name"))?;
+                stacks.entry(tid).or_default().push(name.to_string());
+                span_tids.insert(tid);
+            }
+            "E" => {
+                let open = stacks
+                    .get_mut(&tid)
+                    .and_then(Vec::pop)
+                    .ok_or(format!("event {i}: E with no open B on tid {tid}"))?;
+                if let Some(n) = name {
+                    if n != open {
+                        return Err(format!(
+                            "event {i}: E name {n:?} closes B name {open:?} on tid {tid}"
+                        ));
+                    }
+                }
+                stats.spans += 1;
+            }
+            "C" => stats.counters += 1,
+            "M" => {}
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} unclosed B events {stack:?}",
+                stack.len()
+            ));
+        }
+    }
+    stats.span_tracks = span_tids.len();
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------
+// Pause postmortem
+// ---------------------------------------------------------------------
+
+/// One gang worker's share of a pause phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerCut {
+    /// Track (thread) name.
+    pub track: String,
+    /// Time inside [`SpanKind::GangJob`] spans overlapping the phase.
+    pub busy_ns: u64,
+    /// Phase wall time the worker was *not* inside a job (barrier idle,
+    /// dispatch latency, claim starvation).
+    pub idle_ns: u64,
+    /// Items claimed (sum of job-span payloads).
+    pub claimed: u64,
+}
+
+/// One pause phase's attribution (all spans of the kind, aggregated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCut {
+    pub kind: SpanKind,
+    /// Summed wall time of the phase spans.
+    pub wall_ns: u64,
+    /// Per-worker busy/idle split (empty for serial phases).
+    pub workers: Vec<WorkerCut>,
+    /// max/mean busy time across participating workers (1.0 = perfectly
+    /// balanced; only meaningful with ≥ 2 participants).
+    pub imbalance: f64,
+}
+
+/// The automated attribution report for one stop-the-world pause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postmortem {
+    pub cycle: u32,
+    /// Pause window in recorder time.
+    pub begin_ns: u64,
+    pub wall_ns: u64,
+    /// Phase cuts in [`SpanKind::PAUSE_PHASES`] order (phases that never
+    /// ran are omitted).
+    pub phases: Vec<PhaseCut>,
+    /// Pause wall time covered by top-level phase spans.
+    pub attributed_ns: u64,
+    /// `attributed_ns / wall_ns` (the ≥ 0.95 acceptance criterion).
+    pub coverage: f64,
+    /// The phase with the largest wall share, if any.
+    pub worst_phase: Option<SpanKind>,
+    /// The largest per-phase imbalance ratio.
+    pub worst_imbalance: f64,
+    /// Leader time spent waiting at gang completion barriers.
+    pub barrier_wait_ns: u64,
+}
+
+fn phase_cut(kind: SpanKind, windows: &[&Span], tracks: &[TrackSnapshot]) -> PhaseCut {
+    let wall_ns: u64 = windows.iter().map(|s| s.duration_ns()).sum();
+    let mut workers: Vec<WorkerCut> = Vec::new();
+    for t in tracks {
+        let mut busy = 0u64;
+        let mut claimed = 0u64;
+        let mut jobs = 0usize;
+        for s in t.spans.iter().filter(|s| s.kind == SpanKind::GangJob) {
+            for w in windows {
+                let ov = s.overlap_ns(w.begin_ns, w.end_ns);
+                if ov > 0 {
+                    busy += ov;
+                    claimed += s.arg;
+                    jobs += 1;
+                }
+            }
+        }
+        if jobs > 0 {
+            workers.push(WorkerCut {
+                track: t.name.clone(),
+                busy_ns: busy,
+                idle_ns: wall_ns.saturating_sub(busy),
+                claimed,
+            });
+        }
+    }
+    let imbalance = if workers.len() >= 2 {
+        let max = workers.iter().map(|w| w.busy_ns).max().unwrap_or(0) as f64;
+        let mean = workers.iter().map(|w| w.busy_ns).sum::<u64>() as f64 / workers.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    } else {
+        1.0
+    };
+    PhaseCut {
+        kind,
+        wall_ns,
+        workers,
+        imbalance,
+    }
+}
+
+/// Folds the recorder's spans into one [`Postmortem`] per recorded
+/// pause, oldest first.
+pub fn pause_postmortems(rec: &SpanRecorder) -> Vec<Postmortem> {
+    let tracks = rec.tracks();
+    let mut pauses: Vec<Span> = tracks
+        .iter()
+        .flat_map(|t| t.spans.iter())
+        .filter(|s| s.kind == SpanKind::Pause)
+        .copied()
+        .collect();
+    pauses.sort_by_key(|s| s.begin_ns);
+    pauses
+        .iter()
+        .map(|p| {
+            let in_window =
+                |s: &&Span| s.cycle == p.cycle && s.begin_ns >= p.begin_ns && s.begin_ns < p.end_ns;
+            let mut phases = Vec::new();
+            let mut attributed = 0u64;
+            for kind in SpanKind::PAUSE_PHASES {
+                let windows: Vec<&Span> = tracks
+                    .iter()
+                    .flat_map(|t| t.spans.iter())
+                    .filter(|s| s.kind == kind)
+                    .filter(in_window)
+                    .collect();
+                if windows.is_empty() {
+                    continue;
+                }
+                attributed += windows
+                    .iter()
+                    .map(|s| s.overlap_ns(p.begin_ns, p.end_ns))
+                    .sum::<u64>();
+                phases.push(phase_cut(kind, &windows, &tracks));
+            }
+            let barrier_wait_ns = tracks
+                .iter()
+                .flat_map(|t| t.spans.iter())
+                .filter(|s| s.kind == SpanKind::BarrierWait)
+                .filter(in_window)
+                .map(Span::duration_ns)
+                .sum();
+            let wall_ns = p.duration_ns();
+            Postmortem {
+                cycle: p.cycle,
+                begin_ns: p.begin_ns,
+                wall_ns,
+                attributed_ns: attributed,
+                coverage: if wall_ns > 0 {
+                    attributed as f64 / wall_ns as f64
+                } else {
+                    0.0
+                },
+                worst_phase: phases.iter().max_by_key(|c| c.wall_ns).map(|c| c.kind),
+                worst_imbalance: phases.iter().map(|c| c.imbalance).fold(1.0, f64::max),
+                phases,
+                barrier_wait_ns,
+            }
+        })
+        .collect()
+}
+
+/// The postmortem for the longest recorded pause.
+pub fn worst_pause_postmortem(rec: &SpanRecorder) -> Option<Postmortem> {
+    pause_postmortems(rec).into_iter().max_by_key(|p| p.wall_ns)
+}
+
+impl Postmortem {
+    /// A human-readable report (the `gc_trace` example prints this).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "pause postmortem: cycle {}, wall {:.3} ms, {:.1}% attributed to {} phases, \
+             barrier wait {:.3} ms",
+            self.cycle,
+            ms(self.wall_ns),
+            self.coverage * 100.0,
+            self.phases.len(),
+            ms(self.barrier_wait_ns),
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:<16} {:>10} {:>7}  {:>8} {:>9}",
+            "phase", "wall_ms", "share", "workers", "max/avg"
+        )
+        .unwrap();
+        for c in &self.phases {
+            let share = if self.wall_ns > 0 {
+                c.wall_ns as f64 / self.wall_ns as f64 * 100.0
+            } else {
+                0.0
+            };
+            let (nworkers, imb) = if c.workers.is_empty() {
+                ("-".to_string(), "-".to_string())
+            } else {
+                (c.workers.len().to_string(), format!("{:.2}", c.imbalance))
+            };
+            writeln!(
+                out,
+                "  {:<16} {:>10.3} {:>6.1}%  {:>8} {:>9}",
+                c.kind.name(),
+                ms(c.wall_ns),
+                share,
+                nworkers,
+                imb,
+            )
+            .unwrap();
+        }
+        if let Some(worst) = self.worst_phase {
+            if let Some(c) = self.phases.iter().find(|c| c.kind == worst) {
+                if !c.workers.is_empty() {
+                    writeln!(out, "  slowest phase {} per worker:", worst.name()).unwrap();
+                    for w in &c.workers {
+                        writeln!(
+                            out,
+                            "    {:<14} busy {:>8.3} ms, idle {:>8.3} ms, {} claimed",
+                            w.track,
+                            ms(w.busy_ns),
+                            ms(w.idle_ns),
+                            w.claimed,
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> SpanRecorder {
+        let r = SpanRecorder::new(64);
+        let coord = r.named_track("gc coordinator").unwrap();
+        let w0 = r.named_track("mcgc-gang-0").unwrap();
+        let w1 = r.named_track("mcgc-gang-1").unwrap();
+        r.set_cycle(3);
+        // A 1000 ns pause: cards 0..400, drain 400..900, account 900..1000.
+        r.record_span(coord, SpanKind::Pause, 0, 1000, 0);
+        r.record_span(coord, SpanKind::PauseCards, 0, 400, 12);
+        r.record_span(coord, SpanKind::PauseDrain, 400, 900, 1);
+        r.record_span(coord, SpanKind::PauseAccount, 900, 1000, 3);
+        // Worker 0 does 390 of the 400 ns cards phase; worker 1 only 130:
+        // imbalance = 390 / ((390 + 130) / 2) = 1.5.
+        r.record_span(w0, SpanKind::GangJob, 5, 395, 64);
+        r.record_span(w1, SpanKind::GangJob, 10, 140, 16);
+        // Both drain fully (balanced).
+        r.record_span(w0, SpanKind::GangJob, 400, 900, 10);
+        r.record_span(w1, SpanKind::GangJob, 400, 900, 10);
+        r.record_span(coord, SpanKind::BarrierWait, 395, 400, 0);
+        r
+    }
+
+    #[test]
+    fn golden_chrome_trace_export() {
+        let r = SpanRecorder::new(64);
+        let t = r.named_track("gc coordinator").unwrap();
+        r.set_cycle(1);
+        r.record_span(t, SpanKind::Pause, 1000, 5000, 2);
+        r.record_span(t, SpanKind::PauseCards, 1000, 3000, 8);
+        r.record_counter_at(5000, "heap_occupancy", 0.5);
+        let json = export_chrome_trace(&r);
+        // Golden: pins the exact serialization (field order, ts format,
+        // nesting) against the Chrome trace-event schema.
+        let want = "{\"traceEvents\":[\n\
+            {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"ts\":0,\"args\":{\"name\":\"mcgc\"}},\n\
+            {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"ts\":0,\"args\":{\"name\":\"gc coordinator\"}},\n\
+            {\"name\":\"gc.pause\",\"cat\":\"gc\",\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":1.000,\"args\":{\"cycle\":1,\"arg\":2}},\n\
+            {\"name\":\"pause.cards\",\"cat\":\"gc\",\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":1.000,\"args\":{\"cycle\":1,\"arg\":8}},\n\
+            {\"name\":\"pause.cards\",\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":3.000},\n\
+            {\"name\":\"gc.pause\",\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":5.000},\n\
+            {\"name\":\"heap_occupancy\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":5.000,\"args\":{\"value\":0.500000}}\n\
+            ]}\n";
+        assert_eq!(json, want);
+        let stats = validate_chrome_trace(&json).expect("golden trace validates");
+        assert_eq!(
+            stats,
+            TraceStats {
+                events: 7,
+                spans: 2,
+                counters: 1,
+                span_tracks: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        // Stray E.
+        let stray = r#"{"traceEvents":[{"name":"x","ph":"E","tid":1,"ts":1}]}"#;
+        assert!(validate_chrome_trace(stray)
+            .unwrap_err()
+            .contains("no open B"));
+        // Unclosed B.
+        let unclosed = r#"{"traceEvents":[{"name":"x","ph":"B","tid":1,"ts":1}]}"#;
+        assert!(validate_chrome_trace(unclosed)
+            .unwrap_err()
+            .contains("unclosed"));
+        // Unsorted timestamps.
+        let unsorted = r#"{"traceEvents":[
+            {"name":"x","ph":"B","tid":1,"ts":5},
+            {"name":"x","ph":"E","tid":1,"ts":4}]}"#;
+        assert!(validate_chrome_trace(unsorted).unwrap_err().contains("ts"));
+        // Mismatched names.
+        let crossed = r#"{"traceEvents":[
+            {"name":"x","ph":"B","tid":1,"ts":1},
+            {"name":"y","ph":"E","tid":1,"ts":2}]}"#;
+        assert!(validate_chrome_trace(crossed)
+            .unwrap_err()
+            .contains("closes"));
+    }
+
+    #[test]
+    fn exporter_interleaves_tracks_sorted_by_ts() {
+        let r = SpanRecorder::new(64);
+        let a = r.named_track("a").unwrap();
+        let b = r.named_track("b").unwrap();
+        for i in 0..20u64 {
+            r.record_span(a, SpanKind::GangJob, i * 100, i * 100 + 40, i);
+            r.record_span(b, SpanKind::GangJob, i * 100 + 50, i * 100 + 90, i);
+        }
+        let stats = validate_chrome_trace(&export_chrome_trace(&r)).expect("valid");
+        assert_eq!(stats.spans, 40);
+        assert_eq!(stats.span_tracks, 2);
+    }
+
+    #[test]
+    fn postmortem_attributes_known_imbalance() {
+        let r = synthetic();
+        let pms = pause_postmortems(&r);
+        assert_eq!(pms.len(), 1);
+        let pm = &pms[0];
+        assert_eq!(pm.cycle, 3);
+        assert_eq!(pm.wall_ns, 1000);
+        // cards 400 + drain 500 + account 100 = the whole pause.
+        assert_eq!(pm.attributed_ns, 1000);
+        assert!((pm.coverage - 1.0).abs() < 1e-12);
+        assert_eq!(pm.worst_phase, Some(SpanKind::PauseDrain));
+        let cards = pm
+            .phases
+            .iter()
+            .find(|c| c.kind == SpanKind::PauseCards)
+            .unwrap();
+        assert_eq!(cards.workers.len(), 2);
+        let w0 = cards
+            .workers
+            .iter()
+            .find(|w| w.track == "mcgc-gang-0")
+            .unwrap();
+        let w1 = cards
+            .workers
+            .iter()
+            .find(|w| w.track == "mcgc-gang-1")
+            .unwrap();
+        assert_eq!(w0.busy_ns, 390);
+        assert_eq!(w1.busy_ns, 130);
+        assert_eq!(w0.claimed, 64);
+        assert!((cards.imbalance - 1.5).abs() < 1e-12, "{}", cards.imbalance);
+        let drain = pm
+            .phases
+            .iter()
+            .find(|c| c.kind == SpanKind::PauseDrain)
+            .unwrap();
+        assert!((drain.imbalance - 1.0).abs() < 1e-12);
+        assert_eq!(pm.barrier_wait_ns, 5);
+        assert!((pm.worst_imbalance - 1.5).abs() < 1e-12);
+        // The report renders every phase and the per-worker split.
+        let text = pm.render();
+        assert!(text.contains("pause.cards"));
+        assert!(text.contains("mcgc-gang-1"));
+    }
+
+    #[test]
+    fn worst_pause_is_longest() {
+        let r = SpanRecorder::new(64);
+        let t = r.named_track("gc coordinator").unwrap();
+        r.set_cycle(1);
+        r.record_span(t, SpanKind::Pause, 0, 100, 0);
+        r.record_span(t, SpanKind::PauseSweep, 0, 100, 0);
+        r.set_cycle(2);
+        r.record_span(t, SpanKind::Pause, 200, 900, 0);
+        r.record_span(t, SpanKind::PauseSweep, 200, 900, 0);
+        let worst = worst_pause_postmortem(&r).unwrap();
+        assert_eq!(worst.cycle, 2);
+        assert_eq!(worst.wall_ns, 700);
+    }
+}

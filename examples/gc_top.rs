@@ -22,6 +22,23 @@ fn mb(v: f64) -> f64 {
     v / (1 << 20) as f64
 }
 
+/// Reads a metric by its current (prefixed) name, falling back to the
+/// pre-`gc_`/`heap_`/`gang_` convention alias so the display keeps
+/// working against registries serialized before the rename.
+fn metric(m: &BTreeMap<String, f64>, name: &str) -> f64 {
+    if let Some(v) = m.get(name) {
+        return *v;
+    }
+    for prefix in ["gc_", "heap_", "gang_"] {
+        if let Some(old) = name.strip_prefix(prefix) {
+            if let Some(v) = m.get(old) {
+                return *v;
+            }
+        }
+    }
+    0.0
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let secs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
@@ -56,7 +73,7 @@ fn main() {
         let pauses = tel.pause_histogram().snapshot();
         let mmu = tel.minimum_mutator_utilization(1_000_000_000);
         let m: BTreeMap<String, f64> = tel.registry().sample().into_iter().collect();
-        let g = |name: &str| m.get(name).copied().unwrap_or(0.0);
+        let g = |name: &str| metric(&m, name);
         println!(
             "{:<4} {:>5} {:>5}  {:>9.2} {:>9.2} {:>9.2}  {:>6.3}  {:>5.1} {:>5.2}  {:>7.1} {:>7.1} {:>7.1}  {:>5.1} {:>7.1} {:>7.1} {:>6.3}",
             sec,
@@ -70,14 +87,14 @@ fn main() {
             pauses.max as f64 / 1e6,
             mmu,
             g("heap_occupancy") * 100.0,
-            g("pool_occupancy") * 100.0,
+            g("gc_pool_occupancy") * 100.0,
             mb(g("gc_traced_mutator_bytes_total")),
             mb(g("gc_traced_background_bytes_total")),
             mb(g("gc_traced_stw_bytes_total")),
-            g("pacer_k0"),
-            mb(g("pacer_l_bytes")),
-            mb(g("pacer_m_bytes")),
-            g("pacer_b"),
+            g("gc_pacer_k0"),
+            mb(g("gc_pacer_l_bytes")),
+            mb(g("gc_pacer_m_bytes")),
+            g("gc_pacer_b"),
         );
     }
     let report = worker.join().expect("workload thread");
@@ -94,7 +111,7 @@ fn main() {
     // show the resilience machinery (escalation ladder, pause watchdog,
     // handshake timeout fallback, overflow backoff) actually engaging.
     let m: BTreeMap<String, f64> = gc.telemetry().registry().sample().into_iter().collect();
-    let g = |name: &str| m.get(name).copied().unwrap_or(0.0) as u64;
+    let g = |name: &str| metric(&m, name) as u64;
     println!("\n--- degraded-mode counters ---");
     println!(
         "alloc ladder : {} retries, rungs lazy/finish/stw {}/{}/{}, {} OOMs",
@@ -115,15 +132,17 @@ fn main() {
         g("gc_handshake_timeouts_total"),
     );
     println!(
-        "pool         : {} overflow backoffs",
-        g("pool_overflow_backoffs_total"),
+        "pool         : {} overflow backoffs, {} input / {} output packet claims",
+        g("gc_pool_overflow_backoffs_total"),
+        g("gc_pool_input_claims_total"),
+        g("gc_pool_output_claims_total"),
     );
     println!(
         "alloc shards : {} shards, {} contended locks, {} refill steals, {} wilderness refills",
-        g("alloc_shards"),
-        g("alloc_shard_lock_contention_total"),
-        g("alloc_refill_steals_total"),
-        g("alloc_wilderness_refills_total"),
+        g("heap_alloc_shards"),
+        g("heap_alloc_shard_lock_contention_total"),
+        g("heap_alloc_refill_steals_total"),
+        g("heap_alloc_wilderness_refills_total"),
     );
     // Pause-gang utilization: per-worker claimed task counts show the
     // atomic-cursor load balancing; stalls come from the chaos site.
@@ -145,6 +164,19 @@ fn main() {
         g("gc_pause_sweep_ns_total") / 1_000_000,
         g("gc_pause_clear_ns_total") / 1_000_000,
     );
+    println!(
+        "postmortem   : worst pause {:.2}ms, {:.0}% attributed, imbalance {:.2}, barrier wait {:.2}ms",
+        metric(&m, "gc_postmortem_pause_wall_ns") / 1e6,
+        metric(&m, "gc_postmortem_coverage") * 100.0,
+        metric(&m, "gc_postmortem_worst_imbalance"),
+        metric(&m, "gc_postmortem_barrier_wait_ns") / 1e6,
+    );
+    // The flight recorder's full attribution for the worst pause —
+    // per-phase wall shares and per-worker busy/idle splits.
+    if let Some(pm) = mcgc::telemetry::trace_export::worst_pause_postmortem(gc.telemetry().spans())
+    {
+        println!("\n--- worst-pause postmortem ---\n{}", pm.render());
+    }
 
     println!(
         "\n--- registry (text) ---\n{}",

@@ -1,0 +1,84 @@
+//! `gc_trace` — capture a flight-recorder trace from a short jbb run
+//! and write it as Chrome trace-event JSON (load `trace.json` at
+//! <https://ui.perfetto.dev> or `chrome://tracing`). The trace carries
+//! one track per gang worker, mutator, and background tracer, pause
+//! phases nested under their pause/cycle spans on the coordinator
+//! track, and heap-occupancy counter tracks snapshotted at each cycle
+//! boundary.
+//!
+//! ```text
+//! cargo run --release --example gc_trace [seconds] [heap_mb] [out.json]
+//! ```
+//!
+//! After the run the trace is validated against the trace-event schema
+//! (the process exits non-zero if the exporter ever emits a malformed
+//! or unbalanced trace), then the worst-pause postmortem and a final
+//! heap-occupancy inspection are printed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcgc::telemetry::{export_chrome_trace, pause_postmortems, validate_chrome_trace};
+use mcgc::workloads::jbb::{self, JbbOptions};
+use mcgc::{Gc, GcConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let secs: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let heap_mb: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(48);
+    let out_path = args.next().unwrap_or_else(|| "trace.json".to_string());
+    let heap = heap_mb << 20;
+
+    let gc = Gc::new(GcConfig::with_heap_bytes(heap));
+    let mut opts = JbbOptions::sized_for(heap, 2, 0.6);
+    opts.duration = Duration::from_secs(secs);
+
+    println!(
+        "gc_trace: jbb workload, {heap_mb} MB heap, {} warehouses, {secs}s -> {out_path}",
+        opts.warehouses
+    );
+    let report = {
+        let gc = Arc::clone(&gc);
+        std::thread::spawn(move || jbb::run(&gc, &opts))
+            .join()
+            .expect("workload thread")
+    };
+    gc.shutdown();
+    gc.telemetry_sample();
+
+    let rec = gc.telemetry().spans();
+    let trace = export_chrome_trace(rec);
+    let stats = match validate_chrome_trace(&trace) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("gc_trace: exported trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    std::fs::write(&out_path, &trace).expect("write trace");
+    println!(
+        "wrote {out_path}: {} events ({} spans on {} tracks, {} counter points), {} cycles, \
+         {:.0} tx/s",
+        stats.events,
+        stats.spans,
+        stats.span_tracks,
+        stats.counters,
+        report.log.cycles.len(),
+        report.throughput(),
+    );
+
+    // Worst pause = headline attribution; latest pause = full per-worker
+    // detail (early cycles' worker job spans may have aged out of the
+    // bounded per-thread rings on a long run, the coordinator phases
+    // never do).
+    let pms = pause_postmortems(rec);
+    match pms.iter().max_by_key(|p| p.wall_ns) {
+        Some(pm) => print!("\n--- worst pause ---\n{}", pm.render()),
+        None => println!("\nno pauses recorded (heap large enough to never collect?)"),
+    }
+    if let Some(last) = pms.last() {
+        print!("\n--- latest pause ---\n{}", last.render());
+    }
+    println!("\n--- final heap inspection ---");
+    print!("{}", mcgc::heap::inspect(gc.heap()).render());
+}

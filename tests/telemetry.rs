@@ -174,8 +174,8 @@ fn sampling_refreshes_gauges_and_exporters_render() {
     let sample: BTreeMap<String, f64> = gc.telemetry().registry().sample().into_iter().collect();
     assert!(sample["gc_cycles_total"] >= 2.0);
     assert!(sample["gc_pauses_total"] >= 2.0);
-    assert!(sample["pacer_k0"] > 0.0);
-    assert!(sample["pacer_kickoff_threshold_bytes"] > 0.0);
+    assert!(sample["gc_pacer_k0"] > 0.0);
+    assert!(sample["gc_pacer_kickoff_threshold_bytes"] > 0.0);
     assert!(sample["heap_occupancy"] > 0.0 && sample["heap_occupancy"] <= 1.0);
     // Which role the traced bytes land on is schedule-dependent (the
     // background tracer is woken at kickoff and can do all of it on a
@@ -185,10 +185,10 @@ fn sampling_refreshes_gauges_and_exporters_render() {
             || sample["gc_traced_mutator_bytes_total"] > 0.0
             || sample["gc_traced_background_bytes_total"] > 0.0
     );
-    assert!(sample.contains_key("pool_occupancy"));
+    assert!(sample.contains_key("gc_pool_occupancy"));
     let text = gc.telemetry().registry().render_text();
     assert!(text.contains("gc_cycles_total"));
-    assert!(text.contains("pacer_k0"));
+    assert!(text.contains("gc_pacer_k0"));
     let json = gc.telemetry().registry().render_json();
     assert!(json.starts_with('{') && json.ends_with('}'));
     assert!(json.contains("\"gc_cycles_total\":"));
