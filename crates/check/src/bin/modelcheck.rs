@@ -1,10 +1,21 @@
 //! Model-checker smoke runner for CI: explores the faithful protocols
 //! (must pass exhaustively) and every mutation (must be caught), within
-//! a bounded state count. Exits nonzero on any unexpected outcome.
+//! a bounded state count. Exits nonzero on any unexpected outcome — an
+//! `Inconclusive` (budget exhausted) is always unexpected, so a bounded
+//! run can never masquerade as a pass.
 //!
-//! Usage: `modelcheck [--max-states N]`
+//! Usage: `modelcheck [--max-states N] [--report PATH]`
+//!
+//! The state budget may also be set with the `MCGC_MODELCHECK_BUDGET`
+//! environment variable (the CLI flag wins); CI uses it to keep the
+//! full 5-model × mutation matrix inside a fixed time budget, and
+//! uploads the `--report` file as an artifact.
 
-use mcgc_check::{BarrierModel, BarrierMutation, Explorer, Outcome, PoolModel, PoolMutation};
+use mcgc_check::{
+    BarrierModel, BarrierMutation, Explorer, GangModel, GangMutation, Outcome, PoolModel,
+    PoolMutation, SeqlockModel, SeqlockMutation, ShardModel, ShardMutation,
+};
+use std::io::Write as _;
 
 struct Case {
     name: &'static str,
@@ -28,24 +39,33 @@ fn barrier_case(name: &'static str, mutation: BarrierMutation, expect_violation:
     }
 }
 
-fn main() {
-    let mut max_states = Explorer::default().max_states;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--max-states" => {
-                let v = args.next().expect("--max-states needs a value");
-                max_states = v.parse().expect("--max-states value must be a number");
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
-        }
+fn gang_case(name: &'static str, model: GangModel, expect_violation: bool) -> Case {
+    Case {
+        name,
+        expect_violation,
+        run: Box::new(move |e| e.run(&model)),
     }
-    let explorer = Explorer::new(max_states);
+}
 
-    let cases = vec![
+fn seqlock_case(name: &'static str, mutation: SeqlockMutation, expect_violation: bool) -> Case {
+    Case {
+        name,
+        expect_violation,
+        run: Box::new(move |e| e.run(&SeqlockModel { mutation })),
+    }
+}
+
+fn shard_case(name: &'static str, model: ShardModel, expect_violation: bool) -> Case {
+    Case {
+        name,
+        expect_violation,
+        run: Box::new(move |e| e.run(&model)),
+    }
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        // §4 packet pool (PR 2).
         pool_case(
             "pool/produce-consume (faithful)",
             PoolModel::produce_consume(PoolMutation::None),
@@ -71,6 +91,7 @@ fn main() {
             PoolModel::produce_consume(PoolMutation::CounterBeforeOp),
             true,
         ),
+        // §2/§5.3 write barrier + card snapshot (PR 2).
         barrier_case("barrier/marking (faithful)", BarrierMutation::None, false),
         barrier_case(
             "barrier/marking -card-mark (write barrier deleted)",
@@ -82,8 +103,160 @@ fn main() {
             BarrierMutation::SkipHandshake,
             true,
         ),
-    ];
+        // STW worker gang (PR 5).
+        gang_case(
+            "gang/dispatch (faithful)",
+            GangModel::dispatch(GangMutation::None),
+            false,
+        ),
+        gang_case(
+            "gang/dispatch spurious-wakeups (faithful)",
+            GangModel::dispatch_spurious(GangMutation::None),
+            false,
+        ),
+        gang_case(
+            "gang/shutdown-race (faithful)",
+            GangModel::shutdown_race(GangMutation::None),
+            false,
+        ),
+        gang_case(
+            "gang/helper-panic (faithful: aborts, no strand)",
+            GangModel::helper_panic(GangMutation::None),
+            false,
+        ),
+        gang_case(
+            "gang/leader-panic (faithful: guard closes barrier)",
+            GangModel::leader_panic(GangMutation::None),
+            false,
+        ),
+        gang_case(
+            "gang/wait-is-if (predicate re-check deleted)",
+            GangModel::catching(GangMutation::WaitIsIf),
+            true,
+        ),
+        gang_case(
+            "gang/missed-notify (dispatch notify_all deleted)",
+            GangModel::catching(GangMutation::MissedNotify),
+            true,
+        ),
+        gang_case(
+            "gang/shutdown-before-epoch (the PR 5 review bug)",
+            GangModel::catching(GangMutation::ShutdownBeforeEpoch),
+            true,
+        ),
+        gang_case(
+            "gang/dispatch-ignores-shutdown (inline fallback deleted)",
+            GangModel::catching(GangMutation::DispatchIgnoresShutdown),
+            true,
+        ),
+        gang_case(
+            "gang/unwind-past-barrier (BarrierGuard deleted)",
+            GangModel::catching(GangMutation::UnwindPastBarrier),
+            true,
+        ),
+        gang_case(
+            "gang/panic-no-abort (helper abort contract deleted)",
+            GangModel::catching(GangMutation::PanicNoAbort),
+            true,
+        ),
+        gang_case(
+            "gang/split-claim (cursor fetch_add split)",
+            GangModel::catching(GangMutation::SplitClaim),
+            true,
+        ),
+        // Flight-recorder seqlock slot (PR 6).
+        seqlock_case("seqlock/slot (faithful)", SeqlockMutation::None, false),
+        seqlock_case(
+            "seqlock/-begin-fence (the protocol PR 6 shipped)",
+            SeqlockMutation::SkipBeginFence,
+            true,
+        ),
+        seqlock_case(
+            "seqlock/-complete-release (even store unordered)",
+            SeqlockMutation::SkipCompletePublish,
+            true,
+        ),
+        seqlock_case(
+            "seqlock/-revalidation (reader second check deleted)",
+            SeqlockMutation::SkipSecondCheck,
+            true,
+        ),
+        seqlock_case(
+            "seqlock/ticket-reuse (cursor never advances)",
+            SeqlockMutation::TicketReuse,
+            true,
+        ),
+        // Sharded free-list refill (PR 4).
+        shard_case(
+            "shard/refill (faithful)",
+            ShardModel::main(ShardMutation::None),
+            false,
+        ),
+        shard_case(
+            "shard/contend (faithful)",
+            ShardModel::contend(ShardMutation::None),
+            false,
+        ),
+        shard_case(
+            "shard/count-after-push (free order reversed)",
+            ShardModel::catching(ShardMutation::FreeCountsAfterPush),
+            true,
+        ),
+        shard_case(
+            "shard/mask-clear-outside-lock",
+            ShardModel::catching(ShardMutation::MaskClearOutsideLock),
+            true,
+        ),
+        shard_case(
+            "shard/no-mask-set-on-free",
+            ShardModel::catching(ShardMutation::SkipMaskSetOnFree),
+            true,
+        ),
+        shard_case(
+            "shard/no-fallback-sweep (spurious OOM)",
+            ShardModel::catching(ShardMutation::SkipFallbackSweep),
+            true,
+        ),
+        shard_case(
+            "shard/racy-take (lock deleted)",
+            ShardModel::catching(ShardMutation::RacyTake),
+            true,
+        ),
+    ]
+}
 
+fn main() {
+    let mut max_states = Explorer::default().max_states;
+    if let Ok(v) = std::env::var("MCGC_MODELCHECK_BUDGET") {
+        max_states = v
+            .parse()
+            .expect("MCGC_MODELCHECK_BUDGET must be a state count");
+    }
+    let mut report_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-states" => {
+                let v = args.next().expect("--max-states needs a value");
+                max_states = v.parse().expect("--max-states value must be a number");
+            }
+            "--report" => {
+                report_path = Some(args.next().expect("--report needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let explorer = Explorer::new(max_states);
+
+    let cases = cases();
+    let mut report = String::new();
+    report.push_str(&format!(
+        "modelcheck report: {} cases, budget {max_states} states/case\n\n",
+        cases.len()
+    ));
     let mut failures = 0;
     for case in &cases {
         let start = std::time::Instant::now();
@@ -98,19 +271,35 @@ fn main() {
                 case.expect_violation,
                 format!("violation after {states} states: {message}"),
             ),
-            Outcome::Bounded { states } => {
-                (false, format!("INCONCLUSIVE: hit bound at {states} states"))
-            }
+            Outcome::Inconclusive { states, budget } => (
+                false,
+                format!("INCONCLUSIVE: state budget {budget} exhausted at {states} states"),
+            ),
         };
         let verdict = if ok { "ok " } else { "FAIL" };
-        println!("{verdict} {:<55} {detail} [{elapsed:.2?}]", case.name);
+        let line = format!("{verdict} {:<58} {detail} [{elapsed:.2?}]", case.name);
+        println!("{line}");
+        report.push_str(&line);
+        report.push('\n');
         if !ok {
             failures += 1;
         }
     }
+    let summary = if failures > 0 {
+        format!("{failures} case(s) had unexpected outcomes")
+    } else {
+        format!("all {} cases behaved as expected", cases.len())
+    };
+    report.push_str(&format!("\n{summary}\n"));
+    if let Some(path) = report_path {
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create report {path}: {e}"));
+        f.write_all(report.as_bytes()).expect("write report");
+        println!("report written to {path}");
+    }
     if failures > 0 {
-        eprintln!("{failures} case(s) had unexpected outcomes");
+        eprintln!("{summary}");
         std::process::exit(1);
     }
-    println!("all {} cases behaved as expected", cases.len());
+    println!("{summary}");
 }

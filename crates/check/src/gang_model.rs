@@ -1,0 +1,782 @@
+//! Model of the PR 5 stop-the-world worker gang
+//! (`crates/core/src/gang.rs`): epoch-counter dispatch of a
+//! lifetime-erased job closure to parked helpers, a leader drop-guard
+//! that closes the phase barrier even on unwind, helper panic-abort,
+//! and the shutdown/dispatch race.
+//!
+//! The state machine mirrors `Gang::run` / `Gang::helper_loop` step for
+//! step, with mutex-protected critical sections collapsed into single
+//! atomic micro-steps (see [`crate::locks`]) and condvar waits modeled
+//! as real blocking via [`CvSet`]:
+//!
+//! * **dispatch** = lock; if shutdown already requested, run the phase
+//!   inline; else publish `{job, active = helpers, epoch + 1}` and
+//!   `notify_all(dispatch_cv)`;
+//! * **helper wait** = lock; `while epoch == seen` — checking the epoch
+//!   *before* shutdown so a pending dispatch is always honored — sleep
+//!   on `dispatch_cv`;
+//! * **work claiming** = the phase closure's atomic cursor: each
+//!   `fetch_add` claims one work item (one card stripe, root chunk,
+//!   sweep chunk…) in a single step;
+//! * **barrier** = the leader's `BarrierGuard`: `while active > 0`
+//!   sleep on `done_cv`, then retire the job — this runs on the unwind
+//!   path too, which is what makes the lifetime-erased closure sound;
+//! * **helper panic** = `std::process::abort()`, modeled as a terminal
+//!   `aborted` state that the finale accepts (the documented contract:
+//!   a helper that dies takes the process with it rather than stranding
+//!   the leader at the barrier forever).
+//!
+//! Ghost state carries the four safety properties from the PR 5 review:
+//!
+//! * `frames[round]` — whether the leader frame owning round `round`'s
+//!   closure is still alive; a claim against a dead frame is the
+//!   **dangling job closure** the lifetime erasure could produce;
+//! * `claims[round][item]` — how many times each work item was claimed;
+//!   `> 1` is a double-claim, and the finale demands every item of every
+//!   started round be claimed **exactly once**;
+//! * a helper stranded at the barrier, a shutdown that deadlocks a
+//!   pending dispatch, and a lost wakeup all surface as the explorer's
+//!   built-in deadlock detection (a sleeping thread has no successors).
+//!
+//! Every [`GangMutation`] re-introduces one bug this protocol shape
+//! exists to prevent — including the two real ones human review caught
+//! in PR 5 (`ShutdownBeforeEpoch`, `UnwindPastBarrier`).
+
+use crate::locks::CvSet;
+use crate::sched::Model;
+
+/// A single protocol change for mutation testing: each deletes one
+/// ordering rule, predicate re-check, notification, or unwind guard,
+/// and the checker must find the resulting bug.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GangMutation {
+    /// The faithful protocol.
+    None,
+    /// The helper waits under `if` instead of `while`: a spurious wakeup
+    /// sends it back to the claim loop without re-checking the epoch, so
+    /// it re-runs a phase it already finished (double-claim) or touches
+    /// a job whose frame is gone.
+    WaitIsIf,
+    /// Dispatch publishes the job without `notify_all`: with no spurious
+    /// wakeups to paper over the bug, every helper sleeps forever and
+    /// the leader deadlocks at the barrier.
+    MissedNotify,
+    /// The helper honors `shutdown` before checking for a newly
+    /// published epoch (the real PR 5 bug): it exits with a dispatch
+    /// pending, `active` never drains, and the leader is stranded at the
+    /// barrier.
+    ShutdownBeforeEpoch,
+    /// `Gang::run` skips the shutdown check and publishes a job after
+    /// the helpers have already exited: nobody decrements `active`, so
+    /// the barrier deadlocks (faithful code runs the phase inline).
+    DispatchIgnoresShutdown,
+    /// A leader panic unwinds past the `BarrierGuard` (the second real
+    /// PR 5 bug): the frame owning the lifetime-erased closure dies
+    /// while helpers are still claiming from it.
+    UnwindPastBarrier,
+    /// A helper panic unwinds out of `helper_loop` instead of aborting
+    /// the process: `active` is never decremented and the leader waits
+    /// at the barrier forever.
+    PanicNoAbort,
+    /// The claim cursor's `fetch_add` is split into a load and a store:
+    /// two workers read the same cursor value and the same work item is
+    /// claimed twice.
+    SplitClaim,
+}
+
+impl GangMutation {
+    /// Every mutation (excluding `None`), for the meta-test proving none
+    /// of them is vacuous.
+    pub const ALL: [GangMutation; 7] = [
+        GangMutation::WaitIsIf,
+        GangMutation::MissedNotify,
+        GangMutation::ShutdownBeforeEpoch,
+        GangMutation::DispatchIgnoresShutdown,
+        GangMutation::UnwindPastBarrier,
+        GangMutation::PanicNoAbort,
+        GangMutation::SplitClaim,
+    ];
+}
+
+// Leader program counters.
+const L_DISPATCH: u8 = 0;
+const L_RUN: u8 = 1;
+const L_BARRIER: u8 = 2;
+const L_SHUTDOWN: u8 = 3;
+const L_JOIN: u8 = 4;
+
+// Helper program counters.
+const H_WAIT: u8 = 0;
+const H_RUN: u8 = 1;
+const H_FINISH: u8 = 2;
+
+// Closer program counters.
+const C_SHUTDOWN: u8 = 0;
+const C_JOIN: u8 = 1;
+
+const NO_ROUND: u8 = u8::MAX;
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct GThread {
+    pc: u8,
+    /// Helper: last epoch seen. Leader: current round.
+    seen: u8,
+    /// Round whose job this thread is currently executing.
+    job_round: u8,
+    /// `SplitClaim`: cursor value loaded by the first half of the claim.
+    claim_reg: u8,
+    /// Mid-split-claim (the load happened, the store has not).
+    mid_claim: bool,
+    /// Woken from a condvar sleep at least once at the current wait site.
+    slept: bool,
+    /// This thread already took its one scripted panic.
+    panicked: bool,
+    /// Running a post-shutdown dispatch inline (no helpers, no barrier).
+    inline: bool,
+    done: bool,
+}
+
+impl GThread {
+    fn new() -> GThread {
+        GThread {
+            pc: 0,
+            seen: 0,
+            job_round: NO_ROUND,
+            claim_reg: 0,
+            mid_claim: false,
+            slept: false,
+            panicked: false,
+            inline: false,
+            done: false,
+        }
+    }
+}
+
+/// Full system state of the gang model.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GangState {
+    // GangState fields from gang.rs, all accessed under the gang mutex
+    // (each access below is one collapsed critical section).
+    epoch: u8,
+    job: Option<u8>,
+    active: u8,
+    shutdown: bool,
+    dispatch_cv: CvSet,
+    done_cv: CvSet,
+    /// The current round's claim cursor (an atomic in the phase closure).
+    cursor: u8,
+    /// Ghost: is round r's leader frame (owning the closure) alive?
+    frames: Vec<bool>,
+    /// Ghost: claim count per `round * items + item`.
+    claims: Vec<u8>,
+    /// Ghost: rounds dispatched or run inline so far.
+    rounds_started: u8,
+    /// Terminal: a helper panicked and the process aborted.
+    aborted: bool,
+    /// Ghost: first safety violation observed while stepping.
+    poison: Option<&'static str>,
+    threads: Vec<GThread>,
+}
+
+/// The gang protocol model for a fixed scenario.
+#[derive(Clone, Debug)]
+pub struct GangModel {
+    /// Parked helper threads (`stw_workers - 1`).
+    pub helpers: u8,
+    /// Phases the leader dispatches.
+    pub rounds: u8,
+    /// Work items per phase, claimed through the shared cursor.
+    pub items: u8,
+    /// Add a separate thread that requests shutdown concurrently with
+    /// the leader's dispatches (the `Drop`-vs-pause race).
+    pub closer: bool,
+    /// Script one leader panic mid-phase (exercises the `BarrierGuard`
+    /// unwind path).
+    pub leader_panics: bool,
+    /// Script one helper panic mid-phase (exercises the abort contract).
+    pub helper_panics: bool,
+    /// Model spurious condvar wakeups.
+    pub spurious: bool,
+    /// The protocol change under test.
+    pub mutation: GangMutation,
+}
+
+impl GangModel {
+    /// Two helpers, two dispatched phases of two items each, no spurious
+    /// wakeups: the bread-and-butter dispatch/claim/barrier cycle.
+    pub fn dispatch(mutation: GangMutation) -> GangModel {
+        GangModel {
+            helpers: 2,
+            rounds: 2,
+            items: 2,
+            closer: false,
+            leader_panics: false,
+            helper_panics: false,
+            spurious: false,
+            mutation,
+        }
+    }
+
+    /// One helper, two phases, spurious wakeups on: proves the waits
+    /// re-check their predicates.
+    pub fn dispatch_spurious(mutation: GangMutation) -> GangModel {
+        GangModel {
+            helpers: 1,
+            rounds: 2,
+            items: 2,
+            closer: false,
+            leader_panics: false,
+            helper_panics: false,
+            spurious: true,
+            mutation,
+        }
+    }
+
+    /// A closer thread races `shutdown` against one leader dispatch.
+    pub fn shutdown_race(mutation: GangMutation) -> GangModel {
+        GangModel {
+            helpers: 1,
+            rounds: 1,
+            items: 1,
+            closer: true,
+            leader_panics: false,
+            helper_panics: false,
+            spurious: false,
+            mutation,
+        }
+    }
+
+    /// A helper panics mid-phase: the faithful protocol aborts the
+    /// process instead of stranding the leader.
+    pub fn helper_panic(mutation: GangMutation) -> GangModel {
+        GangModel {
+            helpers: 1,
+            rounds: 1,
+            items: 2,
+            closer: false,
+            leader_panics: false,
+            helper_panics: true,
+            spurious: false,
+            mutation,
+        }
+    }
+
+    /// The leader panics mid-phase: the faithful `BarrierGuard` still
+    /// closes the barrier before the frame dies.
+    pub fn leader_panic(mutation: GangMutation) -> GangModel {
+        GangModel {
+            helpers: 1,
+            rounds: 1,
+            items: 2,
+            closer: false,
+            leader_panics: true,
+            helper_panics: false,
+            spurious: false,
+            mutation,
+        }
+    }
+
+    /// The scenario that catches `mutation` (used by the CLI and the
+    /// no-vacuous-mutations meta-test).
+    pub fn catching(mutation: GangMutation) -> GangModel {
+        match mutation {
+            GangMutation::None => GangModel::dispatch(mutation),
+            GangMutation::WaitIsIf => GangModel::dispatch_spurious(mutation),
+            GangMutation::MissedNotify => GangModel::dispatch(mutation),
+            GangMutation::ShutdownBeforeEpoch => GangModel::shutdown_race(mutation),
+            GangMutation::DispatchIgnoresShutdown => GangModel::shutdown_race(mutation),
+            GangMutation::UnwindPastBarrier => GangModel::leader_panic(mutation),
+            GangMutation::PanicNoAbort => GangModel::helper_panic(mutation),
+            GangMutation::SplitClaim => GangModel::dispatch(mutation),
+        }
+    }
+
+    fn nthreads(&self) -> usize {
+        1 + self.helpers as usize + usize::from(self.closer)
+    }
+
+    fn closer_tid(&self) -> usize {
+        1 + self.helpers as usize
+    }
+
+    /// One work-item claim through the phase cursor by `tid`, running
+    /// round `round`. Returns `false` when the cursor is exhausted.
+    fn claim(&self, n: &mut GangState, tid: usize, round: u8) -> bool {
+        if n.cursor >= self.items {
+            return false;
+        }
+        let item = n.cursor;
+        n.cursor += 1;
+        self.record_claim(n, round, item);
+        let _ = tid;
+        true
+    }
+
+    fn record_claim(&self, n: &mut GangState, round: u8, item: u8) {
+        if round == NO_ROUND {
+            n.poison = Some("claim with no job published");
+            return;
+        }
+        if !n.frames[round as usize] {
+            n.poison = Some("dangling job closure: claim against a dead leader frame");
+            return;
+        }
+        let slot = round as usize * self.items as usize + item as usize;
+        n.claims[slot] += 1;
+        if n.claims[slot] > 1 {
+            n.poison = Some("work item claimed twice in one phase");
+        }
+    }
+
+    /// The claim-loop steps shared by leader and helpers. Returns the
+    /// successor list; when the cursor is exhausted the thread moves to
+    /// `after_pc`.
+    fn step_run(&self, s: &GangState, tid: usize, after_pc: u8, can_panic: bool) -> Vec<GangState> {
+        let t = &s.threads[tid];
+        let mut out = Vec::new();
+        if self.mutation == GangMutation::SplitClaim && !t.mid_claim && s.cursor < self.items {
+            // First half of the split fetch_add: load the cursor.
+            let mut n = s.clone();
+            n.threads[tid].claim_reg = s.cursor;
+            n.threads[tid].mid_claim = true;
+            out.push(n);
+        } else if self.mutation == GangMutation::SplitClaim && t.mid_claim {
+            // Second half: store cursor + 1 and take the loaded item.
+            let mut n = s.clone();
+            n.threads[tid].mid_claim = false;
+            if t.claim_reg < self.items {
+                n.cursor = t.claim_reg + 1;
+                self.record_claim(&mut n, t.job_round, t.claim_reg);
+            }
+            out.push(n);
+        } else if self.mutation != GangMutation::SplitClaim {
+            let mut n = s.clone();
+            if !self.claim(&mut n, tid, t.job_round) {
+                n.threads[tid].pc = after_pc;
+            }
+            out.push(n);
+        } else {
+            // SplitClaim with the cursor exhausted: leave the loop.
+            let mut n = s.clone();
+            n.threads[tid].pc = after_pc;
+            out.push(n);
+        }
+        // Scripted panic while the phase is still in flight.
+        if can_panic && !t.panicked && s.cursor < self.items {
+            out.push(self.panic_step(s, tid));
+        }
+        out
+    }
+
+    fn panic_step(&self, s: &GangState, tid: usize) -> GangState {
+        let mut n = s.clone();
+        n.threads[tid].panicked = true;
+        n.threads[tid].mid_claim = false;
+        if tid == 0 {
+            match self.mutation {
+                GangMutation::UnwindPastBarrier => {
+                    // No BarrierGuard: the frame dies immediately and the
+                    // leader unwinds past the barrier and out of run().
+                    n.frames[n.threads[0].job_round as usize] = false;
+                    n.threads[0].pc = L_SHUTDOWN;
+                }
+                _ => {
+                    // Faithful: the guard's Drop still walks the barrier
+                    // before the frame is torn down.
+                    n.threads[0].pc = L_BARRIER;
+                }
+            }
+        } else {
+            match self.mutation {
+                GangMutation::PanicNoAbort => {
+                    // The catch_unwind/abort is gone: the helper thread
+                    // just dies, without decrementing `active`.
+                    n.threads[tid].done = true;
+                }
+                _ => {
+                    // Faithful: std::process::abort().
+                    n.aborted = true;
+                }
+            }
+        }
+        n
+    }
+
+    fn step_leader(&self, s: &GangState) -> Vec<GangState> {
+        let t = &s.threads[0];
+        match t.pc {
+            // lock; publish {job, active, epoch+1}; notify_all; unlock —
+            // or, if shutdown already came, run the phase inline.
+            L_DISPATCH => {
+                if t.seen >= self.rounds {
+                    let mut n = s.clone();
+                    if self.closer {
+                        n.threads[0].done = true; // the closer owns shutdown
+                    } else {
+                        n.threads[0].pc = L_SHUTDOWN;
+                    }
+                    return vec![n];
+                }
+                let mut n = s.clone();
+                let round = t.seen;
+                if s.shutdown && self.mutation != GangMutation::DispatchIgnoresShutdown {
+                    // Post-shutdown dispatch runs inline: no helpers to
+                    // rendezvous with, no barrier.
+                    n.frames[round as usize] = true;
+                    n.rounds_started += 1;
+                    n.cursor = 0;
+                    n.threads[0].job_round = round;
+                    n.threads[0].inline = true;
+                    n.threads[0].pc = L_RUN;
+                    return vec![n];
+                }
+                n.job = Some(round);
+                n.active = self.helpers;
+                n.epoch = n.epoch.wrapping_add(1);
+                n.cursor = 0;
+                n.frames[round as usize] = true;
+                n.rounds_started += 1;
+                n.threads[0].job_round = round;
+                n.threads[0].slept = false;
+                if self.mutation != GangMutation::MissedNotify {
+                    n.dispatch_cv.notify_all();
+                }
+                n.threads[0].pc = L_RUN;
+                vec![n]
+            }
+            // The leader runs the phase body alongside the helpers.
+            L_RUN => self.step_run(s, 0, L_BARRIER, self.leader_panics),
+            // BarrierGuard: lock; while active > 0 sleep(done_cv);
+            // job = None; unlock — then the frame dies.
+            L_BARRIER => {
+                if s.done_cv.is_blocked(0) {
+                    return vec![]; // asleep until notified
+                }
+                let mut n = s.clone();
+                if t.inline {
+                    // Inline phases have no barrier: just retire the frame.
+                    n.frames[t.job_round as usize] = false;
+                    n.threads[0].inline = false;
+                    n.threads[0].job_round = NO_ROUND;
+                    n.threads[0].seen += 1;
+                    n.threads[0].pc = L_DISPATCH;
+                    return vec![n];
+                }
+                if s.active > 0 {
+                    n.done_cv.sleep(0);
+                    n.threads[0].slept = true;
+                    return vec![n];
+                }
+                n.job = None;
+                n.frames[t.job_round as usize] = false;
+                n.threads[0].job_round = NO_ROUND;
+                n.threads[0].seen += 1;
+                n.threads[0].pc = if t.panicked { L_SHUTDOWN } else { L_DISPATCH };
+                vec![n]
+            }
+            // lock; shutdown = true; notify_all(dispatch_cv); unlock.
+            L_SHUTDOWN => {
+                let mut n = s.clone();
+                n.shutdown = true;
+                n.dispatch_cv.notify_all();
+                n.threads[0].pc = L_JOIN;
+                vec![n]
+            }
+            // JoinHandle::join on every helper.
+            L_JOIN => {
+                if (1..=self.helpers as usize).all(|h| s.threads[h].done) {
+                    let mut n = s.clone();
+                    n.threads[0].done = true;
+                    vec![n]
+                } else {
+                    vec![] // blocked in join
+                }
+            }
+            _ => unreachable!("leader pc"),
+        }
+    }
+
+    fn step_helper(&self, s: &GangState, tid: usize) -> Vec<GangState> {
+        let t = &s.threads[tid];
+        match t.pc {
+            // lock; while epoch == seen { if shutdown return; sleep };
+            // seen = epoch; job_round = job; unlock.
+            H_WAIT => {
+                if s.dispatch_cv.is_blocked(tid) {
+                    return vec![]; // asleep until notified/spurious
+                }
+                let mut n = s.clone();
+                if self.mutation == GangMutation::WaitIsIf && t.slept {
+                    // Woke up and proceeds without re-checking the epoch.
+                    n.threads[tid].slept = false;
+                    match s.job {
+                        Some(r) => {
+                            n.threads[tid].seen = s.epoch;
+                            n.threads[tid].job_round = r;
+                            n.threads[tid].pc = H_RUN;
+                        }
+                        None => {
+                            n.poison = Some("helper ran a vanished job after an unchecked wakeup");
+                        }
+                    }
+                    return vec![n];
+                }
+                if self.mutation == GangMutation::ShutdownBeforeEpoch && s.shutdown {
+                    // Exits even though a dispatched epoch is pending.
+                    n.threads[tid].done = true;
+                    return vec![n];
+                }
+                if s.epoch != t.seen {
+                    n.threads[tid].seen = s.epoch;
+                    n.threads[tid].slept = false;
+                    match s.job {
+                        Some(r) => {
+                            n.threads[tid].job_round = r;
+                            n.threads[tid].pc = H_RUN;
+                        }
+                        None => {
+                            n.poison = Some("epoch advanced with no job published");
+                        }
+                    }
+                    return vec![n];
+                }
+                if s.shutdown {
+                    n.threads[tid].done = true;
+                    return vec![n];
+                }
+                n.dispatch_cv.sleep(tid);
+                n.threads[tid].slept = true;
+                vec![n]
+            }
+            // The phase body (catch_unwind around it; panic => abort).
+            H_RUN => self.step_run(s, tid, H_FINISH, self.helper_panics),
+            // lock; active -= 1; if active == 0 notify_all(done_cv);
+            // unlock.
+            H_FINISH => {
+                let mut n = s.clone();
+                n.active = n.active.saturating_sub(1);
+                if n.active == 0 {
+                    n.done_cv.notify_all();
+                }
+                n.threads[tid].job_round = NO_ROUND;
+                n.threads[tid].pc = H_WAIT;
+                vec![n]
+            }
+            _ => unreachable!("helper pc"),
+        }
+    }
+
+    fn step_closer(&self, s: &GangState) -> Vec<GangState> {
+        let tid = self.closer_tid();
+        match s.threads[tid].pc {
+            C_SHUTDOWN => {
+                let mut n = s.clone();
+                n.shutdown = true;
+                n.dispatch_cv.notify_all();
+                n.threads[tid].pc = C_JOIN;
+                vec![n]
+            }
+            C_JOIN => {
+                if (1..=self.helpers as usize).all(|h| s.threads[h].done) {
+                    let mut n = s.clone();
+                    n.threads[tid].done = true;
+                    vec![n]
+                } else {
+                    vec![]
+                }
+            }
+            _ => unreachable!("closer pc"),
+        }
+    }
+}
+
+impl Model for GangModel {
+    type State = GangState;
+
+    fn initial(&self) -> GangState {
+        GangState {
+            epoch: 0,
+            job: None,
+            active: 0,
+            shutdown: false,
+            dispatch_cv: CvSet::default(),
+            done_cv: CvSet::default(),
+            cursor: 0,
+            frames: vec![false; self.rounds as usize],
+            claims: vec![0; self.rounds as usize * self.items as usize],
+            rounds_started: 0,
+            aborted: false,
+            poison: None,
+            threads: (0..self.nthreads()).map(|_| GThread::new()).collect(),
+        }
+    }
+
+    fn successors(&self, s: &GangState) -> Vec<GangState> {
+        if s.aborted {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        for tid in 0..self.nthreads() {
+            if s.threads[tid].done {
+                continue;
+            }
+            let steps = if tid == 0 {
+                self.step_leader(s)
+            } else if tid <= self.helpers as usize {
+                self.step_helper(s, tid)
+            } else {
+                self.step_closer(s)
+            };
+            out.extend(steps);
+        }
+        if self.spurious {
+            let mut sleepy = s.dispatch_cv.sleepers();
+            sleepy.extend(s.done_cv.sleepers());
+            for tid in sleepy {
+                let mut n = s.clone();
+                n.dispatch_cv.wake(tid);
+                n.done_cv.wake(tid);
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    fn is_final(&self, s: &GangState) -> bool {
+        s.aborted || s.threads.iter().all(|t| t.done)
+    }
+
+    fn invariant(&self, s: &GangState) -> Result<(), String> {
+        match s.poison {
+            Some(msg) => Err(msg.to_string()),
+            None => Ok(()),
+        }
+    }
+
+    fn finale(&self, s: &GangState) -> Result<(), String> {
+        if s.aborted {
+            // The documented helper-panic contract: the process dies
+            // instead of deadlocking. Nothing else to check.
+            return Ok(());
+        }
+        if s.active != 0 {
+            return Err(format!("gang wound down with active = {}", s.active));
+        }
+        if s.job.is_some() {
+            return Err("gang wound down with a job still published".to_string());
+        }
+        if let Some(alive) = s.frames.iter().position(|&f| f) {
+            return Err(format!("round {alive}'s frame still alive at exit"));
+        }
+        for round in 0..s.rounds_started {
+            for item in 0..self.items {
+                let slot = round as usize * self.items as usize + item as usize;
+                if s.claims[slot] != 1 {
+                    return Err(format!(
+                        "round {round} item {item} claimed {} times (want exactly 1)",
+                        s.claims[slot]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Explorer, Outcome};
+
+    fn run(m: &GangModel) -> Outcome {
+        Explorer::default().run(m)
+    }
+
+    #[test]
+    fn faithful_dispatch_passes_exhaustively() {
+        let out = run(&GangModel::dispatch(GangMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_dispatch_survives_spurious_wakeups() {
+        let out = run(&GangModel::dispatch_spurious(GangMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_shutdown_race_passes() {
+        let out = run(&GangModel::shutdown_race(GangMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_helper_panic_aborts_not_deadlocks() {
+        let out = run(&GangModel::helper_panic(GangMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_leader_panic_still_closes_barrier() {
+        let out = run(&GangModel::leader_panic(GangMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn every_mutation_is_caught() {
+        for mutation in GangMutation::ALL {
+            let out = run(&GangModel::catching(mutation));
+            assert!(
+                out.violated(),
+                "mutation {mutation:?} was not caught: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wait_under_if_runs_stale_or_vanished_job() {
+        let out = run(&GangModel::catching(GangMutation::WaitIsIf));
+        match out {
+            Outcome::Violation { message, .. } => assert!(
+                message.contains("vanished job")
+                    || message.contains("claimed twice")
+                    || message.contains("want exactly 1"),
+                "{message}"
+            ),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_before_epoch_strands_the_leader() {
+        let out = run(&GangModel::catching(GangMutation::ShutdownBeforeEpoch));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("deadlock"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unwinding_past_the_barrier_dangles_the_job() {
+        let out = run(&GangModel::catching(GangMutation::UnwindPastBarrier));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("dangling job closure"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn helper_panic_without_abort_deadlocks() {
+        let out = run(&GangModel::catching(GangMutation::PanicNoAbort));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("deadlock"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+}

@@ -1,34 +1,63 @@
 //! A schedule-exploring model checker for the collector's concurrency
 //! protocols — proofs-by-exhaustion that the paper's fences and CAS
-//! discipline are all load-bearing.
+//! discipline, and every lock-free protocol the repo has grown since,
+//! are all load-bearing.
 //!
-//! Three pieces:
+//! The substrate:
 //!
 //! * [`sched`] — a loom-style controlled scheduler: exhaustive DFS over
 //!   every interleaving of a protocol state machine's micro-steps, with
-//!   visited-state hashing (generalizing `mcgc_membar::weaksim`);
+//!   visited-state hashing (generalizing `mcgc_membar::weaksim`). A
+//!   bounded search that runs out of budget reports
+//!   [`Outcome::Inconclusive`] — never a silent pass;
 //! * [`mem`] — the weak-memory substrate (per-thread store buffers for
 //!   plain data, sequentially-consistent-but-not-fencing synchronization
 //!   locations, §5-style fences and handshakes);
-//! * [`pool_model`] and [`barrier_model`] — instrumented state machines
-//!   mirroring the §4 packet-pool transitions and the §2/§5.3
-//!   kickoff/write-barrier/card-snapshot protocol, with ghost state for
-//!   the safety properties: no lost packet, no double-get, sound
-//!   termination detection, no lost object.
+//! * [`locks`] — blocking-primitive building blocks: condvar waiter
+//!   sets with real sleeping (lost wakeups become deadlocks the
+//!   explorer reports) and the collapsed-critical-section reduction the
+//!   lock-based models use.
+//!
+//! The model inventory, one per protocol the tree ships:
+//!
+//! * [`pool_model`] — the §4 packet-pool transitions (tagged-CAS
+//!   push/pop, §5.1 publication fence, §4.3 after-the-op counters);
+//! * [`barrier_model`] — the §2/§5.3 kickoff/write-barrier/
+//!   card-snapshot protocol;
+//! * [`gang_model`] — the PR 5 stop-the-world gang: epoch dispatch,
+//!   drop-guard barrier close, helper panic-abort, shutdown races
+//!   (`crates/core/src/gang.rs`);
+//! * [`seqlock_model`] — the PR 6 flight-recorder seqlock slot
+//!   (`crates/telemetry/src/spans.rs`; this model is what surfaced the
+//!   missing release fence the telemetry rings shipped without);
+//! * [`shard_model`] — the PR 4 sharded free-list refill protocol:
+//!   home alloc, occupancy-masked steal, wilderness refill, lazy-sweep
+//!   deal-in (`crates/heap/src/shards.rs`).
 //!
 //! Every model has a **mutation mode** ([`pool_model::PoolMutation`],
-//! [`barrier_model::BarrierMutation`]) that deletes one fence, tag
-//! check, handshake, or counter-ordering rule; the checker must find
-//! the resulting bug, proving it has teeth. Run the whole matrix with
-//! `cargo run -p mcgc-check` (see `src/bin/modelcheck.rs`), or the unit
-//! tests with `cargo test -p mcgc-check`.
+//! [`barrier_model::BarrierMutation`], [`gang_model::GangMutation`],
+//! [`seqlock_model::SeqlockMutation`], [`shard_model::ShardMutation`])
+//! that deletes one fence, tag check, handshake, notification, unwind
+//! guard, or ordering rule; the checker must find the resulting bug,
+//! proving it has teeth — and each enum's `ALL` table backs a meta-test
+//! asserting no mutation is vacuous. Run the whole matrix with
+//! `cargo run -p mcgc-check` (see `src/bin/modelcheck.rs`, honoring
+//! `MCGC_MODELCHECK_BUDGET`), or the unit tests with
+//! `cargo test -p mcgc-check`.
 
 pub mod barrier_model;
+pub mod gang_model;
+pub mod locks;
 pub mod mem;
 pub mod pool_model;
 pub mod sched;
+pub mod seqlock_model;
+pub mod shard_model;
 
 pub use barrier_model::{BarrierModel, BarrierMutation};
+pub use gang_model::{GangModel, GangMutation};
 pub use mem::WeakMem;
 pub use pool_model::{PoolModel, PoolMutation, Role};
 pub use sched::{Explorer, Model, Outcome};
+pub use seqlock_model::{SeqlockModel, SeqlockMutation};
+pub use shard_model::{ShardModel, ShardMutation, ShardRole};

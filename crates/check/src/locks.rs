@@ -1,0 +1,85 @@
+//! Blocking-primitive building blocks shared by the lock-based protocol
+//! models ([`crate::gang_model`], [`crate::shard_model`]).
+//!
+//! The models use a standard soundness-preserving reduction: a
+//! mutex-protected critical section that contains no condvar wait is
+//! collapsed into **one atomic micro-step**. Because the real lock makes
+//! the section's intermediate states invisible to every other thread,
+//! exploring them separately adds states without adding behaviors. A
+//! mutation that *removes* the lock is modeled by splitting the section
+//! back into separate steps — exactly the interleavings the lock was
+//! suppressing.
+//!
+//! What cannot be collapsed is a condvar wait, which releases the mutex
+//! mid-section and blocks. [`CvSet`] models the waiter set: a thread
+//! that sleeps sets its bit and has **no enabled steps** until a
+//! notification (or, when the scenario enables them, a spurious wakeup)
+//! clears it; the woken thread then re-runs its wait step, which
+//! re-acquires the lock and re-evaluates the predicate — the `while`
+//! loop around every real `Condvar::wait`. A model of buggy code that
+//! waits under `if` instead of `while` simply proceeds after a wakeup
+//! without re-evaluating (see `GangMutation::WaitIsIf`).
+//!
+//! Deadlock detection falls out for free: a sleeping thread contributes
+//! no successors, so a lost notification leaves the explorer at a
+//! non-final state with no successors, which [`crate::sched::Explorer`]
+//! reports as a deadlock.
+
+/// A condition-variable waiter set over thread ids `0..16`.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash, Debug)]
+pub struct CvSet {
+    blocked: u16,
+}
+
+impl CvSet {
+    /// Puts `tid` to sleep on this condvar (the mutex release is implied
+    /// by the caller's atomic wait step).
+    pub fn sleep(&mut self, tid: usize) {
+        self.blocked |= 1 << tid;
+    }
+
+    /// True while `tid` is asleep; its wait step is disabled.
+    pub fn is_blocked(&self, tid: usize) -> bool {
+        self.blocked & (1 << tid) != 0
+    }
+
+    /// Wakes every sleeper (`Condvar::notify_all`): each re-runs its
+    /// wait step and re-evaluates its predicate under the lock.
+    pub fn notify_all(&mut self) {
+        self.blocked = 0;
+    }
+
+    /// Thread ids that a spurious wakeup could release right now.
+    pub fn sleepers(&self) -> Vec<usize> {
+        (0..16).filter(|&t| self.is_blocked(t)).collect()
+    }
+
+    /// Releases exactly `tid` (a spurious wakeup, or a `notify_one`).
+    pub fn wake(&mut self, tid: usize) {
+        self.blocked &= !(1 << tid);
+    }
+
+    /// True when nobody is asleep on this condvar.
+    pub fn empty(&self) -> bool {
+        self.blocked == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_notify_roundtrip() {
+        let mut cv = CvSet::default();
+        assert!(cv.empty());
+        cv.sleep(1);
+        cv.sleep(3);
+        assert!(cv.is_blocked(1) && cv.is_blocked(3) && !cv.is_blocked(0));
+        assert_eq!(cv.sleepers(), vec![1, 3]);
+        cv.wake(1);
+        assert!(!cv.is_blocked(1) && cv.is_blocked(3));
+        cv.notify_all();
+        assert!(cv.empty());
+    }
+}

@@ -58,10 +58,16 @@ pub enum Outcome {
         /// Human-readable description of the violated property.
         message: String,
     },
-    /// The state bound was hit before the search completed: inconclusive.
-    Bounded {
-        /// Distinct states visited (== the bound).
+    /// The state budget was exhausted before the search completed. This
+    /// is **not** a pass: unexplored interleavings may still violate a
+    /// property. Callers (the `modelcheck` CLI, the soundness CI job)
+    /// must treat it as a failure of the run, distinct from both a
+    /// verified pass and a found violation.
+    Inconclusive {
+        /// Distinct states visited when the budget was hit.
         states: usize,
+        /// The state budget that was exhausted ([`Explorer::max_states`]).
+        budget: usize,
     },
 }
 
@@ -74,6 +80,11 @@ impl Outcome {
     /// True for [`Outcome::Violation`].
     pub fn violated(&self) -> bool {
         matches!(self, Outcome::Violation { .. })
+    }
+
+    /// True for [`Outcome::Inconclusive`].
+    pub fn inconclusive(&self) -> bool {
+        matches!(self, Outcome::Inconclusive { .. })
     }
 }
 
@@ -108,8 +119,9 @@ impl Explorer {
                 continue;
             }
             if visited.len() > self.max_states {
-                return Outcome::Bounded {
+                return Outcome::Inconclusive {
                     states: visited.len(),
+                    budget: self.max_states,
                 };
             }
             if let Err(message) = model.invariant(&state) {
@@ -241,6 +253,15 @@ mod tests {
     #[test]
     fn bound_reports_inconclusive() {
         let out = Explorer::new(2).run(&Counter { buggy: false });
-        assert!(matches!(out, Outcome::Bounded { .. }));
+        match out {
+            Outcome::Inconclusive { states, budget } => {
+                assert_eq!(budget, 2);
+                assert!(states > budget, "states {states} should exceed budget");
+            }
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
+        assert!(!out.passed());
+        assert!(!out.violated());
+        assert!(out.inconclusive());
     }
 }

@@ -1,0 +1,587 @@
+//! Model of the sharded free-list refill protocol
+//! (`crates/heap/src/shards.rs`): home-shard allocation vs.
+//! occupancy-masked round-robin steal vs. wilderness refill vs.
+//! concurrent lazy-sweep deal-in.
+//!
+//! Mutex-protected shard operations are collapsed into single atomic
+//! micro-steps (see [`crate::locks`]); the two lock-free pieces — the
+//! relaxed `free_granules` counter and the `nonempty` occupancy mask —
+//! keep the exact step structure of the implementation, because that
+//! structure is what the protocol is about:
+//!
+//! * `free` bumps `free_granules` **before** taking the shard lock and
+//!   pushing the extent (the counter may transiently over-count, never
+//!   under-count);
+//! * `take_from` decrements `free_granules` **after** dropping the
+//!   shard lock (same direction);
+//! * `nonempty` mask bits are set/cleared only while holding the owning
+//!   shard's lock, so a clear bit means "really was empty at that
+//!   instant";
+//! * an alloc that misses its home shard, every mask-visible shard, and
+//!   the wilderness re-walks **all** shards unfiltered before declaring
+//!   OOM, because the mask copy it steals by may be stale by the time
+//!   it is used.
+//!
+//! Extents here never split: every request size exactly matches some
+//! extent size, which mirrors the size-class behavior (a take never
+//! returns a smaller extent) while keeping splitting — orthogonal to
+//! the locking/ordering protocol — out of the state space.
+//!
+//! Ghost state carries the safety properties: each extent's location
+//! (binned in a shard, in the wilderness, held by an allocator, or not
+//! yet dealt in) makes **double-allocation** and **extent conservation**
+//! checkable at every state and at quiescence; the `free_granules`
+//! mirror must **never go negative**; the quiescent mask must agree
+//! bit-for-bit with real shard occupancy; and an alloc that fails while
+//! an extent it *witnessed* (binned when its final sweep began) is
+//! still binned is a **spurious OOM** — the failure mode the unfiltered
+//! sweep exists to prevent.
+
+use crate::sched::Model;
+
+const NSHARDS: usize = 2;
+
+/// Where an extent currently lives.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Loc {
+    /// Not yet dealt in by the sweeper.
+    Unborn,
+    /// `free` has bumped the counter but not yet pushed (faithful order).
+    Pending,
+    /// Binned in shard `k`.
+    Shard(u8),
+    /// Binned in the shared wilderness list.
+    Wilderness,
+    /// Handed out to allocator thread `tid`.
+    Held(u8),
+}
+
+/// A single protocol change for mutation testing: each reverses one
+/// ordering rule, drops one mask update, or removes one fallback, and
+/// the checker must find the resulting bug.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShardMutation {
+    /// The faithful protocol.
+    None,
+    /// `free` pushes the extent before bumping `free_granules`: a
+    /// concurrent alloc can take the extent and decrement first, driving
+    /// the counter negative.
+    FreeCountsAfterPush,
+    /// `take_from` clears the occupancy bit after dropping the shard
+    /// lock: the deferred clear can race a concurrent deal-in's set and
+    /// leave a nonempty shard permanently invisible to stealers.
+    MaskClearOutsideLock,
+    /// Deal-in never sets the occupancy bit: freshly swept extents are
+    /// invisible to the masked steal loop and the mask disagrees with
+    /// occupancy at quiescence.
+    SkipMaskSetOnFree,
+    /// Delete the last-resort unfiltered sweep: an alloc whose stale
+    /// mask copy hides a late deal-in reports OOM while a fitting extent
+    /// sits binned — the spurious OOM.
+    SkipFallbackSweep,
+    /// Take an extent without holding the shard lock (observe, then
+    /// remove in two steps): two allocators can take the same extent.
+    RacyTake,
+}
+
+impl ShardMutation {
+    /// Every mutation (excluding `None`), for the meta-test proving none
+    /// of them is vacuous.
+    pub const ALL: [ShardMutation; 5] = [
+        ShardMutation::FreeCountsAfterPush,
+        ShardMutation::MaskClearOutsideLock,
+        ShardMutation::SkipMaskSetOnFree,
+        ShardMutation::SkipFallbackSweep,
+        ShardMutation::RacyTake,
+    ];
+}
+
+/// What a thread does in the scenario.
+#[derive(Clone, Debug)]
+pub enum ShardRole {
+    /// One allocation of exactly `want` granules, starting at `home`.
+    Alloc {
+        /// Granules requested (must exactly match some extent size).
+        want: u8,
+        /// Home shard.
+        home: u8,
+    },
+    /// Lazy-sweep deal-in: `free` each `(extent, destination)` in order.
+    Sweep {
+        /// Extents to deal in, with their destination (straddlers go to
+        /// the wilderness).
+        frees: Vec<(usize, Loc)>,
+    },
+}
+
+// Allocator program counters.
+const A_HOME: u8 = 0;
+const A_MASK: u8 = 1;
+const A_STEAL: u8 = 2;
+const A_WILD: u8 = 3;
+const A_WITNESS: u8 = 4;
+const A_SWEEP0: u8 = 5;
+// A_SWEEP0 + k sweeps shard k; A_FAIL = A_SWEEP0 + NSHARDS.
+const A_FAIL: u8 = A_SWEEP0 + NSHARDS as u8;
+const A_COUNT: u8 = A_FAIL + 1;
+const A_DEFERRED_CLEAR: u8 = A_COUNT + 1;
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ShThread {
+    pc: u8,
+    /// Mask copy loaded by `A_MASK` (the stale-able observation).
+    mask_copy: u8,
+    /// `RacyTake`: extent observed by the first half of the take.
+    reg: Option<u8>,
+    /// `MaskClearOutsideLock`: shard whose bit we still owe a clear.
+    pending_clear: Option<u8>,
+    /// Ghost: extents binned when this thread's final sweep began.
+    witnessed: u8,
+    /// Sweeper: next entry in `frees`, ×2 for the two steps per free.
+    fpc: u8,
+    done: bool,
+}
+
+impl ShThread {
+    fn new() -> ShThread {
+        ShThread {
+            pc: 0,
+            mask_copy: 0,
+            reg: None,
+            pending_clear: None,
+            witnessed: 0,
+            fpc: 0,
+            done: false,
+        }
+    }
+}
+
+/// Full system state of the shard model.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ShardState {
+    /// Location of each extent (ghost + the actual bins).
+    loc: Vec<Loc>,
+    /// The `nonempty` occupancy mask.
+    mask: u8,
+    /// The `free_granules` counter (mirrored signed so a negative
+    /// excursion is observable instead of wrapping).
+    counter: i16,
+    /// Ghost: first safety violation observed while stepping.
+    poison: Option<&'static str>,
+    threads: Vec<ShThread>,
+}
+
+/// The shard refill protocol model for a fixed scenario.
+#[derive(Clone, Debug)]
+pub struct ShardModel {
+    /// Granule length of each extent.
+    pub lens: Vec<u8>,
+    /// Initial location of each extent.
+    pub init: Vec<Loc>,
+    /// One role per thread.
+    pub roles: Vec<ShardRole>,
+    /// The protocol change under test.
+    pub mutation: ShardMutation,
+}
+
+impl ShardModel {
+    /// The main scenario: two allocators (1 granule at home shard 0,
+    /// 2 granules at home shard 1) race a lazy sweeper dealing a len-2
+    /// extent into shard 0, a len-1 extent into shard 1, and a len-2
+    /// straddler into the wilderness. Shard 1 starts with one len-1
+    /// extent; everything else arrives concurrently.
+    pub fn main(mutation: ShardMutation) -> ShardModel {
+        ShardModel {
+            lens: vec![1, 2, 1, 2],
+            init: vec![Loc::Shard(1), Loc::Unborn, Loc::Unborn, Loc::Unborn],
+            roles: vec![
+                ShardRole::Alloc { want: 1, home: 0 },
+                ShardRole::Alloc { want: 2, home: 1 },
+                ShardRole::Sweep {
+                    frees: vec![(1, Loc::Shard(0)), (2, Loc::Shard(1)), (3, Loc::Wilderness)],
+                },
+            ],
+            mutation,
+        }
+    }
+
+    /// Two allocators contend for the single extent in the heap: the
+    /// lock (or, mutated, its absence) decides whether one of them
+    /// fails cleanly or both "win".
+    pub fn contend(mutation: ShardMutation) -> ShardModel {
+        ShardModel {
+            lens: vec![1],
+            init: vec![Loc::Shard(1)],
+            roles: vec![
+                ShardRole::Alloc { want: 1, home: 0 },
+                ShardRole::Alloc { want: 1, home: 0 },
+            ],
+            mutation,
+        }
+    }
+
+    /// The scenario that catches `mutation` (used by the CLI and the
+    /// no-vacuous-mutations meta-test).
+    pub fn catching(mutation: ShardMutation) -> ShardModel {
+        match mutation {
+            ShardMutation::RacyTake => ShardModel::contend(mutation),
+            _ => ShardModel::main(mutation),
+        }
+    }
+
+    /// First extent of exactly `want` granules binned at `place`.
+    fn find_fit(&self, s: &ShardState, place: Loc, want: u8) -> Option<u8> {
+        (0..self.lens.len())
+            .find(|&e| s.loc[e] == place && self.lens[e] == want)
+            .map(|e| e as u8)
+    }
+
+    /// Takes extent `e` for `tid` (the locked part of `take_from`):
+    /// moves it to `Held`, maintains the occupancy bit, and flags a
+    /// double-take.
+    fn take(&self, n: &mut ShardState, tid: usize, e: u8) {
+        let prev = n.loc[e as usize];
+        if matches!(prev, Loc::Held(_)) {
+            n.poison = Some("double-allocation: extent taken while already held");
+        }
+        n.loc[e as usize] = Loc::Held(tid as u8);
+        if let Loc::Shard(k) = prev {
+            let emptied = !(0..self.lens.len()).any(|o| n.loc[o] == Loc::Shard(k));
+            if emptied {
+                if self.mutation == ShardMutation::MaskClearOutsideLock {
+                    n.threads[tid].pending_clear = Some(k);
+                } else {
+                    n.mask &= !(1 << k);
+                }
+            }
+        }
+    }
+
+    /// One allocator attempt against `place`: a hit routes through the
+    /// after-lock bookkeeping (counter decrement, deferred mask clear)
+    /// and finishes; a miss goes to `miss_pc`.
+    fn attempt(
+        &self,
+        s: &ShardState,
+        tid: usize,
+        want: u8,
+        place: Loc,
+        miss_pc: u8,
+    ) -> Vec<ShardState> {
+        let mut n = s.clone();
+        if self.mutation == ShardMutation::RacyTake {
+            // Split take: observe the extent, then remove it later
+            // without re-checking under a lock.
+            match s.threads[tid].reg {
+                None => match self.find_fit(s, place, want) {
+                    Some(e) => {
+                        n.threads[tid].reg = Some(e);
+                        return vec![n];
+                    }
+                    None => {
+                        n.threads[tid].pc = miss_pc;
+                        return vec![n];
+                    }
+                },
+                Some(e) => {
+                    n.threads[tid].reg = None;
+                    self.take(&mut n, tid, e);
+                    n.threads[tid].pc = A_COUNT;
+                    return vec![n];
+                }
+            }
+        }
+        match self.find_fit(s, place, want) {
+            Some(e) => {
+                self.take(&mut n, tid, e);
+                n.threads[tid].pc = A_COUNT;
+            }
+            None => n.threads[tid].pc = miss_pc,
+        }
+        vec![n]
+    }
+
+    fn step_alloc(&self, s: &ShardState, tid: usize, want: u8, home: u8) -> Vec<ShardState> {
+        let t = &s.threads[tid];
+        match t.pc {
+            A_HOME => self.attempt(s, tid, want, Loc::Shard(home), A_MASK),
+            // One relaxed load of the occupancy mask: the copy every
+            // later staleness hinges on.
+            A_MASK => {
+                let mut n = s.clone();
+                n.threads[tid].mask_copy = s.mask;
+                n.threads[tid].pc = A_STEAL;
+                vec![n]
+            }
+            // Round-robin steal over the *other* shards, filtered by the
+            // mask copy (NSHARDS = 2: exactly one victim).
+            A_STEAL => {
+                let victim = (home + 1) % NSHARDS as u8;
+                if t.mask_copy & (1 << victim) == 0 {
+                    let mut n = s.clone();
+                    n.threads[tid].pc = A_WILD;
+                    return vec![n];
+                }
+                self.attempt(s, tid, want, Loc::Shard(victim), A_WILD)
+            }
+            A_WILD => self.attempt(s, tid, want, Loc::Wilderness, A_WITNESS),
+            // Ghost: snapshot every fitting extent binned in a shard the
+            // instant the last-resort sweep begins. If we go on to fail
+            // while one of them is *still* binned, the failure was the
+            // mask's fault, not the heap's.
+            A_WITNESS => {
+                let mut n = s.clone();
+                for e in 0..self.lens.len() {
+                    if self.lens[e] == want && matches!(s.loc[e], Loc::Shard(_)) {
+                        n.threads[tid].witnessed |= 1 << e;
+                    }
+                }
+                n.threads[tid].pc = if self.mutation == ShardMutation::SkipFallbackSweep {
+                    A_FAIL
+                } else {
+                    A_SWEEP0
+                };
+                vec![n]
+            }
+            pc if (A_SWEEP0..A_FAIL).contains(&pc) => {
+                let k = pc - A_SWEEP0;
+                self.attempt(s, tid, want, Loc::Shard(k), pc + 1)
+            }
+            A_FAIL => {
+                let mut n = s.clone();
+                let ghosted = (0..self.lens.len())
+                    .any(|e| t.witnessed & (1 << e) != 0 && matches!(s.loc[e], Loc::Shard(_)));
+                if ghosted {
+                    n.poison =
+                        Some("spurious OOM: alloc failed while a witnessed extent is still binned");
+                }
+                n.threads[tid].done = true;
+                vec![n]
+            }
+            // fetch_sub on free_granules, after the shard lock is gone.
+            A_COUNT => {
+                let mut n = s.clone();
+                n.counter -= want as i16;
+                if n.counter < 0 {
+                    n.poison = Some("free-granule counter went negative");
+                }
+                if t.pending_clear.is_some() {
+                    n.threads[tid].pc = A_DEFERRED_CLEAR;
+                } else {
+                    n.threads[tid].done = true;
+                }
+                vec![n]
+            }
+            // MaskClearOutsideLock: the clear the lock should have
+            // covered, landing who-knows-when.
+            A_DEFERRED_CLEAR => {
+                let mut n = s.clone();
+                if let Some(k) = t.pending_clear {
+                    n.mask &= !(1 << k);
+                }
+                n.threads[tid].pending_clear = None;
+                n.threads[tid].done = true;
+                vec![n]
+            }
+            _ => unreachable!("alloc pc"),
+        }
+    }
+
+    fn step_sweep(&self, s: &ShardState, tid: usize, frees: &[(usize, Loc)]) -> Vec<ShardState> {
+        let t = &s.threads[tid];
+        let idx = (t.fpc / 2) as usize;
+        if idx >= frees.len() {
+            let mut n = s.clone();
+            n.threads[tid].done = true;
+            return vec![n];
+        }
+        let (e, dest) = frees[idx];
+        let first_half = t.fpc.is_multiple_of(2);
+        let counts_first = self.mutation != ShardMutation::FreeCountsAfterPush;
+        let mut n = s.clone();
+        n.threads[tid].fpc += 1;
+        if first_half == counts_first {
+            // free_granules += len, before the push in the faithful
+            // order (after it under FreeCountsAfterPush).
+            n.counter += self.lens[e] as i16;
+            if counts_first {
+                n.loc[e] = Loc::Pending;
+            }
+        } else {
+            // lock dest; push; set the occupancy bit; unlock.
+            n.loc[e] = dest;
+            if let Loc::Shard(k) = dest {
+                if self.mutation != ShardMutation::SkipMaskSetOnFree {
+                    n.mask |= 1 << k;
+                }
+            }
+        }
+        vec![n]
+    }
+}
+
+impl Model for ShardModel {
+    type State = ShardState;
+
+    fn initial(&self) -> ShardState {
+        let counter = (0..self.lens.len())
+            .filter(|&e| matches!(self.init[e], Loc::Shard(_) | Loc::Wilderness))
+            .map(|e| self.lens[e] as i16)
+            .sum();
+        let mut mask = 0u8;
+        for e in 0..self.lens.len() {
+            if let Loc::Shard(k) = self.init[e] {
+                mask |= 1 << k;
+            }
+        }
+        ShardState {
+            loc: self.init.clone(),
+            mask,
+            counter,
+            poison: None,
+            threads: (0..self.roles.len()).map(|_| ShThread::new()).collect(),
+        }
+    }
+
+    fn successors(&self, s: &ShardState) -> Vec<ShardState> {
+        let mut out = Vec::new();
+        for (tid, role) in self.roles.iter().enumerate() {
+            if s.threads[tid].done {
+                continue;
+            }
+            match role {
+                ShardRole::Alloc { want, home } => {
+                    out.extend(self.step_alloc(s, tid, *want, *home))
+                }
+                ShardRole::Sweep { frees } => out.extend(self.step_sweep(s, tid, frees)),
+            }
+        }
+        out
+    }
+
+    fn is_final(&self, s: &ShardState) -> bool {
+        s.threads.iter().all(|t| t.done)
+    }
+
+    fn invariant(&self, s: &ShardState) -> Result<(), String> {
+        if let Some(msg) = s.poison {
+            return Err(msg.to_string());
+        }
+        if s.counter < 0 {
+            return Err(format!("free-granule counter at {}", s.counter));
+        }
+        Ok(())
+    }
+
+    fn finale(&self, s: &ShardState) -> Result<(), String> {
+        // Extent conservation: everything dealt in is binned or held,
+        // exactly once (Loc is single-valued by construction, so the
+        // check is that nothing is stuck in flight).
+        for e in 0..self.lens.len() {
+            match s.loc[e] {
+                Loc::Pending => {
+                    return Err(format!(
+                        "extent {e} stuck in flight (counted, never binned)"
+                    ))
+                }
+                Loc::Unborn
+                    if self.roles.iter().any(|r| match r {
+                        ShardRole::Sweep { frees } => frees.iter().any(|&(f, _)| f == e),
+                        _ => false,
+                    }) =>
+                {
+                    return Err(format!("extent {e} was never dealt in"))
+                }
+                _ => {}
+            }
+        }
+        // The quiescent counter covers exactly the binned granules.
+        let binned: i16 = (0..self.lens.len())
+            .filter(|&e| matches!(s.loc[e], Loc::Shard(_) | Loc::Wilderness))
+            .map(|e| self.lens[e] as i16)
+            .sum();
+        if s.counter != binned {
+            return Err(format!(
+                "quiescent free-granule counter {} != binned granules {binned}",
+                s.counter
+            ));
+        }
+        // The quiescent mask agrees bit-for-bit with shard occupancy.
+        for k in 0..NSHARDS as u8 {
+            let occupied = (0..self.lens.len()).any(|e| s.loc[e] == Loc::Shard(k));
+            let bit = s.mask & (1 << k) != 0;
+            if occupied != bit {
+                return Err(format!(
+                    "quiescent mask bit {k} is {bit} but shard {k} occupancy is {occupied}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Explorer, Outcome};
+
+    fn run(m: &ShardModel) -> Outcome {
+        Explorer::default().run(m)
+    }
+
+    #[test]
+    fn faithful_main_scenario_passes_exhaustively() {
+        let out = run(&ShardModel::main(ShardMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_contended_take_passes() {
+        let out = run(&ShardModel::contend(ShardMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn every_mutation_is_caught() {
+        for mutation in ShardMutation::ALL {
+            let out = run(&ShardModel::catching(mutation));
+            assert!(
+                out.violated(),
+                "mutation {mutation:?} was not caught: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn counting_after_the_push_goes_negative() {
+        let out = run(&ShardModel::catching(ShardMutation::FreeCountsAfterPush));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("negative"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropping_the_fallback_sweep_fakes_oom() {
+        let out = run(&ShardModel::catching(ShardMutation::SkipFallbackSweep));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("spurious OOM"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lockless_take_double_allocates() {
+        let out = run(&ShardModel::catching(ShardMutation::RacyTake));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("double-allocation"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+}

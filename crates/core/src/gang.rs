@@ -45,6 +45,17 @@
 //!
 //! With `stw_workers = 1` there are no helpers and [`Gang::run`] calls
 //! the job inline, degenerating to exactly the serial pause.
+//!
+//! **Model checking.** This whole protocol — epoch dispatch, the
+//! predicate loops, the barrier, panic unwinding, and the shutdown
+//! race — is mirrored by `gang_model` in `crates/check` and explored
+//! exhaustively (`cargo run -p mcgc-check`). The model's mutation
+//! matrix deletes each load-bearing line in turn (the epoch re-check,
+//! the dispatch `notify_all`, the epoch-before-shutdown predicate
+//! order, the inline fallback, the unwind guard, the helper abort) and
+//! proves the checker catches every one as a deadlock, a dangling job
+//! closure, or a double-claimed work item. When editing the protocol
+//! here, change the model in the same commit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -223,6 +234,8 @@ impl Gang {
                 // Shutdown raced ahead of this dispatch: helpers are
                 // exiting (or already joined), so nobody would pick the
                 // job up. Run it serially instead of hanging.
+                // MODEL: gang_model — DispatchIgnoresShutdown deletes
+                // this fallback and deadlocks the shutdown-race scenario.
                 drop(st);
                 run_job_with_span(&self.shared, rec, 0, &f);
                 return;
@@ -234,10 +247,14 @@ impl Gang {
             st.job = Some(job);
             st.active = self.workers - 1;
             st.epoch += 1;
+            // MODEL: gang_model — MissedNotify deletes this wake and the
+            // model finds the sleeping-helper deadlock.
             self.shared.dispatch_cv.notify_all();
         }
         /// Closes the dispatch barrier on drop — on the normal path and,
         /// critically, on unwind (see the SAFETY comment above).
+        /// MODEL: gang_model — UnwindPastBarrier deletes this guard and
+        /// the model reports a dangling job closure.
         struct BarrierGuard<'a>(&'a GangShared, Option<&'a SpanRecorder>);
         impl Drop for BarrierGuard<'_> {
             fn drop(&mut self) {
@@ -344,6 +361,9 @@ fn helper_loop(shared: &GangShared, idx: usize) {
                 // leader is blocked at its barrier sized to the helper
                 // count, so exiting here without running the job (and
                 // decrementing `active`) would strand it forever.
+                // MODEL: gang_model — ShutdownBeforeEpoch swaps these two
+                // checks (the PR 5 review bug) and WaitIsIf turns the
+                // loop into an `if`; the model catches both.
                 if st.epoch != seen {
                     break;
                 }
@@ -371,6 +391,8 @@ fn helper_loop(shared: &GangShared, idx: usize) {
         // dispatch one worker short. A panic in a GC job is not
         // recoverable, so surface it (the panic hook has already
         // printed the message and backtrace) and abort.
+        // MODEL: gang_model — PanicNoAbort lets the helper die silently
+        // instead; the model shows the leader stranded at its barrier.
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_job_with_span(shared, shared.recorder(), idx, job)
         }))

@@ -159,7 +159,9 @@ pub struct ShardedFreeList {
     /// Shared bin for extents longer than one stripe; also the entire
     /// substrate in baseline mode.
     wilderness: Mutex<FreeList>,
-    /// Total free granules across shards and wilderness. Relaxed: readers
+    /// Total free granules across shards and wilderness. The
+    /// credit-before-push / debit-after-take discipline is exhaustively
+    /// checked by `shard_model` in `crates/check`. Relaxed: readers
     /// (pacer, occupancy, OOM reports) tolerate a stale value; updates
     /// happen on the same paths that take the structure's locks.
     free_granules: AtomicUsize,
@@ -229,6 +231,8 @@ impl ShardedFreeList {
     /// Total free granules (relaxed atomic read; no lock).
     #[inline]
     pub fn free_granules(&self) -> usize {
+        // MODEL: shard_model — advisory read; the model's finale checks
+        // the counter is exact at quiescence, not during the race.
         self.free_granules.load(Ordering::Relaxed)
     }
 
@@ -275,9 +279,14 @@ impl ShardedFreeList {
         if g.free_granules == 0 && idx < 64 {
             // Still under the shard lock, so this clear cannot race with a
             // concurrent free's set on the same shard.
+            // MODEL: shard_model — MaskClearOutsideLock moves this past
+            // the unlock and the model catches the resulting stale mask.
             self.nonempty.fetch_and(!(1u64 << idx), Ordering::Relaxed);
         }
         drop(g);
+        // MODEL: shard_model — decrement AFTER the take, outside the
+        // lock; counting before the list op can drive the counter
+        // negative (the model's FreeCountsAfterPush dual).
         self.free_granules.fetch_sub(len, Ordering::Relaxed);
         Some(start)
     }
@@ -302,6 +311,10 @@ impl ShardedFreeList {
                 *home = h;
                 return Some(start);
             }
+            // MODEL: shard_model — advisory snapshot: a stale set bit
+            // only costs a wasted lock, and a stale clear bit is
+            // backstopped by the unfiltered sweep below (the model's
+            // SkipFallbackSweep shows the sweep is load-bearing).
             let mask = self.nonempty.load(Ordering::Relaxed);
             for i in 1..n {
                 let idx = (h + i) % n;
@@ -321,7 +334,7 @@ impl ShardedFreeList {
         }
         if let Some(start) = self.lock_wilderness().alloc(len) {
             self.wilderness_refills.fetch_add(1, Ordering::Relaxed);
-            self.free_granules.fetch_sub(len, Ordering::Relaxed);
+            self.free_granules.fetch_sub(len, Ordering::Relaxed); // MODEL: shard_model
             if let Some(s) = &mut span {
                 s.set_kind(SpanKind::WildernessRefill);
             }
@@ -352,7 +365,7 @@ impl ShardedFreeList {
             .recorder()
             .map(|r| r.span(SpanKind::WildernessRefill, len as u64));
         if let Some(start) = self.lock_wilderness().alloc_from_end(len) {
-            self.free_granules.fetch_sub(len, Ordering::Relaxed);
+            self.free_granules.fetch_sub(len, Ordering::Relaxed); // MODEL: shard_model
             return Some(start);
         }
         if self.shards.is_empty() {
@@ -384,9 +397,10 @@ impl ShardedFreeList {
             });
         }
         if g.free_granules == 0 && si < 64 {
+            // MODEL: shard_model — clear while the shard lock is held.
             self.nonempty.fetch_and(!(1u64 << si), Ordering::Relaxed);
         }
-        self.free_granules.fetch_sub(len, Ordering::Relaxed);
+        self.free_granules.fetch_sub(len, Ordering::Relaxed); // MODEL: shard_model
         Some(e.end() - len)
     }
 
@@ -400,6 +414,11 @@ impl ShardedFreeList {
         if len == 0 {
             return;
         }
+        // MODEL: shard_model — credit the counter BEFORE pushing the
+        // extent: an allocator that observes the credit but loses the
+        // race to the extent retries, which is safe; the reverse order
+        // (FreeCountsAfterPush) admits a taken-but-uncounted window
+        // that drives the counter negative.
         self.free_granules.fetch_add(len, Ordering::Relaxed);
         // Same-stripe test: first and last granule share a stripe index
         // (also false whenever `len > stripe_granules`).
@@ -413,6 +432,8 @@ impl ShardedFreeList {
         g.push(Extent { start, len });
         if was_empty && idx < 64 {
             // Set under the shard lock so it orders with take_from's clear.
+            // MODEL: shard_model — SkipMaskSetOnFree loses this set and
+            // the model catches the mask/occupancy divergence.
             self.nonempty.fetch_or(1u64 << idx, Ordering::Relaxed);
         }
     }
@@ -462,6 +483,8 @@ impl ShardedFreeList {
                 mask |= 1u64 << i;
             }
         }
+        // MODEL: shard_model — stores under every lock (rebuild is the
+        // STW path), so the mask and counter are rebuilt exactly.
         self.nonempty.store(mask, Ordering::Relaxed);
         self.free_granules.store(total, Ordering::Relaxed);
     }
@@ -589,13 +612,14 @@ impl ShardedFreeList {
         }
         let total = extents.iter().map(|e| e.len).sum();
         wild.set_extents_unchecked(extents);
+        // MODEL: shard_model — test-only reset under every lock.
         self.nonempty.store(0, Ordering::Relaxed);
         self.free_granules.store(total, Ordering::Relaxed);
     }
 
     #[cfg(test)]
     fn nonempty_mask(&self) -> u64 {
-        self.nonempty.load(Ordering::Relaxed)
+        self.nonempty.load(Ordering::Relaxed) // MODEL: shard_model
     }
 }
 

@@ -33,6 +33,25 @@
 //!   postmortem's ≥95%-coverage criterion holds only because the phase
 //!   guards tile the pause; deleting one would silently degrade every
 //!   postmortem rather than fail a test.
+//! * **condvar-wait-not-in-loop** — every unbounded condvar `.wait(`
+//!   must sit directly in a block opened by a `while`/`loop` line: the
+//!   predicate re-check is what makes spurious and stale wakeups safe,
+//!   and `gang_model`'s `WaitIsIf` mutation shows exactly what deleting
+//!   it costs. Timed waits (`wait_for`) are exempt — their callers
+//!   tolerate spurious returns by construction — as is
+//!   `crates/membar/src/sync.rs`, which implements the wrapper itself.
+//! * **seqlock-read-section** — the telemetry rings' speculative read
+//!   windows are bracketed by `seqlock-read: begin`/`end` marker
+//!   comments. Inside a section no stores, RMWs, `return`s or `break`s
+//!   are allowed (the copied words are garbage until revalidated), and
+//!   the section must be followed within a few code lines by the
+//!   revalidating `load`. Each file in [`SEQLOCK_FILES`] must contain
+//!   at least one section, so deleting the markers is itself a finding.
+//! * **unmodeled-relaxed** — `Ordering::Relaxed` on an atomic named in
+//!   a `crates/check` model ([`MODELED_ATOMICS`]) requires a
+//!   `// MODEL: <model>` cross-reference on the same line or in the
+//!   contiguous comment block above: the model is only worth its salt
+//!   if the code it mirrors points back at it when edited.
 //!
 //! Comments, strings (including raw and byte strings), and char
 //! literals are masked out before pattern matching, so prose and test
@@ -75,6 +94,40 @@ pub const ORDERING_ALLOWLIST: &[&str] = &[
     "tests/concurrent_correctness.rs",
     "tests/gc_audit.rs",
     "tests/packet_protocol.rs",
+];
+
+/// Files that must contain at least one `seqlock-read: begin`/`end`
+/// section (the telemetry rings' speculative read windows).
+pub const SEQLOCK_FILES: &[&str] = &[
+    "crates/telemetry/src/ring.rs",
+    "crates/telemetry/src/spans.rs",
+];
+
+/// Atomics mirrored by a `crates/check` model: `(file, idents, model)`.
+/// A relaxed operation on one of these (`ident.load(Ordering::Relaxed)`
+/// etc.) must carry a `// MODEL: <model>` cross-reference so the model
+/// and the code it mirrors cannot silently drift apart.
+pub const MODELED_ATOMICS: &[(&str, &[&str], &str)] = &[
+    (
+        "crates/telemetry/src/spans.rs",
+        &["seq", "cursor"],
+        "seqlock_model",
+    ),
+    (
+        "crates/telemetry/src/ring.rs",
+        &["seq", "cursor"],
+        "seqlock_model",
+    ),
+    (
+        "crates/heap/src/shards.rs",
+        &["nonempty", "free_granules"],
+        "shard_model",
+    ),
+    (
+        "crates/packets/src/pool.rs",
+        &["next", "count"],
+        "pool_model",
+    ),
 ];
 
 /// One lint violation.
@@ -290,6 +343,123 @@ fn has_safety_note(orig_lines: &[&str], line_idx: usize) -> bool {
     false
 }
 
+/// For every `.wait(` occurrence in the masked source, the 0-based line
+/// index of the line that opened its innermost enclosing block.
+/// Returned as `(wait_line_idx, opener_line_idx)` pairs.
+fn wait_sites(masked: &str) -> Vec<(usize, usize)> {
+    let mut sites = Vec::new();
+    let mut openers: Vec<usize> = Vec::new();
+    let mut line = 0usize;
+    let bytes = masked.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => line += 1,
+            b'{' => openers.push(line),
+            b'}' => {
+                openers.pop();
+            }
+            b'.' if masked[i..].starts_with(".wait(") => {
+                // Timed waits (`.wait_for`, `.wait_timeout`) don't match:
+                // the `(` right after `wait` excludes them.
+                sites.push((line, openers.last().copied().unwrap_or(line)));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    sites
+}
+
+/// True if `idx`'s line (or one of the two lines above, for conditions
+/// that span lines) starts a `while` or `loop`.
+fn is_loop_opener(masked_lines: &[&str], idx: usize) -> bool {
+    (idx.saturating_sub(2)..=idx).any(|j| {
+        masked_lines
+            .get(j)
+            .is_some_and(|l| contains_word(l, "while") || contains_word(l, "loop"))
+    })
+}
+
+/// True if `masked_line` performs a relaxed atomic op on `ident`
+/// (i.e. contains `ident.` with a word boundary before it, plus
+/// `Ordering::Relaxed`).
+fn names_modeled_atomic(masked_line: &str, ident: &str) -> bool {
+    if !masked_line.contains("Ordering::Relaxed") {
+        return false;
+    }
+    let pat = format!("{ident}.");
+    let mut start = 0;
+    while let Some(pos) = masked_line[start..].find(&pat) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !masked_line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok {
+            return true;
+        }
+        start = at + pat.len();
+    }
+    false
+}
+
+/// True if the relaxed op on `line_idx` carries a `MODEL:` note: on the
+/// line itself, or in the contiguous comment block above it. The walk
+/// upward also skips other modeled-relaxed lines, so one comment can
+/// cover a contiguous run (e.g. a stats snapshot reading four counters).
+fn has_model_note(
+    orig_lines: &[&str],
+    masked_lines: &[&str],
+    idents: &[&str],
+    line_idx: usize,
+) -> bool {
+    if orig_lines[line_idx].contains("MODEL:") {
+        return true;
+    }
+    let mut j = line_idx;
+    while j > 0 {
+        j -= 1;
+        let t = orig_lines[j].trim_start();
+        if t.starts_with("//") {
+            if t.contains("MODEL:") {
+                return true;
+            }
+            continue;
+        }
+        if idents
+            .iter()
+            .any(|id| names_modeled_atomic(masked_lines[j], id))
+        {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// Atomic-write / control-flow tokens forbidden inside a seqlock read
+/// section (the copied words are garbage until the revalidation check).
+fn seqlock_section_offense(masked_line: &str) -> Option<&'static str> {
+    if masked_line.contains(".store(") {
+        return Some("a store");
+    }
+    if masked_line.contains(".fetch_") || masked_line.contains("fetch_update") {
+        return Some("an atomic RMW");
+    }
+    if masked_line.contains(".swap(") || masked_line.contains("compare_exchange") {
+        return Some("an atomic RMW");
+    }
+    if contains_word(masked_line, "return") {
+        return Some("a return");
+    }
+    if contains_word(masked_line, "break") {
+        return Some("a break");
+    }
+    None
+}
+
 /// The flight-recorder span catalog, as `Debug` names (`PauseDrain`,
 /// `GangJob`, …), taken from the telemetry crate so the lint can never
 /// drift from the enum.
@@ -439,6 +609,141 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                           section) on the preceding comment block"
                     .to_string(),
             });
+        }
+    }
+    // Unbounded condvar waits must re-check their predicate in a loop.
+    if rel != "crates/membar/src/sync.rs" {
+        for (wait_idx, opener_idx) in wait_sites(&masked) {
+            if !is_loop_opener(&masked_lines, opener_idx) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: wait_idx + 1,
+                    rule: "condvar-wait-not-in-loop",
+                    message: "condvar .wait() whose enclosing block is not a \
+                              while/loop; spurious and stale wakeups make an \
+                              un-re-checked predicate unsound (gang_model's \
+                              WaitIsIf mutation shows the failure)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    // Seqlock speculative read sections: bracketed, side-effect-free,
+    // and immediately revalidated. Markers are comments, so they are
+    // matched on the unmasked source — which is why the lint crate
+    // itself (whose docs and fixtures mention the markers) is exempt.
+    if !rel.starts_with("crates/lint/") {
+        let begin_at = |l: &str| l.contains("seqlock-read: begin");
+        let end_at = |l: &str| l.contains("seqlock-read: end");
+        let mut open: Option<usize> = None;
+        let mut sections = 0usize;
+        for (idx, orig) in orig_lines.iter().enumerate() {
+            if begin_at(orig) {
+                if open.is_some() {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "seqlock-read-section",
+                        message: "nested `seqlock-read: begin` (previous section \
+                                  never ended)"
+                            .to_string(),
+                    });
+                }
+                open = Some(idx);
+            } else if end_at(orig) {
+                let Some(_begin) = open.take() else {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "seqlock-read-section",
+                        message: "`seqlock-read: end` without a matching begin".to_string(),
+                    });
+                    continue;
+                };
+                sections += 1;
+                // The revalidating load must follow within the next few
+                // code lines (comment/blank lines don't count).
+                let mut code_seen = 0;
+                let mut revalidated = false;
+                for j in idx + 1..orig_lines.len() {
+                    let t = orig_lines[j].trim_start();
+                    if t.is_empty() || t.starts_with("//") {
+                        continue;
+                    }
+                    if masked_lines[j].contains(".load(") {
+                        revalidated = true;
+                        break;
+                    }
+                    code_seen += 1;
+                    if code_seen >= 4 {
+                        break;
+                    }
+                }
+                if !revalidated {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "seqlock-read-section",
+                        message: "seqlock read section is not followed by a \
+                                  revalidating seq load; without the re-check \
+                                  the speculative copy is unvalidated garbage"
+                            .to_string(),
+                    });
+                }
+            } else if open.is_some() {
+                if let Some(what) = seqlock_section_offense(masked_lines[idx]) {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule: "seqlock-read-section",
+                        message: format!(
+                            "seqlock read section contains {what}; the copied \
+                             words are garbage until the revalidation check, so \
+                             nothing may act on them (or skip the check) here"
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(begin) = open {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: begin + 1,
+                rule: "seqlock-read-section",
+                message: "`seqlock-read: begin` never ended".to_string(),
+            });
+        }
+        if SEQLOCK_FILES.contains(&rel) && sections == 0 {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: 1,
+                rule: "seqlock-read-section",
+                message: "this file's seqlock reader lost its `seqlock-read: \
+                          begin`/`end` markers; the read-window rule can no \
+                          longer see it"
+                    .to_string(),
+            });
+        }
+    }
+    // Relaxed ops on model-mirrored atomics must cite the model.
+    if let Some((_, idents, model)) = MODELED_ATOMICS.iter().find(|(f, _, _)| *f == rel) {
+        for (idx, line) in masked_lines.iter().enumerate() {
+            let Some(ident) = idents.iter().find(|id| names_modeled_atomic(line, id)) else {
+                continue;
+            };
+            if !has_model_note(&orig_lines, &masked_lines, idents, idx) {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "unmodeled-relaxed",
+                    message: format!(
+                        "Ordering::Relaxed on `{ident}`, which {model} \
+                         (crates/check) mirrors, without a `// MODEL: {model}` \
+                         cross-reference; cite the model so it is updated in \
+                         the same change"
+                    ),
+                });
+            }
         }
     }
     // The pause path must keep a guard per pause-phase kind: the
@@ -623,6 +928,211 @@ mod tests {
         let f = lint_source("crates/core/src/x.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "no-static-mut");
+    }
+
+    #[test]
+    fn masking_survives_adversarial_literals() {
+        // Raw string with hashes whose body contains a quote-hash that
+        // must NOT close it early.
+        let m = mask_source("let s = r##\"a \"# b\"##; unsafe { g() }\n");
+        assert!(!m.contains("a \"# b"), "{m}");
+        assert!(m.contains("unsafe"), "code after the literal survives: {m}");
+
+        // Raw string containing comment openers and `unsafe`.
+        let src = "let s = r\"// */ unsafe\"; static mut X: u8 = 0;\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-static-mut");
+
+        // Block comment containing a raw-string opener: the comment must
+        // end at `*/`, not be swallowed by a phantom string.
+        let src = "/* r#\" */ static mut X: u8 = 0;\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-static-mut");
+
+        // Nested block comments close at the matching depth.
+        let src = "/* a /* b */ c */ static mut X: u8 = 0;\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+
+        // A line comment with an unterminated quote ends at the newline.
+        let src = "// \"unterminated\nstatic mut X: u8 = 0;\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+
+        // A char literal holding a double quote must not open a string.
+        let src = "let q = '\"'; let s = \"unsafe\";\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+
+        // Byte raw strings mask like raw strings.
+        let src = "let b = br#\"unsafe // Ordering::SeqCst\"#;\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+
+        // `\\` before the closing quote is an escaped backslash, not an
+        // escaped quote: the string ends and the `unsafe` after is code.
+        let src = "let s = \"a\\\\\"; unsafe { g() }\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "undocumented-unsafe");
+
+        // Multi-line raw strings keep the line count aligned.
+        let src = "let s = r#\"one\ntwo unsafe\"#;\nlet x = 1;\n";
+        let m = mask_source(src);
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert!(!m.contains("unsafe"), "{m}");
+    }
+
+    #[test]
+    fn condvar_wait_requires_a_predicate_loop() {
+        let good = "fn f() {\n    while p {\n        cv.wait(&mut g);\n    }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", good).is_empty());
+
+        let good_loop =
+            "fn f() {\n    loop {\n        if c {\n            break;\n        }\n        cv.wait(&mut g);\n    }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", good_loop).is_empty());
+
+        // A condition split across lines still counts as a loop opener.
+        let split =
+            "fn f() {\n    while p\n        && q\n    {\n        cv.wait(&mut g);\n    }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", split).is_empty());
+
+        let bad_if = "fn f() {\n    if p {\n        cv.wait(&mut g);\n    }\n}\n";
+        let f = lint_source("crates/core/src/x.rs", bad_if);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "condvar-wait-not-in-loop");
+        assert_eq!(f[0].line, 3);
+
+        let bare = "fn f() {\n    cv.wait(&mut g);\n}\n";
+        let f = lint_source("crates/core/src/x.rs", bare);
+        assert_eq!(f.len(), 1, "{f:?}");
+
+        // Timed waits are exempt: their callers poll.
+        let timed = "fn f() {\n    cv.wait_for(&mut g, d);\n    cv.wait_timeout(g, d);\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", timed).is_empty());
+
+        // The wrapper implementation itself is exempt.
+        assert!(lint_source("crates/membar/src/sync.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn seqlock_sections_are_bracketed_pure_and_revalidated() {
+        let good = "fn r() -> Option<u64> {\n\
+                    // seqlock-read: begin\n\
+                    let a = slot.val.load(Ordering::Relaxed);\n\
+                    // seqlock-read: end\n\
+                    if slot.seq.load(Ordering::Acquire) != want {\n\
+                        return None;\n\
+                    }\n\
+                    Some(a)\n\
+                    }\n";
+        assert!(
+            lint_source("crates/telemetry/src/ring.rs", good).is_empty(),
+            "{:?}",
+            lint_source("crates/telemetry/src/ring.rs", good)
+        );
+
+        // A store inside the window is flagged.
+        let store = good.replace(
+            "let a = slot.val.load(Ordering::Relaxed);",
+            "slot.val.store(0, Ordering::Relaxed);",
+        );
+        let f = lint_source("crates/telemetry/src/ring.rs", &store);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "seqlock-read-section");
+        assert!(f[0].message.contains("a store"), "{}", f[0].message);
+
+        // So is an early return on the speculative copy.
+        let ret = good.replace(
+            "let a = slot.val.load(Ordering::Relaxed);",
+            "if bad { return None; }",
+        );
+        let f = lint_source("crates/telemetry/src/ring.rs", &ret);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("a return"), "{}", f[0].message);
+
+        // A section with no revalidating load after it is flagged.
+        let unvalidated = "fn r() {\n\
+                           // seqlock-read: begin\n\
+                           let a = slot.val.load(Ordering::Relaxed);\n\
+                           // seqlock-read: end\n\
+                           f(a);\n\
+                           g(a);\n\
+                           h(a);\n\
+                           i(a);\n\
+                           }\n";
+        let f = lint_source("crates/telemetry/src/ring.rs", unvalidated);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("revalidating"), "{}", f[0].message);
+
+        // Unbalanced markers are findings in their own right.
+        let dangling_end = "fn r() {\n// seqlock-read: end\n}\n";
+        let f = lint_source("crates/core/src/x.rs", dangling_end);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("without a matching begin"));
+
+        let never_ended = "fn r() {\n// seqlock-read: begin\nlet a = 1;\n}\n";
+        let f = lint_source("crates/core/src/x.rs", never_ended);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("never ended"));
+
+        // The ring files must keep at least one marked section.
+        let markerless = "fn r() {}\n";
+        for file in SEQLOCK_FILES {
+            let f = lint_source(file, markerless);
+            assert_eq!(f.len(), 1, "{file}: {f:?}");
+            assert_eq!(f[0].rule, "seqlock-read-section");
+            assert!(f[0].message.contains("lost its"), "{}", f[0].message);
+        }
+        // Other files aren't required to have sections.
+        assert!(lint_source("crates/core/src/x.rs", markerless).is_empty());
+    }
+
+    #[test]
+    fn modeled_relaxed_atomics_must_cite_their_model() {
+        let bare = "fn f(pool: &P) {\n    pool.count.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let f = lint_source("crates/packets/src/pool.rs", bare);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unmodeled-relaxed");
+        assert!(f[0].message.contains("pool_model"), "{}", f[0].message);
+
+        let cited = "fn f(pool: &P) {\n    // MODEL: pool_model — §4.3 counter order.\n    pool.count.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(lint_source("crates/packets/src/pool.rs", cited).is_empty());
+
+        let trailing =
+            "fn f(pool: &P) {\n    pool.count.fetch_add(1, Ordering::Relaxed); // MODEL: pool_model\n}\n";
+        assert!(lint_source("crates/packets/src/pool.rs", trailing).is_empty());
+
+        // One comment covers a contiguous run of modeled lines.
+        let run = "fn f(p: &P) {\n\
+                   // MODEL: pool_model — racy snapshot.\n\
+                   let a = p.count.load(Ordering::Relaxed);\n\
+                   let b = q.count.load(Ordering::Relaxed);\n\
+                   }\n";
+        assert!(lint_source("crates/packets/src/pool.rs", run).is_empty());
+
+        // ...but a non-modeled code line breaks the chain.
+        let broken = "fn f(p: &P) {\n\
+                      // MODEL: pool_model\n\
+                      let a = p.count.load(Ordering::Relaxed);\n\
+                      let x = 1;\n\
+                      let b = q.count.load(Ordering::Relaxed);\n\
+                      }\n";
+        let f = lint_source("crates/packets/src/pool.rs", broken);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+
+        // Idents only match whole names: `next_checkout` is not `next`,
+        // and other files' atomics aren't in pool.rs's table.
+        let other = "fn f(p: &P) {\n    p.next_checkout.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(lint_source("crates/packets/src/pool.rs", other).is_empty());
+        let elsewhere = "fn f(p: &P) {\n    p.count.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(lint_source("crates/heap/src/heap.rs", elsewhere).is_empty());
+
+        // Non-Relaxed orderings on modeled atomics need no citation.
+        let acq = "fn f(s: &S) -> u64 {\n    s.seq.load(Ordering::Acquire)\n}\n";
+        let f = lint_source("crates/telemetry/src/ring.rs", acq);
+        assert!(f.iter().all(|f| f.rule == "seqlock-read-section"), "{f:?}");
     }
 
     #[test]

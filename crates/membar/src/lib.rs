@@ -95,6 +95,43 @@ pub fn full_fence(kind: FenceKind) {
     fence(kind, Ordering::SeqCst);
 }
 
+/// The writer-side fence of the telemetry seqlock rings: orders a
+/// slot's odd ("open") sequence store before the payload stores that
+/// follow it, so a reader can never observe fresh payload under a stale
+/// even sequence number.
+///
+/// Deliberately **uncounted**, unlike [`fence`]: these are
+/// telemetry-internal fences on the always-on span/event recording hot
+/// path, not part of the paper's §5 protocol whose fence counts the
+/// benchmark harness reproduces — counting them would both pollute
+/// those numbers and put a contended `fetch_add` into every record.
+/// On TSO hosts this lowers to a compiler barrier only. Lives here so
+/// the lint's fence-confinement rule (`std::sync::atomic::fence` only
+/// inside `crates/membar`) keeps a single audit point for every fence
+/// in the tree.
+///
+/// MODEL: seqlock_model (crates/check) — deleting this fence is
+/// `SeqlockMutation::SkipBeginFence`, caught as a torn read.
+#[inline]
+pub fn seqlock_write_fence() {
+    std::sync::atomic::fence(Ordering::Release);
+}
+
+/// The reader-side fence of the telemetry seqlock rings: orders the
+/// speculative payload loads before the revalidating sequence load
+/// (Boehm's seqlock recipe — the revalidating load alone only
+/// synchronizes with the store it happens to read, so without this
+/// fence an overwriter's payload could be visible while its odd
+/// sequence store is not). Uncounted for the same reasons as
+/// [`seqlock_write_fence`].
+///
+/// MODEL: seqlock_model (crates/check) — see `SkipSecondCheck` for the
+/// validation this fence makes trustworthy.
+#[inline]
+pub fn seqlock_read_fence() {
+    std::sync::atomic::fence(Ordering::Acquire);
+}
+
 /// A snapshot of the process-wide fence counters.
 #[derive(Copy, Clone, Eq, PartialEq, Debug, Default, Hash)]
 pub struct FenceStats {

@@ -215,6 +215,9 @@ impl<T> PacketPool<T> {
             }
             let head = pool.head.load(Ordering::Acquire);
             let (hidx, tag) = unpack(head);
+            // MODEL: pool_model — the link store is ordered before the
+            // publishing CAS by the CAS's Release; it needs no ordering
+            // of its own.
             self.slots[idx as usize].next.store(hidx, Ordering::Relaxed);
             self.cas_ops.fetch_add(1, Ordering::Relaxed);
             if pool
@@ -231,6 +234,8 @@ impl<T> PacketPool<T> {
             }
         }
         // §4.3: the packet counter is updated after the list operation.
+        // MODEL: pool_model — CounterBeforeOp reverses this and the model
+        // catches the broken termination inequality.
         pool.count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -245,6 +250,9 @@ impl<T> PacketPool<T> {
             if hidx == NIL {
                 return None;
             }
+            // MODEL: pool_model — reading the link of a head we may not
+            // own is safe only because slots are never freed and the
+            // tagged CAS below rejects a recycled head (NoAbaTag).
             let next = self.slots[hidx as usize].next.load(Ordering::Relaxed);
             self.cas_ops.fetch_add(1, Ordering::Relaxed);
             if pool
@@ -257,6 +265,7 @@ impl<T> PacketPool<T> {
                 )
                 .is_ok()
             {
+                // MODEL: pool_model — §4.3 counter after the list op.
                 pool.count.fetch_sub(1, Ordering::Relaxed);
                 return Some(hidx);
             }
@@ -411,6 +420,8 @@ impl<T> PacketPool<T> {
     /// Snapshot of counters and watermarks.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
+            // MODEL: pool_model — racy snapshot reads; §4.3's inequality
+            // (counts never under-report) is what makes them usable.
             empty: self.pools[0].count.load(Ordering::Relaxed),
             non_empty: self.pools[1].count.load(Ordering::Relaxed),
             almost_full: self.pools[2].count.load(Ordering::Relaxed),
@@ -459,7 +470,7 @@ impl<T> PacketPool<T> {
                 // thread owns or mutates this body while we read it.
                 let body = unsafe { &*slot.body.get() };
                 out.extend_from_slice(body);
-                idx = slot.next.load(Ordering::Relaxed);
+                idx = slot.next.load(Ordering::Relaxed); // MODEL: pool_model (quiescent)
             }
         }
         out
@@ -869,16 +880,19 @@ mod tests {
     #[test]
     fn concurrent_churn_loses_nothing() {
         use std::sync::Arc;
+        // Under Miri every CAS is interpreted; keep the shape (4
+        // producers, 2 consumers, contended lists) but shrink the churn.
+        const PER_PRODUCER: u64 = if cfg!(miri) { 150 } else { 4000 };
         let p = Arc::new(pool(64, 8));
-        // Producers push 4000 items each; consumers drain. Total consumed
-        // + left-in-pool must equal total produced.
-        let produced = 4 * 4000u64;
+        // Producers push PER_PRODUCER items each; consumers drain. Total
+        // consumed + left-in-pool must equal total produced.
+        let produced = 4 * PER_PRODUCER;
         let consumed: u64 = std::thread::scope(|s| {
             for t in 0..4u64 {
                 let p = Arc::clone(&p);
                 s.spawn(move || {
                     let mut out = None;
-                    for i in 0..4000u64 {
+                    for i in 0..PER_PRODUCER {
                         let item = t * 1_000_000 + i;
                         loop {
                             if out.is_none() {

@@ -322,8 +322,10 @@ mod tests {
         use std::collections::HashSet;
         use std::sync::Arc;
         let p = Arc::new(pool(32, 8));
-        // Seed a "tree": each item < 500 spawns two children 2i+1, 2i+2 up
-        // to 4000; every processed item recorded.
+        // Seed a "tree": each item spawns two children 2i+1, 2i+2 up to
+        // TREE; every processed item recorded. Miri runs the same shape
+        // at a fraction of the volume.
+        const TREE: u64 = if cfg!(miri) { 400 } else { 4000 };
         {
             let mut w = WorkBuffer::new(&p);
             w.push(0);
@@ -342,7 +344,7 @@ mod tests {
                                     idle = 0;
                                     seen.push(i);
                                     for c in [2 * i + 1, 2 * i + 2] {
-                                        if c < 4000 {
+                                        if c < TREE {
                                             match w.push(c) {
                                                 PushOutcome::Pushed => {}
                                                 PushOutcome::Overflow(_) => {
@@ -367,7 +369,7 @@ mod tests {
         let all: Vec<u64> = processed.into_iter().flatten().collect();
         let unique: HashSet<u64> = all.iter().copied().collect();
         assert_eq!(all.len(), unique.len(), "no item processed twice");
-        assert_eq!(unique.len(), 4000, "every item processed");
+        assert_eq!(unique.len(), TREE as usize, "every item processed");
         assert!(p.is_tracing_complete());
     }
 }

@@ -268,15 +268,33 @@ impl SpanRing {
     /// Total spans ever recorded (monotone; exceeds `capacity` once the
     /// ring has wrapped).
     pub fn recorded(&self) -> u64 {
-        self.cursor.load(Ordering::Relaxed)
+        self.cursor.load(Ordering::Relaxed) // MODEL: seqlock_model (monotone ticket)
     }
 
     /// Records one completed span. Wait-free: one `fetch_add`, five
-    /// relaxed stores, one release store.
+    /// relaxed stores, one release store, and one (TSO-free) release
+    /// fence. A ring has a single writer — its owning track's thread —
+    /// which is what makes the odd/even slot protocol sufficient; see
+    /// `seqlock_model` in `crates/check` for the exhaustively checked
+    /// protocol and the mutations that break it.
     pub fn record(&self, sp: &Span) {
+        // MODEL: seqlock_model — the cursor `fetch_add` is the ticket
+        // claim; `TicketReuse` (never advancing it) breaks sequence
+        // monotonicity.
         let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket as usize) & (self.slots.len() - 1)];
+        // MODEL: seqlock_model — the odd store opens the slot; the
+        // fence below orders it before the payload stores.
         slot.seq.store(ticket * 2 + 1, Ordering::Relaxed);
+        // Without this fence the payload stores may become visible
+        // before the odd seq store, and a reader can double-validate a
+        // stale even seq around a torn payload
+        // (SeqlockMutation::SkipBeginFence — the bug this ring shipped
+        // with until the model caught it).
+        mcgc_membar::seqlock_write_fence();
+        // MODEL: seqlock_model — payload stores; ordered after the odd
+        // seq store by the fence above, before the even one below by
+        // the release store.
         slot.begin_ns.store(sp.begin_ns, Ordering::Relaxed);
         slot.end_ns.store(sp.end_ns, Ordering::Relaxed);
         slot.meta.store(
@@ -293,10 +311,20 @@ impl SpanRing {
         if slot.seq.load(Ordering::Acquire) != want {
             return None;
         }
+        // seqlock-read: begin — the speculative copy window, validated
+        // by the re-check below; mcgc-lint enforces that no store or
+        // early return sneaks in between the markers.
+        // MODEL: seqlock_model — relaxed payload loads, valid only if
+        // the revalidation load still observes `want`.
         let begin_ns = slot.begin_ns.load(Ordering::Relaxed);
         let end_ns = slot.end_ns.load(Ordering::Relaxed);
         let meta = slot.meta.load(Ordering::Relaxed);
         let arg = slot.arg.load(Ordering::Relaxed);
+        // seqlock-read: end
+        // Order the payload loads before the revalidation (Boehm's
+        // seqlock recipe): without it, an overwriter's payload could be
+        // visible while its odd seq store is not.
+        mcgc_membar::seqlock_read_fence();
         if slot.seq.load(Ordering::Acquire) != want {
             return None; // lapped mid-read
         }
@@ -762,7 +790,9 @@ mod tests {
     fn stress_no_torn_or_interleaved_pairs() {
         let r = Arc::new(SpanRecorder::new(64));
         let threads = 4;
-        let per_thread = 5_000u64;
+        // Interpreted execution is ~1000x slower; keep the ring-wrapping
+        // shape but shrink the volume under Miri.
+        let per_thread = if cfg!(miri) { 300u64 } else { 5_000u64 };
         let mut handles = Vec::new();
         for w in 0..threads {
             let r = Arc::clone(&r);
