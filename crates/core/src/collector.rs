@@ -37,13 +37,35 @@ pub(crate) const PHASE_CONCURRENT: u8 = 1;
 pub enum GcError {
     /// The heap cannot satisfy the allocation even after the full
     /// escalation ladder (lazy-sweep progress, finishing the concurrent
-    /// phase, full stop-the-world collections) has run.
+    /// phase, full stop-the-world collections, heap growth, one bounded
+    /// backpressure stall) has run. Carries a postmortem snapshot: the
+    /// segment map and how far each ladder rung got.
     OutOfMemory {
         /// Bytes the failing allocation requested.
         requested_bytes: u64,
         /// Heap occupancy when the ladder gave up, in permille
-        /// (0..=1000).
+        /// (0..=1000), of *committed* granules.
         occupancy_permille: u16,
+        /// Heap segments committed when the ladder gave up.
+        segments_committed: u16,
+        /// Hard-limit segment capacity ([`HeapConfig::max_heap_bytes`]).
+        ///
+        /// [`HeapConfig::max_heap_bytes`]: mcgc_heap::HeapConfig::max_heap_bytes
+        segments_max: u16,
+        /// Bitmask of committed segments (bit `i` = segment `i`; the
+        /// first 64).
+        segment_map: u64,
+        /// Slow-path iterations this allocation request took.
+        ladder_iterations: u32,
+        /// Lazy-sweep rungs that ran for this request.
+        lazy_sweeps: u32,
+        /// Full collections that ran for this request.
+        full_collections: u32,
+        /// Grow rungs that committed a segment for this request.
+        grows: u32,
+        /// Whether the bounded backpressure stall ran (and expired)
+        /// before this error was surfaced.
+        stalled: bool,
     },
 }
 
@@ -53,10 +75,21 @@ impl std::fmt::Display for GcError {
             GcError::OutOfMemory {
                 requested_bytes,
                 occupancy_permille,
+                segments_committed,
+                segments_max,
+                segment_map,
+                ladder_iterations,
+                lazy_sweeps,
+                full_collections,
+                grows,
+                stalled,
             } => write!(
                 f,
                 "out of memory after full collection: requested {requested_bytes} B \
-                 with heap {}.{}% occupied",
+                 with heap {}.{}% occupied; {segments_committed}/{segments_max} segments \
+                 committed (map {segment_map:#x}); ladder: {ladder_iterations} iterations, \
+                 {lazy_sweeps} lazy sweeps, {full_collections} full collections, \
+                 {grows} grows, stalled: {stalled}",
                 occupancy_permille / 10,
                 occupancy_permille % 10
             ),
@@ -72,9 +105,23 @@ impl From<mcgc_heap::AllocError> for GcError {
             mcgc_heap::AllocError::OutOfMemory {
                 requested_bytes,
                 occupancy_permille,
+                segments_committed,
+                segments_max,
+                segment_map,
             } => GcError::OutOfMemory {
                 requested_bytes,
                 occupancy_permille,
+                segments_committed,
+                segments_max,
+                segment_map,
+                // Ladder context is unknown at the heap layer; the
+                // mutator's escalation state fills these in via
+                // `Escalation::final_error` when it owns the failure.
+                ladder_iterations: 0,
+                lazy_sweeps: 0,
+                full_collections: 0,
+                grows: 0,
+                stalled: false,
             },
         }
     }
@@ -397,6 +444,7 @@ impl Gc {
             self.pool.occupancy(),
             self.bg_alive.load(Ordering::Relaxed) as u64,
             &self.heap.alloc_stats(),
+            &self.heap.segment_stats(),
         );
         self.tel.refresh_gang(&self.gang);
         self.tel.refresh_postmortem();
@@ -659,17 +707,37 @@ impl Gc {
     // cycle control
     // ------------------------------------------------------------------
 
+    /// Whether used (committed minus free) heap has crossed the
+    /// [`GcConfig::soft_limit_bytes`] soft limit. `false` when the soft
+    /// limit is disabled (0).
+    ///
+    /// [`GcConfig::soft_limit_bytes`]: crate::GcConfig::soft_limit_bytes
+    pub(crate) fn soft_limit_pressure(&self) -> bool {
+        let soft = self.config.soft_limit_bytes;
+        soft > 0
+            && self
+                .heap
+                .total_bytes()
+                .saturating_sub(self.heap.free_bytes())
+                >= soft
+    }
+
     /// Kickoff check (§3.1): starts a new concurrent cycle when free
-    /// memory drops below `(L + M) / K0`. Called from the allocation slow
-    /// path; cheap when no cycle is due.
+    /// memory drops below `(L + M) / K0`, or — independent of the pacer's
+    /// schedule — when used memory crosses the soft limit (emergency
+    /// kickoff: collect now so the grow rung and hard limit are never
+    /// reached). Called from the allocation slow path; cheap when no
+    /// cycle is due.
     pub(crate) fn maybe_kickoff(&self) {
         if self.config.mode != CollectorMode::Concurrent || self.in_concurrent_phase() {
             return;
         }
-        if !self
-            .pacer
-            .lock()
-            .should_kickoff(self.heap.free_bytes() as u64)
+        let emergency = self.soft_limit_pressure();
+        if !emergency
+            && !self
+                .pacer
+                .lock()
+                .should_kickoff(self.heap.free_bytes() as u64)
         {
             return;
         }
@@ -692,12 +760,17 @@ impl Gc {
             .spans()
             .span(SpanKind::KickoffDecision, self.heap.free_bytes() as u64);
         self.finish_lazy_sweep();
-        if !self
-            .pacer
-            .lock()
-            .should_kickoff(self.heap.free_bytes() as u64)
+        let emergency = self.soft_limit_pressure();
+        if !emergency
+            && !self
+                .pacer
+                .lock()
+                .should_kickoff(self.heap.free_bytes() as u64)
         {
             return; // finishing the sweep recovered enough space
+        }
+        if emergency {
+            self.tel.on_emergency_kickoff();
         }
         self.begin_cycle_locked(true);
     }
@@ -885,6 +958,18 @@ impl Gc {
         }
         if let Some(s) = retire_span.as_mut() {
             s.set_arg(mutators.len() as u64);
+        }
+
+        // Occupancy-driven shrink, lazy-sweep variant. Eager sweep
+        // releases empty grown segments inline while rebuilding the free
+        // list; the lazy path accumulates freed extents incrementally
+        // and this pause is its first stop-the-world point where
+        // "entirely free" is stable. Only with no plan outstanding —
+        // an active plan holds a mapped-range snapshot that a release
+        // would invalidate (callers finish it before stopping the
+        // world, so this only skips if a pause fires mid-plan).
+        if self.config.sweep == SweepMode::Lazy && self.lazy.lock().is_none() {
+            self.heap.release_empty_free_segments();
         }
 
         // Watchdog: the world is stopped, so any packet still checked out

@@ -95,6 +95,19 @@ pub struct GcConfig {
     /// How long the collector waits for every mutator to ack a §5.3 card
     /// handshake before falling back to a global fence.
     pub handshake_timeout: std::time::Duration,
+    /// Soft memory-pressure limit in bytes of *used* (committed minus
+    /// free) heap. Crossing it makes the next allocation slow path kick
+    /// off an emergency collection cycle, bypassing the pacer's own
+    /// threshold. `0` disables the soft limit. (The hard limit is
+    /// [`HeapConfig::max_heap_bytes`]: the grow rung stops there.)
+    pub soft_limit_bytes: usize,
+    /// Deadline for one bounded allocation-backpressure stall: after the
+    /// escalation ladder exhausts collections and growth, the mutator
+    /// waits at most this long — helping trace and sweep while it waits —
+    /// for memory freed by others before surfacing a typed OOM. The
+    /// stall never repeats for the same allocation request, so total
+    /// slow-path time stays bounded.
+    pub alloc_stall_deadline: std::time::Duration,
 }
 
 impl Default for GcConfig {
@@ -122,6 +135,8 @@ impl Default for GcConfig {
             alloc_full_collections: 3,
             alloc_iteration_cap: 96,
             handshake_timeout: std::time::Duration::from_micros(500),
+            soft_limit_bytes: 0,
+            alloc_stall_deadline: std::time::Duration::from_millis(50),
         }
     }
 }

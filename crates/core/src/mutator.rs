@@ -127,10 +127,11 @@ impl Mutator {
             if ladder.try_lazy(&self.gc) {
                 continue;
             }
-            // Rungs 2-3: finish the concurrent phase, then full
-            // stop-the-world collections; give up after the configured
-            // number of futile full collections.
-            ladder.collect_rung(&self.gc, shape.bytes())?;
+            // Rungs 2-5: finish the concurrent phase, then full
+            // stop-the-world collections, then heap growth, then one
+            // bounded backpressure stall; give up (typed OOM) after all
+            // of those prove futile.
+            ladder.collect_rung(&self.gc, &self.shared, shape.bytes())?;
         }
     }
 
@@ -150,7 +151,7 @@ impl Mutator {
             if ladder.try_lazy(&self.gc) {
                 continue;
             }
-            ladder.collect_rung(&self.gc, shape.bytes())?;
+            ladder.collect_rung(&self.gc, &self.shared, shape.bytes())?;
         }
     }
 
@@ -268,14 +269,19 @@ impl Mutator {
 }
 
 /// Per-request state of the allocation-failure escalation ladder
-/// (ISSUE: lazy-sweep progress → finish concurrent phase → full
-/// stop-the-world → OOM), with per-rung telemetry and two livelock
-/// guards: a per-collection cap on lazy-sweep retries and a hard cap on
-/// total slow-path iterations.
+/// (lazy-sweep progress → finish concurrent phase → full stop-the-world
+/// → heap growth → one bounded backpressure stall → OOM), with per-rung
+/// telemetry and two livelock guards: a per-collection cap on lazy-sweep
+/// retries and a hard cap on total slow-path iterations.
 struct Escalation {
     iterations: u32,
     lazy_rungs: u32,
     collections: u32,
+    /// Segments committed by the grow rung for this request.
+    grows: u32,
+    /// Whether the bounded backpressure stall has already run; it never
+    /// repeats for the same request, keeping slow-path time bounded.
+    stalled: bool,
     /// Most recent heap-level failure (large allocations), preserved so
     /// the final OOM carries the allocator's own context.
     last_error: Option<mcgc_heap::AllocError>,
@@ -287,6 +293,8 @@ impl Escalation {
             iterations: 0,
             lazy_rungs: 0,
             collections: 0,
+            grows: 0,
+            stalled: false,
             last_error: None,
         }
     }
@@ -320,11 +328,34 @@ impl Escalation {
         true
     }
 
-    /// Rungs 2-3: finishes the concurrent phase (if one is running) or
-    /// runs a full stop-the-world collection; errors out once the
-    /// configured number of full collections has proven futile.
-    fn collect_rung(&mut self, gc: &Gc, requested_bytes: usize) -> Result<(), GcError> {
+    /// Rungs 2-5: finishes the concurrent phase (if one is running) or
+    /// runs a full stop-the-world collection; once the configured number
+    /// of full collections has proven futile, tries to grow the heap by
+    /// one segment (rung 4), then runs the one bounded backpressure
+    /// stall (rung 5), and only then errors out with a typed OOM.
+    fn collect_rung(
+        &mut self,
+        gc: &Gc,
+        shared: &Arc<MutatorShared>,
+        requested_bytes: usize,
+    ) -> Result<(), GcError> {
         if self.collections >= gc.config.alloc_full_collections {
+            // Rung 4: grow the heap by one segment. Fallible — the hard
+            // limit ([`HeapConfig::max_heap_bytes`]) or an injected
+            // `heap.segment_reserve` fault may refuse; then the request
+            // proceeds down the ladder instead of looping on growth.
+            if gc.heap.try_grow() {
+                gc.tel.on_alloc_rung(EscalationRung::Grow);
+                self.grows += 1;
+                // Fresh space may unblock the cheap rungs again.
+                self.lazy_rungs = 0;
+                return Ok(());
+            }
+            // Rung 5: wait — boundedly, and helping while waiting — for
+            // memory other threads are in the middle of freeing.
+            if self.stall_rung(gc, shared, requested_bytes) {
+                return Ok(());
+            }
             gc.tel.on_alloc_oom();
             return Err(self.final_error(gc, requested_bytes as u64));
         }
@@ -341,10 +372,71 @@ impl Escalation {
         Ok(())
     }
 
+    /// Rung 5: one bounded backpressure stall. The mutator waits up to
+    /// [`GcConfig::alloc_stall_deadline`] for a free run large enough,
+    /// helping the collector while it waits (lazy-sweep chunks, tracing
+    /// increments like the §3 mutator duties, safepoint polls — a pause
+    /// may be the very thing about to free memory). Returns `true` when
+    /// memory appeared (caller retries the allocation), `false` when the
+    /// deadline expired or the stall already ran for this request —
+    /// never waits unboundedly.
+    ///
+    /// [`GcConfig::alloc_stall_deadline`]: crate::GcConfig::alloc_stall_deadline
+    fn stall_rung(&mut self, gc: &Gc, shared: &Arc<MutatorShared>, requested_bytes: usize) -> bool {
+        if self.stalled {
+            return false;
+        }
+        self.stalled = true;
+        let deadline = gc.config.alloc_stall_deadline;
+        let start = std::time::Instant::now();
+        let help_bytes = gc.config.heap.cache_bytes as u64;
+        let satisfied = loop {
+            if gc.heap.largest_free_bytes() >= requested_bytes {
+                break true;
+            }
+            if start.elapsed() >= deadline {
+                break false;
+            }
+            gc.poll_safepoint();
+            let swept = gc.sweep_some_lazy();
+            if gc.in_concurrent_phase() {
+                gc.mutator_increment(shared, help_bytes);
+            } else if !swept {
+                // Nothing to help with: yield briefly instead of
+                // spinning on the free list.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        };
+        gc.tel.on_alloc_stall(start.elapsed().as_nanos() as u64);
+        satisfied
+    }
+
     fn final_error(&self, gc: &Gc, requested_bytes: u64) -> GcError {
-        match self.last_error {
+        let base = match self.last_error {
             Some(e) => GcError::from(e),
             None => gc.oom(requested_bytes),
+        };
+        // Graft this request's ladder history onto the heap snapshot.
+        match base {
+            GcError::OutOfMemory {
+                requested_bytes,
+                occupancy_permille,
+                segments_committed,
+                segments_max,
+                segment_map,
+                ..
+            } => GcError::OutOfMemory {
+                requested_bytes,
+                occupancy_permille,
+                segments_committed,
+                segments_max,
+                segment_map,
+                ladder_iterations: self.iterations,
+                lazy_sweeps: self.lazy_rungs,
+                full_collections: self.collections,
+                grows: self.grows,
+                stalled: self.stalled,
+            },
         }
     }
 }

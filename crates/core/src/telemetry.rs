@@ -17,7 +17,8 @@ use crate::stats::{emit_cycle_events, CycleStats};
 use crate::tracing::TraceRole;
 
 /// Which rung of the allocation-failure escalation ladder ran (ISSUE:
-/// lazy-sweep progress → finish concurrent phase → full stop-the-world).
+/// lazy-sweep progress → finish concurrent phase → full stop-the-world
+/// → grow the heap → bounded backpressure stall → typed OOM).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub(crate) enum EscalationRung {
     /// Rung 1: lazy-sweep progress recovered memory without a pause.
@@ -26,6 +27,9 @@ pub(crate) enum EscalationRung {
     FinishConcurrent,
     /// Rung 3: a full stop-the-world collection from idle.
     FullStw,
+    /// Rung 4: a new heap segment was committed (soft growth past the
+    /// initial arena, up to the hard limit).
+    Grow,
 }
 
 /// The collector's telemetry bundle (one per [`crate::Gc`]).
@@ -59,6 +63,9 @@ pub(crate) struct GcTelemetry {
     alloc_rung_lazy: Arc<Counter>,
     alloc_rung_finish: Arc<Counter>,
     alloc_rung_stw: Arc<Counter>,
+    alloc_rung_grow: Arc<Counter>,
+    alloc_stalls: Arc<Counter>,
+    emergency_kickoffs: Arc<Counter>,
     alloc_ooms: Arc<Counter>,
     watchdog_reclaimed: Arc<Counter>,
     handshake_acks: Arc<Counter>,
@@ -88,6 +95,11 @@ pub(crate) struct GcTelemetry {
     pool_entries: Arc<Gauge>,
     pool_occupancy: Arc<Gauge>,
     bg_tracers_alive: Arc<Gauge>,
+    heap_segments_committed: Arc<Gauge>,
+    heap_segments_peak: Arc<Gauge>,
+    heap_segment_grows: Arc<Gauge>,
+    heap_segment_shrinks: Arc<Gauge>,
+    heap_committed_bytes: Arc<Gauge>,
     alloc_shards: Arc<Gauge>,
     alloc_shard_contention: Arc<Gauge>,
     alloc_refill_steals: Arc<Gauge>,
@@ -140,6 +152,9 @@ impl GcTelemetry {
             alloc_rung_lazy: c("gc_alloc_rung_lazy_total"),
             alloc_rung_finish: c("gc_alloc_rung_finish_total"),
             alloc_rung_stw: c("gc_alloc_rung_stw_total"),
+            alloc_rung_grow: c("gc_alloc_rung_grow_total"),
+            alloc_stalls: c("gc_alloc_stalls_total"),
+            emergency_kickoffs: c("gc_emergency_kickoffs_total"),
             alloc_ooms: c("gc_alloc_oom_total"),
             watchdog_reclaimed: c("gc_watchdog_reclaimed_packets_total"),
             handshake_acks: c("gc_handshake_acks_total"),
@@ -166,6 +181,11 @@ impl GcTelemetry {
             pool_entries: g("gc_pool_entries"),
             pool_occupancy: g("gc_pool_occupancy"),
             bg_tracers_alive: g("gc_bg_tracers_alive"),
+            heap_segments_committed: g("heap_segments_committed"),
+            heap_segments_peak: g("heap_segments_peak"),
+            heap_segment_grows: g("heap_segment_grows_total"),
+            heap_segment_shrinks: g("heap_segment_shrinks_total"),
+            heap_committed_bytes: g("heap_committed_bytes"),
             alloc_shards: g("heap_alloc_shards"),
             alloc_shard_contention: g("heap_alloc_shard_lock_contention_total"),
             alloc_refill_steals: g("heap_alloc_refill_steals_total"),
@@ -302,7 +322,22 @@ impl GcTelemetry {
             EscalationRung::LazySweep => self.alloc_rung_lazy.inc(),
             EscalationRung::FinishConcurrent => self.alloc_rung_finish.inc(),
             EscalationRung::FullStw => self.alloc_rung_stw.inc(),
+            EscalationRung::Grow => self.alloc_rung_grow.inc(),
         }
+    }
+
+    /// A mutator finished one bounded backpressure stall (deadline rung):
+    /// `ns` is the time it spent waiting and helping before memory
+    /// appeared or the deadline expired.
+    pub(crate) fn on_alloc_stall(&self, ns: u64) {
+        self.alloc_stalls.inc();
+        self.hub.record_alloc_stall_ns(ns);
+    }
+
+    /// The soft limit forced a collection kickoff ahead of the pacer's
+    /// own threshold (emergency cycle).
+    pub(crate) fn on_emergency_kickoff(&self) {
+        self.emergency_kickoffs.inc();
     }
 
     /// The ladder gave up: a typed OutOfMemory was surfaced.
@@ -371,6 +406,7 @@ impl GcTelemetry {
         pool_occupancy: f64,
         bg_alive: u64,
         alloc: &mcgc_heap::AllocShardStats,
+        segments: &mcgc_heap::SegmentStats,
     ) {
         self.phase.set(if phase_concurrent { 1.0 } else { 0.0 });
         self.cycle.set_u64(cycle);
@@ -388,6 +424,13 @@ impl GcTelemetry {
         self.pool_entries.set_u64(pool.entries as u64);
         self.pool_occupancy.set(pool_occupancy);
         self.bg_tracers_alive.set_u64(bg_alive);
+        self.heap_segments_committed
+            .set_u64(segments.committed as u64);
+        self.heap_segments_peak.set_u64(segments.peak as u64);
+        self.heap_segment_grows.set_u64(segments.grows);
+        self.heap_segment_shrinks.set_u64(segments.shrinks);
+        self.heap_committed_bytes
+            .set_u64((segments.committed * segments.seg_bytes) as u64);
         self.alloc_shards.set_u64(alloc.shards as u64);
         self.alloc_shard_contention.set_u64(alloc.contended_locks);
         self.alloc_refill_steals.set_u64(alloc.refill_steals);

@@ -60,6 +60,12 @@ pub mod site {
     /// milliseconds), leaving the pause leader to absorb its share of
     /// the phase's work.
     pub const GANG_STALL: &str = "gang.stall";
+    /// `Heap::try_grow` fails to reserve a new segment — the `mmap`
+    /// failure analogue on the escalation ladder's grow rung.
+    pub const HEAP_SEGMENT_RESERVE: &str = "heap.segment_reserve";
+    /// A stop-the-world sweep fails to release an entirely-free segment
+    /// (`munmap` failure analogue); the segment stays committed.
+    pub const HEAP_SEGMENT_RELEASE: &str = "heap.segment_release";
 
     /// Every registered site. `mcgc-lint` requires each `point!`
     /// literal in the tree to appear here.
@@ -73,6 +79,8 @@ pub mod site {
         HANDSHAKE_DELAY,
         CARD_FLOOD,
         GANG_STALL,
+        HEAP_SEGMENT_RESERVE,
+        HEAP_SEGMENT_RELEASE,
     ];
 }
 

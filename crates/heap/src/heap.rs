@@ -1,20 +1,27 @@
 //! The heap arena: slot storage, allocation caches, and large-object
 //! allocation, with the §5.2 batched allocation-bit publication protocol.
+//!
+//! Since the memory-pressure work, the arena is a set of independently
+//! reserved segments behind [`crate::segment::SegmentTable`]: the heap
+//! can grow past its initial size up to [`HeapConfig::max_heap_bytes`]
+//! ([`Heap::try_grow`], the escalation ladder's rung before OOM) and
+//! return entirely-free segments after a trough (the parallel sweep's
+//! finish step calls [`Heap::release_empty_segments`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mcgc_membar::{release_fence, FenceKind};
 
-use crate::bitmap::Bitmap;
-use crate::cards::CardTable;
 use crate::freelist::Extent;
 use crate::object::{Header, ObjectRef, GRANULE_BYTES, MAX_OBJECT_GRANULES};
+use crate::segment::{BitKind, HeapBitmap, HeapCards, SegmentTable, SEGMENT_ALIGN_GRANULES};
 use crate::shards::{AllocShardStats, ShardedFreeList};
 
 /// Heap sizing and allocation parameters.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct HeapConfig {
-    /// Total heap size in bytes (rounded up to a granule multiple).
+    /// Initial heap size in bytes (rounded up to a segment multiple).
     pub heap_bytes: usize,
     /// Allocation-cache size in bytes (paper §2.1: each thread allocates
     /// small objects from its own cache).
@@ -29,6 +36,14 @@ pub struct HeapConfig {
     /// one per available core, `1` selects the single-lock baseline
     /// allocator (the pre-sharding design, kept for A/B benchmarking).
     pub alloc_shards: usize,
+    /// Segment size in bytes (`0` = auto: roughly an eighth of the
+    /// initial heap, clamped to [4 KiB, 8 MiB]). Must be a power-of-two
+    /// multiple of 4 KiB when set explicitly.
+    pub segment_bytes: usize,
+    /// Hard heap limit in bytes: [`Heap::try_grow`] commits segments up
+    /// to this ceiling. `0` (the default) means the heap cannot grow
+    /// past `heap_bytes` — the pre-segmentation behaviour.
+    pub max_heap_bytes: usize,
 }
 
 impl Default for HeapConfig {
@@ -39,6 +54,8 @@ impl Default for HeapConfig {
             large_object_bytes: 8 << 10,
             min_free_extent_granules: 2,
             alloc_shards: 0,
+            segment_bytes: 0,
+            max_heap_bytes: 0,
         }
     }
 }
@@ -52,7 +69,7 @@ impl HeapConfig {
         }
     }
 
-    /// Heap size in granules.
+    /// Initial heap size in granules.
     pub fn heap_granules(&self) -> usize {
         self.heap_bytes.div_ceil(GRANULE_BYTES)
     }
@@ -151,9 +168,16 @@ pub enum AllocError {
     OutOfMemory {
         /// Bytes the failing request asked for.
         requested_bytes: u64,
-        /// Heap occupancy when the request failed, in permille of total
-        /// granules (see [`Heap::occupancy`]).
+        /// Heap occupancy when the request failed, in permille of
+        /// committed granules (see [`Heap::occupancy`]).
         occupancy_permille: u16,
+        /// Segments committed when the request failed.
+        segments_committed: u16,
+        /// Hard-limit segment capacity.
+        segments_max: u16,
+        /// Bitmask of committed segments (bit `i` = segment `i`; the
+        /// first 64 — higher indices are summarized by the counts).
+        segment_map: u64,
     },
 }
 
@@ -163,9 +187,13 @@ impl std::fmt::Display for AllocError {
             AllocError::OutOfMemory {
                 requested_bytes,
                 occupancy_permille,
+                segments_committed,
+                segments_max,
+                segment_map,
             } => write!(
                 f,
-                "heap exhausted: requested {requested_bytes} B with heap {}.{}% occupied",
+                "heap exhausted: requested {requested_bytes} B with heap {}.{}% occupied \
+                 ({segments_committed}/{segments_max} segments committed, map {segment_map:#x})",
                 occupancy_permille / 10,
                 occupancy_permille % 10
             ),
@@ -175,8 +203,28 @@ impl std::fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
-/// The shared heap: slot arena, bitmaps, card table, and the sharded
-/// free-space substrate.
+/// A point-in-time snapshot of the segment table (telemetry, OOM
+/// reports, the heap inspector).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Segment size in bytes.
+    pub seg_bytes: usize,
+    /// Segments currently committed.
+    pub committed: usize,
+    /// Most segments ever committed at once.
+    pub peak: usize,
+    /// Segments committed at construction (the floor; never released).
+    pub initial: usize,
+    /// Hard-limit segment capacity.
+    pub max: usize,
+    /// Total grow (commit) events.
+    pub grows: u64,
+    /// Total shrink (release) events.
+    pub shrinks: u64,
+}
+
+/// The shared heap: segmented slot arena, bitmaps, card table, and the
+/// sharded free-space substrate.
 ///
 /// All slot accesses are atomic (the mutators and the concurrent tracer
 /// race by design, exactly the surface the paper's protocols manage);
@@ -184,11 +232,10 @@ impl std::error::Error for AllocError {}
 /// which is routed through [`mcgc_membar`] so it is counted.
 pub struct Heap {
     config: HeapConfig,
-    granules: usize,
-    slots: Box<[AtomicU64]>,
-    alloc_bits: Bitmap,
-    mark_bits: Bitmap,
-    cards: CardTable,
+    table: Arc<SegmentTable>,
+    alloc_bits: HeapBitmap,
+    mark_bits: HeapBitmap,
+    cards: HeapCards,
     free: ShardedFreeList,
     bytes_allocated: AtomicU64,
     objects_allocated: AtomicU64,
@@ -196,20 +243,48 @@ pub struct Heap {
     dark_granules: AtomicU64,
 }
 
+/// Picks the segment size in granules: the explicit knob, or roughly an
+/// eighth of the initial heap so small test heaps still exercise several
+/// segments, clamped to [4 KiB, 8 MiB].
+fn pick_segment_granules(config: &HeapConfig, total_granules: usize) -> usize {
+    const MAX_SEG_GRANULES: usize = 1 << 20; // 8 MiB
+    if config.segment_bytes > 0 {
+        let sg = config.segment_bytes / GRANULE_BYTES;
+        assert!(
+            sg.is_power_of_two() && sg >= SEGMENT_ALIGN_GRANULES,
+            "segment_bytes must be a power of two and at least {} bytes",
+            SEGMENT_ALIGN_GRANULES * GRANULE_BYTES
+        );
+        return sg;
+    }
+    (total_granules / 8)
+        .next_power_of_two()
+        .clamp(SEGMENT_ALIGN_GRANULES, MAX_SEG_GRANULES)
+}
+
 impl Heap {
-    /// Creates a heap of `config.heap_bytes` bytes. Granule 0 is reserved
-    /// (the null encoding), so usable space starts at granule 1.
+    /// Creates a heap of `config.heap_bytes` bytes (rounded up to a
+    /// whole number of segments). Granule 0 is reserved (the null
+    /// encoding), so usable space starts at granule 1.
     ///
     /// # Panics
     /// Panics if the heap is smaller than one allocation cache or larger
     /// than the 32 GiB the 32-bit granule index addresses.
     pub fn new(config: HeapConfig) -> Heap {
-        let granules = config.heap_granules();
+        let requested = config.heap_granules();
         assert!(
-            granules > config.cache_bytes / GRANULE_BYTES,
+            requested > config.cache_bytes / GRANULE_BYTES,
             "heap smaller than one allocation cache"
         );
-        assert!(granules <= u32::MAX as usize, "heap exceeds 32 GiB");
+        let sg = pick_segment_granules(&config, requested);
+        let granules = requested.next_multiple_of(sg);
+        let max_granules = config
+            .max_heap_bytes
+            .div_ceil(GRANULE_BYTES)
+            .max(granules)
+            .next_multiple_of(sg);
+        assert!(max_granules <= u32::MAX as usize, "heap exceeds 32 GiB");
+        let table = Arc::new(SegmentTable::new(granules / sg, sg, max_granules / sg));
         let shards = match config.alloc_shards {
             0 => std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -227,11 +302,10 @@ impl Heap {
             len: granules - 1,
         }]);
         Heap {
-            granules,
-            slots: (0..granules).map(|_| AtomicU64::new(0)).collect(),
-            alloc_bits: Bitmap::new(granules),
-            mark_bits: Bitmap::new(granules),
-            cards: CardTable::new(granules),
+            alloc_bits: HeapBitmap::new(Arc::clone(&table), BitKind::Alloc),
+            mark_bits: HeapBitmap::new(Arc::clone(&table), BitKind::Mark),
+            cards: HeapCards::new(Arc::clone(&table)),
+            table,
             free,
             config,
             bytes_allocated: AtomicU64::new(0),
@@ -245,14 +319,53 @@ impl Heap {
         &self.config
     }
 
-    /// Heap size in granules (including reserved granule 0).
+    /// Granule-space extent: one past the highest committed segment's
+    /// last granule (including reserved granule 0 and any holes left by
+    /// shrinking). Monotone — it never decreases, so bitmap and card
+    /// walks sized off it stay in bounds across a shrink.
     pub fn granules(&self) -> usize {
-        self.granules
+        self.table.frontier_granules()
     }
 
-    /// Heap size in bytes.
+    /// Committed heap size in bytes (holes excluded).
     pub fn total_bytes(&self) -> usize {
-        self.granules * GRANULE_BYTES
+        self.table.committed_granules() * GRANULE_BYTES
+    }
+
+    /// Segment size in granules.
+    pub fn segment_granules(&self) -> usize {
+        self.table.seg_granules()
+    }
+
+    /// A snapshot of the segment table's counters.
+    pub fn segment_stats(&self) -> SegmentStats {
+        SegmentStats {
+            seg_bytes: self.table.seg_granules() * GRANULE_BYTES,
+            committed: self.table.segments_committed(),
+            peak: self.table.segments_peak(),
+            initial: self.table.initial_segments(),
+            max: self.table.max_segments(),
+            grows: self.table.grow_count(),
+            shrinks: self.table.shrink_count(),
+        }
+    }
+
+    /// Bitmask of committed segments (bit `i` = segment `i`).
+    pub fn segment_map(&self) -> u64 {
+        self.table.segment_map()
+    }
+
+    /// True if granule range `[start, start + len)` lies entirely in
+    /// committed segments.
+    pub fn is_range_mapped(&self, start: usize, len: usize) -> bool {
+        self.table.is_range_mapped(start, len)
+    }
+
+    /// The maximal committed subranges of granule range `[start, end)`,
+    /// in address order (sweep iterates these so free extents never span
+    /// a hole).
+    pub fn mapped_ranges(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
+        self.table.mapped_ranges(start, end)
     }
 
     /// Free bytes currently on the free list (excludes space inside live
@@ -300,17 +413,17 @@ impl Heap {
 
     /// The allocation bit vector (one bit per granule; set = object
     /// header, published per §5.2).
-    pub fn alloc_bits(&self) -> &Bitmap {
+    pub fn alloc_bits(&self) -> &HeapBitmap {
         &self.alloc_bits
     }
 
     /// The mark bit vector.
-    pub fn mark_bits(&self) -> &Bitmap {
+    pub fn mark_bits(&self) -> &HeapBitmap {
         &self.mark_bits
     }
 
     /// The card table.
-    pub fn cards(&self) -> &CardTable {
+    pub fn cards(&self) -> &HeapCards {
         &self.cards
     }
 
@@ -321,13 +434,101 @@ impl Heap {
     }
 
     // ------------------------------------------------------------------
+    // growth and shrink
+    // ------------------------------------------------------------------
+
+    /// Commits one more segment and puts its granules on the free list.
+    /// This is the escalation ladder's grow rung: fallible by design —
+    /// the hard limit ([`HeapConfig::max_heap_bytes`]) or an injected
+    /// `heap.segment_reserve` fault (the `mmap`-failure analogue) makes
+    /// it return `false`, and the caller escalates toward typed OOM.
+    pub fn try_grow(&self) -> bool {
+        if self.table.segments_committed() >= self.table.max_segments() {
+            return false; // hard limit reached
+        }
+        if mcgc_fault::point!("heap.segment_reserve") {
+            return false; // injected reservation failure
+        }
+        let Some(si) = self.table.commit_one() else {
+            return false;
+        };
+        // The whole fresh segment is free space. (Granule 0 lives in
+        // segment 0, which is initial — grown segments reserve nothing.)
+        let sg = self.table.seg_granules();
+        self.free.free(si * sg, sg);
+        true
+    }
+
+    /// Releases every non-initial segment whose granules are entirely
+    /// covered by `extents` (the address-ordered free-extent list a
+    /// sweep is about to install), removing the released ranges from
+    /// `extents`. Returns the number of segments released.
+    ///
+    /// Must run under stop-the-world, after every allocation cache has
+    /// been retired — the only context where "entirely free" is stable.
+    /// The release itself is fallible (`heap.segment_release`, the
+    /// `munmap`-failure analogue): a failed release keeps the segment
+    /// and its free extents.
+    pub(crate) fn release_empty_segments(&self, extents: &mut Vec<Extent>) -> usize {
+        let sg = self.table.seg_granules();
+        let mut released = 0;
+        for si in self.table.initial_segments()..self.table.frontier() {
+            if self.table.seg(si).is_none() {
+                continue;
+            }
+            let base = si * sg;
+            if covered_granules(extents, base, base + sg) < sg {
+                continue;
+            }
+            if mcgc_fault::point!("heap.segment_release") {
+                continue; // injected release failure: segment stays
+            }
+            subtract_range(extents, base, base + sg);
+            self.table.release(si);
+            released += 1;
+        }
+        released
+    }
+
+    /// Releases every non-initial segment whose granules sit entirely on
+    /// the free list right now. The eager sweep paths release inline
+    /// while rebuilding the free list; this is the stop-the-world
+    /// release point for the lazy path, where freed extents accumulate
+    /// incrementally and the next pause is the first moment "entirely
+    /// free" is stable. Same contract as
+    /// [`Heap::release_empty_segments`]: world stopped, caches retired,
+    /// and no lazy-sweep plan still holding a mapped-range snapshot.
+    pub fn release_empty_free_segments(&self) -> usize {
+        let mut extents = self.free.extents_sorted();
+        let released = self.release_empty_segments(&mut extents);
+        if released > 0 {
+            self.free.rebuild(extents);
+        }
+        released
+    }
+
+    // ------------------------------------------------------------------
     // slot access
     // ------------------------------------------------------------------
+
+    /// The slot holding global granule `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` lies in an unmapped segment (a dangling granule
+    /// index — no live object can exist in a hole).
+    #[inline]
+    fn slot(&self, idx: usize) -> &AtomicU64 {
+        let (s, off) = self
+            .table
+            .seg_of_granule(idx)
+            .expect("slot access in unmapped segment");
+        s.slot(off)
+    }
 
     /// Reads the header of `obj`.
     #[inline]
     pub fn header(&self, obj: ObjectRef) -> Header {
-        Header::decode(self.slots[obj.index()].load(Ordering::Relaxed))
+        Header::decode(self.slot(obj.index()).load(Ordering::Relaxed))
     }
 
     /// Loads reference slot `slot` of `obj`.
@@ -337,7 +538,10 @@ impl Heap {
     #[inline]
     pub fn load_ref(&self, obj: ObjectRef, slot: u32) -> Option<ObjectRef> {
         debug_assert!(slot < self.header(obj).ref_count, "ref slot out of range");
-        ObjectRef::decode(self.slots[obj.index() + 1 + slot as usize].load(Ordering::Relaxed))
+        ObjectRef::decode(
+            self.slot(obj.index() + 1 + slot as usize)
+                .load(Ordering::Relaxed),
+        )
     }
 
     /// Stores into reference slot `slot` of `obj` **without a write
@@ -347,7 +551,7 @@ impl Heap {
     #[inline]
     pub fn store_ref_unbarriered(&self, obj: ObjectRef, slot: u32, value: Option<ObjectRef>) {
         debug_assert!(slot < self.header(obj).ref_count, "ref slot out of range");
-        self.slots[obj.index() + 1 + slot as usize]
+        self.slot(obj.index() + 1 + slot as usize)
             .store(ObjectRef::encode(value), Ordering::Relaxed);
     }
 
@@ -356,7 +560,8 @@ impl Heap {
     pub fn load_data(&self, obj: ObjectRef, idx: u32) -> u64 {
         let h = self.header(obj);
         debug_assert!(idx < h.data_count(), "data slot out of range");
-        self.slots[obj.index() + 1 + h.ref_count as usize + idx as usize].load(Ordering::Relaxed)
+        self.slot(obj.index() + 1 + h.ref_count as usize + idx as usize)
+            .load(Ordering::Relaxed)
     }
 
     /// Stores data granule `idx` of `obj` (no barrier needed: data slots
@@ -365,7 +570,7 @@ impl Heap {
     pub fn store_data(&self, obj: ObjectRef, idx: u32, value: u64) {
         let h = self.header(obj);
         debug_assert!(idx < h.data_count(), "data slot out of range");
-        self.slots[obj.index() + 1 + h.ref_count as usize + idx as usize]
+        self.slot(obj.index() + 1 + h.ref_count as usize + idx as usize)
             .store(value, Ordering::Relaxed);
     }
 
@@ -376,7 +581,7 @@ impl Heap {
         let h = self.header(obj);
         let base = obj.index() + 1;
         for i in 0..h.ref_count as usize {
-            if let Some(r) = ObjectRef::decode(self.slots[base + i].load(Ordering::Relaxed)) {
+            if let Some(r) = ObjectRef::decode(self.slot(base + i).load(Ordering::Relaxed)) {
                 f(r);
             }
         }
@@ -543,10 +748,24 @@ impl Heap {
 
     fn format_object(&self, start: usize, shape: ObjectShape) {
         let n = shape.granules();
-        debug_assert!(start > 0 && start + n <= self.granules);
-        self.slots[start].store(shape.header().encode(), Ordering::Relaxed);
+        debug_assert!(start > 0 && start + n <= self.granules());
+        if let Some((seg, off)) = self.table.seg_of_granule(start) {
+            if off + n <= self.table.seg_granules() {
+                // Fast path: the object lies inside one segment.
+                seg.slot(off)
+                    .store(shape.header().encode(), Ordering::Relaxed);
+                for i in 1..n {
+                    seg.slot(off + i).store(0, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+        // The object spans adjacent committed segments (free extents can
+        // cross segment boundaries, holes never sit inside one).
+        self.slot(start)
+            .store(shape.header().encode(), Ordering::Relaxed);
         for i in 1..n {
-            self.slots[start + i].store(0, Ordering::Relaxed);
+            self.slot(start + i).store(0, Ordering::Relaxed);
         }
     }
 
@@ -561,32 +780,79 @@ impl Heap {
         self.cards.clear_all();
     }
 
-    /// Approximate heap occupancy in `[0, 1]`: allocated fraction of total
-    /// (free-list space and dark matter excluded from the numerator).
+    /// Approximate heap occupancy in `[0, 1]`: allocated fraction of the
+    /// *committed* granules (free-list space and dark matter excluded
+    /// from the numerator; holes excluded from the denominator).
     /// Lock-free: reads the substrate's relaxed free-granule counter.
     pub fn occupancy(&self) -> f64 {
-        let total = self.granules as f64;
+        let total = self.table.committed_granules() as f64;
         let free = self.free.free_granules() as f64;
         (total - free) / total
     }
 
     /// Builds the contextful out-of-memory error for a failed request of
-    /// `requested_bytes`, capturing current occupancy. Reads only the
-    /// atomic free counter: the allocator is already in a failure path,
-    /// and OOM reporting must not contend on the very locks whose
-    /// exhaustion it is describing.
+    /// `requested_bytes`, capturing current occupancy and the segment
+    /// map. Reads only atomic counters: the allocator is already in a
+    /// failure path, and OOM reporting must not contend on the very
+    /// locks whose exhaustion it is describing.
     pub fn oom_error(&self, requested_bytes: u64) -> AllocError {
         AllocError::OutOfMemory {
             requested_bytes,
             occupancy_permille: (self.occupancy() * 1000.0).round().clamp(0.0, 1000.0) as u16,
+            segments_committed: self.table.segments_committed().min(u16::MAX as usize) as u16,
+            segments_max: self.table.max_segments().min(u16::MAX as usize) as u16,
+            segment_map: self.table.segment_map(),
         }
     }
+}
+
+/// Granules of `[start, end)` covered by the address-ordered `extents`.
+fn covered_granules(extents: &[Extent], start: usize, end: usize) -> usize {
+    let mut n = 0;
+    for e in extents {
+        if e.start >= end {
+            break;
+        }
+        let s = e.start.max(start);
+        let t = (e.start + e.len).min(end);
+        if t > s {
+            n += t - s;
+        }
+    }
+    n
+}
+
+/// Removes granule range `[start, end)` from the address-ordered
+/// `extents`, splitting extents that straddle a boundary.
+fn subtract_range(extents: &mut Vec<Extent>, start: usize, end: usize) {
+    let mut out = Vec::with_capacity(extents.len() + 1);
+    for e in extents.drain(..) {
+        let e_end = e.start + e.len;
+        if e_end <= start || e.start >= end {
+            out.push(e);
+            continue;
+        }
+        if e.start < start {
+            out.push(Extent {
+                start: e.start,
+                len: start - e.start,
+            });
+        }
+        if e_end > end {
+            out.push(Extent {
+                start: end,
+                len: e_end - end,
+            });
+        }
+    }
+    *extents = out;
 }
 
 impl std::fmt::Debug for Heap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Heap")
-            .field("granules", &self.granules)
+            .field("granules", &self.granules())
+            .field("segments", &self.table.segments_committed())
             .field("free_bytes", &self.free_bytes())
             .field("bytes_allocated", &self.bytes_allocated())
             .finish()
@@ -604,6 +870,20 @@ mod tests {
             large_object_bytes: 1 << 10,
             min_free_extent_granules: 2,
             alloc_shards: 4,
+            segment_bytes: 0,
+            max_heap_bytes: 0,
+        })
+    }
+
+    fn growable_heap() -> Heap {
+        Heap::new(HeapConfig {
+            heap_bytes: 1 << 20,
+            max_heap_bytes: 2 << 20,
+            cache_bytes: 4 << 10,
+            large_object_bytes: 1 << 10,
+            min_free_extent_granules: 2,
+            alloc_shards: 4,
+            segment_bytes: 0,
         })
     }
 
@@ -672,6 +952,7 @@ mod tests {
         assert!(matches!(err, AllocError::OutOfMemory { .. }));
         let msg = err.to_string();
         assert!(msg.contains("requested"), "{msg}");
+        assert!(msg.contains("segments committed"), "{msg}");
     }
 
     #[test]
@@ -809,5 +1090,120 @@ mod tests {
             "halving finds a 64-granule run"
         );
         assert!(cache.remaining_granules() >= 8);
+    }
+
+    #[test]
+    fn fixed_heap_cannot_grow() {
+        let heap = small_heap();
+        let stats = heap.segment_stats();
+        assert_eq!(stats.committed, stats.max, "max_heap_bytes 0 = no room");
+        assert!(!heap.try_grow());
+        assert_eq!(heap.segment_stats().grows, 0);
+    }
+
+    #[test]
+    fn grow_commits_a_segment_and_frees_it() {
+        let heap = growable_heap();
+        let before = heap.segment_stats();
+        let free_before = heap.free_bytes();
+        let total_before = heap.total_bytes();
+        assert!(heap.try_grow());
+        let after = heap.segment_stats();
+        assert_eq!(after.committed, before.committed + 1);
+        assert_eq!(after.grows, 1);
+        assert_eq!(after.peak, after.committed);
+        assert_eq!(heap.total_bytes(), total_before + after.seg_bytes);
+        assert_eq!(heap.free_bytes(), free_before + after.seg_bytes);
+        // Growth stops at the hard limit.
+        while heap.try_grow() {}
+        assert_eq!(heap.segment_stats().committed, after.max);
+    }
+
+    #[test]
+    fn grown_segment_is_allocatable() {
+        let heap = growable_heap();
+        assert!(heap.try_grow());
+        let seg_granules = heap.segment_granules();
+        // Drain the initial heap so the next refill must come from the
+        // grown segment.
+        let initial_granules = seg_granules * heap.segment_stats().initial;
+        heap.free_list().rebuild([Extent {
+            start: initial_granules,
+            len: seg_granules,
+        }]);
+        let mut cache = AllocCache::new();
+        assert!(heap.refill_cache(&mut cache, 1));
+        let obj = heap
+            .alloc_small(&mut cache, ObjectShape::new(1, 1, 0))
+            .unwrap();
+        assert!(obj.index() >= initial_granules, "object in grown segment");
+        heap.store_data(obj, 0, 77);
+        assert_eq!(heap.load_data(obj, 0), 77);
+        heap.publish_cache(&mut cache);
+        assert!(heap.is_published(obj));
+    }
+
+    #[test]
+    fn release_returns_whole_free_segments() {
+        let heap = growable_heap();
+        assert!(heap.try_grow());
+        assert!(heap.try_grow());
+        let sg = heap.segment_granules();
+        let initial = heap.segment_stats().initial;
+        let committed_before = heap.segment_stats().committed;
+        // An extent list covering the whole heap: both grown segments are
+        // entirely free and must be released; the initial ones stay.
+        let mut extents = vec![Extent {
+            start: 1,
+            len: heap.granules() - 1,
+        }];
+        let released = heap.release_empty_segments(&mut extents);
+        assert_eq!(released, 2);
+        let stats = heap.segment_stats();
+        assert_eq!(stats.committed, committed_before - 2);
+        assert_eq!(stats.shrinks, 2);
+        assert_eq!(stats.peak, committed_before, "peak remembers the burst");
+        // The released ranges left the extent list.
+        let total: usize = extents.iter().map(|e| e.len).sum();
+        assert_eq!(total, initial * sg - 1);
+        assert!(extents.iter().all(|e| e.start + e.len <= initial * sg));
+        // Partially-occupied segments are kept: cover only half a segment.
+        assert!(heap.try_grow());
+        let base = initial * sg;
+        let mut partial = vec![Extent {
+            start: base,
+            len: sg / 2,
+        }];
+        assert_eq!(heap.release_empty_segments(&mut partial), 0);
+    }
+
+    #[test]
+    fn oom_error_carries_segment_map() {
+        let heap = growable_heap();
+        heap.try_grow();
+        let err = heap.oom_error(4096);
+        let AllocError::OutOfMemory {
+            requested_bytes,
+            segments_committed,
+            segments_max,
+            segment_map,
+            ..
+        } = err;
+        assert_eq!(requested_bytes, 4096);
+        let stats = heap.segment_stats();
+        assert_eq!(segments_committed as usize, stats.committed);
+        assert_eq!(segments_max as usize, stats.max);
+        assert_eq!(segment_map.count_ones() as usize, stats.committed);
+    }
+
+    #[test]
+    fn explicit_segment_bytes_is_honoured() {
+        let heap = Heap::new(HeapConfig {
+            heap_bytes: 1 << 20,
+            segment_bytes: 64 << 10,
+            ..HeapConfig::default()
+        });
+        assert_eq!(heap.segment_granules() * GRANULE_BYTES, 64 << 10);
+        assert_eq!(heap.segment_stats().initial, 16);
     }
 }

@@ -10,14 +10,14 @@
 
 use mcgc_telemetry::SpanRecorder;
 
-use crate::heap::Heap;
+use crate::heap::{Heap, SegmentStats};
 use crate::object::GRANULE_BYTES;
 use crate::shards::{BinOccupancy, NUM_CLASSES};
 
 /// A point-in-time summary of heap occupancy and fragmentation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct HeapInspection {
-    /// Heap size in bytes.
+    /// Committed heap size in bytes (released segments excluded).
     pub total_bytes: usize,
     /// Bytes on the free list (shards + wilderness).
     pub free_bytes: usize,
@@ -49,6 +49,11 @@ pub struct HeapInspection {
     pub bytes_allocated: u64,
     /// Cumulative objects allocated since heap creation.
     pub objects_allocated: u64,
+    /// Segment-table snapshot: committed/peak/max counts and cumulative
+    /// grow/shrink events.
+    pub segments: SegmentStats,
+    /// Bitmask of committed segments (bit `i` = segment `i`; first 64).
+    pub segment_map: u64,
 }
 
 /// Takes an occupancy snapshot of `heap`. See the module docs for the
@@ -80,6 +85,8 @@ pub fn inspect(heap: &Heap) -> HeapInspection {
         dirty_stores: cards.dirty_store_count(),
         bytes_allocated: heap.bytes_allocated(),
         objects_allocated: heap.objects_allocated(),
+        segments: heap.segment_stats(),
+        segment_map: heap.segment_map(),
     }
 }
 
@@ -95,6 +102,10 @@ impl HeapInspection {
         rec.record_counter("heap_free_extents", self.free_extents as f64);
         rec.record_counter("heap_dark_bytes", self.dark_bytes as f64);
         rec.record_counter("heap_cards_dirty", self.cards_dirty as f64);
+        rec.record_counter("heap_segments_committed", self.segments.committed as f64);
+        rec.record_counter("heap_segments_peak", self.segments.peak as f64);
+        rec.record_counter("heap_segment_grows", self.segments.grows as f64);
+        rec.record_counter("heap_segment_shrinks", self.segments.shrinks as f64);
     }
 
     /// A human-readable multi-line rendering (for `gc_top` and the
@@ -122,6 +133,16 @@ impl HeapInspection {
             out,
             "cards: {} dirty / {} ({} dirtying stores)",
             self.cards_dirty, self.cards_total, self.dirty_stores,
+        );
+        let _ = writeln!(
+            out,
+            "segments: {} committed / {} max ({:.1} MiB each, peak {}, {} grows, {} shrinks)",
+            self.segments.committed,
+            self.segments.max,
+            mib(self.segments.seg_bytes),
+            self.segments.peak,
+            self.segments.grows,
+            self.segments.shrinks,
         );
         let shard_granules: usize = self.shards.iter().map(|s| s.free_granules).sum();
         let _ = writeln!(
@@ -161,6 +182,7 @@ mod tests {
             large_object_bytes: 4 << 10,
             min_free_extent_granules: 2,
             alloc_shards: 4,
+            ..HeapConfig::default()
         });
         let mut cache = AllocCache::new();
         for i in 0..1500u32 {
@@ -215,7 +237,7 @@ mod tests {
         let rec = SpanRecorder::new(64);
         inspect(&heap).record_counters(&rec);
         let pts = rec.counter_points();
-        assert_eq!(pts.len(), 7);
+        assert_eq!(pts.len(), 11);
         assert!(pts.iter().all(|p| p.name.starts_with("heap_")));
         assert!(pts
             .iter()

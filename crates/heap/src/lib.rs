@@ -10,6 +10,9 @@
 //!   address-interleaved shards over a next-fit wilderness list
 //!   ([`freelist`]) — fed by bitwise sweep ([`sweep`]) and consumed
 //!   through per-thread allocation caches ([`heap`]);
+//! * a segment table ([`segment`]) behind the bitmaps and cards: the
+//!   arena is a set of independently reserved segments, grown under
+//!   memory pressure and shrunk after troughs;
 //! * a structural verifier for tests ([`verify`]).
 //!
 //! The arena's slot accesses are atomic: mutators and the concurrent
@@ -37,6 +40,7 @@ pub mod freelist;
 pub mod heap;
 pub mod inspect;
 pub mod object;
+pub mod segment;
 pub mod shards;
 pub mod sweep;
 pub mod verify;
@@ -44,9 +48,10 @@ pub mod verify;
 pub use bitmap::Bitmap;
 pub use cards::CardTable;
 pub use freelist::{Extent, FreeList};
-pub use heap::{AllocCache, AllocError, Heap, HeapConfig, ObjectShape};
+pub use heap::{AllocCache, AllocError, Heap, HeapConfig, ObjectShape, SegmentStats};
 pub use inspect::{inspect, HeapInspection};
 pub use object::{Header, ObjectRef, CARD_BYTES, GRANULES_PER_CARD, GRANULE_BYTES};
+pub use segment::{HeapBitmap, HeapCards, SegmentTable, SEGMENT_ALIGN_GRANULES};
 pub use shards::{AllocShardStats, BinOccupancy, ShardedFreeList};
 pub use sweep::{
     sweep_parallel, sweep_serial, LazySweep, ParallelSweep, SweepStats, DEFAULT_CHUNK_GRANULES,

@@ -57,46 +57,58 @@ pub fn sweep_chunk(heap: &Heap, chunk: usize, chunk_granules: usize) -> ChunkSwe
     // granule 0 is reserved; the sweepable region starts at 1
     let start = (chunk * chunk_granules).max(1);
     let end = ((chunk + 1) * chunk_granules).min(heap_granules);
-    let mut out = ChunkSweep::default();
     if start >= end {
-        return out;
+        return ChunkSweep::default();
     }
+    sweep_ranges(heap, &heap.mapped_ranges(start, end))
+}
+
+/// Sweeps the given committed granule ranges (address-ordered, each
+/// entirely inside one run of committed segments). Free extents are
+/// emitted per range, so they never span a hole left by a released
+/// segment — neither do live objects, by the allocation invariant.
+fn sweep_ranges(heap: &Heap, ranges: &[(usize, usize)]) -> ChunkSweep {
+    let mut out = ChunkSweep::default();
     let marks = heap.mark_bits();
-    // Carry-in: a live object starting before the chunk may span into it.
-    let mut cursor = start;
-    if let Some(prev) = marks.prev_set(start) {
-        let h = heap.header(ObjectRef::from_granule(prev as u32));
-        let obj_end = prev + h.size_granules as usize;
-        if obj_end > start {
-            cursor = obj_end.min(end);
-        }
-    }
     let min_extent = heap.config().min_free_extent_granules;
-    while cursor < end {
-        let next_mark = marks.next_set_before(cursor, end);
-        let gap_end = next_mark.unwrap_or(end);
-        if gap_end > cursor {
-            // everything in [cursor, gap_end) is dead: clear alloc bits
-            heap.alloc_bits().clear_range(cursor, gap_end);
-            let len = gap_end - cursor;
-            if len >= min_extent {
-                out.extents.push(Extent { start: cursor, len });
-            } else {
-                out.dark_granules += len;
+    for &(rs, re) in ranges {
+        // Carry-in: a live object starting before the range may span into
+        // it (objects never span holes, so a carry-in found across a hole
+        // boundary necessarily ends before `rs` and is ignored).
+        let mut cursor = rs;
+        if let Some(prev) = marks.prev_set(rs) {
+            let h = heap.header(ObjectRef::from_granule(prev as u32));
+            let obj_end = prev + h.size_granules as usize;
+            if obj_end > rs {
+                cursor = obj_end.min(re);
             }
         }
-        match next_mark {
-            Some(m) => {
-                let h = heap.header(ObjectRef::from_granule(m as u32));
-                debug_assert!(
-                    heap.alloc_bits().get(m),
-                    "marked granule {m} has no allocation bit"
-                );
-                out.live_objects += 1;
-                out.live_granules += h.size_granules as usize;
-                cursor = m + h.size_granules as usize;
+        while cursor < re {
+            let next_mark = marks.next_set_before(cursor, re);
+            let gap_end = next_mark.unwrap_or(re);
+            if gap_end > cursor {
+                // everything in [cursor, gap_end) is dead: clear alloc bits
+                heap.alloc_bits().clear_range(cursor, gap_end);
+                let len = gap_end - cursor;
+                if len >= min_extent {
+                    out.extents.push(Extent { start: cursor, len });
+                } else {
+                    out.dark_granules += len;
+                }
             }
-            None => break,
+            match next_mark {
+                Some(m) => {
+                    let h = heap.header(ObjectRef::from_granule(m as u32));
+                    debug_assert!(
+                        heap.alloc_bits().get(m),
+                        "marked granule {m} has no allocation bit"
+                    );
+                    out.live_objects += 1;
+                    out.live_granules += h.size_granules as usize;
+                    cursor = m + h.size_granules as usize;
+                }
+                None => break,
+            }
         }
     }
     out
@@ -120,6 +132,11 @@ pub struct SweepStats {
     pub dark_granules: usize,
     /// Chunks swept.
     pub chunks: usize,
+    /// Entirely-free segments released back to the segment table by this
+    /// sweep (stop-the-world sweeps only; lazy sweeps never shrink).
+    /// Their granules are counted in `freed_granules` but do not appear
+    /// on the rebuilt free list.
+    pub segments_released: usize,
 }
 
 impl SweepStats {
@@ -143,6 +160,10 @@ pub fn sweep_serial(heap: &Heap, chunk_granules: usize) -> SweepStats {
         stats.absorb(&cs);
         all.extend(cs.extents);
     }
+    // Occupancy-driven shrink: a non-initial segment whose granules are
+    // entirely free after the trough goes back to the segment table
+    // instead of the free list.
+    stats.segments_released = heap.release_empty_segments(&mut all);
     heap.free_list().rebuild(all);
     heap.set_dark_granules(stats.dark_granules as u64);
     stats
@@ -224,6 +245,9 @@ impl ParallelSweep {
             stats.absorb(cs);
             all.extend(cs.extents.iter().copied());
         }
+        // Shrink while the world is stopped and every cache is retired —
+        // the only context where "segment entirely free" is stable.
+        stats.segments_released = heap.release_empty_segments(&mut all);
         heap.free_list().rebuild(all);
         heap.set_dark_granules(stats.dark_granules as u64);
         stats
@@ -259,6 +283,13 @@ pub struct LazySweep {
     next: AtomicUsize,
     done: AtomicUsize,
     total: usize,
+    /// Committed granule ranges at plan time. A segment the grow rung
+    /// commits *during* the lazy sweep has its space put straight on the
+    /// free list (its bitmaps are clear — nothing to sweep); sweeping it
+    /// here too would double-free it, so chunks only sweep the snapshot.
+    /// The converse race cannot happen: segments are only released by
+    /// stop-the-world sweeps, and no pause starts until this plan is done.
+    mapped: Vec<(usize, usize)>,
     recorder: Option<Arc<SpanRecorder>>,
 }
 
@@ -274,6 +305,7 @@ impl LazySweep {
             next: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             total: chunk_count(heap, chunk_granules),
+            mapped: heap.mapped_ranges(1, heap.granules()),
             recorder: None,
         }
     }
@@ -298,7 +330,19 @@ impl LazySweep {
             .as_deref()
             .filter(|r| r.is_enabled())
             .map(|r| r.span(SpanKind::LazySweepChunk, c as u64));
-        let cs = sweep_chunk(heap, c, self.chunk_granules);
+        // Clip the chunk to the plan-time committed ranges (see `mapped`).
+        let start = c * self.chunk_granules;
+        let end = (c + 1) * self.chunk_granules;
+        let ranges: Vec<(usize, usize)> = self
+            .mapped
+            .iter()
+            .filter_map(|&(rs, re)| {
+                let s = rs.max(start);
+                let e = re.min(end);
+                (s < e).then_some((s, e))
+            })
+            .collect();
+        let cs = sweep_ranges(heap, &ranges);
         for e in &cs.extents {
             heap.free_list().free(e.start, e.len);
         }
@@ -339,6 +383,7 @@ mod tests {
             large_object_bytes: 4 << 10,
             min_free_extent_granules: 2,
             alloc_shards: 4,
+            ..HeapConfig::default()
         });
         let mut cache = AllocCache::new();
         let mut objs = Vec::new();
@@ -436,6 +481,7 @@ mod tests {
             large_object_bytes: 256,
             min_free_extent_granules: 2,
             alloc_shards: 4,
+            ..HeapConfig::default()
         });
         // Large object spanning several 1 KiB-granule chunks.
         let big = heap.alloc_large(ObjectShape::new(0, 5000, 2)).unwrap();
@@ -473,6 +519,58 @@ mod tests {
         assert!((lazy.progress() - 1.0).abs() < f64::EPSILON);
         assert_eq!(stats.live_objects, eager.live_objects);
         assert_eq!(free_total(&heap_a), free_total(&heap_b));
+    }
+
+    fn growable_heap() -> Heap {
+        Heap::new(HeapConfig {
+            heap_bytes: 1 << 20,
+            max_heap_bytes: 2 << 20,
+            cache_bytes: 8 << 10,
+            large_object_bytes: 4 << 10,
+            min_free_extent_granules: 2,
+            alloc_shards: 4,
+            segment_bytes: 0,
+        })
+    }
+
+    #[test]
+    fn sweep_releases_empty_grown_segments() {
+        let heap = growable_heap();
+        assert!(heap.try_grow());
+        assert!(heap.try_grow());
+        let sg = heap.segment_granules();
+        let initial = heap.segment_stats().initial;
+        // Nothing is marked, so the grown segments are entirely dead and
+        // the sweep must hand them back to the segment table.
+        let stats = sweep_serial(&heap, 1 << 10);
+        assert_eq!(stats.segments_released, 2);
+        assert_eq!(heap.segment_stats().committed, initial);
+        assert_eq!(heap.segment_stats().shrinks, 2);
+        // The free list holds only initial-segment space.
+        assert_eq!(
+            free_total(&heap) + stats.dark_granules,
+            initial * sg - 1,
+            "released segments left the free list"
+        );
+    }
+
+    #[test]
+    fn lazy_sweep_ignores_segments_grown_mid_sweep() {
+        let heap = growable_heap();
+        let sg = heap.segment_granules();
+        let plan_granules = heap.granules();
+        let lazy = LazySweep::new(&heap, 1 << 10);
+        lazy.sweep_one(&heap).unwrap();
+        // A grow rung fires mid-sweep: its space goes straight to the
+        // free list and must NOT be swept (double-freed) by the plan.
+        assert!(heap.try_grow());
+        while lazy.sweep_one(&heap).is_some() {}
+        assert!(lazy.is_done());
+        assert_eq!(
+            free_total(&heap),
+            (plan_granules - 1) + sg,
+            "plan-time space swept once, grown segment added once"
+        );
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub enum Violation {
         /// Offending extent length.
         len: usize,
     },
+    /// A free-list extent intersects an unmapped (released) segment: an
+    /// allocation from it would hand out memory the heap gave back.
+    FreeListUnmapped {
+        /// Extent start granule.
+        start: usize,
+        /// Extent length.
+        len: usize,
+    },
     /// A marked (black) object references an unmarked object without
     /// being covered: the mostly-concurrent tri-color invariant (§2.1)
     /// is broken, and the referent would be swept while reachable.
@@ -109,6 +117,12 @@ impl std::fmt::Display for Violation {
                     "free extent [{start:#x}, +{len}) is out of order, empty, or overlapping"
                 )
             }
+            Violation::FreeListUnmapped { start, len } => {
+                write!(
+                    f,
+                    "free extent [{start:#x}, +{len}) intersects an unmapped segment"
+                )
+            }
             Violation::TriColor {
                 parent,
                 slot,
@@ -147,7 +161,9 @@ pub fn verify(heap: &Heap, strict_refs: bool) -> Vec<Violation> {
             continue;
         }
         let end = start + size;
-        if end > granules {
+        // Past the frontier, or spanning into a hole left by a released
+        // segment — either way the object's granules are not all backed.
+        if end > granules || !heap.is_range_mapped(start, size) {
             violations.push(Violation::ObjectOutOfBounds {
                 obj: start as u32,
                 end,
@@ -165,7 +181,7 @@ pub fn verify(heap: &Heap, strict_refs: bool) -> Vec<Violation> {
         }
         for i in 0..h.ref_count {
             if let Some(target) = heap.load_ref(obj, i) {
-                if target.index() >= granules {
+                if target.index() >= granules || !heap.is_range_mapped(target.index(), 1) {
                     violations.push(Violation::DanglingRef {
                         obj: start as u32,
                         slot: i,
@@ -214,6 +230,12 @@ pub fn verify(heap: &Heap, strict_refs: bool) -> Vec<Violation> {
         prev_end = prev_end.max(e.start + e.len);
         if alloc.count_range(e.start, (e.start + e.len).min(granules)) != 0 {
             violations.push(Violation::FreeListOverlap {
+                start: e.start,
+                len: e.len,
+            });
+        }
+        if e.len > 0 && !heap.is_range_mapped(e.start, e.len) {
+            violations.push(Violation::FreeListUnmapped {
                 start: e.start,
                 len: e.len,
             });
@@ -510,6 +532,41 @@ mod tests {
         // … or b gets marked.
         h.mark(b);
         assert_eq!(verify_tricolor(&h, |_| false, |_| false), vec![]);
+    }
+
+    #[test]
+    fn grow_and_shrink_keep_heap_valid_and_holes_are_flagged() {
+        use crate::freelist::Extent;
+        let h = Heap::new(HeapConfig {
+            heap_bytes: 1 << 20,
+            max_heap_bytes: 2 << 20,
+            ..HeapConfig::default()
+        });
+        // Grown heap verifies clean.
+        assert!(h.try_grow());
+        assert_eq!(verify(&h, true), vec![]);
+        // Release the grown segment again (it is entirely free).
+        let mut extents = h.free_list().extents_sorted();
+        assert_eq!(h.release_empty_segments(&mut extents), 1);
+        h.free_list().set_extents_unchecked(extents.clone());
+        assert_eq!(verify(&h, true), vec![]);
+        // Forge an extent reaching into the hole: flagged as unmapped.
+        let sg = h.segment_granules();
+        let hole = h.segment_stats().initial * sg;
+        let mut forged = extents;
+        forged.push(Extent {
+            start: hole + 8,
+            len: 16,
+        });
+        h.free_list().set_extents_unchecked(forged);
+        let v = verify(&h, true);
+        assert_eq!(
+            v,
+            vec![Violation::FreeListUnmapped {
+                start: hole + 8,
+                len: 16,
+            }]
+        );
     }
 
     #[test]

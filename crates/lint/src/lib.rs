@@ -78,6 +78,7 @@ pub const ORDERING_ALLOWLIST: &[&str] = &[
     "crates/heap/src/bitmap.rs",
     "crates/heap/src/cards.rs",
     "crates/heap/src/heap.rs",
+    "crates/heap/src/segment.rs",
     "crates/heap/src/shards.rs",
     "crates/heap/src/sweep.rs",
     "crates/packets/src/pool.rs",

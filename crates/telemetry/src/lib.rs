@@ -116,6 +116,7 @@ pub struct Telemetry {
     ring: EventRing,
     pause_ns: LogHistogram,
     increment_ns: LogHistogram,
+    alloc_stall_ns: LogHistogram,
     registry: MetricsRegistry,
     utilization: UtilizationTracker,
     /// The flight recorder (shared so the gang, heap, and exporters can
@@ -139,6 +140,7 @@ impl Telemetry {
             ring: EventRing::new(ring_capacity),
             pause_ns: LogHistogram::new(),
             increment_ns: LogHistogram::new(),
+            alloc_stall_ns: LogHistogram::new(),
             registry: MetricsRegistry::new(),
             utilization: UtilizationTracker::new(),
             spans: Arc::new(SpanRecorder::with_epoch(
@@ -227,6 +229,16 @@ impl Telemetry {
         }
     }
 
+    /// Records one bounded allocation-backpressure stall (the time a
+    /// mutator spent waiting — and helping — before memory appeared or
+    /// its deadline expired into a typed OOM).
+    #[inline]
+    pub fn record_alloc_stall_ns(&self, ns: u64) {
+        if self.is_enabled() {
+            self.alloc_stall_ns.record(ns);
+        }
+    }
+
     /// Mutator utilization over the trailing `window_ns` ending now.
     pub fn mutator_utilization(&self, window_ns: u64) -> f64 {
         self.utilization.utilization(self.now_ns(), window_ns)
@@ -253,6 +265,10 @@ impl Telemetry {
 
     pub fn increment_histogram(&self) -> &LogHistogram {
         &self.increment_ns
+    }
+
+    pub fn alloc_stall_histogram(&self) -> &LogHistogram {
+        &self.alloc_stall_ns
     }
 
     pub fn registry(&self) -> &MetricsRegistry {
@@ -287,12 +303,14 @@ mod tests {
         t.emit(EventKind::Kickoff, 1, 0);
         t.record_pause_ns(0, 1_000_000);
         t.record_increment_ns(500);
+        t.record_alloc_stall_ns(500);
         let mut stage = EventStage::new();
         t.stage(&mut stage, EventKind::Handshake, 1, 1);
         t.flush(&mut stage);
         assert!(t.events().is_empty());
         assert_eq!(t.pause_histogram().count(), 0);
         assert_eq!(t.increment_histogram().count(), 0);
+        assert_eq!(t.alloc_stall_histogram().count(), 0);
     }
 
     #[test]

@@ -336,6 +336,127 @@ fn kitchen_sink_matrix_completes_or_fails_typed() {
     }
 }
 
+/// Builds a rooted chain of `bytes` worth of live nodes, growing the
+/// heap on demand through the escalation ladder. Returns the error that
+/// stopped it, if any.
+fn fill_live(m: &mut mcgc::Mutator, bytes: usize) -> Result<(), GcError> {
+    let node = ObjectShape::new(1, 30, 0); // 32 granules = 256 B
+    let head = m.alloc(node)?;
+    let slot = m.root_push(Some(head));
+    let mut prev = head;
+    let mut allocated = node.bytes();
+    while allocated < bytes {
+        let n = m.alloc(node)?;
+        m.write_ref(n, 0, Some(prev));
+        m.root_set(slot, Some(n));
+        prev = n;
+        allocated += node.bytes();
+    }
+    Ok(())
+}
+
+/// Segment reservation failing under pressure (the mmap-failure
+/// analogue): the grow rung must come back empty-handed, the one
+/// bounded backpressure stall must run and expire at its deadline — not
+/// hang — and the request must surface as a typed OOM whose snapshot
+/// records the refused growth, all with a clean final audit.
+#[test]
+fn segment_reserve_faults_end_in_typed_oom_after_bounded_stall() {
+    with_deadline("segment_reserve", || {
+        let _guard = FaultPlan::new(0x5E6)
+            .from(site::HEAP_SEGMENT_RESERVE, 1)
+            .install();
+        let mut cfg = config(4 << 20, SweepMode::Eager);
+        cfg.heap.max_heap_bytes = 16 << 20; // headroom the fault denies
+        cfg.alloc_stall_deadline = Duration::from_millis(50);
+        let gc = Gc::new(cfg);
+        let mut m = gc.register_mutator();
+        let started = Instant::now();
+        let err = fill_live(&mut m, 8 << 20).expect_err("live data past the reservation must OOM");
+        // Bounded: collections + one 50 ms stall, nowhere near the
+        // watchdog. The stall must actually have run before giving up.
+        assert!(
+            started.elapsed() < DEADLINE / 2,
+            "ladder took {:?}: stall not bounded",
+            started.elapsed()
+        );
+        match err {
+            GcError::OutOfMemory {
+                stalled,
+                grows,
+                full_collections,
+                segments_committed,
+                segments_max,
+                ..
+            } => {
+                assert!(stalled, "backpressure stall never ran");
+                assert_eq!(grows, 0, "grow rung succeeded despite the fault");
+                assert!(full_collections >= 1, "ladder skipped collections");
+                assert!(
+                    segments_committed < segments_max,
+                    "no headroom: the grow rung was never even eligible"
+                );
+            }
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("segments"), "no segment context: {msg}");
+        assert!(msg.contains("stalled: true"), "no stall context: {msg}");
+        assert!(fault::fires(site::HEAP_SEGMENT_RESERVE) > 0, "never fired");
+        let s = counters(&gc);
+        assert!(s["gc_alloc_stalls_total"] >= 1.0, "stall not counted");
+        assert_eq!(s["gc_alloc_rung_grow_total"], 0.0);
+        assert_eq!(s["heap_segment_grows_total"], 0.0);
+        // The collector survives: drop the chain and allocate again.
+        m.root_truncate(0);
+        m.collect();
+        let ok = m.alloc(ObjectShape::new(0, 4, 0)).unwrap();
+        m.root_push(Some(ok));
+        drop(m);
+        gc.audit_now();
+        gc.shutdown();
+    });
+}
+
+/// Segment release failing (the munmap-failure analogue): the trough
+/// after a burst wants to return empty segments, the fault refuses, and
+/// the heap must simply keep them committed — still sound, still
+/// allocatable, no shrink recorded.
+#[test]
+fn segment_release_faults_keep_segments_committed_and_sound() {
+    with_deadline("segment_release", || {
+        let _guard = FaultPlan::new(0x5E7)
+            .from(site::HEAP_SEGMENT_RELEASE, 1)
+            .install();
+        let mut cfg = config(2 << 20, SweepMode::Eager);
+        cfg.heap.segment_bytes = 256 << 10;
+        cfg.heap.max_heap_bytes = 8 << 20;
+        let gc = Gc::new(cfg);
+        let mut m = gc.register_mutator();
+        // Burst: live data past the initial reservation forces grows.
+        fill_live(&mut m, 3 << 20).unwrap();
+        let peak = gc.heap().segment_stats();
+        assert!(peak.grows > 0, "burst never grew the heap");
+        // Trough: drop the chain; the next full collection would release
+        // the now-empty grown segments, but every release is refused.
+        m.root_truncate(0);
+        m.collect();
+        m.collect();
+        assert!(fault::fires(site::HEAP_SEGMENT_RELEASE) > 0, "never fired");
+        let after = gc.heap().segment_stats();
+        assert_eq!(after.shrinks, 0, "release succeeded despite the fault");
+        assert!(
+            after.committed > after.initial,
+            "segments vanished although release was refused"
+        );
+        // Kept segments stay usable: fill into them again.
+        fill_live(&mut m, 2 << 20).unwrap();
+        m.root_truncate(0);
+        drop(m);
+        gc.audit_now();
+        gc.shutdown();
+    });
+}
+
 /// A gang helper stalling at dispatch (satellite of the persistent
 /// pause gang) must delay the pause by at most its bounded sleep, never
 /// hang it: the leader pulls the same atomic cursors and finishes the
