@@ -1,29 +1,36 @@
-//! Pause scaling across gang sizes: the measured stop-the-world wall
-//! time at `stw_workers` ∈ {1, 2, 4, 8}, for both the mostly-concurrent
-//! collector and the stop-the-world baseline (whose pauses carry the
-//! whole mark in-pause and so have the most parallelizable work).
+//! Pause scaling across gang sizes *and sweep modes*: the measured
+//! stop-the-world wall time at `stw_workers` ∈ {1, 2, 4, 8}, for the
+//! stop-the-world baseline (eager sweep — its pauses carry the whole
+//! mark and sweep in-pause, the most parallelizable work) and for the
+//! mostly-concurrent collector under all three sweep strategies:
 //!
-//! What this isolates: every pause phase — final card cleaning, root
-//! rescanning, packet drain, sweep, bitmap pre-clear — runs on the
-//! *persistent* gang, claimed from atomic cursors. `stw_workers = 1`
-//! runs every phase inline on the leader (the serial pause, zero
-//! dispatch overhead); higher counts split the same cursors across the
-//! parked helper threads with one condvar wakeup per phase and no
-//! `thread::spawn` anywhere on the pause path.
+//! - `eager`: sweep runs in the pause on the gang (the old default);
+//! - `lazy`: the pause only publishes a sweep epoch; reclamation is
+//!   paid by allocation-cache refills (sweep-on-refill) and the next
+//!   cycle's straggler fence;
+//! - `lazy+bg`: same, plus the background sweeper draining chunks in
+//!   the idle windows between cycles.
 //!
-//! On a multi-core host the cursor split is the speedup: each phase's
-//! wall time approaches `work / workers` plus the (microsecond-scale)
-//! barrier. A single-CPU runner cannot exhibit that half of the story —
-//! the OS serializes the workers, so wall time at best stays flat and
-//! the numbers below mostly measure the dispatch protocol's overhead;
-//! what the structural half still shows everywhere is that adding
-//! workers costs only the barrier, not a per-pause thread spawn. Columns
-//! are measured wall (not work-model) milliseconds; the per-phase
-//! breakdown uses the pause-phase timers recorded in every `CycleStats`.
+//! What the worker axis isolates: every pause phase — final card
+//! cleaning, root rescanning, packet drain, (eager) sweep, bitmap
+//! pre-clear — runs on the *persistent* gang, claimed from atomic
+//! cursors. `stw_workers = 1` runs every phase inline on the leader;
+//! higher counts split the same cursors across the parked helpers with
+//! one condvar wakeup per phase and no `thread::spawn` on the pause
+//! path. On a multi-core host the cursor split is the speedup; a
+//! single-CPU runner serializes the workers and mostly measures the
+//! dispatch protocol's overhead.
 //!
-//! Prints one row per (mode, workers) point and writes machine-readable
-//! results to `BENCH_pause.json` (override with `MCGC_BENCH_OUT`); CI's
-//! `bench-smoke` job archives that file and appends the speedups to
+//! What the sweep axis isolates: how much pause wall time the sweep
+//! phase itself costs, and what moving it off-pause does to allocation
+//! throughput (refills now pay for sweeping) and to the next cycle's
+//! straggler fence. Columns are measured wall (not work-model)
+//! milliseconds from the pause-phase timers in every `CycleStats`.
+//!
+//! Prints one row per (mode, sweep, workers) point and writes
+//! machine-readable results to `BENCH_pause.json` (override with
+//! `MCGC_BENCH_OUT`); CI's `bench-smoke` job archives that file and
+//! appends the gang speedups and the lazy-sweep pause reduction to
 //! EXPERIMENTS.md.
 
 use std::time::Duration;
@@ -33,6 +40,7 @@ use mcgc_workloads::jbb::run_standalone;
 
 struct Point {
     mode: &'static str,
+    sweep: &'static str,
     workers: usize,
     cycles: usize,
     avg_pause_ms: f64,
@@ -42,6 +50,12 @@ struct Point {
     avg_drain_ms: f64,
     avg_sweep_ms: f64,
     avg_clear_ms: f64,
+    /// Straggler fence (lazy modes): runs pre-pause under the
+    /// coordinator lock, so it is *not* part of `avg_pause_ms`.
+    avg_straggler_ms: f64,
+    avg_straggler_chunks: f64,
+    /// Workload allocation throughput, transactions/second.
+    throughput: f64,
 }
 
 fn avg_ms(log: &GcLog, f: impl Fn(&mcgc_core::CycleStats) -> Duration) -> f64 {
@@ -55,11 +69,19 @@ fn avg_ms(log: &GcLog, f: impl Fn(&mcgc_core::CycleStats) -> Duration) -> f64 {
         / log.cycles.len() as f64
 }
 
-fn run(mode: CollectorMode, mode_name: &'static str, workers: usize) -> Point {
+fn run(
+    mode: CollectorMode,
+    mode_name: &'static str,
+    sweep: SweepMode,
+    bg_sweep: bool,
+    sweep_name: &'static str,
+    workers: usize,
+) -> Point {
     let heap = mcgc_bench::heap_bytes(32);
     let mut cfg = mcgc_bench::gc_config(mode, heap);
     cfg.stw_workers = workers;
-    cfg.sweep = SweepMode::Eager;
+    cfg.sweep = sweep;
+    cfg.bg_sweep = bg_sweep;
     cfg.background_threads = if mode == CollectorMode::Concurrent {
         2
     } else {
@@ -67,9 +89,16 @@ fn run(mode: CollectorMode, mode_name: &'static str, workers: usize) -> Point {
     };
     let opts = mcgc_bench::jbb_opts(heap, 2, mcgc_bench::seconds(1.5));
     let report = run_standalone(cfg, &opts);
+    let throughput = report.throughput();
     let log = mcgc_bench::steady(&report.log);
+    let straggler_chunks = if log.cycles.is_empty() {
+        f64::NAN
+    } else {
+        log.cycles.iter().map(|c| c.straggler_chunks).sum::<u64>() as f64 / log.cycles.len() as f64
+    };
     Point {
         mode: mode_name,
+        sweep: sweep_name,
         workers,
         cycles: log.cycles.len(),
         avg_pause_ms: log.avg_pause_wall_ms(),
@@ -79,17 +108,21 @@ fn run(mode: CollectorMode, mode_name: &'static str, workers: usize) -> Point {
         avg_drain_ms: avg_ms(&log, |c| c.drain_wall),
         avg_sweep_ms: avg_ms(&log, |c| c.sweep_wall),
         avg_clear_ms: avg_ms(&log, |c| c.clear_wall),
+        avg_straggler_ms: avg_ms(&log, |c| c.straggler_wall),
+        avg_straggler_chunks: straggler_chunks,
+        throughput,
     }
 }
 
 fn main() {
     mcgc_bench::banner(
-        "pause scaling: persistent STW gang at 1/2/4/8 workers",
-        "fully parallel stop-the-world phase (§2.2, §6)",
+        "pause scaling: persistent STW gang at 1/2/4/8 workers × sweep mode",
+        "fully parallel stop-the-world phase (§2.2, §6); lazy sweep off the pause path",
     );
     println!(
-        "{:<6} {:>7} {:>7}  {:>9} {:>9}  {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "{:<6} {:<8} {:>7} {:>7}  {:>9} {:>9}  {:>8} {:>8} {:>8} {:>8} {:>8}  {:>9} {:>7}  {:>9}",
         "mode",
+        "sweep",
         "workers",
         "cycles",
         "avg_ms",
@@ -98,19 +131,52 @@ fn main() {
         "roots",
         "drain",
         "sweep",
-        "clear"
+        "clear",
+        "fence_ms",
+        "chunks",
+        "tx/s"
     );
     let worker_points = [1usize, 2, 4, 8];
+    // stw stays eager (its pause is the whole collection by definition);
+    // cgc runs the full sweep-mode axis.
+    let grid: &[(CollectorMode, &str, SweepMode, bool, &str)] = &[
+        (
+            CollectorMode::StopTheWorld,
+            "stw",
+            SweepMode::Eager,
+            false,
+            "eager",
+        ),
+        (
+            CollectorMode::Concurrent,
+            "cgc",
+            SweepMode::Eager,
+            false,
+            "eager",
+        ),
+        (
+            CollectorMode::Concurrent,
+            "cgc",
+            SweepMode::Lazy,
+            false,
+            "lazy",
+        ),
+        (
+            CollectorMode::Concurrent,
+            "cgc",
+            SweepMode::Lazy,
+            true,
+            "lazy+bg",
+        ),
+    ];
     let mut points = Vec::new();
-    for &(mode, name) in &[
-        (CollectorMode::StopTheWorld, "stw"),
-        (CollectorMode::Concurrent, "cgc"),
-    ] {
+    for &(mode, name, sweep, bg, sweep_name) in grid {
         for &workers in &worker_points {
-            let p = run(mode, name, workers);
+            let p = run(mode, name, sweep, bg, sweep_name, workers);
             println!(
-                "{:<6} {:>7} {:>7}  {:>9.3} {:>9.3}  {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                "{:<6} {:<8} {:>7} {:>7}  {:>9.3} {:>9.3}  {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}  {:>9.3} {:>7.1}  {:>9.0}",
                 p.mode,
+                p.sweep,
                 p.workers,
                 p.cycles,
                 p.avg_pause_ms,
@@ -120,40 +186,70 @@ fn main() {
                 p.avg_drain_ms,
                 p.avg_sweep_ms,
                 p.avg_clear_ms,
+                p.avg_straggler_ms,
+                p.avg_straggler_chunks,
+                p.throughput,
             );
             points.push(p);
         }
     }
 
-    let pause = |mode: &str, workers: usize| {
+    let point = |mode: &str, sweep: &str, workers: usize| {
         points
             .iter()
-            .find(|p| p.mode == mode && p.workers == workers)
-            .map(|p| p.avg_pause_ms)
-            .unwrap_or(f64::NAN)
+            .find(|p| p.mode == mode && p.sweep == sweep && p.workers == workers)
     };
-    let speedup_4 = pause("stw", 1) / pause("stw", 4);
-    let speedup_8 = pause("stw", 1) / pause("stw", 8);
+    let pause = |mode: &str, sweep: &str, workers: usize| {
+        point(mode, sweep, workers).map_or(f64::NAN, |p| p.avg_pause_ms)
+    };
+    let speedup_4 = pause("stw", "eager", 1) / pause("stw", "eager", 4);
+    let speedup_8 = pause("stw", "eager", 1) / pause("stw", "eager", 8);
+    // Sweep-mode summary at the 2-worker point (the default gang size):
+    // how much pause the lazy epoch removes, and what it costs in
+    // allocation throughput now that refills pay for sweeping.
+    let summary_workers = 2;
+    let eager = point("cgc", "eager", summary_workers);
+    let lazy_bg = point("cgc", "lazy+bg", summary_workers);
+    let pause_reduction = match (eager, lazy_bg) {
+        (Some(e), Some(l)) if e.avg_pause_ms > 0.0 => 1.0 - l.avg_pause_ms / e.avg_pause_ms,
+        _ => f64::NAN,
+    };
+    let throughput_delta = match (eager, lazy_bg) {
+        (Some(e), Some(l)) if e.throughput > 0.0 => l.throughput / e.throughput - 1.0,
+        _ => f64::NAN,
+    };
     println!();
     println!("stw avg-pause speedup, 1 -> 4 workers: {speedup_4:.2}x");
     println!("stw avg-pause speedup, 1 -> 8 workers: {speedup_8:.2}x");
     println!("(>1 needs real cores: on a 1-CPU host the workers time-slice");
     println!(" and these ratios measure only the dispatch-barrier overhead)");
+    println!(
+        "cgc pause reduction, eager -> lazy+bg sweep ({summary_workers} workers): {:.0}%",
+        pause_reduction * 100.0
+    );
+    println!(
+        "cgc allocation-throughput delta, eager -> lazy+bg: {:+.1}%",
+        throughput_delta * 100.0
+    );
 
     let mut json = String::from("{\n  \"bench\": \"pause_scaling\",\n");
     json.push_str(&mcgc_bench::host_meta_json("stw|cgc"));
     json.push_str(&format!(
-        "  \"heap_bytes\": {},\n  \"worker_points\": [1, 2, 4, 8],\n",
+        "  \"heap_bytes\": {},\n  \"worker_points\": [1, 2, 4, 8],\n  \
+         \"sweep_modes\": [\"eager\", \"lazy\", \"lazy+bg\"],\n",
         mcgc_bench::heap_bytes(32)
     ));
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"workers\": {}, \"cycles\": {}, \
+            "    {{\"mode\": \"{}\", \"sweep\": \"{}\", \"workers\": {}, \"cycles\": {}, \
              \"avg_pause_wall_ms\": {:.4}, \"max_pause_wall_ms\": {:.4}, \
              \"avg_cards_ms\": {:.4}, \"avg_roots_ms\": {:.4}, \"avg_drain_ms\": {:.4}, \
-             \"avg_sweep_ms\": {:.4}, \"avg_clear_ms\": {:.4}}}{}\n",
+             \"avg_sweep_ms\": {:.4}, \"avg_clear_ms\": {:.4}, \
+             \"avg_straggler_ms\": {:.4}, \"avg_straggler_chunks\": {:.1}, \
+             \"throughput_tx_s\": {:.0}}}{}\n",
             p.mode,
+            p.sweep,
             p.workers,
             p.cycles,
             p.avg_pause_ms,
@@ -163,12 +259,17 @@ fn main() {
             p.avg_drain_ms,
             p.avg_sweep_ms,
             p.avg_clear_ms,
+            p.avg_straggler_ms,
+            p.avg_straggler_chunks,
+            p.throughput,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_4_workers\": {speedup_4:.3},\n  \"speedup_8_workers\": {speedup_8:.3}\n}}\n"
+        "  \"speedup_4_workers\": {speedup_4:.3},\n  \"speedup_8_workers\": {speedup_8:.3},\n  \
+         \"pause_reduction_lazy_bg\": {pause_reduction:.3},\n  \
+         \"throughput_delta_lazy_bg\": {throughput_delta:.3}\n}}\n"
     ));
     let out = std::env::var("MCGC_BENCH_OUT").unwrap_or_else(|_| "BENCH_pause.json".into());
     std::fs::write(&out, json).expect("write bench json");

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::collector::Gc;
+use crate::pacing::BgSweepPacer;
 use crate::tracing::TraceRole;
 
 /// Background thread main loop. "Low priority" is approximated by short
@@ -17,6 +18,7 @@ pub(crate) fn run(gc: Arc<Gc>) {
     gc.register_thread();
     gc.bg_alive
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut sweep_pacer = BgSweepPacer::new();
     while !gc.shutdown_flag.load(std::sync::atomic::Ordering::Relaxed) {
         gc.poll_safepoint();
         if gc.in_concurrent_phase() {
@@ -45,8 +47,10 @@ pub(crate) fn run(gc: Arc<Gc>) {
                 // Brief yield between quanta keeps "low priority".
                 std::thread::yield_now();
             }
-        } else if gc.sweep_some_lazy() {
-            // Lazy-sweep chunks are background work too (§7).
+        } else if gc.background_sweep_quantum(&mut sweep_pacer) {
+            // Between concurrent phases the tracer doubles as the
+            // background sweeper: it soaks idle cycles draining the
+            // sweep epoch, parking while mutator refills keep up.
             std::thread::yield_now();
         } else {
             idle(&gc, Duration::from_micros(500));

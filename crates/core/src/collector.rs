@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mcgc_heap::{Heap, LazySweep, ObjectRef, ParallelSweep};
+use mcgc_heap::{Heap, LazySweep, ObjectRef, ParallelSweep, SweepSource};
 use mcgc_membar::sync::{Condvar, Mutex};
 use mcgc_packets::{PacketPool, WorkBuffer};
 use mcgc_telemetry::{SpanGuard, SpanKind, TrackId};
@@ -248,11 +248,17 @@ pub struct Gc {
     timeline: Mutex<Timeline>,
     pub(crate) bg_window: Mutex<BgWindow>,
 
-    pub(crate) lazy: Mutex<Option<Arc<LazySweep>>>,
     /// Set when the previous pause pre-cleared the mark bits and card
     /// table (only possible with eager sweep; lazy sweep still needs the
-    /// mark bits after the pause).
+    /// mark bits after the pause). The sweep-epoch plan itself lives on
+    /// the heap ([`Heap::install_lazy_plan`]) so refill paths reach it
+    /// without a collector dependency.
     bits_pre_cleared: AtomicBool,
+    /// Straggler-fence accounting accumulated since the last pause: the
+    /// fence runs *before* the world stops (kickoff or pre-pause), so its
+    /// cost is stashed here and absorbed into the next `CycleStats`.
+    straggler_ns: AtomicU64,
+    straggler_chunks: AtomicU64,
 
     log: Mutex<GcLog>,
     pub(crate) tel: GcTelemetry,
@@ -329,8 +335,9 @@ impl Gc {
                 bg_traced: 0,
                 allocated: 0,
             }),
-            lazy: Mutex::new(None),
             bits_pre_cleared: AtomicBool::new(false),
+            straggler_ns: AtomicU64::new(0),
+            straggler_chunks: AtomicU64::new(0),
             log: Mutex::new(GcLog::default()),
             tel,
             coord_track,
@@ -445,6 +452,7 @@ impl Gc {
             self.bg_alive.load(Ordering::Relaxed) as u64,
             &self.heap.alloc_stats(),
             &self.heap.segment_stats(),
+            &self.heap.sweep_counters(),
         );
         self.tel.refresh_gang(&self.gang);
         self.tel.refresh_postmortem();
@@ -733,12 +741,7 @@ impl Gc {
             return;
         }
         let emergency = self.soft_limit_pressure();
-        if !emergency
-            && !self
-                .pacer
-                .lock()
-                .should_kickoff(self.heap.free_bytes() as u64)
-        {
+        if !emergency && !self.pacer.lock().should_kickoff(self.kickoff_headroom()) {
             return;
         }
         // Block for the coordinator role (counted safe, so a concurrent
@@ -773,6 +776,21 @@ impl Gc {
             self.tel.on_emergency_kickoff();
         }
         self.begin_cycle_locked(true);
+    }
+
+    /// Free bytes as the kickoff formula should see them: actual free
+    /// space plus an upper bound on what the in-flight sweep epoch still
+    /// holds in unswept chunks. The epoch cleared the free list at
+    /// install, so right after a lazy pause `free_bytes()` reads near
+    /// zero — feeding that raw number to the pacer would kick off the
+    /// next cycle immediately and turn every epoch into one big straggler
+    /// fence, instead of letting sweep-on-refill and the background
+    /// sweeper drain it off-pause.
+    fn kickoff_headroom(&self) -> u64 {
+        let pending = self.heap.lazy_plan().map_or(0, |p| {
+            p.pending_granules(&self.heap) * mcgc_heap::GRANULE_BYTES
+        });
+        self.heap.free_bytes() as u64 + pending as u64
     }
 
     /// Initializes a new cycle (§2.1): clears the card table and mark
@@ -871,11 +889,28 @@ impl Gc {
         // this returns without blocking.
         self.exit_safe();
 
-        if trigger == Trigger::AllocationFailure && self.heap.largest_free_bytes() >= min_contiguous
-        {
-            // Another thread's collection already freed a usable run;
-            // total free space is not the test (it may be fragments).
-            return;
+        if trigger == Trigger::AllocationFailure {
+            if self.heap.largest_free_bytes() >= min_contiguous {
+                // Another thread's collection already freed a usable run;
+                // total free space is not the test (it may be fragments).
+                return;
+            }
+            // A collection that raced ahead of us may have *just installed*
+            // a sweep epoch — the free list is empty by design until its
+            // chunks are swept, so "no usable run" does not mean another
+            // pause is needed. Drain the epoch (bounded by its chunk
+            // count) before concluding that; without this, an allocation
+            // failure right after a lazy pause fences the brand-new epoch
+            // and escalates to a full stop-the-world cycle while nearly
+            // all of the heap's free space sits in unswept chunks.
+            while self.heap.lazy_plan_active() {
+                if !self.sweep_some_lazy() {
+                    break;
+                }
+                if self.heap.largest_free_bytes() >= min_contiguous {
+                    return;
+                }
+            }
         }
         if trigger == Trigger::ConcurrentDone && !self.in_concurrent_phase() {
             return; // someone already finished the phase
@@ -886,24 +921,105 @@ impl Gc {
         self.resume_world();
     }
 
-    /// Drives any pending lazy sweep to completion (before a new cycle
-    /// can reuse the mark bits).
+    /// The sweep epoch's **completion fence**: drives any chunks the
+    /// previous cycle's refill and background sweeping left unswept
+    /// (the *stragglers*) to completion before mark bits are recycled.
+    /// Runs on the persistent gang, *before* the world stops (called at
+    /// kickoff and pre-pause under the coordinator lock), so the measured
+    /// pause itself contains no bulk sweep — only this bounded, counted
+    /// remainder. The cost is stashed and folded into the next
+    /// `CycleStats` as `straggler_wall`/`straggler_chunks`.
     pub(crate) fn finish_lazy_sweep(&self) {
-        let lazy = self.lazy.lock().clone();
-        if let Some(plan) = lazy {
-            while plan.sweep_one(&self.heap).is_some() {}
-            self.retire_lazy_plan();
+        let Some(plan) = self.heap.lazy_plan() else {
+            return;
+        };
+        let before = plan.remaining_chunks() as u64;
+        let t = Instant::now();
+        if before > 0 {
+            self.gang.run(GangTask::Straggler, |w| {
+                let mut swept = 0;
+                while plan
+                    .sweep_one_from(&self.heap, SweepSource::Straggler)
+                    .is_some()
+                {
+                    swept += 1;
+                }
+                self.gang.add_claimed(w, swept);
+            });
         }
+        // Chunks claimed by a concurrent refill (or a stalled background
+        // sweeper that already claimed) may still be in flight; each
+        // claimer finishes its chunk promptly, so this wait is bounded.
+        while !plan.is_done() {
+            std::thread::yield_now();
+        }
+        let ns = t.elapsed().as_nanos() as u64;
+        self.straggler_ns.fetch_add(ns, Ordering::Relaxed);
+        self.straggler_chunks.fetch_add(before, Ordering::Relaxed);
+        self.tel.on_straggler(before, ns);
+        self.retire_lazy_plan();
     }
 
     /// Sweeps a few lazy chunks on behalf of an allocating mutator;
     /// returns true if progress was made (caller retries allocation).
     pub(crate) fn sweep_some_lazy(&self) -> bool {
-        let lazy = self.lazy.lock().clone();
-        let Some(plan) = lazy else { return false };
+        let Some(plan) = self.heap.lazy_plan() else {
+            return false;
+        };
         let mut progressed = false;
         for _ in 0..8 {
-            if plan.sweep_one(&self.heap).is_none() {
+            if plan
+                .sweep_one_from(&self.heap, SweepSource::Escalation)
+                .is_none()
+            {
+                break;
+            }
+            progressed = true;
+        }
+        if plan.is_done() {
+            self.retire_lazy_plan();
+        }
+        progressed
+    }
+
+    /// One background-sweeper quantum (the sweep-epoch analogue of the
+    /// §3 background tracers): drains up to `bg_sweep_batch` chunks of
+    /// the active epoch, or parks for this turn when the pacer sees
+    /// mutator refills keeping up on their own. Returns true if chunks
+    /// were swept (caller yields briefly and comes back).
+    pub(crate) fn background_sweep_quantum(&self, pacer: &mut crate::pacing::BgSweepPacer) -> bool {
+        if !self.config.bg_sweep || self.config.sweep != SweepMode::Lazy {
+            return false;
+        }
+        let Some(plan) = self.heap.lazy_plan() else {
+            return false;
+        };
+        // Fault: the background sweeper stalls for the payload's duration
+        // (milliseconds) *before claiming anything*, so a stalled sweeper
+        // never holds a chunk hostage — allocation self-serves via
+        // sweep-on-refill and the next fence drains the rest.
+        if mcgc_fault::point!("sweep.bg_stall") {
+            let ms = match mcgc_fault::payload("sweep.bg_stall") {
+                0 => 1000,
+                ms => ms.clamp(1, 60_000),
+            };
+            let deadline = Instant::now() + Duration::from_millis(ms);
+            while !self.shutdown_flag.load(Ordering::Relaxed) && Instant::now() < deadline {
+                self.enter_safe();
+                self.background_park(Duration::from_millis(2));
+                self.exit_safe();
+            }
+            return false;
+        }
+        if !pacer.should_drain(self.heap.sweep_counters().refill_chunks) {
+            return false;
+        }
+        let mut progressed = false;
+        for _ in 0..self.config.bg_sweep_batch.max(1) {
+            if plan
+                .sweep_one_from(&self.heap, SweepSource::Background)
+                .is_none()
+            {
                 break;
             }
             progressed = true;
@@ -919,12 +1035,7 @@ impl Gc {
     /// now (instead of at the next kickoff) keeps cycle initialization
     /// instant, as the eager path's in-pause pre-clearing does.
     fn retire_lazy_plan(&self) {
-        let mut lazy = self.lazy.lock();
-        if let Some(plan) = lazy.as_ref() {
-            if !plan.is_done() {
-                return;
-            }
-            *lazy = None;
+        if self.heap.take_lazy_plan_if_done().is_some() {
             self.heap.mark_bits().clear_all();
             self.bits_pre_cleared.store(true, Ordering::Release);
             self.tel
@@ -964,11 +1075,12 @@ impl Gc {
         // releases empty grown segments inline while rebuilding the free
         // list; the lazy path accumulates freed extents incrementally
         // and this pause is its first stop-the-world point where
-        // "entirely free" is stable. Only with no plan outstanding —
-        // an active plan holds a mapped-range snapshot that a release
-        // would invalidate (callers finish it before stopping the
-        // world, so this only skips if a pause fires mid-plan).
-        if self.config.sweep == SweepMode::Lazy && self.lazy.lock().is_none() {
+        // "entirely free" is stable. The release itself is epoch-aware:
+        // should a pause ever fire with a plan still in flight, segments
+        // with unswept chunks are not "empty" yet (their dead memory has
+        // not reached the free list) and are skipped by the heap's
+        // `range_fully_swept` guard.
+        if self.config.sweep == SweepMode::Lazy {
             self.heap.release_empty_free_segments();
         }
 
@@ -1100,12 +1212,23 @@ impl Gc {
                 )
             }
             SweepMode::Lazy => {
-                let live_objects = self.heap.mark_bits().count() as u64;
-                *self.lazy.lock() = Some(Arc::new(
+                // Publish the sweep epoch: a snapshot of mapped segment
+                // ranges plus per-chunk claim states. No sweeping happens
+                // here — reclamation is paid off-pause by sweep-on-refill
+                // and the background sweeper; the *next* cycle's fence
+                // only finishes stragglers.
+                // Live-object count deferred with the rest of the epoch's
+                // bitmap accounting: a popcount over the mark bitmap
+                // costs more than the entire install, and the first
+                // off-pause kickoff-headroom check computes it anyway
+                // (mark bits are stable until the plan retires). Lazy
+                // cycles report 0 live objects; `live_after_bytes` below
+                // still carries the traced estimate.
+                self.heap.install_lazy_plan(Arc::new(
                     LazySweep::new(&self.heap, chunk)
                         .with_recorder(Arc::clone(self.tel.hub.spans())),
                 ));
-                (live_objects, 0, 0, true)
+                (0, 0, 0, true)
             }
         };
         drop(sweep_span);
@@ -1199,6 +1322,8 @@ impl Gc {
             drain_wall,
             sweep_wall,
             clear_wall,
+            straggler_wall: Duration::from_nanos(self.straggler_ns.swap(0, Ordering::Relaxed)),
+            straggler_chunks: self.straggler_chunks.swap(0, Ordering::Relaxed),
             concurrent_wall,
             pre_concurrent_wall,
             mutator_traced_bytes: c.traced_mutator.load(Ordering::Relaxed),

@@ -64,6 +64,14 @@ pub struct GcConfig {
     pub sweep: SweepMode,
     /// Sweep chunk size in granules.
     pub sweep_chunk_granules: usize,
+    /// Whether background threads drain the sweep epoch while idle
+    /// (lazy sweep only). Off, only mutator refills and the next cycle's
+    /// straggler fence sweep — the A/B arm the pause bench calls `lazy`
+    /// (vs `lazy+bg`).
+    pub bg_sweep: bool,
+    /// Chunks the background sweeper drains per quantum between
+    /// safepoint polls.
+    pub bg_sweep_batch: usize,
     /// Batch size (cards) for a concurrent card-cleaning quantum; each
     /// snapshot batch costs one handshake.
     pub card_clean_batch: usize,
@@ -125,6 +133,8 @@ impl Default for GcConfig {
             card_clean_passes: 1,
             sweep: SweepMode::Eager,
             sweep_chunk_granules: 16 << 10, // 128 KiB chunks
+            bg_sweep: true,
+            bg_sweep_batch: 8,
             card_clean_batch: 2048,
             trace_batch: 64,
             background_quantum: 64 << 10,

@@ -81,10 +81,13 @@ pub(crate) enum GangTask {
     Flood,
     /// End-of-pause mark-bit pre-clear.
     ClearBits,
+    /// Pre-pause straggler fence: drain the previous sweep epoch's
+    /// unswept chunks so the pause itself contains no bulk sweep.
+    Straggler,
 }
 
 impl GangTask {
-    pub(crate) const COUNT: usize = 6;
+    pub(crate) const COUNT: usize = 7;
 
     pub(crate) fn index(self) -> usize {
         match self {
@@ -94,6 +97,7 @@ impl GangTask {
             GangTask::Sweep => 3,
             GangTask::Flood => 4,
             GangTask::ClearBits => 5,
+            GangTask::Straggler => 6,
         }
     }
 }

@@ -163,6 +163,35 @@ impl Pacer {
     }
 }
 
+/// Pacing for the background sweeper, in the spirit of the §3.2
+/// background-tracing credit: the sweeper should soak idle cycles, not
+/// race the mutators for chunks they are already claiming themselves.
+/// It watches the heap's cumulative sweep-on-refill chunk counter — if
+/// refills swept since the sweeper's last look, the allocators are
+/// keeping up (they self-serve exactly when they need memory) and the
+/// sweeper parks for that turn; once refills go quiet it drains.
+/// Each background thread owns its own pacer (plain state, no sharing).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct BgSweepPacer {
+    last_refill_chunks: u64,
+}
+
+impl BgSweepPacer {
+    /// Creates a pacer with no refill history.
+    pub fn new() -> BgSweepPacer {
+        BgSweepPacer::default()
+    }
+
+    /// Decides whether the background sweeper should drain a batch this
+    /// turn, given the heap's current cumulative refill-swept chunk
+    /// count. Also records the count for the next decision.
+    pub fn should_drain(&mut self, refill_chunks_now: u64) -> bool {
+        let prev = self.last_refill_chunks;
+        self.last_refill_chunks = refill_chunks_now;
+        refill_chunks_now == prev
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)]
 mod tests {
@@ -259,6 +288,16 @@ mod tests {
         }
         assert!((p.l_est() - (20u64 << 20) as f64).abs() < (1u64 << 18) as f64);
         assert!((p.m_est() - (1u64 << 20) as f64).abs() < (1u64 << 15) as f64);
+    }
+
+    #[test]
+    fn bg_sweep_pacer_parks_while_refills_progress() {
+        let mut p = BgSweepPacer::new();
+        assert!(p.should_drain(0), "no history: drain");
+        assert!(!p.should_drain(3), "refills swept since last look: park");
+        assert!(!p.should_drain(5), "still advancing: park");
+        assert!(p.should_drain(5), "refills quiet: drain");
+        assert!(p.should_drain(5), "stays draining while quiet");
     }
 
     #[test]

@@ -89,6 +89,14 @@ pub struct CycleStats {
     pub sweep_wall: Duration,
     /// Wall time of the end-of-pause mark-bit pre-clear.
     pub clear_wall: Duration,
+    /// Wall time of the previous sweep epoch's straggler fence (lazy
+    /// sweep). The fence runs *before* this cycle's world-stop, so it is
+    /// not part of `pause_wall`; it is reported here so the off-pause
+    /// sweep cost stays visible.
+    pub straggler_wall: Duration,
+    /// Chunks the straggler fence had to finish (0 when refill and
+    /// background sweeping drained the whole epoch off-pause).
+    pub straggler_chunks: u64,
 
     // -- concurrent phase --
     /// Wall-clock duration of the concurrent phase.
@@ -404,6 +412,8 @@ fn apply_stat(c: &mut CycleStats, field: StatField, arg: u64) {
         StatField::DrainWallNs => c.drain_wall = Duration::from_nanos(arg),
         StatField::SweepWallNs => c.sweep_wall = Duration::from_nanos(arg),
         StatField::ClearWallNs => c.clear_wall = Duration::from_nanos(arg),
+        StatField::StragglerWallNs => c.straggler_wall = Duration::from_nanos(arg),
+        StatField::StragglerChunks => c.straggler_chunks = arg,
     }
 }
 
@@ -486,6 +496,11 @@ pub fn emit_cycle_events(tel: &Telemetry, stats: &CycleStats) {
     put(StatField::DrainWallNs, stats.drain_wall.as_nanos() as u64);
     put(StatField::SweepWallNs, stats.sweep_wall.as_nanos() as u64);
     put(StatField::ClearWallNs, stats.clear_wall.as_nanos() as u64);
+    put(
+        StatField::StragglerWallNs,
+        stats.straggler_wall.as_nanos() as u64,
+    );
+    put(StatField::StragglerChunks, stats.straggler_chunks);
     tel.stage(&mut stage, EventKind::CycleEnd, cycle, cycle as u64);
     tel.flush(&mut stage);
 }
@@ -624,6 +639,8 @@ mod tests {
             drain_wall: Duration::from_nanos(33_333),
             sweep_wall: Duration::from_nanos(44_444),
             clear_wall: Duration::from_nanos(55_555),
+            straggler_wall: Duration::from_nanos(66_666),
+            straggler_chunks: 7,
             concurrent_wall: Duration::from_micros(777),
             pre_concurrent_wall: Duration::from_millis(5),
             mutator_traced_bytes: u64::MAX / 3,
@@ -663,6 +680,8 @@ mod tests {
             assert_eq!(orig.drain_wall, got.drain_wall);
             assert_eq!(orig.sweep_wall, got.sweep_wall);
             assert_eq!(orig.clear_wall, got.clear_wall);
+            assert_eq!(orig.straggler_wall, got.straggler_wall);
+            assert_eq!(orig.straggler_chunks, got.straggler_chunks);
             assert_eq!(orig.concurrent_wall, got.concurrent_wall);
             assert_eq!(orig.pre_concurrent_wall, got.pre_concurrent_wall);
             assert_eq!(orig.mutator_traced_bytes, got.mutator_traced_bytes);

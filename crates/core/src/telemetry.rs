@@ -77,6 +77,9 @@ pub(crate) struct GcTelemetry {
     pause_drain_ns: Arc<Counter>,
     pause_sweep_ns: Arc<Counter>,
     pause_clear_ns: Arc<Counter>,
+    // -- sweep-epoch straggler fences (bumped as each fence completes) --
+    sweep_straggler_chunks: Arc<Counter>,
+    sweep_straggler_ns: Arc<Counter>,
 
     // -- gauges (refreshed by telemetry_sample) --
     phase: Arc<Gauge>,
@@ -104,6 +107,12 @@ pub(crate) struct GcTelemetry {
     alloc_shard_contention: Arc<Gauge>,
     alloc_refill_steals: Arc<Gauge>,
     alloc_wilderness_refills: Arc<Gauge>,
+    // -- sweep-epoch accounting, mirrored from the heap's cumulative
+    //    atomics (same pull style as the segment grow/shrink counters) --
+    sweep_refill_chunks: Arc<Gauge>,
+    sweep_bg_chunks: Arc<Gauge>,
+    sweep_on_pause_granules: Arc<Gauge>,
+    sweep_off_pause_granules: Arc<Gauge>,
     // -- worst-pause postmortem (refreshed by telemetry_sample from the
     //    flight recorder's span rings) --
     postmortem_coverage: Arc<Gauge>,
@@ -165,6 +174,8 @@ impl GcTelemetry {
             pause_drain_ns: c("gc_pause_drain_ns_total"),
             pause_sweep_ns: c("gc_pause_sweep_ns_total"),
             pause_clear_ns: c("gc_pause_clear_ns_total"),
+            sweep_straggler_chunks: c("gc_sweep_straggler_chunks_total"),
+            sweep_straggler_ns: c("gc_sweep_straggler_ns_total"),
             phase: g("gc_phase"),
             cycle: g("gc_cycle"),
             heap_occupancy: g("heap_occupancy"),
@@ -190,6 +201,10 @@ impl GcTelemetry {
             alloc_shard_contention: g("heap_alloc_shard_lock_contention_total"),
             alloc_refill_steals: g("heap_alloc_refill_steals_total"),
             alloc_wilderness_refills: g("heap_alloc_wilderness_refills_total"),
+            sweep_refill_chunks: g("gc_sweep_on_refill_chunks_total"),
+            sweep_bg_chunks: g("gc_bg_sweep_chunks_total"),
+            sweep_on_pause_granules: g("gc_sweep_reclaimed_on_pause_granules_total"),
+            sweep_off_pause_granules: g("gc_sweep_reclaimed_off_pause_granules_total"),
             postmortem_coverage: g("gc_postmortem_coverage"),
             postmortem_wall_ns: g("gc_postmortem_pause_wall_ns"),
             postmortem_imbalance: g("gc_postmortem_worst_imbalance"),
@@ -244,6 +259,15 @@ impl GcTelemetry {
     pub(crate) fn on_sweep_end(&self, cycle: u64, live_objects: u64) {
         self.hub
             .emit(EventKind::SweepEnd, cycle as u32, live_objects);
+    }
+
+    /// One straggler fence completed: the previous sweep epoch's last
+    /// `chunks` chunks were drained in `ns` nanoseconds, off-pause, just
+    /// before the next cycle began.
+    pub(crate) fn on_straggler(&self, chunks: u64, ns: u64) {
+        self.sweep_straggler_chunks.add(chunks);
+        self.sweep_straggler_ns.add(ns);
+        self.hub.record_straggler_ns(ns);
     }
 
     /// A completed lazy-sweep plan was retired; `free_bytes` is the free
@@ -407,6 +431,7 @@ impl GcTelemetry {
         bg_alive: u64,
         alloc: &mcgc_heap::AllocShardStats,
         segments: &mcgc_heap::SegmentStats,
+        sweep: &mcgc_heap::SweepCounters,
     ) {
         self.phase.set(if phase_concurrent { 1.0 } else { 0.0 });
         self.cycle.set_u64(cycle);
@@ -436,6 +461,12 @@ impl GcTelemetry {
         self.alloc_refill_steals.set_u64(alloc.refill_steals);
         self.alloc_wilderness_refills
             .set_u64(alloc.wilderness_refills);
+        self.sweep_refill_chunks.set_u64(sweep.refill_chunks);
+        self.sweep_bg_chunks.set_u64(sweep.bg_chunks);
+        self.sweep_on_pause_granules
+            .set_u64(sweep.on_pause_granules);
+        self.sweep_off_pause_granules
+            .set_u64(sweep.off_pause_granules);
     }
 
     /// Refreshes the worst-pause postmortem gauges from the flight

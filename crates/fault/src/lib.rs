@@ -66,6 +66,10 @@ pub mod site {
     /// A stop-the-world sweep fails to release an entirely-free segment
     /// (`munmap` failure analogue); the segment stays committed.
     pub const HEAP_SEGMENT_RELEASE: &str = "heap.segment_release";
+    /// The background sweeper stalls before draining a batch (payload =
+    /// milliseconds), leaving the current sweep epoch to the mutators'
+    /// sweep-on-refill path and the next cycle's straggler fence.
+    pub const SWEEP_BG_STALL: &str = "sweep.bg_stall";
 
     /// Every registered site. `mcgc-lint` requires each `point!`
     /// literal in the tree to appear here.
@@ -81,6 +85,7 @@ pub mod site {
         GANG_STALL,
         HEAP_SEGMENT_RESERVE,
         HEAP_SEGMENT_RELEASE,
+        SWEEP_BG_STALL,
     ];
 }
 

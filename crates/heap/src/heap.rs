@@ -8,15 +8,17 @@
 //! return entirely-free segments after a trough (the parallel sweep's
 //! finish step calls [`Heap::release_empty_segments`]).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use mcgc_membar::sync::Mutex;
 use mcgc_membar::{release_fence, FenceKind};
 
 use crate::freelist::Extent;
 use crate::object::{Header, ObjectRef, GRANULE_BYTES, MAX_OBJECT_GRANULES};
 use crate::segment::{BitKind, HeapBitmap, HeapCards, SegmentTable, SEGMENT_ALIGN_GRANULES};
 use crate::shards::{AllocShardStats, ShardedFreeList};
+use crate::sweep::{LazySweep, SweepSource};
 
 /// Heap sizing and allocation parameters.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -159,6 +161,10 @@ impl AllocCache {
 const REFILL_PRESSURE_WINDOW: u32 = 4;
 /// Cap on adaptive growth: at most `base << MAX_CACHE_BOOST` granules.
 const MAX_CACHE_BOOST: u32 = 3;
+/// Chunks a single refill miss sweeps before re-probing its home shard
+/// during a sweep epoch — bounds the latency any one refill absorbs
+/// while keeping per-allocator reclamation proportional to demand.
+const REFILL_SWEEP_BATCH: usize = 4;
 
 /// Why an allocation request could not be satisfied.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -223,6 +229,37 @@ pub struct SegmentStats {
     pub shrinks: u64,
 }
 
+/// Cumulative sweep accounting: how many chunks each claiming path paid
+/// for and where reclaimed granules came from, split by whether the
+/// reclamation happened on the pause path (eager in-pause sweeps and the
+/// pre-pause straggler fence) or entirely off it (refill, background,
+/// escalation-ladder sweeping).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepCounters {
+    /// Chunks swept by allocation-cache refills (sweep-on-refill).
+    pub refill_chunks: u64,
+    /// Chunks drained by the background sweeper.
+    pub bg_chunks: u64,
+    /// Chunks the next cycle's straggler fence had to finish.
+    pub straggler_chunks: u64,
+    /// Chunks swept by the mutator escalation ladder (and tests).
+    pub escalation_chunks: u64,
+    /// Granules reclaimed on the pause path (eager sweeps + stragglers).
+    pub on_pause_granules: u64,
+    /// Granules reclaimed concurrently with the mutators.
+    pub off_pause_granules: u64,
+}
+
+#[derive(Debug, Default)]
+struct SweepTotals {
+    refill_chunks: AtomicU64,
+    bg_chunks: AtomicU64,
+    straggler_chunks: AtomicU64,
+    escalation_chunks: AtomicU64,
+    on_pause_granules: AtomicU64,
+    off_pause_granules: AtomicU64,
+}
+
 /// The shared heap: segmented slot arena, bitmaps, card table, and the
 /// sharded free-space substrate.
 ///
@@ -241,6 +278,15 @@ pub struct Heap {
     objects_allocated: AtomicU64,
     /// Granules lost to sub-minimum free runs in the last sweep.
     dark_granules: AtomicU64,
+    /// The active sweep epoch, if any: installed by the collector at
+    /// pause end, drained off-pause by refills / the background sweeper /
+    /// the escalation ladder, and retired once every chunk is done.
+    lazy: Mutex<Option<Arc<LazySweep>>>,
+    /// Mirrors `lazy.is_some()` so the refill fast path pays one relaxed
+    /// load (not a lock) when no epoch is in flight.
+    lazy_active: AtomicBool,
+    /// Cumulative sweep accounting (see [`SweepCounters`]).
+    sweep_totals: SweepTotals,
 }
 
 /// Picks the segment size in granules: the explicit knob, or roughly an
@@ -311,6 +357,9 @@ impl Heap {
             bytes_allocated: AtomicU64::new(0),
             objects_allocated: AtomicU64::new(0),
             dark_granules: AtomicU64::new(0),
+            lazy: Mutex::new(None),
+            lazy_active: AtomicBool::new(false),
+            sweep_totals: SweepTotals::default(),
         }
     }
 
@@ -434,6 +483,80 @@ impl Heap {
     }
 
     // ------------------------------------------------------------------
+    // sweep epochs
+    // ------------------------------------------------------------------
+
+    /// Publishes `plan` as the active sweep epoch. Called by the
+    /// collector at pause end (instead of sweeping in the pause); from
+    /// here on, refills that miss the free list claim and sweep chunks
+    /// for themselves ([`Heap::refill_cache`]).
+    pub fn install_lazy_plan(&self, plan: Arc<LazySweep>) {
+        *self.lazy.lock() = Some(plan);
+        self.lazy_active.store(true, Ordering::Release);
+    }
+
+    /// The active sweep epoch, if any. One relaxed-ish flag check on the
+    /// miss-free path; the lock is only taken while an epoch is live.
+    pub fn lazy_plan(&self) -> Option<Arc<LazySweep>> {
+        if !self.lazy_active.load(Ordering::Acquire) {
+            return None;
+        }
+        self.lazy.lock().clone()
+    }
+
+    /// True while a sweep epoch is in flight.
+    pub fn lazy_plan_active(&self) -> bool {
+        self.lazy_active.load(Ordering::Acquire)
+    }
+
+    /// Retires the active epoch if every chunk has completed, returning
+    /// the retired plan (so the collector can clear mark bits and log the
+    /// retirement exactly once — the take is atomic under the slot lock).
+    pub fn take_lazy_plan_if_done(&self) -> Option<Arc<LazySweep>> {
+        let mut g = self.lazy.lock();
+        if g.as_ref().is_some_and(|p| p.is_done()) {
+            self.lazy_active.store(false, Ordering::Release);
+            g.take()
+        } else {
+            None
+        }
+    }
+
+    /// Cumulative sweep accounting across all epochs and eager sweeps.
+    pub fn sweep_counters(&self) -> SweepCounters {
+        let t = &self.sweep_totals;
+        SweepCounters {
+            refill_chunks: t.refill_chunks.load(Ordering::Relaxed),
+            bg_chunks: t.bg_chunks.load(Ordering::Relaxed),
+            straggler_chunks: t.straggler_chunks.load(Ordering::Relaxed),
+            escalation_chunks: t.escalation_chunks.load(Ordering::Relaxed),
+            on_pause_granules: t.on_pause_granules.load(Ordering::Relaxed),
+            off_pause_granules: t.off_pause_granules.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Charges one lazily swept chunk (and its reclaimed granules) to
+    /// the claiming path's counters.
+    pub(crate) fn note_lazy_chunk(&self, source: SweepSource, freed_granules: u64) {
+        let t = &self.sweep_totals;
+        let (chunks, granules) = match source {
+            SweepSource::Refill => (&t.refill_chunks, &t.off_pause_granules),
+            SweepSource::Background => (&t.bg_chunks, &t.off_pause_granules),
+            SweepSource::Straggler => (&t.straggler_chunks, &t.on_pause_granules),
+            SweepSource::Escalation => (&t.escalation_chunks, &t.off_pause_granules),
+        };
+        chunks.fetch_add(1, Ordering::Relaxed);
+        granules.fetch_add(freed_granules, Ordering::Relaxed);
+    }
+
+    /// Charges an eager (in-pause) sweep's reclaimed granules.
+    pub(crate) fn note_eager_sweep_granules(&self, freed_granules: u64) {
+        self.sweep_totals
+            .on_pause_granules
+            .fetch_add(freed_granules, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
     // growth and shrink
     // ------------------------------------------------------------------
 
@@ -469,8 +592,17 @@ impl Heap {
     /// The release itself is fallible (`heap.segment_release`, the
     /// `munmap`-failure analogue): a failed release keeps the segment
     /// and its free extents.
+    ///
+    /// Epoch-aware: a segment is only "empty" once the active sweep
+    /// epoch (if any) has swept every chunk overlapping it. Until then
+    /// its dead granules are invisible to the free list, so an
+    /// apparently fully-covered segment could still gain extents — and a
+    /// release now would have those extents later freed into a hole.
+    /// Segments outside the epoch's mapped snapshot (grown after the
+    /// pause) are vacuously swept and remain releasable.
     pub(crate) fn release_empty_segments(&self, extents: &mut Vec<Extent>) -> usize {
         let sg = self.table.seg_granules();
+        let plan = self.lazy_plan();
         let mut released = 0;
         for si in self.table.initial_segments()..self.table.frontier() {
             if self.table.seg(si).is_none() {
@@ -479,6 +611,11 @@ impl Heap {
             let base = si * sg;
             if covered_granules(extents, base, base + sg) < sg {
                 continue;
+            }
+            if let Some(p) = &plan {
+                if !p.range_fully_swept(base, base + sg) {
+                    continue; // unswept in the previous epoch: not empty yet
+                }
             }
             if mcgc_fault::point!("heap.segment_release") {
                 continue; // injected release failure: segment stays
@@ -496,8 +633,11 @@ impl Heap {
     /// release point for the lazy path, where freed extents accumulate
     /// incrementally and the next pause is the first moment "entirely
     /// free" is stable. Same contract as
-    /// [`Heap::release_empty_segments`]: world stopped, caches retired,
-    /// and no lazy-sweep plan still holding a mapped-range snapshot.
+    /// [`Heap::release_empty_segments`]: world stopped, caches retired.
+    /// An in-flight sweep epoch is tolerated — segments it has not fully
+    /// swept are skipped (they are not provably empty yet), and its
+    /// mapped-range snapshot stays consistent because only fully swept
+    /// or never-snapshotted segments can be released.
     pub fn release_empty_free_segments(&self) -> usize {
         let mut extents = self.free.extents_sorted();
         let released = self.release_empty_segments(&mut extents);
@@ -675,10 +815,37 @@ impl Heap {
         let base = (self.config.cache_bytes / GRANULE_BYTES).max(1);
         let boost = (cache.pressure / REFILL_PRESSURE_WINDOW).min(MAX_CACHE_BOOST);
         let want = (base << boost).max(min_granules);
+        // During a sweep epoch the refill path self-serves: a miss claims
+        // and sweeps unswept chunks (whose extents are routed back across
+        // the shards by address) before raiding other shards, so
+        // reclamation cost lands on the allocators that need the memory.
+        // The plan is fetched once; `None` keeps the pre-epoch fast path.
+        let plan = self.lazy_plan();
         // Prefer a full-size cache; fall back to halves so a fragmented
         // heap still yields a usable cache before we give up.
         let mut size = want;
         loop {
+            if let Some(start) = self.free.alloc_local(size, cache.home) {
+                cache.start = start;
+                cache.cursor = start;
+                cache.end = start + size;
+                return true;
+            }
+            // Home shard empty: pay for a bounded batch of sweeping
+            // before stealing, then retry the home bins (the swept
+            // extents land there in proportion to the stripe layout).
+            if let Some(p) = &plan {
+                let mut swept = false;
+                for _ in 0..REFILL_SWEEP_BATCH {
+                    if p.sweep_one_from(self, SweepSource::Refill).is_none() {
+                        break;
+                    }
+                    swept = true;
+                }
+                if swept {
+                    continue;
+                }
+            }
             if let Some(start) = self.free.alloc(size, &mut cache.home) {
                 cache.start = start;
                 cache.cursor = start;
@@ -729,8 +896,31 @@ impl Heap {
         if mcgc_fault::point!("heap.alloc_large") {
             return Err(self.oom_error(shape.bytes() as u64));
         }
-        let Some(start) = self.free.alloc_from_end(need) else {
-            return Err(self.oom_error(shape.bytes() as u64));
+        let start = match self.free.alloc_from_end(need) {
+            Some(start) => start,
+            // Self-serve from an in-flight sweep epoch, exactly like
+            // `refill_cache`: a large allocation that fails mid-epoch must
+            // drain unswept chunks before reporting OOM, or the ladder
+            // escalates to a stop-the-world cycle while most of the heap's
+            // free space is still invisible in unswept chunks.
+            None => loop {
+                let Some(plan) = self.lazy_plan() else {
+                    return Err(self.oom_error(shape.bytes() as u64));
+                };
+                let mut swept = false;
+                for _ in 0..REFILL_SWEEP_BATCH {
+                    if plan.sweep_one_from(self, SweepSource::Refill).is_none() {
+                        break;
+                    }
+                    swept = true;
+                }
+                if let Some(start) = self.free.alloc_from_end(need) {
+                    break start;
+                }
+                if !swept {
+                    return Err(self.oom_error(shape.bytes() as u64));
+                }
+            },
         };
         self.format_object(start, shape);
         release_fence(FenceKind::LargeAlloc);

@@ -54,6 +54,13 @@ pub struct HeapInspection {
     pub segments: SegmentStats,
     /// Bitmask of committed segments (bit `i` = segment `i`; first 64).
     pub segment_map: u64,
+    /// Chunks of the active sweep epoch not yet swept (0 when no epoch
+    /// is in flight): memory the heap owns but the free list cannot see
+    /// yet.
+    pub lazy_unswept_chunks: usize,
+    /// Cumulative sweep accounting: per-path chunk counts and the
+    /// on-/off-pause reclaimed-granule split.
+    pub sweep: crate::heap::SweepCounters,
 }
 
 /// Takes an occupancy snapshot of `heap`. See the module docs for the
@@ -87,6 +94,8 @@ pub fn inspect(heap: &Heap) -> HeapInspection {
         objects_allocated: heap.objects_allocated(),
         segments: heap.segment_stats(),
         segment_map: heap.segment_map(),
+        lazy_unswept_chunks: heap.lazy_plan().map_or(0, |p| p.remaining_chunks()),
+        sweep: heap.sweep_counters(),
     }
 }
 
@@ -106,6 +115,7 @@ impl HeapInspection {
         rec.record_counter("heap_segments_peak", self.segments.peak as f64);
         rec.record_counter("heap_segment_grows", self.segments.grows as f64);
         rec.record_counter("heap_segment_shrinks", self.segments.shrinks as f64);
+        rec.record_counter("heap_lazy_unswept_chunks", self.lazy_unswept_chunks as f64);
     }
 
     /// A human-readable multi-line rendering (for `gc_top` and the
@@ -143,6 +153,18 @@ impl HeapInspection {
             self.segments.peak,
             self.segments.grows,
             self.segments.shrinks,
+        );
+        let _ = writeln!(
+            out,
+            "sweep: {} unswept chunks; reclaimed {:.1} MiB on-pause / {:.1} MiB off-pause \
+             (refill {} chunks, background {}, straggler {}, escalation {})",
+            self.lazy_unswept_chunks,
+            mib(self.sweep.on_pause_granules as usize * GRANULE_BYTES),
+            mib(self.sweep.off_pause_granules as usize * GRANULE_BYTES),
+            self.sweep.refill_chunks,
+            self.sweep.bg_chunks,
+            self.sweep.straggler_chunks,
+            self.sweep.escalation_chunks,
         );
         let shard_granules: usize = self.shards.iter().map(|s| s.free_granules).sum();
         let _ = writeln!(
@@ -237,7 +259,7 @@ mod tests {
         let rec = SpanRecorder::new(64);
         inspect(&heap).record_counters(&rec);
         let pts = rec.counter_points();
-        assert_eq!(pts.len(), 11);
+        assert_eq!(pts.len(), 12);
         assert!(pts.iter().all(|p| p.name.starts_with("heap_")));
         assert!(pts
             .iter()

@@ -48,12 +48,15 @@ pub mod verify;
 pub use bitmap::Bitmap;
 pub use cards::CardTable;
 pub use freelist::{Extent, FreeList};
-pub use heap::{AllocCache, AllocError, Heap, HeapConfig, ObjectShape, SegmentStats};
+pub use heap::{
+    AllocCache, AllocError, Heap, HeapConfig, ObjectShape, SegmentStats, SweepCounters,
+};
 pub use inspect::{inspect, HeapInspection};
 pub use object::{Header, ObjectRef, CARD_BYTES, GRANULES_PER_CARD, GRANULE_BYTES};
 pub use segment::{HeapBitmap, HeapCards, SegmentTable, SEGMENT_ALIGN_GRANULES};
 pub use shards::{AllocShardStats, BinOccupancy, ShardedFreeList};
 pub use sweep::{
-    sweep_parallel, sweep_serial, LazySweep, ParallelSweep, SweepStats, DEFAULT_CHUNK_GRANULES,
+    sweep_parallel, sweep_serial, LazySweep, ParallelSweep, SweepSource, SweepStats,
+    DEFAULT_CHUNK_GRANULES,
 };
 pub use verify::{assert_heap_valid, verify, verify_tricolor, Violation};

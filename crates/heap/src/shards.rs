@@ -356,6 +356,21 @@ impl ShardedFreeList {
         None
     }
 
+    /// Home-shard-only probe: takes `len` granules from the caller's home
+    /// shard without stealing or touching the wilderness. The
+    /// sweep-on-refill path tries this first, sweeps an unswept chunk
+    /// when it misses, and only falls back to the full
+    /// [`ShardedFreeList::alloc`] afterwards — so a refill pays for
+    /// reclamation before raiding other shards' space.
+    pub fn alloc_local(&self, len: usize, home: usize) -> Option<usize> {
+        debug_assert!(len > 0);
+        let n = self.shards.len();
+        if n == 0 {
+            return None;
+        }
+        self.take_from(home % n, len)
+    }
+
     /// Wilderness-style allocation for large objects: carve from the end
     /// of the wilderness bin, falling back to the highest-ending fitting
     /// extent across the shard bins when the wilderness cannot serve.

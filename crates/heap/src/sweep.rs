@@ -17,8 +17,8 @@
 //!
 //! [`Bitmap::prev_set`]: crate::bitmap::Bitmap::prev_set
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use mcgc_membar::sync::Mutex;
 use mcgc_telemetry::{SpanKind, SpanRecorder};
@@ -166,6 +166,7 @@ pub fn sweep_serial(heap: &Heap, chunk_granules: usize) -> SweepStats {
     stats.segments_released = heap.release_empty_segments(&mut all);
     heap.free_list().rebuild(all);
     heap.set_dark_granules(stats.dark_granules as u64);
+    heap.note_eager_sweep_granules(stats.freed_granules as u64);
     stats
 }
 
@@ -250,6 +251,7 @@ impl ParallelSweep {
         stats.segments_released = heap.release_empty_segments(&mut all);
         heap.free_list().rebuild(all);
         heap.set_dark_granules(stats.dark_granules as u64);
+        heap.note_eager_sweep_granules(stats.freed_granules as u64);
         stats
     }
 }
@@ -272,24 +274,76 @@ pub fn sweep_parallel(heap: &Heap, chunk_granules: usize, workers: usize) -> Swe
     ps.finish(heap)
 }
 
-/// State of an in-progress lazy sweep: chunks are claimed (by allocating
-/// mutators or background threads) and their extents freed incrementally.
+/// Which path claimed a lazily swept chunk. Selects the flight-recorder
+/// span kind and which of the heap's cumulative sweep counters the chunk
+/// and its reclaimed granules are charged to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SweepSource {
+    /// An allocation-cache refill that found the free list unable to
+    /// satisfy it (sweep-on-refill): the allocator that needs the memory
+    /// pays for its reclamation.
+    Refill,
+    /// The background sweeper soaking idle cycles between tracing
+    /// increments.
+    Background,
+    /// The next cycle's pre-pause straggler fence finishing whatever the
+    /// refill and background paths left behind.
+    Straggler,
+    /// The mutator escalation ladder (or a test) helping directly.
+    Escalation,
+}
+
+impl SweepSource {
+    fn span_kind(self) -> SpanKind {
+        match self {
+            SweepSource::Refill => SpanKind::RefillSweepChunk,
+            SweepSource::Background => SpanKind::BgSweepChunk,
+            SweepSource::Straggler | SweepSource::Escalation => SpanKind::LazySweepChunk,
+        }
+    }
+}
+
+/// Per-chunk lifecycle within a sweep epoch. A chunk moves
+/// `UNSWEPT → CLAIMED → SWEPT`, never backwards; the CAS from `UNSWEPT`
+/// to `CLAIMED` is the claim, so each chunk is swept exactly once no
+/// matter how many paths race for it.
+const CHUNK_UNSWEPT: u8 = 0;
+const CHUNK_CLAIMED: u8 = 1;
+const CHUNK_SWEPT: u8 = 2;
+
+/// State of an in-progress *sweep epoch*: a snapshot of the mapped
+/// segment ranges published at pause end, whose chunks are claimed and
+/// swept off-pause — by allocation-cache refills that find the free list
+/// empty, by the background sweeper, by the escalation ladder, and
+/// finally by the next cycle's straggler fence.
 ///
 /// The next collection cycle must not start until [`LazySweep::is_done`];
 /// mark bits are still load-bearing for unswept chunks.
 #[derive(Debug)]
 pub struct LazySweep {
     chunk_granules: usize,
+    /// Scan cursor: a hint for the next unclaimed chunk. Claimers loop
+    /// `fetch_add`, skipping chunks whose claim CAS loses.
     next: AtomicUsize,
     done: AtomicUsize,
     total: usize,
+    /// Per-chunk `CHUNK_*` lifecycle state. Distinguishes swept from
+    /// merely claimed chunks so segment release and the verifier can
+    /// reason about partially swept epochs.
+    state: Box<[AtomicU8]>,
     /// Committed granule ranges at plan time. A segment the grow rung
     /// commits *during* the lazy sweep has its space put straight on the
     /// free list (its bitmaps are clear — nothing to sweep); sweeping it
     /// here too would double-free it, so chunks only sweep the snapshot.
-    /// The converse race cannot happen: segments are only released by
-    /// stop-the-world sweeps, and no pause starts until this plan is done.
+    /// The converse race cannot happen: segment release skips any segment
+    /// this epoch has not fully swept ([`LazySweep::range_fully_swept`]),
+    /// and everything else only shrinks under a stop-the-world pause.
     mapped: Vec<(usize, usize)>,
+    /// Unmarked granules in the mapped snapshot — the epoch's expected
+    /// total yield. Deferred: see [`LazySweep::expected_dead`].
+    expected_dead: OnceLock<usize>,
+    /// Granules actually freed by completed chunks so far.
+    freed: AtomicUsize,
     recorder: Option<Arc<SpanRecorder>>,
 }
 
@@ -300,18 +354,44 @@ impl LazySweep {
     /// chunks are swept.
     pub fn new(heap: &Heap, chunk_granules: usize) -> LazySweep {
         heap.free_list().rebuild(std::iter::empty());
+        let total = chunk_count(heap, chunk_granules);
+        let mapped = heap.mapped_ranges(1, heap.granules());
         LazySweep {
             chunk_granules,
             next: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
-            total: chunk_count(heap, chunk_granules),
-            mapped: heap.mapped_ranges(1, heap.granules()),
+            total,
+            state: (0..total).map(|_| AtomicU8::new(CHUNK_UNSWEPT)).collect(),
+            mapped,
+            expected_dead: OnceLock::new(),
+            freed: AtomicUsize::new(0),
             recorder: None,
         }
     }
 
+    /// The epoch's expected total yield: unmarked granules in the mapped
+    /// snapshot. Computed on first use — *off the pause* (the first
+    /// kickoff-headroom check on the allocation slow path), because a
+    /// popcount over the whole mark bitmap costs real pause time while
+    /// the install itself needs none of it. Mark bits are stable from
+    /// install to retire (sweeping only reads them), so the deferred scan
+    /// sees exactly the plan-time bitmap. Over actual yield because live
+    /// objects mark only their head granule and dark matter (sub-minimum
+    /// tail fragments) never hits the free list; `pending_granules`
+    /// clamps with the per-chunk bound.
+    fn expected_dead(&self, heap: &Heap) -> usize {
+        *self.expected_dead.get_or_init(|| {
+            self.mapped
+                .iter()
+                .map(|&(s, e)| (e - s) - heap.mark_bits().count_range(s, e))
+                .sum()
+        })
+    }
+
     /// Attaches a flight recorder: each lazily swept chunk is recorded
-    /// as a `sweep.lazy_chunk` span on the sweeping thread's track.
+    /// on the sweeping thread's track, with the span kind naming which
+    /// path paid for it (`sweep.lazy_chunk`, `sweep.refill_chunk`, or
+    /// `sweep.bg_chunk`).
     pub fn with_recorder(mut self, rec: Arc<SpanRecorder>) -> LazySweep {
         self.recorder = Some(rec);
         self
@@ -319,17 +399,55 @@ impl LazySweep {
 
     /// Claims and sweeps one chunk, freeing its extents to the heap's
     /// free list. Returns the chunk's stats, or `None` if all chunks are
-    /// claimed.
+    /// claimed. Equivalent to [`LazySweep::sweep_one_from`] with
+    /// [`SweepSource::Escalation`].
     pub fn sweep_one(&self, heap: &Heap) -> Option<ChunkSweep> {
-        let c = self.next.fetch_add(1, Ordering::Relaxed);
-        if c >= self.total {
-            return None;
+        self.sweep_one_from(heap, SweepSource::Escalation)
+    }
+
+    /// Claims and sweeps one chunk on behalf of `source`, freeing its
+    /// extents to the heap's free list and charging the heap's cumulative
+    /// sweep counters. Returns `None` once every chunk is claimed (some
+    /// may still be in flight on other threads — see
+    /// [`LazySweep::is_done`]).
+    pub fn sweep_one_from(&self, heap: &Heap, source: SweepSource) -> Option<ChunkSweep> {
+        loop {
+            let c = self.next.fetch_add(1, Ordering::Relaxed);
+            if c >= self.total {
+                return None;
+            }
+            // The cursor is only a hint: a targeted claim may have taken
+            // this chunk already, in which case the CAS loses and the
+            // cursor moves on.
+            if self.claim(c) {
+                return Some(self.sweep_claimed(heap, c, source));
+            }
         }
+    }
+
+    /// CAS-claims chunk `c` for the caller. // MODEL: shard_model — the
+    /// claim CAS is the only mutual exclusion; orderings beyond the RMW
+    /// itself are not needed because the mark bits a sweeper reads were
+    /// published by the pause that installed this plan.
+    fn claim(&self, c: usize) -> bool {
+        self.state[c]
+            .compare_exchange(
+                CHUNK_UNSWEPT,
+                CHUNK_CLAIMED,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Sweeps an already-claimed chunk, publishes its state, frees its
+    /// extents, and counts it done.
+    fn sweep_claimed(&self, heap: &Heap, c: usize, source: SweepSource) -> ChunkSweep {
         let _span = self
             .recorder
             .as_deref()
             .filter(|r| r.is_enabled())
-            .map(|r| r.span(SpanKind::LazySweepChunk, c as u64));
+            .map(|r| r.span(source.span_kind(), c as u64));
         // Clip the chunk to the plan-time committed ranges (see `mapped`).
         let start = c * self.chunk_granules;
         let end = (c + 1) * self.chunk_granules;
@@ -343,16 +461,29 @@ impl LazySweep {
             })
             .collect();
         let cs = sweep_ranges(heap, &ranges);
+        // SWEPT is published *before* the extents hit the free list so a
+        // concurrent free-list audit never sees an extent inside a chunk
+        // it still considers unswept (the converse — swept but extents in
+        // flight — only makes segment release more conservative).
+        self.state[c].store(CHUNK_SWEPT, Ordering::Release);
         for e in &cs.extents {
             heap.free_list().free(e.start, e.len);
         }
-        self.done.fetch_add(1, Ordering::Relaxed);
-        Some(cs)
+        let freed: usize = cs.extents.iter().map(|e| e.len).sum();
+        self.freed.fetch_add(freed, Ordering::Relaxed);
+        heap.note_lazy_chunk(source, freed as u64);
+        // Release so the thread that observes `is_done` and retires the
+        // plan (clearing mark bits) is ordered after every chunk's sweep.
+        self.done.fetch_add(1, Ordering::Release);
+        cs
     }
 
     /// True once every chunk has been swept (claimed *and* completed).
     pub fn is_done(&self) -> bool {
-        self.done.load(Ordering::Relaxed) >= self.total
+        // Acquire pairs with the Release `done` increment in
+        // `sweep_claimed`: retiring the plan (which clears mark bits) is
+        // ordered after the last chunk's bitmap writes.
+        self.done.load(Ordering::Acquire) >= self.total
     }
 
     /// Fraction of chunks completed, in `[0, 1]`.
@@ -367,6 +498,59 @@ impl LazySweep {
     /// Total chunks in the plan.
     pub fn total_chunks(&self) -> usize {
         self.total
+    }
+
+    /// Chunks not yet completed (claimed-but-in-flight chunks count as
+    /// remaining).
+    pub fn remaining_chunks(&self) -> usize {
+        self.total.saturating_sub(self.done.load(Ordering::Relaxed))
+    }
+
+    /// Granules still locked up in unswept chunks: the epoch's expected
+    /// yield (unmarked granules at plan time) minus what completed chunks
+    /// already freed, clamped by the unswept-chunk capacity. The epoch
+    /// cleared the free list at install, so until a chunk is swept its
+    /// dead space is invisible to `free_bytes()` — kickoff pacing adds
+    /// this back as pending headroom, otherwise the post-pause heap looks
+    /// full and the next cycle starts (and fences the whole epoch) before
+    /// refill/background sweeping can drain it. Counting only *dead*
+    /// granules matters in the other direction too: treating live data in
+    /// unswept chunks as headroom would delay kickoff past the point
+    /// where allocation fails and forces the pause early.
+    pub fn pending_granules(&self, heap: &Heap) -> usize {
+        let cap = self.remaining_chunks() * self.chunk_granules;
+        if cap == 0 {
+            return 0;
+        }
+        self.expected_dead(heap)
+            .saturating_sub(self.freed.load(Ordering::Relaxed))
+            .min(cap)
+    }
+
+    /// True when every chunk overlapping granules `[lo, hi)` *within the
+    /// plan-time mapped snapshot* has completed its sweep. Ranges outside
+    /// the snapshot (segments grown after the pause, or holes at plan
+    /// time) are vacuously swept — the epoch will never touch them.
+    ///
+    /// This is the segment-release guard: a segment is only "empty" once
+    /// its chunks are swept, because until then its dead granules are
+    /// invisible to the free list and the segment would be released with
+    /// its extents later double-freed into a hole.
+    pub fn range_fully_swept(&self, lo: usize, hi: usize) -> bool {
+        if self.total == 0 || lo >= hi {
+            return true;
+        }
+        let first = lo / self.chunk_granules;
+        let last = ((hi - 1) / self.chunk_granules).min(self.total - 1);
+        for c in first..=last {
+            let cs = (c * self.chunk_granules).max(lo);
+            let ce = ((c + 1) * self.chunk_granules).min(hi);
+            let in_snapshot = self.mapped.iter().any(|&(rs, re)| rs.max(cs) < re.min(ce));
+            if in_snapshot && self.state[c].load(Ordering::Acquire) != CHUNK_SWEPT {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -521,6 +705,69 @@ mod tests {
         assert_eq!(free_total(&heap_a), free_total(&heap_b));
     }
 
+    #[test]
+    fn mixed_source_lazy_sweep_is_bit_identical_to_eager() {
+        // The differential contract behind the sweep-epoch design: no
+        // matter which paths drain the epoch (sweep-on-refill, the
+        // background sweeper, the straggler fence, escalation rungs),
+        // the reclaimed free space is *bit-identical* to an eager
+        // in-pause sweep — same totals, same granule set, same dark
+        // matter. Extent *boundaries* are allowed to differ until the
+        // next rebuild: incremental per-chunk frees land in shard bins
+        // uncoalesced (coalescing is deferred to the STW rebuild by the
+        // allocator's design), so a dead run straddling a chunk boundary
+        // is two extents until then.
+        let (heap_a, objs_a) = build_heap();
+        let (heap_b, objs_b) = build_heap();
+        assert_eq!(objs_a, objs_b, "deterministic build");
+        for (i, (&a, &b)) in objs_a.iter().zip(&objs_b).enumerate() {
+            if i % 7 < 3 {
+                heap_a.mark(a);
+                heap_b.mark(b);
+            }
+        }
+        let eager = sweep_serial(&heap_a, 1 << 10);
+        let lazy = LazySweep::new(&heap_b, 1 << 10);
+        let sources = [
+            SweepSource::Refill,
+            SweepSource::Background,
+            SweepSource::Straggler,
+            SweepSource::Escalation,
+        ];
+        let mut stats = SweepStats::default();
+        let mut turn = 0usize;
+        while let Some(cs) = lazy.sweep_one_from(&heap_b, sources[turn % sources.len()]) {
+            stats.absorb(&cs);
+            turn += 1;
+        }
+        assert!(lazy.is_done());
+        assert_eq!(stats.live_objects, eager.live_objects);
+        assert_eq!(stats.live_granules, eager.live_granules);
+        assert_eq!(stats.freed_granules, eager.freed_granules);
+        assert_eq!(stats.dark_granules, eager.dark_granules);
+        assert_eq!(free_total(&heap_a), free_total(&heap_b));
+        // Run the coalescing rebuild the next stop-the-world performs
+        // anyway; after it the extent lists must be bit-identical.
+        let eb = heap_b.free_list().extents_sorted();
+        heap_b.free_list().rebuild(eb);
+        assert_eq!(
+            heap_a.free_list().extents_sorted(),
+            heap_b.free_list().extents_sorted(),
+            "identical free lists regardless of sweep path"
+        );
+        // And every path's chunk count landed in the heap's accounting.
+        let sc = heap_b.sweep_counters();
+        assert!(sc.refill_chunks > 0);
+        assert!(sc.bg_chunks > 0);
+        assert!(sc.straggler_chunks > 0);
+        assert!(sc.escalation_chunks > 0);
+        assert_eq!(
+            sc.on_pause_granules + sc.off_pause_granules,
+            eager.freed_granules as u64,
+            "on/off-pause split partitions the reclaimed granules"
+        );
+    }
+
     fn growable_heap() -> Heap {
         Heap::new(HeapConfig {
             heap_bytes: 1 << 20,
@@ -571,6 +818,89 @@ mod tests {
             (plan_granules - 1) + sg,
             "plan-time space swept once, grown segment added once"
         );
+    }
+
+    #[test]
+    fn release_skips_segments_unswept_in_flight_epoch() {
+        let heap = growable_heap();
+        assert!(heap.try_grow());
+        let sg = heap.segment_granules();
+        let initial = heap.segment_stats().initial;
+        let plan = Arc::new(LazySweep::new(&heap, 1 << 10));
+        heap.install_lazy_plan(Arc::clone(&plan));
+        // Forge full free-list coverage of the grown (still unswept)
+        // segment: without the epoch guard, release would hand the
+        // segment back while its chunks still owe a sweep.
+        let base = initial * sg;
+        heap.free_list().set_extents_unchecked(vec![Extent {
+            start: base,
+            len: sg,
+        }]);
+        assert_eq!(
+            heap.release_empty_free_segments(),
+            0,
+            "a segment is only empty once its chunks are swept"
+        );
+        // The forged extents are exactly what the epoch-aware free-list
+        // audit exists to catch.
+        let v = crate::verify::verify(&heap, false);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, crate::verify::Violation::FreeListUnswept { .. })),
+            "audit flags extents inside unswept chunks: {v:?}"
+        );
+        // Drain the epoch; the segment's space is now genuinely free.
+        heap.free_list().rebuild(std::iter::empty());
+        while plan.sweep_one(&heap).is_some() {}
+        assert!(plan.is_done());
+        assert!(heap.take_lazy_plan_if_done().is_some());
+        assert_eq!(heap.release_empty_free_segments(), 1);
+        assert_eq!(heap.segment_stats().committed, initial);
+    }
+
+    #[test]
+    fn grow_then_release_during_in_flight_epoch() {
+        let heap = growable_heap();
+        let sg = heap.segment_granules();
+        let initial = heap.segment_stats().initial;
+        let plan_granules = heap.granules();
+        let plan = Arc::new(LazySweep::new(&heap, 1 << 10));
+        heap.install_lazy_plan(Arc::clone(&plan));
+        // A grow rung fires mid-epoch: the fresh segment is outside the
+        // snapshot, its space goes straight to the free list.
+        assert!(heap.try_grow());
+        // Mid-epoch release may take the never-snapshotted segment (it
+        // is vacuously swept) without disturbing the in-flight epoch.
+        assert_eq!(heap.release_empty_free_segments(), 1);
+        assert_eq!(heap.segment_stats().committed, initial);
+        // The epoch still drains to the same total as if nothing grew.
+        while plan.sweep_one(&heap).is_some() {}
+        assert!(plan.is_done());
+        assert!(heap.take_lazy_plan_if_done().is_some());
+        assert_eq!(free_total(&heap), plan_granules - 1);
+        assert!(plan.range_fully_swept(1, sg * initial));
+    }
+
+    #[test]
+    fn refill_self_serves_during_epoch() {
+        let (heap, objs) = build_heap();
+        for (i, &o) in objs.iter().enumerate() {
+            if i % 2 == 0 {
+                heap.mark(o);
+            }
+        }
+        let plan = Arc::new(LazySweep::new(&heap, 1 << 10));
+        heap.install_lazy_plan(Arc::clone(&plan));
+        // The free list is empty; the only memory is inside unswept
+        // chunks, and refill must claim and sweep them itself.
+        let mut cache = AllocCache::new();
+        assert!(
+            heap.refill_cache(&mut cache, 4),
+            "sweep-on-refill recovers memory from the epoch"
+        );
+        assert!(heap.sweep_counters().refill_chunks >= 1);
+        assert!(heap.sweep_counters().off_pause_granules >= 1);
+        heap.retire_cache(&mut cache);
     }
 
     #[test]

@@ -72,6 +72,16 @@ pub enum Violation {
         /// Extent length.
         len: usize,
     },
+    /// A free-list extent overlaps a chunk the active sweep epoch has
+    /// not finished sweeping: extents only enter the free list after
+    /// their chunk is published as swept, so this extent was either
+    /// forged or double-freed out of an unswept region.
+    FreeListUnswept {
+        /// Extent start granule.
+        start: usize,
+        /// Extent length.
+        len: usize,
+    },
     /// A marked (black) object references an unmarked object without
     /// being covered: the mostly-concurrent tri-color invariant (§2.1)
     /// is broken, and the referent would be swept while reachable.
@@ -121,6 +131,13 @@ impl std::fmt::Display for Violation {
                 write!(
                     f,
                     "free extent [{start:#x}, +{len}) intersects an unmapped segment"
+                )
+            }
+            Violation::FreeListUnswept { start, len } => {
+                write!(
+                    f,
+                    "free extent [{start:#x}, +{len}) overlaps a chunk the active sweep \
+                     epoch has not swept"
                 )
             }
             Violation::TriColor {
@@ -206,6 +223,7 @@ pub fn verify(heap: &Heap, strict_refs: bool) -> Vec<Violation> {
     // across the whole substrate the *sorted* union is checked for
     // zero-length extents, overlap, and alloc-bit intersection.
     let fl = heap.free_list();
+    let lazy_plan = heap.lazy_plan();
     let mut prev_end = 0usize;
     for e in fl.wilderness_extents() {
         if e.start < prev_end {
@@ -239,6 +257,20 @@ pub fn verify(heap: &Heap, strict_refs: bool) -> Vec<Violation> {
                 start: e.start,
                 len: e.len,
             });
+        }
+        // Epoch-aware audit: the free list is cleared when a sweep epoch
+        // is installed and extents re-enter it only after their chunk is
+        // published swept, so no extent may overlap a still-unswept
+        // chunk of the epoch's snapshot.
+        if e.len > 0 {
+            if let Some(p) = &lazy_plan {
+                if !p.range_fully_swept(e.start, e.start + e.len) {
+                    violations.push(Violation::FreeListUnswept {
+                        start: e.start,
+                        len: e.len,
+                    });
+                }
+            }
         }
     }
 

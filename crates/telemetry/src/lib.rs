@@ -27,7 +27,9 @@
 //! `ConcurrentEnd` (arg = trigger code), `Handshake` (arg = cards
 //! cleaned), `StwStart` (arg = trigger code), `StwEnd` (arg = wall pause
 //! ns), `SweepStart` (arg = 0 eager / 1 lazy), `SweepEnd` (arg = live
-//! objects), `LazySweepRetired` (arg = free bytes after retirement),
+//! objects; 0 for lazy epochs, whose live count is not known until the
+//! epoch retires), `LazySweepRetired` (arg = free bytes after
+//! retirement),
 //! `MutatorIncrement` / `BackgroundIncrement` (arg = bytes traced).
 //!
 //! Per-cycle statistics are emitted as a contiguous batch of
@@ -117,6 +119,7 @@ pub struct Telemetry {
     pause_ns: LogHistogram,
     increment_ns: LogHistogram,
     alloc_stall_ns: LogHistogram,
+    straggler_ns: LogHistogram,
     registry: MetricsRegistry,
     utilization: UtilizationTracker,
     /// The flight recorder (shared so the gang, heap, and exporters can
@@ -141,6 +144,7 @@ impl Telemetry {
             pause_ns: LogHistogram::new(),
             increment_ns: LogHistogram::new(),
             alloc_stall_ns: LogHistogram::new(),
+            straggler_ns: LogHistogram::new(),
             registry: MetricsRegistry::new(),
             utilization: UtilizationTracker::new(),
             spans: Arc::new(SpanRecorder::with_epoch(
@@ -239,6 +243,17 @@ impl Telemetry {
         }
     }
 
+    /// Records one straggler fence: the time the next cycle's pause
+    /// leader spent finishing chunks the previous sweep epoch left
+    /// unswept (bounded — refill and background sweeping drain most of
+    /// the heap off-pause).
+    #[inline]
+    pub fn record_straggler_ns(&self, ns: u64) {
+        if self.is_enabled() {
+            self.straggler_ns.record(ns);
+        }
+    }
+
     /// Mutator utilization over the trailing `window_ns` ending now.
     pub fn mutator_utilization(&self, window_ns: u64) -> f64 {
         self.utilization.utilization(self.now_ns(), window_ns)
@@ -269,6 +284,10 @@ impl Telemetry {
 
     pub fn alloc_stall_histogram(&self) -> &LogHistogram {
         &self.alloc_stall_ns
+    }
+
+    pub fn straggler_histogram(&self) -> &LogHistogram {
+        &self.straggler_ns
     }
 
     pub fn registry(&self) -> &MetricsRegistry {
@@ -304,6 +323,7 @@ mod tests {
         t.record_pause_ns(0, 1_000_000);
         t.record_increment_ns(500);
         t.record_alloc_stall_ns(500);
+        t.record_straggler_ns(500);
         let mut stage = EventStage::new();
         t.stage(&mut stage, EventKind::Handshake, 1, 1);
         t.flush(&mut stage);
@@ -311,6 +331,7 @@ mod tests {
         assert_eq!(t.pause_histogram().count(), 0);
         assert_eq!(t.increment_histogram().count(), 0);
         assert_eq!(t.alloc_stall_histogram().count(), 0);
+        assert_eq!(t.straggler_histogram().count(), 0);
     }
 
     #[test]

@@ -96,11 +96,17 @@ pub enum StatField {
     SweepWallNs,
     /// Measured wall time of the end-of-pause mark-bit pre-clear, ns.
     ClearWallNs,
+    /// Measured wall time of the pre-pause straggler fence that drained
+    /// the previous sweep epoch's unswept chunks, ns.
+    StragglerWallNs,
+    /// Chunks the straggler fence had to finish (unswept when the next
+    /// cycle's pause was requested).
+    StragglerChunks,
 }
 
 impl StatField {
     /// All variants in discriminant order (index == `as u8`).
-    pub const ALL: [StatField; 36] = [
+    pub const ALL: [StatField; 38] = [
         StatField::Trigger,
         StatField::PauseMs,
         StatField::MarkMs,
@@ -137,6 +143,8 @@ impl StatField {
         StatField::DrainWallNs,
         StatField::SweepWallNs,
         StatField::ClearWallNs,
+        StatField::StragglerWallNs,
+        StatField::StragglerChunks,
     ];
 
     pub fn from_u8(v: u8) -> Option<StatField> {

@@ -118,11 +118,18 @@ pub enum SpanKind {
     /// A refill that fell through to the wilderness list (arg = granules
     /// handed out).
     WildernessRefill,
+    /// One unswept chunk claimed and swept by an allocation-cache refill
+    /// that found its stripe's bins empty (sweep-on-refill; arg = chunk
+    /// index).
+    RefillSweepChunk,
+    /// One unswept chunk drained by the background sweeper soaking idle
+    /// cycles (arg = chunk index).
+    BgSweepChunk,
 }
 
 impl SpanKind {
     /// All variants in discriminant order (index == `as u8`).
-    pub const ALL: [SpanKind; 24] = [
+    pub const ALL: [SpanKind; 26] = [
         SpanKind::Cycle,
         SpanKind::Pause,
         SpanKind::PauseRetire,
@@ -147,6 +154,8 @@ impl SpanKind {
         SpanKind::ShardRefill,
         SpanKind::ShardSteal,
         SpanKind::WildernessRefill,
+        SpanKind::RefillSweepChunk,
+        SpanKind::BgSweepChunk,
     ];
 
     /// The top-level pause phases: spans of these kinds tile the pause
@@ -195,6 +204,8 @@ impl SpanKind {
             SpanKind::ShardRefill => "shard.refill",
             SpanKind::ShardSteal => "shard.steal",
             SpanKind::WildernessRefill => "shard.wilderness_refill",
+            SpanKind::RefillSweepChunk => "sweep.refill_chunk",
+            SpanKind::BgSweepChunk => "sweep.bg_chunk",
         }
     }
 }

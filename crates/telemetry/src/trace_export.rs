@@ -523,6 +523,12 @@ pub struct Postmortem {
     pub worst_imbalance: f64,
     /// Leader time spent waiting at gang completion barriers.
     pub barrier_wait_ns: u64,
+    /// Wall time of this cycle's sweep-chunk spans (refill, background,
+    /// straggler/escalation) recorded *outside* the pause window — the
+    /// reclamation work the sweep epoch moved off the pause path.
+    pub offpause_sweep_ns: u64,
+    /// Number of those off-pause sweep-chunk spans.
+    pub offpause_sweep_chunks: u64,
 }
 
 fn phase_cut(kind: SpanKind, windows: &[&Span], tracks: &[TrackSnapshot]) -> PhaseCut {
@@ -611,6 +617,20 @@ pub fn pause_postmortems(rec: &SpanRecorder) -> Vec<Postmortem> {
                 .filter(in_window)
                 .map(Span::duration_ns)
                 .sum();
+            let offpause_sweep: Vec<u64> = tracks
+                .iter()
+                .flat_map(|t| t.spans.iter())
+                .filter(|s| {
+                    matches!(
+                        s.kind,
+                        SpanKind::RefillSweepChunk
+                            | SpanKind::BgSweepChunk
+                            | SpanKind::LazySweepChunk
+                    )
+                })
+                .filter(|s| s.cycle == p.cycle && !in_window(s))
+                .map(Span::duration_ns)
+                .collect();
             let wall_ns = p.duration_ns();
             Postmortem {
                 cycle: p.cycle,
@@ -626,6 +646,8 @@ pub fn pause_postmortems(rec: &SpanRecorder) -> Vec<Postmortem> {
                 worst_imbalance: phases.iter().map(|c| c.imbalance).fold(1.0, f64::max),
                 phases,
                 barrier_wait_ns,
+                offpause_sweep_ns: offpause_sweep.iter().sum(),
+                offpause_sweep_chunks: offpause_sweep.len() as u64,
             }
         })
         .collect()
@@ -678,6 +700,15 @@ impl Postmortem {
                 share,
                 nworkers,
                 imb,
+            )
+            .unwrap();
+        }
+        if self.offpause_sweep_chunks > 0 {
+            writeln!(
+                out,
+                "  off-pause sweep: {} chunk spans, {:.3} ms (reclaimed outside this pause)",
+                self.offpause_sweep_chunks,
+                ms(self.offpause_sweep_ns),
             )
             .unwrap();
         }

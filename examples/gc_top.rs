@@ -164,6 +164,21 @@ fn main() {
         g("gc_pause_sweep_ns_total") / 1_000_000,
         g("gc_pause_clear_ns_total") / 1_000_000,
     );
+    // Sweep-epoch split: with lazy sweep, reclamation should land almost
+    // entirely off-pause (refill + background), with a small straggler
+    // remainder drained just before the next cycle.
+    println!(
+        "sweep epochs : reclaimed {:.1}/{:.1} MiB on/off-pause; chunks refill {} bg {} straggler {} ({}ms fences)",
+        metric(&m, "gc_sweep_reclaimed_on_pause_granules_total") * mcgc::heap::GRANULE_BYTES as f64
+            / (1 << 20) as f64,
+        metric(&m, "gc_sweep_reclaimed_off_pause_granules_total")
+            * mcgc::heap::GRANULE_BYTES as f64
+            / (1 << 20) as f64,
+        g("gc_sweep_on_refill_chunks_total"),
+        g("gc_bg_sweep_chunks_total"),
+        g("gc_sweep_straggler_chunks_total"),
+        g("gc_sweep_straggler_ns_total") / 1_000_000,
+    );
     println!(
         "postmortem   : worst pause {:.2}ms, {:.0}% attributed, imbalance {:.2}, barrier wait {:.2}ms",
         metric(&m, "gc_postmortem_pause_wall_ns") / 1e6,

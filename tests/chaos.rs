@@ -489,3 +489,48 @@ fn stalled_gang_helper_never_hangs_the_pause() {
         gc.shutdown();
     });
 }
+
+/// Tentpole chaos plan: the background sweeper stalls (bounded nap per
+/// quantum, injected before it claims any chunk) during lazy sweep
+/// epochs. The resilience contract must hold without it: allocation
+/// self-serves — a refill that finds its bins empty claims and sweeps
+/// unswept chunks itself — so mutators never wedge behind the sleeping
+/// sweeper, and the next cycle's straggler fence drains whatever the
+/// sweeper never got to. Clean audit or typed OOM; never a hang (the
+/// `with_deadline` watchdog turns one into exit 86).
+#[test]
+fn stalled_background_sweeper_does_not_wedge_allocation() {
+    with_deadline("bg_sweep_stall", || {
+        let _guard = FaultPlan::new(0xB65A11)
+            .every_k(site::SWEEP_BG_STALL, 1) // every quantum stalls
+            .payload(100) // 100 ms nap: long vs. the refill path
+            .install();
+        let gc = Gc::new(config(16 << 20, SweepMode::Lazy));
+        match churn(&gc, 4, 4_000_000) {
+            Ok(()) => {}
+            // The contract allows a typed OOM, never an untyped failure.
+            Err(GcError::OutOfMemory { .. }) => {
+                gc.audit_now();
+                gc.shutdown();
+                return;
+            }
+        }
+        assert!(
+            fault::fires(site::SWEEP_BG_STALL) > 0,
+            "background sweeper never reached a stalled quantum"
+        );
+        let s = counters(&gc);
+        // With the sweeper napping, reclamation lands on the mutators'
+        // refill path (and the straggler fences) instead of stalling.
+        assert!(
+            s["gc_sweep_on_refill_chunks_total"] + s["gc_sweep_straggler_chunks_total"] >= 1.0,
+            "no chunk was swept by refill or the straggler fence"
+        );
+        assert!(gc.log().cycles.len() >= 4, "cycles stopped completing");
+        // Epochs still complete: every cycle's fence is bounded by the
+        // heap's chunk count, and the collector stays fully functional.
+        churn(&gc, 6, 4_000_000).unwrap();
+        gc.audit_now();
+        gc.shutdown();
+    });
+}
