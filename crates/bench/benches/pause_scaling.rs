@@ -1,25 +1,38 @@
-//! Pause scaling across gang sizes *and sweep modes*: the measured
-//! stop-the-world wall time at `stw_workers` ∈ {1, 2, 4, 8}, for the
-//! stop-the-world baseline (eager sweep — its pauses carry the whole
-//! mark and sweep in-pause, the most parallelizable work) and for the
-//! mostly-concurrent collector under all three sweep strategies:
+//! Pause scaling across scheduler worker counts *and sweep modes*: the
+//! measured stop-the-world wall time at `stw_workers` ∈ {1, 2, 4, 8},
+//! for the stop-the-world baseline (eager sweep — its pauses carry the
+//! whole mark and sweep in-pause, the most parallelizable work) and for
+//! the mostly-concurrent collector under all three sweep strategies:
 //!
-//! - `eager`: sweep runs in the pause on the gang (the old default);
+//! - `eager`: sweep runs in the pause as a scheduler bucket;
 //! - `lazy`: the pause only publishes a sweep epoch; reclamation is
 //!   paid by allocation-cache refills (sweep-on-refill) and the next
 //!   cycle's straggler fence;
 //! - `lazy+bg`: same, plus the background sweeper draining chunks in
 //!   the idle windows between cycles.
 //!
+//! A fifth `scheduler` arm re-runs the baseline with `pin_workers`: the
+//! pool threads take CPU affinity at spawn, so bucket slices stop
+//! migrating between cores mid-pause. On a host with fewer cores than
+//! workers the pinned arm degrades by design — that is the point of
+//! measuring it.
+//!
 //! What the worker axis isolates: every pause phase — final card
 //! cleaning, root rescanning, packet drain, (eager) sweep, bitmap
-//! pre-clear — runs on the *persistent* gang, claimed from atomic
-//! cursors. `stw_workers = 1` runs every phase inline on the leader;
-//! higher counts split the same cursors across the parked helpers with
-//! one condvar wakeup per phase and no `thread::spawn` on the pause
-//! path. On a multi-core host the cursor split is the speedup; a
-//! single-CPU runner serializes the workers and mostly measures the
-//! dispatch protocol's overhead.
+//! pre-clear — is a prioritized work bucket served by the *persistent*
+//! scheduler pool, claimed from atomic cursors. `stw_workers = 1` runs
+//! every bucket inline on the leader; higher counts split the same
+//! cursors across the resident workers with **one condvar wakeup per
+//! pause** (the session open) and no `thread::spawn` or per-phase
+//! barrier on the pause path. On a multi-core host the cursor split is
+//! the speedup; a single-CPU runner serializes the workers and mostly
+//! measures the session protocol's overhead. (The retired per-phase
+//! dispatch produced rare 100 ms+ max-pause outliers exactly here: each
+//! phase's wakeup-then-spin barrier could yield-storm on an
+//! oversubscribed CPU, and five phases per pause gave five chances per
+//! cycle. One wakeup per pause and timed 50 µs waits between buckets
+//! removed that failure mode; the outlier guard below documents any
+//! recurrence with a flight-recorder postmortem.)
 //!
 //! What the sweep axis isolates: how much pause wall time the sweep
 //! phase itself costs, and what moving it off-pause does to allocation
@@ -30,8 +43,11 @@
 //! Prints one row per (mode, sweep, workers) point and writes
 //! machine-readable results to `BENCH_pause.json` (override with
 //! `MCGC_BENCH_OUT`); CI's `bench-smoke` job archives that file and
-//! appends the gang speedups and the lazy-sweep pause reduction to
-//! EXPERIMENTS.md.
+//! appends the scheduler speedups and the lazy-sweep pause reduction to
+//! EXPERIMENTS.md. Any run whose max pause exceeds 5x the running
+//! average dumps the worst-pause postmortem (per-phase wall shares,
+//! per-worker busy/idle splits) so an outlier is diagnosable from the
+//! CI log alone.
 
 use std::time::Duration;
 
@@ -69,11 +85,41 @@ fn avg_ms(log: &GcLog, f: impl Fn(&mcgc_core::CycleStats) -> Duration) -> f64 {
         / log.cycles.len() as f64
 }
 
+/// Dumps the flight-recorder postmortem when any pause in the run blew
+/// past 5x the running average up to that point — the automated outlier
+/// diagnosis. Warm-up is excluded (the first pauses dominate any
+/// running average trivially).
+fn dump_outlier_postmortem(label: &str, report: &mcgc_workloads::RunReport) {
+    let mut sum_ms = 0.0;
+    let mut outlier: Option<(u64, f64, f64)> = None;
+    for (n, c) in report.log.cycles.iter().enumerate() {
+        let pause_ms = c.pause_wall.as_secs_f64() * 1e3;
+        if n >= 3 {
+            let avg = sum_ms / n as f64;
+            if pause_ms > avg * 5.0 && outlier.is_none_or(|(_, p, _)| pause_ms > p) {
+                outlier = Some((c.cycle, pause_ms, avg));
+            }
+        }
+        sum_ms += pause_ms;
+    }
+    if let Some((cycle, pause_ms, avg_ms)) = outlier {
+        println!(
+            "!! outlier at {label}: cycle {cycle} paused {pause_ms:.2} ms \
+             (5x bar over the {avg_ms:.2} ms running average)"
+        );
+        match &report.worst_pause_postmortem {
+            Some(pm) => println!("--- worst-pause postmortem ---\n{pm}"),
+            None => println!("(no postmortem recorded)"),
+        }
+    }
+}
+
 fn run(
     mode: CollectorMode,
     mode_name: &'static str,
     sweep: SweepMode,
     bg_sweep: bool,
+    pin: bool,
     sweep_name: &'static str,
     workers: usize,
 ) -> Point {
@@ -82,6 +128,7 @@ fn run(
     cfg.stw_workers = workers;
     cfg.sweep = sweep;
     cfg.bg_sweep = bg_sweep;
+    cfg.pin_workers = pin;
     cfg.background_threads = if mode == CollectorMode::Concurrent {
         2
     } else {
@@ -89,6 +136,10 @@ fn run(
     };
     let opts = mcgc_bench::jbb_opts(heap, 2, mcgc_bench::seconds(1.5));
     let report = run_standalone(cfg, &opts);
+    dump_outlier_postmortem(
+        &format!("{mode_name}/{sweep_name}/{workers}-workers"),
+        &report,
+    );
     let throughput = report.throughput();
     let log = mcgc_bench::steady(&report.log);
     let straggler_chunks = if log.cycles.is_empty() {
@@ -116,7 +167,7 @@ fn run(
 
 fn main() {
     mcgc_bench::banner(
-        "pause scaling: persistent STW gang at 1/2/4/8 workers × sweep mode",
+        "pause scaling: GC scheduler at 1/2/4/8 workers × sweep mode (+ pinned arm)",
         "fully parallel stop-the-world phase (§2.2, §6); lazy sweep off the pause path",
     );
     println!(
@@ -138,12 +189,15 @@ fn main() {
     );
     let worker_points = [1usize, 2, 4, 8];
     // stw stays eager (its pause is the whole collection by definition);
-    // cgc runs the full sweep-mode axis.
-    let grid: &[(CollectorMode, &str, SweepMode, bool, &str)] = &[
+    // cgc runs the full sweep-mode axis. The `scheduler` arm is the
+    // baseline again with the pool pinned to CPUs — the affinity knob's
+    // A/B partner for the unpinned stw/eager row.
+    let grid: &[(CollectorMode, &str, SweepMode, bool, bool, &str)] = &[
         (
             CollectorMode::StopTheWorld,
             "stw",
             SweepMode::Eager,
+            false,
             false,
             "eager",
         ),
@@ -151,6 +205,7 @@ fn main() {
             CollectorMode::Concurrent,
             "cgc",
             SweepMode::Eager,
+            false,
             false,
             "eager",
         ),
@@ -158,6 +213,7 @@ fn main() {
             CollectorMode::Concurrent,
             "cgc",
             SweepMode::Lazy,
+            false,
             false,
             "lazy",
         ),
@@ -166,13 +222,22 @@ fn main() {
             "cgc",
             SweepMode::Lazy,
             true,
+            false,
             "lazy+bg",
+        ),
+        (
+            CollectorMode::StopTheWorld,
+            "stw",
+            SweepMode::Eager,
+            false,
+            true,
+            "scheduler",
         ),
     ];
     let mut points = Vec::new();
-    for &(mode, name, sweep, bg, sweep_name) in grid {
+    for &(mode, name, sweep, bg, pin, sweep_name) in grid {
         for &workers in &worker_points {
-            let p = run(mode, name, sweep, bg, sweep_name, workers);
+            let p = run(mode, name, sweep, bg, pin, sweep_name, workers);
             println!(
                 "{:<6} {:<8} {:>7} {:>7}  {:>9.3} {:>9.3}  {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}  {:>9.3} {:>7.1}  {:>9.0}",
                 p.mode,
@@ -204,7 +269,8 @@ fn main() {
     };
     let speedup_4 = pause("stw", "eager", 1) / pause("stw", "eager", 4);
     let speedup_8 = pause("stw", "eager", 1) / pause("stw", "eager", 8);
-    // Sweep-mode summary at the 2-worker point (the default gang size):
+    let sched_speedup_4 = pause("stw", "scheduler", 1) / pause("stw", "scheduler", 4);
+    // Sweep-mode summary at the 2-worker point:
     // how much pause the lazy epoch removes, and what it costs in
     // allocation throughput now that refills pay for sweeping.
     let summary_workers = 2;
@@ -221,8 +287,9 @@ fn main() {
     println!();
     println!("stw avg-pause speedup, 1 -> 4 workers: {speedup_4:.2}x");
     println!("stw avg-pause speedup, 1 -> 8 workers: {speedup_8:.2}x");
+    println!("pinned (scheduler arm) speedup, 1 -> 4 workers: {sched_speedup_4:.2}x");
     println!("(>1 needs real cores: on a 1-CPU host the workers time-slice");
-    println!(" and these ratios measure only the dispatch-barrier overhead)");
+    println!(" and these ratios measure only the session protocol's overhead)");
     println!(
         "cgc pause reduction, eager -> lazy+bg sweep ({summary_workers} workers): {:.0}%",
         pause_reduction * 100.0
@@ -236,7 +303,7 @@ fn main() {
     json.push_str(&mcgc_bench::host_meta_json("stw|cgc"));
     json.push_str(&format!(
         "  \"heap_bytes\": {},\n  \"worker_points\": [1, 2, 4, 8],\n  \
-         \"sweep_modes\": [\"eager\", \"lazy\", \"lazy+bg\"],\n",
+         \"sweep_modes\": [\"eager\", \"lazy\", \"lazy+bg\", \"scheduler\"],\n",
         mcgc_bench::heap_bytes(32)
     ));
     json.push_str("  \"points\": [\n");
@@ -268,6 +335,7 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"speedup_4_workers\": {speedup_4:.3},\n  \"speedup_8_workers\": {speedup_8:.3},\n  \
+         \"scheduler_speedup_4_workers\": {sched_speedup_4:.3},\n  \
          \"pause_reduction_lazy_bg\": {pause_reduction:.3},\n  \
          \"throughput_delta_lazy_bg\": {throughput_delta:.3}\n}}\n"
     ));

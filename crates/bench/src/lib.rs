@@ -72,10 +72,10 @@ pub fn available_parallelism() -> usize {
 
 /// The host/mode metadata fragment every `BENCH_*.json` embeds: how much
 /// real parallelism the run had and which mode axis the points cover.
-/// Scaling ratios from a 1-CPU host — where gang workers time-slice and
-/// "speedups" sit near 0.9x — must never be misread as a
-/// real-parallelism regression, so the parallelism travels with the
-/// numbers.
+/// Scaling ratios from a 1-CPU host — where the scheduler's pause
+/// workers time-slice and "speedups" sit near 0.9x — must never be
+/// misread as a real-parallelism regression, so the parallelism travels
+/// with the numbers.
 pub fn host_meta_json(modes: &str) -> String {
     format!(
         "  \"available_parallelism\": {},\n  \"modes\": \"{modes}\",\n",

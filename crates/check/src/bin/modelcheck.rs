@@ -12,8 +12,8 @@
 //! uploads the `--report` file as an artifact.
 
 use mcgc_check::{
-    BarrierModel, BarrierMutation, Explorer, GangModel, GangMutation, Outcome, PoolModel,
-    PoolMutation, SeqlockModel, SeqlockMutation, ShardModel, ShardMutation,
+    BarrierModel, BarrierMutation, Explorer, Outcome, PoolModel, PoolMutation, SchedModel,
+    SchedMutation, SeqlockModel, SeqlockMutation, ShardModel, ShardMutation,
 };
 use std::io::Write as _;
 
@@ -39,7 +39,7 @@ fn barrier_case(name: &'static str, mutation: BarrierMutation, expect_violation:
     }
 }
 
-fn gang_case(name: &'static str, model: GangModel, expect_violation: bool) -> Case {
+fn sched_case(name: &'static str, model: SchedModel, expect_violation: bool) -> Case {
     Case {
         name,
         expect_violation,
@@ -103,65 +103,85 @@ fn cases() -> Vec<Case> {
             BarrierMutation::SkipHandshake,
             true,
         ),
-        // STW worker gang (PR 5).
-        gang_case(
-            "gang/dispatch (faithful)",
-            GangModel::dispatch(GangMutation::None),
+        // Unified GC scheduler (retired gang's session/bucket successor).
+        sched_case(
+            "sched/session (faithful)",
+            SchedModel::session(SchedMutation::None),
             false,
         ),
-        gang_case(
-            "gang/dispatch spurious-wakeups (faithful)",
-            GangModel::dispatch_spurious(GangMutation::None),
+        sched_case(
+            "sched/session spurious-wakeups (faithful)",
+            SchedModel::session_spurious(SchedMutation::None),
             false,
         ),
-        gang_case(
-            "gang/shutdown-race (faithful)",
-            GangModel::shutdown_race(GangMutation::None),
+        sched_case(
+            "sched/participation rendezvous (faithful)",
+            SchedModel::participation(SchedMutation::None),
             false,
         ),
-        gang_case(
-            "gang/helper-panic (faithful: aborts, no strand)",
-            GangModel::helper_panic(GangMutation::None),
+        sched_case(
+            "sched/shutdown-race (faithful)",
+            SchedModel::shutdown_race(SchedMutation::None),
             false,
         ),
-        gang_case(
-            "gang/leader-panic (faithful: guard closes barrier)",
-            GangModel::leader_panic(GangMutation::None),
+        sched_case(
+            "sched/worker-panic (faithful: aborts, no strand)",
+            SchedModel::worker_panic(SchedMutation::None),
             false,
         ),
-        gang_case(
-            "gang/wait-is-if (predicate re-check deleted)",
-            GangModel::catching(GangMutation::WaitIsIf),
+        sched_case(
+            "sched/leader-panic (faithful: guard drains bucket)",
+            SchedModel::leader_panic(SchedMutation::None),
+            false,
+        ),
+        sched_case(
+            "sched/condemned (faithful: watchdog re-queues, §4.3 fires)",
+            SchedModel::condemned(SchedMutation::None),
+            false,
+        ),
+        sched_case(
+            "sched/missed-open-notify (session wakeup deleted)",
+            SchedModel::catching(SchedMutation::MissedOpenNotify),
             true,
         ),
-        gang_case(
-            "gang/missed-notify (dispatch notify_all deleted)",
-            GangModel::catching(GangMutation::MissedNotify),
+        sched_case(
+            "sched/park-misses-open (predicate checked outside lock)",
+            SchedModel::catching(SchedMutation::ParkMissesOpen),
             true,
         ),
-        gang_case(
-            "gang/shutdown-before-epoch (the PR 5 review bug)",
-            GangModel::catching(GangMutation::ShutdownBeforeEpoch),
+        sched_case(
+            "sched/missed-shutdown-notify (join wakeup deleted)",
+            SchedModel::catching(SchedMutation::MissedShutdownNotify),
             true,
         ),
-        gang_case(
-            "gang/dispatch-ignores-shutdown (inline fallback deleted)",
-            GangModel::catching(GangMutation::DispatchIgnoresShutdown),
+        sched_case(
+            "sched/split-claim (last_seq dedup deleted)",
+            SchedModel::catching(SchedMutation::SplitClaim),
             true,
         ),
-        gang_case(
-            "gang/unwind-past-barrier (BarrierGuard deleted)",
-            GangModel::catching(GangMutation::UnwindPastBarrier),
+        sched_case(
+            "sched/open-before-drained (executing-wait deleted)",
+            SchedModel::catching(SchedMutation::OpenBeforeDrained),
             true,
         ),
-        gang_case(
-            "gang/panic-no-abort (helper abort contract deleted)",
-            GangModel::catching(GangMutation::PanicNoAbort),
+        sched_case(
+            "sched/wait-before-clear (drain guard steps swapped)",
+            SchedModel::catching(SchedMutation::WaitBeforeClear),
             true,
         ),
-        gang_case(
-            "gang/split-claim (cursor fetch_add split)",
-            GangModel::catching(GangMutation::SplitClaim),
+        sched_case(
+            "sched/unwind-past-drain (DrainGuard deleted)",
+            SchedModel::catching(SchedMutation::UnwindPastDrain),
+            true,
+        ),
+        sched_case(
+            "sched/panic-no-abort (worker abort contract deleted)",
+            SchedModel::catching(SchedMutation::PanicNoAbort),
+            true,
+        ),
+        sched_case(
+            "sched/skip-condemn (§4.3 watchdog deleted)",
+            SchedModel::catching(SchedMutation::SkipCondemn),
             true,
         ),
         // Flight-recorder seqlock slot (PR 6).

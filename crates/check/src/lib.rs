@@ -24,9 +24,13 @@
 //!   push/pop, §5.1 publication fence, §4.3 after-the-op counters);
 //! * [`barrier_model`] — the §2/§5.3 kickoff/write-barrier/
 //!   card-snapshot protocol;
-//! * [`gang_model`] — the PR 5 stop-the-world gang: epoch dispatch,
-//!   drop-guard barrier close, helper panic-abort, shutdown races
-//!   (`crates/core/src/gang.rs`);
+//! * [`sched_model`] — the unified GC scheduler's session/bucket
+//!   protocol: one-wakeup session open, sequence-number bucket publish
+//!   with no per-phase notify, claims-based drain guard, worker
+//!   panic-abort, park/shutdown races, and §4.3 termination with a
+//!   condemned packet (`crates/core/src/scheduler.rs`; subsumes the
+//!   retired PR 5 gang model — epoch dispatch and drop-guard barriers
+//!   became bucket publishes and drain guards);
 //! * [`seqlock_model`] — the PR 6 flight-recorder seqlock slot
 //!   (`crates/telemetry/src/spans.rs`; this model is what surfaced the
 //!   missing release fence the telemetry rings shipped without);
@@ -35,7 +39,7 @@
 //!   deal-in (`crates/heap/src/shards.rs`).
 //!
 //! Every model has a **mutation mode** ([`pool_model::PoolMutation`],
-//! [`barrier_model::BarrierMutation`], [`gang_model::GangMutation`],
+//! [`barrier_model::BarrierMutation`], [`sched_model::SchedMutation`],
 //! [`seqlock_model::SeqlockMutation`], [`shard_model::ShardMutation`])
 //! that deletes one fence, tag check, handshake, notification, unwind
 //! guard, or ordering rule; the checker must find the resulting bug,
@@ -46,18 +50,18 @@
 //! `cargo test -p mcgc-check`.
 
 pub mod barrier_model;
-pub mod gang_model;
 pub mod locks;
 pub mod mem;
 pub mod pool_model;
 pub mod sched;
+pub mod sched_model;
 pub mod seqlock_model;
 pub mod shard_model;
 
 pub use barrier_model::{BarrierModel, BarrierMutation};
-pub use gang_model::{GangModel, GangMutation};
 pub use mem::WeakMem;
 pub use pool_model::{PoolModel, PoolMutation, Role};
 pub use sched::{Explorer, Model, Outcome};
+pub use sched_model::{SchedModel, SchedMutation};
 pub use seqlock_model::{SeqlockModel, SeqlockMutation};
 pub use shard_model::{ShardModel, ShardMutation, ShardRole};

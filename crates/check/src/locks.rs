@@ -1,5 +1,5 @@
 //! Blocking-primitive building blocks shared by the lock-based protocol
-//! models ([`crate::gang_model`], [`crate::shard_model`]).
+//! models ([`crate::sched_model`], [`crate::shard_model`]).
 //!
 //! The models use a standard soundness-preserving reduction: a
 //! mutex-protected critical section that contains no condvar wait is
@@ -17,8 +17,9 @@
 //! clears it; the woken thread then re-runs its wait step, which
 //! re-acquires the lock and re-evaluates the predicate — the `while`
 //! loop around every real `Condvar::wait`. A model of buggy code that
-//! waits under `if` instead of `while` simply proceeds after a wakeup
-//! without re-evaluating (see `GangMutation::WaitIsIf`).
+//! checks its predicate *outside* the lock before sleeping simply
+//! misses any state change landing in the window (see
+//! `SchedMutation::ParkMissesOpen`).
 //!
 //! Deadlock detection falls out for free: a sleeping thread contributes
 //! no successors, so a lost notification leaves the explorer at a

@@ -1,0 +1,990 @@
+//! Model of the unified GC scheduler's session/bucket protocol
+//! (`crates/core/src/scheduler.rs`): one pool of persistent workers, a
+//! single wakeup when a session opens, buckets published as sequence
+//! number bumps with **no** per-phase notify, a claims-based drain
+//! guard that closes each bucket even on unwind, worker panic-abort,
+//! and the park/shutdown races on the one shared condvar.
+//!
+//! The state machine mirrors `Scheduler::open_session` /
+//! `Session::run` / `Scheduler::serve` / `Scheduler::park` step for
+//! step, with mutex-protected critical sections collapsed into single
+//! atomic micro-steps (see [`crate::locks`]) and condvar parks modeled
+//! as real blocking via [`CvSet`]:
+//!
+//! * **open** = lock; `open = true`; the session's one
+//!   `notify_all(wake_cv)`;
+//! * **publish** = lock; `{job, bucket, bucket_seq + 1}` — *no*
+//!   notify: resident workers observe the new sequence number;
+//! * **park** = lock; predicate `shutdown || open || job` checked
+//!   *under the lock*, else sleep on `wake_cv`;
+//! * **claim** = lock; `job.is_some() && bucket_seq != last_seq` ⇒
+//!   `{last_seq = bucket_seq, executing + 1}`;
+//! * **work claiming** = the bucket closure's atomic cursor: each
+//!   `fetch_add` claims one work item (card stripe, root chunk, sweep
+//!   chunk, packet…) in a single step;
+//! * **drain guard** = the leader's `DrainGuard`: `job = None`
+//!   *first* (no new claim can start), then wait `executing == 0` —
+//!   on the unwind path too, which is what makes the lifetime-erased
+//!   closure sound;
+//! * **worker panic** = `std::process::abort()`, modeled as a terminal
+//!   `aborted` state the finale accepts (the documented contract: a
+//!   worker that dies inside a bucket takes the process with it rather
+//!   than stranding the leader's drain wait forever).
+//!
+//! Ghost state carries the protocol's safety properties:
+//!
+//! * `frames[round]` — whether the leader frame owning round `round`'s
+//!   closure is still alive; a bucket step against a dead frame is the
+//!   **dangling bucket closure** the lifetime erasure could produce;
+//! * `claims[round][item]` — how many times each work item was
+//!   claimed; `> 1` is a double-claim, and the finale demands every
+//!   item of every *completed* bucket be claimed **exactly once**
+//!   (buckets cut short by a leader panic may leave items unclaimed —
+//!   the pause is unwinding);
+//! * a worker claiming a bucket it already ran (`last_seq` dedup
+//!   deleted) poisons the state directly;
+//! * a lost wakeup, a stranded drain wait, and a termination that
+//!   never fires (condemned packet never re-queued) all surface as the
+//!   explorer's built-in deadlock/livelock detection.
+//!
+//! Every [`SchedMutation`] re-introduces one bug this protocol shape
+//! exists to prevent; `every_mutation_is_caught` proves none is
+//! vacuous. The `// MODEL: sched_model — …` comments in
+//! `crates/core/src/scheduler.rs` cite these mutations by name: when
+//! editing the protocol there, change this model in the same commit.
+//!
+//! Two deliberate modeling choices: the park modeled here is the pure
+//! session worker's **untimed** park (tracer-role workers use timed
+//! parks as a safety net, which bounds — but does not fix — a lost
+//! wakeup), and the `participation` scenario uses a **rendezvous
+//! bucket** whose leader slice completes only once every session
+//! worker has claimed it (how the scheduler's unit tests pin
+//! participation down despite leader independence); that is what makes
+//! a lost *open* wakeup observable as a deadlock rather than a silent
+//! parallelism loss.
+
+use crate::locks::CvSet;
+use crate::sched::Model;
+
+/// A single protocol change for mutation testing: each deletes one
+/// ordering rule, predicate re-check, notification, dedup, or unwind
+/// guard, and the checker must find the resulting bug.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SchedMutation {
+    /// The faithful protocol.
+    None,
+    /// `open_session` publishes `open = true` without its `notify_all`:
+    /// parked workers sleep through the session. Ordinary buckets
+    /// degrade to leader-only (a parallelism loss), but a bucket that
+    /// *needs* participation deadlocks — the `participation` scenario.
+    MissedOpenNotify,
+    /// The park predicate is checked *before* taking the state lock
+    /// (check-then-park): an open or shutdown that lands in the window
+    /// notifies nobody, the worker then sleeps unconditionally, and the
+    /// final join deadlocks.
+    ParkMissesOpen,
+    /// `shutdown` sets the flag without `notify_all`: a worker on the
+    /// untimed session park sleeps forever and the join deadlocks.
+    MissedShutdownNotify,
+    /// The `last_seq` dedup is deleted from the claim: a worker that
+    /// finished its slice re-claims the still-open bucket and runs the
+    /// closure twice.
+    SplitClaim,
+    /// The drain guard skips its `executing == 0` wait: the next bucket
+    /// is published (and the previous closure's frame freed) while a
+    /// worker is still inside the previous closure — a dangling bucket
+    /// closure.
+    OpenBeforeDrained,
+    /// The drain guard's two steps are swapped (wait first, *then*
+    /// clear `job`): a worker that claims in the window between the
+    /// wait passing and the clear executes a closure whose frame is
+    /// being torn down.
+    WaitBeforeClear,
+    /// A leader panic unwinds past the drain guard: the frame owning
+    /// the lifetime-erased closure dies with the bucket still
+    /// published.
+    UnwindPastDrain,
+    /// A worker panic unwinds out of the pool loop instead of aborting
+    /// the process: `executing` is never decremented and the leader
+    /// waits at the drain forever.
+    PanicNoAbort,
+    /// The watchdog never condemns the stalled tracer's checked-out
+    /// packet: §4.3 termination cannot fire and the drain bucket never
+    /// completes.
+    SkipCondemn,
+}
+
+impl SchedMutation {
+    /// Every mutation (excluding `None`), for the meta-test proving
+    /// none of them is vacuous.
+    pub const ALL: [SchedMutation; 9] = [
+        SchedMutation::MissedOpenNotify,
+        SchedMutation::ParkMissesOpen,
+        SchedMutation::MissedShutdownNotify,
+        SchedMutation::SplitClaim,
+        SchedMutation::OpenBeforeDrained,
+        SchedMutation::WaitBeforeClear,
+        SchedMutation::UnwindPastDrain,
+        SchedMutation::PanicNoAbort,
+        SchedMutation::SkipCondemn,
+    ];
+}
+
+// Leader program counters.
+const L_OPEN: u8 = 0;
+const L_PUBLISH: u8 = 1;
+const L_RUN: u8 = 2;
+const L_CLEARJOB: u8 = 3;
+const L_DRAINWAIT: u8 = 4;
+const L_CLOSE: u8 = 5;
+const L_SHUTDOWN: u8 = 6;
+const L_JOIN: u8 = 7;
+
+// Worker program counters.
+const W_PARK: u8 = 0;
+const W_PARK_SLEEP: u8 = 1; // ParkMissesOpen only: the race window.
+const W_CLAIM: u8 = 2;
+const W_RUN: u8 = 3;
+const W_FINISH: u8 = 4;
+
+// Closer program counters.
+const C_SHUTDOWN: u8 = 0;
+const C_JOIN: u8 = 1;
+
+const NO_ROUND: u8 = u8::MAX;
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct SThread {
+    pc: u8,
+    /// Leader: rounds (buckets) completed so far.
+    seen: u8,
+    /// Worker: last `bucket_seq` claimed (the serve-loop dedup).
+    last_seq: u8,
+    /// Round whose closure this thread is currently inside.
+    job_round: u8,
+    /// Woken from a condvar sleep at least once at the current site.
+    slept: bool,
+    /// This thread already took its one scripted panic.
+    panicked: bool,
+    /// Leader running a post-shutdown bucket inline (no publish).
+    inline: bool,
+    done: bool,
+}
+
+impl SThread {
+    fn new() -> SThread {
+        SThread {
+            pc: 0,
+            seen: 0,
+            last_seq: 0,
+            job_round: NO_ROUND,
+            slept: false,
+            panicked: false,
+            inline: false,
+            done: false,
+        }
+    }
+}
+
+/// Full system state of the scheduler model.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SchedProtoState {
+    // SchedState fields from scheduler.rs, all under the one state
+    // mutex (each access below is one collapsed critical section).
+    open: bool,
+    /// Round whose closure is published (`Some` = open to claims).
+    job: Option<u8>,
+    bucket_seq: u8,
+    executing: u8,
+    shutdown: bool,
+    wake_cv: CvSet,
+    /// The current bucket's work-item claim cursor (an atomic in the
+    /// closure).
+    cursor: u8,
+    /// Condemned-packet scenario: the watchdog has re-queued the
+    /// stalled tracer's item.
+    requeued: bool,
+    /// Condemned-packet scenario: the re-queued item was claimed.
+    claimed0: bool,
+    /// Ghost: is round r's leader frame (owning the closure) alive?
+    frames: Vec<bool>,
+    /// Ghost: did round r's bucket complete (drain) normally?
+    completed: Vec<bool>,
+    /// Ghost: claim count per `round * items + item`.
+    claims: Vec<u8>,
+    /// Ghost: buckets published or run inline so far.
+    rounds_started: u8,
+    /// Terminal: a worker panicked and the process aborted.
+    aborted: bool,
+    /// Ghost: first safety violation observed while stepping.
+    poison: Option<&'static str>,
+    threads: Vec<SThread>,
+}
+
+/// The scheduler protocol model for a fixed scenario.
+#[derive(Clone, Debug)]
+pub struct SchedModel {
+    /// Parked session workers (`stw_workers - 1`).
+    pub workers: u8,
+    /// Buckets the leader publishes in the session.
+    pub rounds: u8,
+    /// Work items per bucket, claimed through the shared cursor.
+    pub items: u8,
+    /// Add a separate thread that requests shutdown concurrently with
+    /// the leader's session (the `Gc::shutdown`-vs-pause race).
+    pub closer: bool,
+    /// Script one leader panic mid-bucket (exercises the drain guard's
+    /// unwind path).
+    pub leader_panics: bool,
+    /// Script one worker panic mid-bucket (exercises the abort
+    /// contract).
+    pub worker_panics: bool,
+    /// Model spurious condvar wakeups.
+    pub spurious: bool,
+    /// The buckets rendezvous: the leader's slice completes only when
+    /// every session worker has claimed the bucket. Makes worker
+    /// participation — and therefore the open wakeup — load-bearing.
+    pub rendezvous: bool,
+    /// The drain bucket starts with item 0 checked out by a stalled
+    /// tracer; §4.3 termination needs the watchdog to condemn and
+    /// re-queue it before the bucket can complete.
+    pub condemned: bool,
+    /// The protocol change under test.
+    pub mutation: SchedMutation,
+}
+
+impl SchedModel {
+    /// Two workers, two buckets of two items each: the bread-and-butter
+    /// open/publish/claim/drain/close/shutdown cycle.
+    pub fn session(mutation: SchedMutation) -> SchedModel {
+        SchedModel {
+            workers: 2,
+            rounds: 2,
+            items: 2,
+            closer: false,
+            leader_panics: false,
+            worker_panics: false,
+            spurious: false,
+            rendezvous: false,
+            condemned: false,
+            mutation,
+        }
+    }
+
+    /// One worker, two buckets, spurious wakeups on: proves the park
+    /// re-checks its predicate.
+    pub fn session_spurious(mutation: SchedMutation) -> SchedModel {
+        SchedModel {
+            workers: 1,
+            rounds: 2,
+            items: 2,
+            spurious: true,
+            ..SchedModel::session(mutation)
+        }
+    }
+
+    /// One worker, one rendezvous bucket: the session's single open
+    /// wakeup is what lets the worker participate at all.
+    pub fn participation(mutation: SchedMutation) -> SchedModel {
+        SchedModel {
+            workers: 1,
+            rounds: 1,
+            items: 1,
+            rendezvous: true,
+            ..SchedModel::session(mutation)
+        }
+    }
+
+    /// A closer thread races `shutdown` against one session.
+    pub fn shutdown_race(mutation: SchedMutation) -> SchedModel {
+        SchedModel {
+            workers: 1,
+            rounds: 1,
+            items: 1,
+            closer: true,
+            ..SchedModel::session(mutation)
+        }
+    }
+
+    /// A worker panics inside a claimed bucket: the faithful protocol
+    /// aborts the process instead of stranding the drain wait.
+    pub fn worker_panic(mutation: SchedMutation) -> SchedModel {
+        SchedModel {
+            workers: 1,
+            rounds: 1,
+            items: 2,
+            worker_panics: true,
+            ..SchedModel::session(mutation)
+        }
+    }
+
+    /// The leader panics mid-bucket: the faithful drain guard still
+    /// closes the bucket before the closure's frame dies.
+    pub fn leader_panic(mutation: SchedMutation) -> SchedModel {
+        SchedModel {
+            workers: 1,
+            rounds: 1,
+            items: 2,
+            leader_panics: true,
+            ..SchedModel::session(mutation)
+        }
+    }
+
+    /// The drain bucket has a condemned packet: §4.3 termination fires
+    /// only after the watchdog re-queues the stalled tracer's item.
+    pub fn condemned(mutation: SchedMutation) -> SchedModel {
+        SchedModel {
+            workers: 1,
+            rounds: 1,
+            items: 2,
+            condemned: true,
+            ..SchedModel::session(mutation)
+        }
+    }
+
+    /// The scenario that catches `mutation` (used by the CLI and the
+    /// no-vacuous-mutations meta-test).
+    pub fn catching(mutation: SchedMutation) -> SchedModel {
+        match mutation {
+            SchedMutation::None => SchedModel::session(mutation),
+            SchedMutation::MissedOpenNotify => SchedModel::participation(mutation),
+            SchedMutation::ParkMissesOpen => SchedModel::session(mutation),
+            SchedMutation::MissedShutdownNotify => SchedModel::session(mutation),
+            SchedMutation::SplitClaim => SchedModel::session(mutation),
+            SchedMutation::OpenBeforeDrained => SchedModel::session(mutation),
+            SchedMutation::WaitBeforeClear => SchedModel::session(mutation),
+            SchedMutation::UnwindPastDrain => SchedModel::leader_panic(mutation),
+            SchedMutation::PanicNoAbort => SchedModel::worker_panic(mutation),
+            SchedMutation::SkipCondemn => SchedModel::condemned(mutation),
+        }
+    }
+
+    fn nthreads(&self) -> usize {
+        1 + self.workers as usize + usize::from(self.closer)
+    }
+
+    fn closer_tid(&self) -> usize {
+        1 + self.workers as usize
+    }
+
+    /// The cursor value a freshly published bucket starts at: in the
+    /// condemned scenario item 0 is checked out by the stalled tracer
+    /// and only re-enters via the watchdog's re-queue.
+    fn initial_cursor(&self) -> u8 {
+        u8::from(self.condemned)
+    }
+
+    fn record_claim(&self, n: &mut SchedProtoState, round: u8, item: u8) {
+        if round == NO_ROUND {
+            n.poison = Some("claim with no bucket published");
+            return;
+        }
+        if !n.frames[round as usize] {
+            n.poison = Some("dangling bucket closure: step against a dead leader frame");
+            return;
+        }
+        let slot = round as usize * self.items as usize + item as usize;
+        n.claims[slot] += 1;
+        if n.claims[slot] > 1 {
+            n.poison = Some("work item claimed twice in one bucket");
+        }
+    }
+
+    /// True when the current bucket's work is exhausted: the cursor is
+    /// drained and, in the condemned scenario, the re-queued item was
+    /// claimed (§4.3 termination: a checked-out packet blocks it).
+    fn work_done(&self, s: &SchedProtoState) -> bool {
+        s.cursor >= self.items && (!self.condemned || s.claimed0)
+    }
+
+    /// True when every session worker has claimed the current bucket
+    /// (the rendezvous closures the scheduler's unit tests use).
+    fn all_participated(&self, s: &SchedProtoState) -> bool {
+        (1..=self.workers as usize).all(|w| s.threads[w].last_seq == s.bucket_seq)
+    }
+
+    /// In-bucket successors shared by leader and workers: claim one
+    /// item, claim the re-queued item, take the watchdog step (leader),
+    /// panic (if scripted), or leave once the work is exhausted.
+    /// `on_exit(n)` applies the thread's bucket-exit transition.
+    fn step_run(
+        &self,
+        s: &SchedProtoState,
+        tid: usize,
+        on_exit: impl Fn(&mut SchedProtoState),
+        can_panic: bool,
+    ) -> Vec<SchedProtoState> {
+        let t = &s.threads[tid];
+        let mut out = Vec::new();
+        // Inside the closure, every step touches the leader frame.
+        if t.job_round == NO_ROUND || !s.frames[t.job_round as usize] {
+            let mut n = s.clone();
+            n.poison = Some("dangling bucket closure: step against a dead leader frame");
+            return vec![n];
+        }
+        if s.cursor < self.items {
+            let mut n = s.clone();
+            let item = n.cursor;
+            n.cursor += 1;
+            self.record_claim(&mut n, t.job_round, item);
+            out.push(n);
+        }
+        if self.condemned && s.requeued && !s.claimed0 {
+            let mut n = s.clone();
+            n.claimed0 = true;
+            self.record_claim(&mut n, t.job_round, 0);
+            out.push(n);
+        }
+        if tid == 0 && self.condemned && !s.requeued && self.mutation != SchedMutation::SkipCondemn
+        {
+            // The pause watchdog condemns the stalled tracer's handle
+            // and re-queues its work, unblocking §4.3 termination.
+            let mut n = s.clone();
+            n.requeued = true;
+            out.push(n);
+        }
+        if self.work_done(s) && (tid != 0 || !self.rendezvous || self.all_participated(s)) {
+            let mut n = s.clone();
+            on_exit(&mut n);
+            out.push(n);
+        }
+        if can_panic && !s.threads[tid].panicked && s.cursor < self.items {
+            out.push(self.panic_step(s, tid));
+        }
+        out
+    }
+
+    fn panic_step(&self, s: &SchedProtoState, tid: usize) -> SchedProtoState {
+        let mut n = s.clone();
+        n.threads[tid].panicked = true;
+        if tid == 0 {
+            match self.mutation {
+                SchedMutation::UnwindPastDrain => {
+                    // No drain guard on the unwind path: the frame dies
+                    // with the bucket still published.
+                    n.frames[n.threads[0].job_round as usize] = false;
+                    n.threads[0].job_round = NO_ROUND;
+                    n.threads[0].pc = L_CLOSE;
+                }
+                _ => {
+                    // Faithful: the guard's Drop still closes the bucket
+                    // before the frame is torn down (WaitBeforeClear
+                    // runs its swapped guard on unwind too).
+                    n.threads[0].pc = if self.mutation == SchedMutation::WaitBeforeClear {
+                        L_DRAINWAIT
+                    } else {
+                        L_CLEARJOB
+                    };
+                }
+            }
+        } else {
+            match self.mutation {
+                SchedMutation::PanicNoAbort => {
+                    // The catch_unwind/abort is gone: the worker thread
+                    // just dies, without decrementing `executing`.
+                    n.threads[tid].done = true;
+                }
+                _ => {
+                    // Faithful: std::process::abort().
+                    n.aborted = true;
+                }
+            }
+        }
+        n
+    }
+
+    /// The leader's bucket-complete transition: retire the frame, mark
+    /// the round completed, move on to the next publish.
+    fn finish_round(&self, n: &mut SchedProtoState) {
+        let round = n.threads[0].job_round;
+        n.frames[round as usize] = false;
+        // A bucket the leader panicked out of drains (the guard still
+        // runs on unwind) but did not *complete*: its remaining work is
+        // abandoned with the pause, so the finale's claimed-exactly-once
+        // check does not apply to it.
+        n.completed[round as usize] = !n.threads[0].panicked;
+        n.threads[0].job_round = NO_ROUND;
+        n.threads[0].inline = false;
+        n.threads[0].seen += 1;
+        n.threads[0].pc = L_PUBLISH;
+    }
+
+    fn step_leader(&self, s: &SchedProtoState) -> Vec<SchedProtoState> {
+        let t = &s.threads[0];
+        match t.pc {
+            // lock; open = true; the session's ONE notify_all; unlock.
+            L_OPEN => {
+                let mut n = s.clone();
+                n.open = true;
+                if self.mutation != SchedMutation::MissedOpenNotify {
+                    n.wake_cv.notify_all();
+                }
+                n.threads[0].pc = L_PUBLISH;
+                vec![n]
+            }
+            // lock; {job, bucket, bucket_seq + 1}; unlock — NO notify.
+            // After shutdown: run the bucket inline instead (nobody
+            // would claim it; see Session::run's fallback).
+            L_PUBLISH => {
+                if t.seen >= self.rounds || t.panicked {
+                    let mut n = s.clone();
+                    n.threads[0].pc = L_CLOSE;
+                    return vec![n];
+                }
+                let round = t.seen;
+                let mut n = s.clone();
+                n.frames[round as usize] = true;
+                n.rounds_started += 1;
+                n.cursor = self.initial_cursor();
+                n.requeued = false;
+                n.claimed0 = false;
+                n.threads[0].job_round = round;
+                n.threads[0].pc = L_RUN;
+                if s.shutdown {
+                    n.threads[0].inline = true;
+                } else {
+                    n.job = Some(round);
+                    n.bucket_seq = n.bucket_seq.wrapping_add(1);
+                }
+                vec![n]
+            }
+            // The leader runs its own slice alongside the workers.
+            L_RUN => self.step_run(
+                s,
+                0,
+                |n| {
+                    if n.threads[0].inline {
+                        // Inline buckets were never published: nothing
+                        // to drain.
+                        self.finish_round(n);
+                    } else {
+                        n.threads[0].pc = match self.mutation {
+                            // Guard swapped: wait first, then clear.
+                            SchedMutation::WaitBeforeClear => L_DRAINWAIT,
+                            _ => L_CLEARJOB,
+                        };
+                    }
+                },
+                self.leader_panics,
+            ),
+            // Drain guard step 1: lock; job = None (closed to claims).
+            L_CLEARJOB => {
+                let mut n = s.clone();
+                n.job = None;
+                match self.mutation {
+                    SchedMutation::OpenBeforeDrained => {
+                        // The executing-wait is deleted: the frame dies
+                        // (and the next bucket may be published) while
+                        // workers are still inside the closure.
+                        self.finish_round(&mut n);
+                    }
+                    SchedMutation::WaitBeforeClear => {
+                        // Swapped guard: the wait already passed; the
+                        // clear retires the frame without re-checking
+                        // `executing`.
+                        self.finish_round(&mut n);
+                    }
+                    _ => n.threads[0].pc = L_DRAINWAIT,
+                }
+                vec![n]
+            }
+            // Drain guard step 2: spin until executing == 0, then the
+            // frame may die.
+            L_DRAINWAIT => {
+                if s.executing > 0 {
+                    return vec![]; // the leader's bounded spin, blocked
+                }
+                let mut n = s.clone();
+                match self.mutation {
+                    SchedMutation::WaitBeforeClear => n.threads[0].pc = L_CLEARJOB,
+                    _ => self.finish_round(&mut n),
+                }
+                vec![n]
+            }
+            // Session::drop: lock; open = false; unlock (no notify).
+            L_CLOSE => {
+                let mut n = s.clone();
+                n.open = false;
+                if self.closer {
+                    n.threads[0].done = true; // the closer owns shutdown
+                } else {
+                    n.threads[0].pc = L_SHUTDOWN;
+                }
+                vec![n]
+            }
+            // lock; shutdown = true; notify_all(wake_cv); unlock.
+            L_SHUTDOWN => {
+                let mut n = s.clone();
+                n.shutdown = true;
+                if self.mutation != SchedMutation::MissedShutdownNotify {
+                    n.wake_cv.notify_all();
+                }
+                n.threads[0].pc = L_JOIN;
+                vec![n]
+            }
+            // JoinHandle::join on every pool worker.
+            L_JOIN => {
+                if (1..=self.workers as usize).all(|w| s.threads[w].done) {
+                    let mut n = s.clone();
+                    n.threads[0].done = true;
+                    vec![n]
+                } else {
+                    vec![] // blocked in join
+                }
+            }
+            _ => unreachable!("leader pc"),
+        }
+    }
+
+    fn step_worker(&self, s: &SchedProtoState, tid: usize) -> Vec<SchedProtoState> {
+        let t = &s.threads[tid];
+        match t.pc {
+            // lock; if shutdown exit; if open/job serve; else sleep on
+            // wake_cv — predicate and sleep are ONE atomic step.
+            W_PARK => {
+                if s.wake_cv.is_blocked(tid) {
+                    return vec![]; // asleep until notified/spurious
+                }
+                let mut n = s.clone();
+                n.threads[tid].slept = false;
+                if s.shutdown {
+                    n.threads[tid].done = true;
+                } else if s.open || s.job.is_some() {
+                    n.threads[tid].pc = W_CLAIM;
+                } else if self.mutation == SchedMutation::ParkMissesOpen {
+                    // Check-then-park: the predicate was read, the
+                    // sleep happens in a later step — an open or
+                    // shutdown landing in between notifies nobody.
+                    n.threads[tid].pc = W_PARK_SLEEP;
+                } else {
+                    n.wake_cv.sleep(tid);
+                }
+                vec![n]
+            }
+            // ParkMissesOpen only: the unconditional sleep after the
+            // unlocked predicate check.
+            W_PARK_SLEEP => {
+                if s.wake_cv.is_blocked(tid) {
+                    return vec![];
+                }
+                let mut n = s.clone();
+                if t.slept {
+                    n.threads[tid].slept = false;
+                    n.threads[tid].pc = W_PARK;
+                } else {
+                    n.wake_cv.sleep(tid);
+                    n.threads[tid].slept = true;
+                }
+                vec![n]
+            }
+            // serve(): lock; exit on shutdown / session closed; claim
+            // when a bucket is published with an unseen sequence
+            // number; otherwise spin.
+            W_CLAIM => {
+                let mut n = s.clone();
+                if s.shutdown {
+                    n.threads[tid].done = true;
+                    return vec![n];
+                }
+                if !s.open && s.job.is_none() {
+                    n.threads[tid].pc = W_PARK;
+                    return vec![n];
+                }
+                match s.job {
+                    Some(round)
+                        if self.mutation == SchedMutation::SplitClaim
+                            || s.bucket_seq != t.last_seq =>
+                    {
+                        if s.bucket_seq == t.last_seq {
+                            // Only reachable under SplitClaim: the
+                            // dedup is gone and the worker re-runs a
+                            // bucket it already finished.
+                            n.poison = Some("bucket closure run twice by one worker");
+                            return vec![n];
+                        }
+                        n.threads[tid].last_seq = s.bucket_seq;
+                        n.threads[tid].job_round = round;
+                        n.executing += 1;
+                        n.threads[tid].pc = W_RUN;
+                        vec![n]
+                    }
+                    // Nothing claimable yet: the serve loop's bounded
+                    // spin (the explorer's visited set prunes it).
+                    _ => vec![s.clone()],
+                }
+            }
+            // The claimed slice (catch_unwind around it; panic =>
+            // abort).
+            W_RUN => self.step_run(
+                s,
+                tid,
+                |n| {
+                    n.threads[tid].pc = W_FINISH;
+                },
+                self.worker_panics,
+            ),
+            // lock; executing -= 1; unlock; back to the serve loop.
+            W_FINISH => {
+                let mut n = s.clone();
+                n.executing -= 1;
+                n.threads[tid].job_round = NO_ROUND;
+                n.threads[tid].pc = W_CLAIM;
+                vec![n]
+            }
+            _ => unreachable!("worker pc"),
+        }
+    }
+
+    fn step_closer(&self, s: &SchedProtoState) -> Vec<SchedProtoState> {
+        let tid = self.closer_tid();
+        match s.threads[tid].pc {
+            C_SHUTDOWN => {
+                let mut n = s.clone();
+                n.shutdown = true;
+                n.wake_cv.notify_all();
+                n.threads[tid].pc = C_JOIN;
+                vec![n]
+            }
+            C_JOIN => {
+                if (1..=self.workers as usize).all(|w| s.threads[w].done) {
+                    let mut n = s.clone();
+                    n.threads[tid].done = true;
+                    vec![n]
+                } else {
+                    vec![]
+                }
+            }
+            _ => unreachable!("closer pc"),
+        }
+    }
+}
+
+impl Model for SchedModel {
+    type State = SchedProtoState;
+
+    fn initial(&self) -> SchedProtoState {
+        SchedProtoState {
+            open: false,
+            job: None,
+            bucket_seq: 0,
+            executing: 0,
+            shutdown: false,
+            wake_cv: CvSet::default(),
+            cursor: 0,
+            requeued: false,
+            claimed0: false,
+            frames: vec![false; self.rounds as usize],
+            completed: vec![false; self.rounds as usize],
+            claims: vec![0; self.rounds as usize * self.items as usize],
+            rounds_started: 0,
+            aborted: false,
+            poison: None,
+            threads: (0..self.nthreads()).map(|_| SThread::new()).collect(),
+        }
+    }
+
+    fn successors(&self, s: &SchedProtoState) -> Vec<SchedProtoState> {
+        if s.aborted {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        for tid in 0..self.nthreads() {
+            if s.threads[tid].done {
+                continue;
+            }
+            let steps = if tid == 0 {
+                self.step_leader(s)
+            } else if tid <= self.workers as usize {
+                self.step_worker(s, tid)
+            } else {
+                self.step_closer(s)
+            };
+            out.extend(steps);
+        }
+        if self.spurious {
+            for tid in s.wake_cv.sleepers() {
+                let mut n = s.clone();
+                n.wake_cv.wake(tid);
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    fn is_final(&self, s: &SchedProtoState) -> bool {
+        s.aborted || s.threads.iter().all(|t| t.done)
+    }
+
+    fn invariant(&self, s: &SchedProtoState) -> Result<(), String> {
+        match s.poison {
+            Some(msg) => Err(msg.to_string()),
+            None => Ok(()),
+        }
+    }
+
+    fn finale(&self, s: &SchedProtoState) -> Result<(), String> {
+        if s.aborted {
+            // The documented worker-panic contract: the process dies
+            // instead of deadlocking. Nothing else to check.
+            return Ok(());
+        }
+        if s.executing != 0 {
+            return Err(format!("pool wound down with executing = {}", s.executing));
+        }
+        if s.job.is_some() {
+            return Err("pool wound down with a bucket still published".to_string());
+        }
+        if s.open {
+            return Err("pool wound down with the session still open".to_string());
+        }
+        if let Some(alive) = s.frames.iter().position(|&f| f) {
+            return Err(format!("round {alive}'s frame still alive at exit"));
+        }
+        // Every item of every bucket that completed (drained normally)
+        // was claimed exactly once. Buckets cut short by a leader panic
+        // are exempt: the pause is unwinding and the work is abandoned,
+        // not lost silently.
+        for round in 0..self.rounds as usize {
+            if !s.completed[round] {
+                continue;
+            }
+            for item in 0..self.items as usize {
+                let slot = round * self.items as usize + item;
+                if s.claims[slot] != 1 {
+                    return Err(format!(
+                        "round {round} item {item} claimed {} times (want exactly 1)",
+                        s.claims[slot]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Explorer, Outcome};
+
+    fn run(m: &SchedModel) -> Outcome {
+        Explorer::default().run(m)
+    }
+
+    #[test]
+    fn faithful_session_passes_exhaustively() {
+        let out = run(&SchedModel::session(SchedMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_session_survives_spurious_wakeups() {
+        let out = run(&SchedModel::session_spurious(SchedMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_participation_passes() {
+        let out = run(&SchedModel::participation(SchedMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_shutdown_race_passes() {
+        let out = run(&SchedModel::shutdown_race(SchedMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_worker_panic_aborts_not_deadlocks() {
+        let out = run(&SchedModel::worker_panic(SchedMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_leader_panic_still_drains_bucket() {
+        let out = run(&SchedModel::leader_panic(SchedMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn faithful_condemned_packet_requeues_and_terminates() {
+        let out = run(&SchedModel::condemned(SchedMutation::None));
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn every_mutation_is_caught() {
+        for mutation in SchedMutation::ALL {
+            let out = run(&SchedModel::catching(mutation));
+            assert!(
+                out.violated(),
+                "mutation {mutation:?} was not caught: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missed_open_notify_strands_the_rendezvous() {
+        let out = run(&SchedModel::catching(SchedMutation::MissedOpenNotify));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("deadlock"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_then_park_loses_the_shutdown_wakeup() {
+        let out = run(&SchedModel::catching(SchedMutation::ParkMissesOpen));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("deadlock"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_dedup_runs_a_bucket_twice() {
+        let out = run(&SchedModel::catching(SchedMutation::SplitClaim));
+        match out {
+            Outcome::Violation { message, .. } => {
+                assert!(message.contains("run twice"), "{message}")
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steal_vs_close_race_dangles_the_closure() {
+        for mutation in [
+            SchedMutation::WaitBeforeClear,
+            SchedMutation::OpenBeforeDrained,
+            SchedMutation::UnwindPastDrain,
+        ] {
+            let out = run(&SchedModel::catching(mutation));
+            match out {
+                Outcome::Violation { message, .. } => assert!(
+                    message.contains("dangling bucket closure")
+                        || message.contains("still published"),
+                    "{mutation:?}: {message}"
+                ),
+                other => panic!("{mutation:?}: expected violation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_condemnation_hangs_termination() {
+        let out = run(&SchedModel::catching(SchedMutation::SkipCondemn));
+        match out {
+            Outcome::Violation { message, .. } => assert!(
+                message.contains("deadlock") || message.contains("livelock"),
+                "{message}"
+            ),
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+}

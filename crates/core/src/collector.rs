@@ -11,12 +11,11 @@ use mcgc_membar::sync::{Condvar, Mutex};
 use mcgc_packets::{PacketPool, WorkBuffer};
 use mcgc_telemetry::{SpanGuard, SpanKind, TrackId};
 
-use crate::background;
 use crate::config::{CollectorMode, GcConfig, SweepMode};
-use crate::gang::{Gang, GangTask};
 use crate::mutator::Mutator;
 use crate::pacing::Pacer;
 use crate::roots::{MutatorShared, StwSync};
+use crate::scheduler::{Bucket, Scheduler, Session};
 use crate::stats::{CycleStats, GcLog, Trigger};
 use crate::telemetry::GcTelemetry;
 
@@ -270,34 +269,29 @@ pub struct Gc {
     /// Flight-recorder timestamp of the current cycle's kickoff, for the
     /// cycle-level span recorded when the pause ends.
     cycle_begin_ns: AtomicU64,
-    /// Persistent stop-the-world worker gang: `stw_workers - 1` helper
-    /// threads spawned once at construction and parked between pauses,
-    /// so no pause phase ever pays a `thread::spawn`.
-    pub(crate) gang: Gang,
+    /// The unified GC scheduler: one persistent worker pool serving
+    /// pause sessions (work buckets claimed with a single wakeup per
+    /// pause), the §3 background tracer duties, and the background
+    /// sweeper — no pause phase or concurrent duty ever pays a
+    /// `thread::spawn` or a per-phase barrier.
+    sched: Scheduler,
     pub(crate) shutdown_flag: AtomicBool,
-    bg_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 
     /// §5.3 handshake epoch: bumped by the collector when a card snapshot
     /// needs every mutator to fence; mutators ack by storing the epoch
     /// into their `handshake_seen` at the next safepoint poll.
     pub(crate) handshake_epoch: AtomicU64,
-    /// Background tracer threads currently inside their run loop (a
-    /// `bg.death` fault or shutdown decrements it; watched by `gc_top`).
+    /// Scheduler workers currently carrying the background tracer duty
+    /// (a `bg.death` fault or shutdown decrements it; watched by
+    /// `gc_top`).
     pub(crate) bg_alive: AtomicUsize,
-
-    /// Background threads park here between polls; kickoff notifies so
-    /// they engage the concurrent phase immediately. With the sharded
-    /// allocator, mutators can burn the post-kickoff headroom faster
-    /// than a timed poll interval — an unwoken tracer would miss the
-    /// whole phase.
-    bg_idle: Mutex<()>,
-    bg_wake: Condvar,
 }
 
 impl Gc {
-    /// Creates a collector (and its background threads, in concurrent
-    /// mode). Call [`Gc::shutdown`] when done: the background threads
-    /// hold `Arc<Gc>` references.
+    /// Creates a collector and starts its scheduler pool (which carries
+    /// the background tracer duties in concurrent mode). Call
+    /// [`Gc::shutdown`] when done: the pool threads hold `Arc<Gc>`
+    /// references.
     pub fn new(config: GcConfig) -> Arc<Gc> {
         let heap = Heap::new(config.heap);
         let pacer = Pacer::new(&config, heap.total_bytes());
@@ -306,8 +300,8 @@ impl Gc {
         let spans = Arc::clone(tel.hub.spans());
         let coord_track = spans.named_track("gc coordinator");
         heap.free_list().attach_recorder(Arc::clone(&spans));
-        let gang = Gang::new(config.stw_workers);
-        gang.attach_spans(spans);
+        let sched = Scheduler::new(config.stw_workers, config.mode, config.background_threads);
+        sched.attach_spans(spans);
         let gc = Arc::new(Gc {
             pool: PacketPool::new(config.pool),
             pacer: Mutex::new(pacer),
@@ -342,40 +336,27 @@ impl Gc {
             tel,
             coord_track,
             cycle_begin_ns: AtomicU64::new(0),
-            gang,
+            sched,
             shutdown_flag: AtomicBool::new(false),
-            bg_handles: Mutex::new(Vec::new()),
             handshake_epoch: AtomicU64::new(0),
             bg_alive: AtomicUsize::new(0),
-            bg_idle: Mutex::new(()),
-            bg_wake: Condvar::new(),
             heap,
             config,
         });
-        if gc.config.mode == CollectorMode::Concurrent {
-            let mut handles = gc.bg_handles.lock();
-            for idx in 0..gc.config.background_threads {
-                let gc2 = Arc::clone(&gc);
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("mcgc-bg-{idx}"))
-                        .spawn(move || background::run(gc2))
-                        .expect("spawn background thread"),
-                );
-            }
-        }
+        gc.sched.start(&gc);
         gc
     }
 
-    /// Stops the background threads and the pause gang and waits for
-    /// them. Idempotent.
+    /// Stops the scheduler pool (pause workers and background tracer
+    /// duties alike) and waits for it. Idempotent.
     pub fn shutdown(&self) {
         self.shutdown_flag.store(true, Ordering::SeqCst);
-        let handles: Vec<_> = self.bg_handles.lock().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
-        }
-        self.gang.shutdown();
+        self.sched.shutdown();
+    }
+
+    /// The unified GC scheduler.
+    pub(crate) fn sched(&self) -> &Scheduler {
+        &self.sched
     }
 
     /// The collector configuration.
@@ -454,7 +435,7 @@ impl Gc {
             &self.heap.segment_stats(),
             &self.heap.sweep_counters(),
         );
-        self.tel.refresh_gang(&self.gang);
+        self.tel.refresh_sched(&self.sched);
         self.tel.refresh_postmortem();
     }
 
@@ -845,28 +826,10 @@ impl Gc {
             );
         }
         self.phase.store(PHASE_CONCURRENT, Ordering::Release);
-        self.wake_background();
-    }
-
-    /// Parks a background thread for up to `d` between polls;
-    /// [`Gc::wake_background`] cuts the sleep short the moment a
-    /// concurrent phase begins. The phase re-check under the `bg_idle`
-    /// lock closes the check-then-park race against kickoff.
-    pub(crate) fn background_park(&self, d: Duration) {
-        let mut g = self.bg_idle.lock();
-        if self.in_concurrent_phase() {
-            return;
-        }
-        self.bg_wake.wait_for(&mut g, d);
-    }
-
-    /// Wakes parked background threads at kickoff: the paper's
-    /// background tracers exist to soak up exactly the window that
-    /// opens here, and on a busy host that window can be shorter than
-    /// their poll interval.
-    fn wake_background(&self) {
-        let _g = self.bg_idle.lock();
-        self.bg_wake.notify_all();
+        // Wake the scheduler pool: the paper's background tracers exist
+        // to soak up exactly the window that opens here, and on a busy
+        // host that window can be shorter than their poll interval.
+        self.sched.kickoff_wake();
     }
 
     /// Requests a collection: finishes the concurrent phase (or runs a
@@ -924,11 +887,11 @@ impl Gc {
     /// The sweep epoch's **completion fence**: drives any chunks the
     /// previous cycle's refill and background sweeping left unswept
     /// (the *stragglers*) to completion before mark bits are recycled.
-    /// Runs on the persistent gang, *before* the world stops (called at
-    /// kickoff and pre-pause under the coordinator lock), so the measured
-    /// pause itself contains no bulk sweep — only this bounded, counted
-    /// remainder. The cost is stashed and folded into the next
-    /// `CycleStats` as `straggler_wall`/`straggler_chunks`.
+    /// Runs as a scheduler session of its own, *before* the world stops
+    /// (called at kickoff and pre-pause under the coordinator lock), so
+    /// the measured pause itself contains no bulk sweep — only this
+    /// bounded, counted remainder. The cost is stashed and folded into
+    /// the next `CycleStats` as `straggler_wall`/`straggler_chunks`.
     pub(crate) fn finish_lazy_sweep(&self) {
         let Some(plan) = self.heap.lazy_plan() else {
             return;
@@ -936,7 +899,8 @@ impl Gc {
         let before = plan.remaining_chunks() as u64;
         let t = Instant::now();
         if before > 0 {
-            self.gang.run(GangTask::Straggler, |w| {
+            let session = self.sched.open_session();
+            session.run(Bucket::Straggler, |w| {
                 let mut swept = 0;
                 while plan
                     .sweep_one_from(&self.heap, SweepSource::Straggler)
@@ -944,7 +908,7 @@ impl Gc {
                 {
                     swept += 1;
                 }
-                self.gang.add_claimed(w, swept);
+                self.sched.add_claimed(w, swept);
             });
         }
         // Chunks claimed by a concurrent refill (or a stalled background
@@ -1084,6 +1048,12 @@ impl Gc {
             self.heap.release_empty_free_segments();
         }
 
+        // Open the pause's work-bucket session: the one wakeup the
+        // whole pause pays. Every phase below publishes a bucket into
+        // it; resident workers flow from one bucket to the next with no
+        // further condvar traffic.
+        let session = self.sched.open_session();
+
         // Watchdog: the world is stopped, so any packet still checked out
         // belongs to a tracer that stalled or died mid-increment (every
         // healthy thread returns its packets before parking). Condemn
@@ -1095,7 +1065,7 @@ impl Gc {
         if stalled > 0 {
             let reclaimed = self.pool.condemn_outstanding();
             if reclaimed > 0 {
-                self.flood_marked_cards();
+                self.flood_marked_cards(&session);
                 self.tel.on_watchdog_reclaim(reclaimed as u64);
             }
         }
@@ -1127,21 +1097,22 @@ impl Gc {
         // 2. Final card cleaning (§2.2) — only meaningful if a concurrent
         //    phase ran (fresh cycles have a clean card table *except* for
         //    barrier activity before this instant, which is harmless to
-        //    clean). Cleaned on the gang; `cards_wall` also absorbs the
-        //    drain loop's re-clean passes below.
+        //    clean). Cleaned as a scheduler bucket; `cards_wall` also
+        //    absorbs the drain loop's re-clean passes below.
         drop(retire_span);
         let cards_t = Instant::now();
         let cards_span = self.pause_span(SpanKind::PauseCards, 0);
-        let (cards_left, stw_clean_work) = self.stw_clean_cards(fresh);
+        let (cards_left, stw_clean_work) = self.stw_clean_cards(&session, fresh);
         drop(cards_span);
         let mut cards_wall = cards_t.elapsed();
 
-        // 3. Rescan all thread stacks and global roots (§2.2), on the
-        //    gang: one task per mutator stack plus chunked global roots.
+        // 3. Rescan all thread stacks and global roots (§2.2), as one
+        //    bucket: one task per mutator stack plus chunked global
+        //    roots.
         let roots_t = Instant::now();
         let root_slots_before = self.counters.root_slots.load(Ordering::Relaxed);
         let roots_span = self.pause_span(SpanKind::PauseRoots, mutators.len() as u64);
-        self.gang_scan_roots(&mutators);
+        self.sched_scan_roots(&session, &mutators);
         drop(roots_span);
         let root_slots = self.counters.root_slots.load(Ordering::Relaxed) - root_slots_before;
         let roots_wall = roots_t.elapsed();
@@ -1158,7 +1129,7 @@ impl Gc {
         loop {
             let drain_t = Instant::now();
             let drain_span = self.pause_span(SpanKind::PauseDrain, drain_round);
-            self.drain_marking_parallel();
+            self.drain_marking_parallel(&session);
             drop(drain_span);
             drain_wall += drain_t.elapsed();
             let mut redirty = Vec::new();
@@ -1171,7 +1142,7 @@ impl Gc {
             drain_round += 1;
             let reclean_t = Instant::now();
             let reclean_span = self.pause_span(SpanKind::PauseReclean, redirty.len() as u64);
-            let scanned = self.gang_clean_cards(&redirty);
+            let scanned = self.sched_clean_cards(&session, &redirty);
             drop(reclean_span);
             cards_wall += reclean_t.elapsed();
             extra_clean_ms += self
@@ -1187,8 +1158,8 @@ impl Gc {
         #[cfg(feature = "verify-gc")]
         self.audit_strict("post-drain");
 
-        // 5. Sweep. The eager path drives [`ParallelSweep`] from the
-        //    persistent gang: workers claim chunk ranges off its atomic
+        // 5. Sweep. The eager path drives [`ParallelSweep`] as a
+        //    scheduler bucket: workers claim chunk ranges off its atomic
         //    cursor and the leader folds the results.
         self.tel
             .on_sweep_start(cycle_no, self.config.sweep == SweepMode::Lazy);
@@ -1199,9 +1170,9 @@ impl Gc {
             SweepMode::Eager => {
                 let ps = ParallelSweep::new(&self.heap, chunk)
                     .with_recorder(Arc::clone(self.tel.hub.spans()));
-                self.gang.run(GangTask::Sweep, |w| {
+                session.run(Bucket::Sweep, |w| {
                     let swept = ps.worker(&self.heap);
-                    self.gang.add_claimed(w, swept);
+                    self.sched.add_claimed(w, swept);
                 });
                 let s = ps.finish(&self.heap);
                 (
@@ -1247,7 +1218,7 @@ impl Gc {
         //    still stopped, so the next cycle's initialization is
         //    near-instant (clearing megabytes of bitmap at kickoff would
         //    let mutators race through the remaining headroom on a busy
-        //    machine). The clear runs as word-range stripes on the gang.
+        //    machine). The clear runs as word-range stripes in a bucket.
         //    The card table is NOT pre-cleared: it keeps recording
         //    pre-concurrent stores, and is dropped at kickoff as the
         //    paper's initialization does. Lazy sweep still needs the mark
@@ -1255,11 +1226,14 @@ impl Gc {
         let clear_t = Instant::now();
         let clear_span = self.pause_span(SpanKind::PauseClear, 0);
         if !lazy_planned && self.config.mode == CollectorMode::Concurrent {
-            self.gang_clear_mark_bits();
+            self.sched_clear_mark_bits(&session);
             self.bits_pre_cleared.store(true, Ordering::Release);
         }
         drop(clear_span);
         let clear_wall = clear_t.elapsed();
+        // Last bucket drained: close the session so the workers park
+        // (the accounting below is leader-only).
+        drop(session);
 
         // 7. Account the cycle.
         let account_span = self.pause_span(SpanKind::PauseAccount, 0);
@@ -1402,8 +1376,9 @@ impl Gc {
     ///
     /// Walks the mark bitmap a 64-bit word at a time (at the current
     /// geometry one word covers exactly one card), striped across the
-    /// gang; all-zero words — the vast majority — cost one load.
-    fn flood_marked_cards(&self) {
+    /// scheduler workers; all-zero words — the vast majority — cost one
+    /// load.
+    fn flood_marked_cards(&self, session: &Session<'_>) {
         const STRIPE_WORDS: usize = 1 << 12; // 32 KiB of bitmap per claim
         let _flood_span = self.pause_span(SpanKind::PauseFlood, 0);
         let marks = self.heap.mark_bits();
@@ -1411,7 +1386,7 @@ impl Gc {
         let words = marks.word_len();
         let cursor = AtomicUsize::new(0);
         let gpc = mcgc_heap::GRANULES_PER_CARD;
-        self.gang.run(GangTask::Flood, |wk| {
+        session.run(Bucket::Flood, |wk| {
             let mut claims = 0u64;
             loop {
                 let start = cursor.fetch_add(STRIPE_WORDS, Ordering::Relaxed);
@@ -1444,21 +1419,22 @@ impl Gc {
                     }
                 }
             }
-            self.gang.add_claimed(wk, claims);
+            self.sched.add_claimed(wk, claims);
         });
     }
 
-    /// Cleans `cards` on the gang: workers claim fixed-size stripes from
-    /// an atomic cursor and fill their own packet buffers. Returns the
-    /// bytes scanned (callers decide which accounting it feeds).
-    fn gang_clean_cards(&self, cards: &[usize]) -> u64 {
+    /// Cleans `cards` as a scheduler bucket: workers claim fixed-size
+    /// stripes from an atomic cursor and fill their own packet buffers.
+    /// Returns the bytes scanned (callers decide which accounting it
+    /// feeds).
+    fn sched_clean_cards(&self, session: &Session<'_>, cards: &[usize]) -> u64 {
         const STRIPE: usize = 32;
         if cards.is_empty() {
             return 0;
         }
         let cursor = AtomicUsize::new(0);
         let scanned = AtomicU64::new(0);
-        self.gang.run(GangTask::Cards, |w| {
+        session.run(Bucket::Cards, |w| {
             let mut buf = WorkBuffer::new(&self.pool);
             let mut local = 0u64;
             let mut claims = 0u64;
@@ -1474,17 +1450,17 @@ impl Gc {
             }
             buf.finish();
             scanned.fetch_add(local, Ordering::Relaxed);
-            self.gang.add_claimed(w, claims);
+            self.sched.add_claimed(w, claims);
         });
         scanned.load(Ordering::Relaxed)
     }
 
-    /// §2.2 root rescanning on the gang: each mutator stack is one task;
-    /// the global-roots table is claimed in fixed-size chunks. Stack
-    /// snapshotting credits `root_slots` inside [`Gc::scan_stack`]; the
-    /// leader credits the global slots here, mirroring
+    /// §2.2 root rescanning as a scheduler bucket: each mutator stack is
+    /// one task; the global-roots table is claimed in fixed-size chunks.
+    /// Stack snapshotting credits `root_slots` inside [`Gc::scan_stack`];
+    /// the leader credits the global slots here, mirroring
     /// [`Gc::scan_global_roots`].
-    fn gang_scan_roots(&self, mutators: &[Arc<MutatorShared>]) {
+    fn sched_scan_roots(&self, session: &Session<'_>, mutators: &[Arc<MutatorShared>]) {
         const GLOBAL_CHUNK: usize = 256;
         let globals: Vec<u64> = self.global_roots.lock().clone();
         self.counters
@@ -1493,7 +1469,7 @@ impl Gc {
         let stacks = mutators.len();
         let tasks = stacks + globals.len().div_ceil(GLOBAL_CHUNK);
         let cursor = AtomicUsize::new(0);
-        self.gang.run(GangTask::Roots, |w| {
+        session.run(Bucket::Roots, |w| {
             let mut buf = WorkBuffer::new(&self.pool);
             let mut claims = 0u64;
             loop {
@@ -1515,19 +1491,20 @@ impl Gc {
                 }
             }
             buf.finish();
-            self.gang.add_claimed(w, claims);
+            self.sched.add_claimed(w, claims);
         });
     }
 
-    /// End-of-pause mark-bit pre-clear as disjoint word-range stripes on
-    /// the gang. ([`Gc::retire_lazy_plan`] keeps the serial `clear_all`:
-    /// it runs outside the pause, where the gang may be contended.)
-    fn gang_clear_mark_bits(&self) {
+    /// End-of-pause mark-bit pre-clear as disjoint word-range stripes
+    /// across the scheduler workers. ([`Gc::retire_lazy_plan`] keeps the
+    /// serial `clear_all`: it runs outside the pause, where no session
+    /// is open.)
+    fn sched_clear_mark_bits(&self, session: &Session<'_>) {
         const STRIPE_WORDS: usize = 1 << 12;
         let marks = self.heap.mark_bits();
         let words = marks.word_len();
         let cursor = AtomicUsize::new(0);
-        self.gang.run(GangTask::ClearBits, |w| {
+        session.run(Bucket::ClearBits, |w| {
             let mut claims = 0u64;
             loop {
                 let start = cursor.fetch_add(STRIPE_WORDS, Ordering::Relaxed);
@@ -1537,18 +1514,18 @@ impl Gc {
                 claims += 1;
                 marks.clear_words(start, (start + STRIPE_WORDS).min(words));
             }
-            self.gang.add_claimed(w, claims);
+            self.sched.add_claimed(w, claims);
         });
     }
 
     /// §2.2 final card cleaning: drains the concurrent registry and
-    /// freshly dirty cards on the gang. Returns `(cards_left, ms)` where
+    /// freshly dirty cards as a bucket. Returns `(cards_left, ms)` where
     /// `ms` is the single-worker modelled cost and `cards_left` is
     /// Table 2's "Cards Left" observation: cards still registered for
     /// rescanning plus dirty cards past the halted concurrent cleaner's
     /// snapshot cursor (cards before the cursor were re-dirtied *after*
     /// cleaning, not left behind by it).
-    fn stw_clean_cards(&self, fresh: bool) -> (u64, f64) {
+    fn stw_clean_cards(&self, session: &Session<'_>, fresh: bool) -> (u64, f64) {
         let ncards = self.heap.cards().len();
         // Halt the concurrent cleaner and take over its registry.
         let (mut to_clean, cursor_at_halt) = {
@@ -1575,7 +1552,7 @@ impl Gc {
             return (0, 0.0);
         }
         let cards_left = registry_left + unreached;
-        let scanned_bytes = self.gang_clean_cards(&to_clean);
+        let scanned_bytes = self.sched_clean_cards(session, &to_clean);
         // Final cleaning contributes to the `M` observation too.
         self.counters
             .card_scanned_bytes
@@ -1586,13 +1563,13 @@ impl Gc {
     }
 
     /// Parallel drain of all remaining marking work (§2.2). World is
-    /// stopped; the leader and the persistent gang helpers pop packets
-    /// until the pool reports termination — no thread is created on this
-    /// path.
-    fn drain_marking_parallel(&self) {
-        self.gang.run(GangTask::Drain, |w| {
+    /// stopped; the leader and the resident scheduler workers pop
+    /// packets until the pool reports termination — no thread is created
+    /// (and no condvar touched) on this path.
+    fn drain_marking_parallel(&self, session: &Session<'_>) {
+        session.run(Bucket::Drain, |w| {
             self.drain_marking_worker();
-            self.gang.add_claimed(w, 1);
+            self.sched.add_claimed(w, 1);
         });
         debug_assert!(self.pool.is_tracing_complete());
         debug_assert!(!self.pool.has_deferred());

@@ -50,13 +50,20 @@ pub struct GcConfig {
     /// Number of low-priority background tracing threads (§3).
     pub background_threads: usize,
     /// Worker threads (including the coordinator) for the parallel
-    /// stop-the-world phase. `stw_workers - 1` persistent helper threads
-    /// are spawned once at [`Gc::new`](crate::Gc::new) and parked between
-    /// pauses; every pause phase (final card cleaning, root rescanning,
-    /// packet drain, sweep, bitmap clears) is dispatched to this gang
-    /// with no thread creation on the pause path. `1` runs every phase
-    /// inline on the coordinator — exactly the serial behaviour.
+    /// stop-the-world phase. The scheduler pool holds
+    /// `max(stw_workers - 1, background_threads)` persistent workers
+    /// spawned once at [`Gc::new`](crate::Gc::new); during a pause the
+    /// first `stw_workers - 1` of them serve the session's work buckets
+    /// (card cleaning, root rescanning, packet drain, sweep, bitmap
+    /// clears) with no thread creation and at most one wakeup per worker
+    /// on the pause path. `1` runs every bucket inline on the coordinator
+    /// — exactly the serial behaviour.
     pub stw_workers: usize,
+    /// Pin scheduler pool workers to CPUs round-robin (Linux only; a
+    /// no-op elsewhere). Off by default: pinning helps steady-state pause
+    /// scaling on dedicated cores but hurts when the pool shares CPUs
+    /// with the application.
+    pub pin_workers: bool,
     /// Concurrent card-cleaning passes (§2.1; 1 in the paper, 2 as the
     /// footnote-2 ablation).
     pub card_clean_passes: usize,
@@ -130,6 +137,7 @@ impl Default for GcConfig {
             smoothing_alpha: 0.4,
             background_threads: 4,
             stw_workers: 4,
+            pin_workers: false,
             card_clean_passes: 1,
             sweep: SweepMode::Eager,
             sweep_chunk_granules: 16 << 10, // 128 KiB chunks

@@ -39,13 +39,12 @@
 //! # Ok::<(), mcgc_core::GcError>(())
 //! ```
 
-mod background;
 mod collector;
 mod config;
-mod gang;
 mod mutator;
 mod pacing;
 mod roots;
+mod scheduler;
 mod stats;
 mod telemetry;
 mod tracing;

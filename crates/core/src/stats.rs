@@ -74,7 +74,7 @@ pub struct CycleStats {
     /// Wall-clock pause measured on the host (noisy; for reference).
     pub pause_wall: Duration,
 
-    // -- measured per-phase pause walls (gang-parallel; host wall time,
+    // -- measured per-phase pause walls (scheduler-parallel; host wall time,
     //    noisy — the `*_ms` fields above stay the host-independent work
     //    model) --
     /// Wall time of the final card cleaning, including the drain loop's

@@ -118,26 +118,44 @@ pub(crate) struct GcTelemetry {
     postmortem_coverage: Arc<Gauge>,
     postmortem_wall_ns: Arc<Gauge>,
     postmortem_imbalance: Arc<Gauge>,
-    postmortem_barrier_ns: Arc<Gauge>,
-    // -- STW gang (refreshed by telemetry_sample from gang atomics) --
-    gang_workers: Arc<Gauge>,
-    gang_dispatches: Arc<Gauge>,
-    gang_stalls: Arc<Gauge>,
-    /// Work items claimed per worker, one gauge per gang slot
-    /// (`gang_worker{i}_tasks_total`; slot 0 = the pause leader).
-    gang_claimed: Vec<Arc<Gauge>>,
+    postmortem_drain_wait_ns: Arc<Gauge>,
+    // -- GC scheduler (refreshed by telemetry_sample from the
+    //    scheduler's stat atomics) --
+    sched_workers: Arc<Gauge>,
+    sched_pool_threads: Arc<Gauge>,
+    sched_sessions: Arc<Gauge>,
+    sched_wakeups: Arc<Gauge>,
+    sched_stalls: Arc<Gauge>,
+    sched_active_workers: Arc<Gauge>,
+    sched_session_open: Arc<Gauge>,
+    /// Per-bucket `(runs, items)` gauge pair, indexed by
+    /// [`crate::scheduler::Bucket`] order
+    /// (`gc_sched_bucket_{name}_{runs,items}_total`).
+    sched_buckets: Vec<(Arc<Gauge>, Arc<Gauge>)>,
+    /// Work items claimed per session worker, one gauge per slot
+    /// (`gc_sched_worker{i}_items_total`; slot 0 = the pause leader).
+    sched_claimed: Vec<Arc<Gauge>>,
 }
 
 impl GcTelemetry {
-    pub(crate) fn new(ring_capacity: usize, gang_workers: usize) -> GcTelemetry {
+    pub(crate) fn new(ring_capacity: usize, stw_workers: usize) -> GcTelemetry {
         let hub = Telemetry::new(ring_capacity);
         let r = hub.registry();
         let c = |name: &str| r.counter(name);
         let g = |name: &str| r.gauge(name);
 
         GcTelemetry {
-            gang_claimed: (0..gang_workers.max(1))
-                .map(|i| g(&format!("gang_worker{i}_tasks_total")))
+            sched_claimed: (0..stw_workers.max(1))
+                .map(|i| g(&format!("gc_sched_worker{i}_items_total")))
+                .collect(),
+            sched_buckets: (0..crate::scheduler::Bucket::COUNT)
+                .map(|i| {
+                    let name = crate::scheduler::Bucket::from_index(i).name();
+                    (
+                        g(&format!("gc_sched_bucket_{name}_runs_total")),
+                        g(&format!("gc_sched_bucket_{name}_items_total")),
+                    )
+                })
                 .collect(),
             cycles: c("gc_cycles_total"),
             pauses: c("gc_pauses_total"),
@@ -208,10 +226,14 @@ impl GcTelemetry {
             postmortem_coverage: g("gc_postmortem_coverage"),
             postmortem_wall_ns: g("gc_postmortem_pause_wall_ns"),
             postmortem_imbalance: g("gc_postmortem_worst_imbalance"),
-            postmortem_barrier_ns: g("gc_postmortem_barrier_wait_ns"),
-            gang_workers: g("gang_workers"),
-            gang_dispatches: g("gang_dispatches_total"),
-            gang_stalls: g("gang_stalls_total"),
+            postmortem_drain_wait_ns: g("gc_postmortem_drain_wait_ns"),
+            sched_workers: g("gc_sched_workers"),
+            sched_pool_threads: g("gc_sched_pool_threads"),
+            sched_sessions: g("gc_sched_sessions_total"),
+            sched_wakeups: g("gc_sched_wakeups_total"),
+            sched_stalls: g("gc_sched_stalls_total"),
+            sched_active_workers: g("gc_sched_active_workers"),
+            sched_session_open: g("gc_sched_session_open"),
             hub,
         }
     }
@@ -477,17 +499,27 @@ impl GcTelemetry {
             self.postmortem_coverage.set(pm.coverage);
             self.postmortem_wall_ns.set_u64(pm.wall_ns);
             self.postmortem_imbalance.set(pm.worst_imbalance);
-            self.postmortem_barrier_ns.set_u64(pm.barrier_wait_ns);
+            self.postmortem_drain_wait_ns.set_u64(pm.drain_wait_ns);
         }
     }
 
-    /// Refreshes the STW-gang gauges from the gang's own atomics
+    /// Refreshes the scheduler gauges from the scheduler's stat atomics
     /// (pull-style, alongside [`GcTelemetry::refresh_gauges`]).
-    pub(crate) fn refresh_gang(&self, gang: &crate::gang::Gang) {
-        self.gang_workers.set_u64(gang.workers() as u64);
-        self.gang_dispatches.set_u64(gang.dispatched_total());
-        self.gang_stalls.set_u64(gang.stalls());
-        for (gauge, claimed) in self.gang_claimed.iter().zip(gang.claimed_per_worker()) {
+    pub(crate) fn refresh_sched(&self, sched: &crate::scheduler::Scheduler) {
+        self.sched_workers.set_u64(sched.workers() as u64);
+        self.sched_pool_threads.set_u64(sched.pool_threads() as u64);
+        self.sched_sessions.set_u64(sched.sessions_total());
+        self.sched_wakeups.set_u64(sched.wakeups_total());
+        self.sched_stalls.set_u64(sched.stalls());
+        self.sched_active_workers
+            .set_u64(sched.active_workers() as u64);
+        self.sched_session_open.set_u64(sched.session_open() as u64);
+        for (i, (runs, items)) in self.sched_buckets.iter().enumerate() {
+            let bucket = crate::scheduler::Bucket::from_index(i);
+            runs.set_u64(sched.bucket_runs(bucket));
+            items.set_u64(sched.bucket_items(bucket));
+        }
+        for (gauge, claimed) in self.sched_claimed.iter().zip(sched.claimed_per_worker()) {
             gauge.set_u64(claimed);
         }
     }

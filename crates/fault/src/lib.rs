@@ -45,10 +45,11 @@ pub mod site {
     /// Sub-pool head CAS loops spin one extra iteration, simulating
     /// heavy contention on the tagged-head lists.
     pub const POOL_CAS_STORM: &str = "pool.cas_storm";
-    /// A background tracer checks out an input packet and stalls on it
-    /// (payload = milliseconds), simulating priority starvation.
+    /// A scheduler worker on concurrent-tracing duty checks out an input
+    /// packet and stalls on it (payload = milliseconds), simulating
+    /// priority starvation.
     pub const BG_STALL: &str = "bg.stall";
-    /// A background tracer exits its loop entirely.
+    /// A scheduler worker abandons its concurrent-tracing duty entirely.
     pub const BG_DEATH: &str = "bg.death";
     /// A mutator skips acknowledging the §5.3 card-snapshot handshake
     /// at a safepoint poll, exercising the cleaner's timeout fallback.
@@ -56,10 +57,10 @@ pub mod site {
     /// A mutator increment dirties a spread of cards (payload = card
     /// count), flooding the cleaning and redirty loops with work.
     pub const CARD_FLOOD: &str = "cards.flood";
-    /// A stop-the-world gang helper stalls at dispatch (payload =
-    /// milliseconds), leaving the pause leader to absorb its share of
-    /// the phase's work.
-    pub const GANG_STALL: &str = "gang.stall";
+    /// A scheduler worker stalls after claiming an open bucket (payload
+    /// = milliseconds), leaving the pause leader to absorb its share of
+    /// the bucket's work.
+    pub const SCHED_STALL: &str = "sched.stall";
     /// `Heap::try_grow` fails to reserve a new segment — the `mmap`
     /// failure analogue on the escalation ladder's grow rung.
     pub const HEAP_SEGMENT_RESERVE: &str = "heap.segment_reserve";
@@ -82,7 +83,7 @@ pub mod site {
         BG_DEATH,
         HANDSHAKE_DELAY,
         CARD_FLOOD,
-        GANG_STALL,
+        SCHED_STALL,
         HEAP_SEGMENT_RESERVE,
         HEAP_SEGMENT_RELEASE,
         SWEEP_BG_STALL,

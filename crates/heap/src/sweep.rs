@@ -171,7 +171,7 @@ pub fn sweep_serial(heap: &Heap, chunk_granules: usize) -> SweepStats {
 }
 
 /// A parallel sweep decoupled from thread management: any set of
-/// already-running workers (a persistent STW gang, a `thread::scope`,
+/// already-running workers (the scheduler's pool, a `thread::scope`,
 /// tests) claims chunks via [`ParallelSweep::worker`]; one thread then
 /// calls [`ParallelSweep::finish`] to rebuild the free list.
 ///
@@ -261,7 +261,7 @@ impl ParallelSweep {
 /// mutator caches must be retired (stop-the-world).
 ///
 /// Convenience wrapper over [`ParallelSweep`] for tests and benches; the
-/// collector's pause drives `ParallelSweep` from its persistent gang
+/// collector's pause drives `ParallelSweep` as a scheduler work bucket
 /// instead, keeping thread creation off the pause path.
 pub fn sweep_parallel(heap: &Heap, chunk_granules: usize, workers: usize) -> SweepStats {
     let ps = ParallelSweep::new(heap, chunk_granules);

@@ -36,8 +36,8 @@
 //! * **condvar-wait-not-in-loop** — every unbounded condvar `.wait(`
 //!   must sit directly in a block opened by a `while`/`loop` line: the
 //!   predicate re-check is what makes spurious and stale wakeups safe,
-//!   and `gang_model`'s `WaitIsIf` mutation shows exactly what deleting
-//!   it costs. Timed waits (`wait_for`) are exempt — their callers
+//!   and `sched_model`'s `ParkMissesOpen` mutation shows exactly what an
+//!   unlocked predicate costs. Timed waits (`wait_for`) are exempt — their callers
 //!   tolerate spurious returns by construction — as is
 //!   `crates/membar/src/sync.rs`, which implements the wrapper itself.
 //! * **seqlock-read-section** — the telemetry rings' speculative read
@@ -52,6 +52,13 @@
 //!   `// MODEL: <model>` cross-reference on the same line or in the
 //!   contiguous comment block above: the model is only worth its salt
 //!   if the code it mirrors points back at it when edited.
+//! * **bucket-outside-scheduler** — outside
+//!   `crates/core/src/scheduler.rs`, a scheduler bucket variant
+//!   (`Bucket::Drain`, `Bucket::Sweep`, …) may appear only as the
+//!   argument of a `.run(` call: bucket open/close conditions flip
+//!   exclusively through the scheduler API (`Session::run`), never by
+//!   hand-rolled dispatch. Associated items (`Bucket::COUNT`,
+//!   `Bucket::from_index`) are not variant-shaped and pass through.
 //!
 //! Comments, strings (including raw and byte strings), and char
 //! literals are masked out before pattern matching, so prose and test
@@ -69,9 +76,8 @@ use std::path::Path;
 /// `Ordering::*` directly. Everything in `crates/membar` is implicitly
 /// allowed.
 pub const ORDERING_ALLOWLIST: &[&str] = &[
-    "crates/core/src/background.rs",
     "crates/core/src/collector.rs",
-    "crates/core/src/gang.rs",
+    "crates/core/src/scheduler.rs",
     "crates/fault/src/lib.rs",
     "crates/core/src/roots.rs",
     "crates/core/src/tracing.rs",
@@ -128,6 +134,11 @@ pub const MODELED_ATOMICS: &[(&str, &[&str], &str)] = &[
         "crates/packets/src/pool.rs",
         &["next", "count"],
         "pool_model",
+    ),
+    (
+        "crates/core/src/scheduler.rs",
+        &["sessions", "wakeups", "stalls"],
+        "sched_model",
     ),
 ];
 
@@ -462,7 +473,7 @@ fn seqlock_section_offense(masked_line: &str) -> Option<&'static str> {
 }
 
 /// The flight-recorder span catalog, as `Debug` names (`PauseDrain`,
-/// `GangJob`, …), taken from the telemetry crate so the lint can never
+/// `SchedJob`, …), taken from the telemetry crate so the lint can never
 /// drift from the enum.
 fn span_catalog() -> &'static [String] {
     static CATALOG: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
@@ -601,6 +612,40 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                 });
             }
         }
+        // Bucket-open confinement: outside the scheduler itself, a
+        // bucket variant may only be opened through `Session::run`.
+        if rel != "crates/core/src/scheduler.rs" {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find("Bucket::") {
+                let at = start + pos;
+                let before_ok = at == 0
+                    || !line[..at]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                let ident_at = at + "Bucket::".len();
+                let ident: &str = line[ident_at..]
+                    .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                    .next()
+                    .unwrap_or("");
+                start = ident_at + ident.len().max(1);
+                let variant_shaped = ident.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                    && ident.chars().any(|c| c.is_ascii_lowercase());
+                if before_ok && variant_shaped && !line.contains(".run(") {
+                    findings.push(Finding {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: "bucket-outside-scheduler",
+                        message: format!(
+                            "Bucket::{ident} used outside a `Session::run` call; bucket \
+                             open/close conditions flip only through the scheduler API, \
+                             so dispatch the work with `session.run(Bucket::{ident}, …)` \
+                             instead of hand-rolling it"
+                        ),
+                    });
+                }
+            }
+        }
         if contains_word(line, "unsafe") && !has_safety_note(&orig_lines, idx) {
             findings.push(Finding {
                 file: rel.to_string(),
@@ -622,8 +667,8 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                     rule: "condvar-wait-not-in-loop",
                     message: "condvar .wait() whose enclosing block is not a \
                               while/loop; spurious and stale wakeups make an \
-                              un-re-checked predicate unsound (gang_model's \
-                              WaitIsIf mutation shows the failure)"
+                              un-re-checked predicate unsound (sched_model's \
+                              ParkMissesOpen mutation shows the failure)"
                         .to_string(),
                 });
             }
@@ -921,6 +966,33 @@ mod tests {
 
         // Any other file is exempt from the marker requirement.
         assert!(lint_source("crates/core/src/other.rs", partial).is_empty());
+    }
+
+    #[test]
+    fn bucket_variants_confined_to_session_run() {
+        let ok = "fn f(s: &Session) { s.run(Bucket::Drain, |w| work(w)); }\n";
+        assert!(lint_source("crates/core/src/collector.rs", ok)
+            .iter()
+            .all(|f| f.rule == "missing-pause-span"));
+
+        // Hand-rolled dispatch keyed on a bucket variant is flagged:
+        // open/close conditions flip only via the scheduler API.
+        let bad = "fn f() { if bucket == Bucket::Drain { spawn_workers(); } }\n";
+        let f = lint_source("crates/core/src/x.rs", bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "bucket-outside-scheduler");
+        assert!(f[0].message.contains("Bucket::Drain"), "{}", f[0].message);
+
+        // Associated items are not variant-shaped and pass through.
+        let assoc = "for i in 0..Bucket::COUNT { let b = Bucket::from_index(i); }\n";
+        assert!(lint_source("crates/core/src/x.rs", assoc).is_empty());
+
+        // The scheduler itself (impl blocks, tests) is exempt.
+        assert!(lint_source("crates/core/src/scheduler.rs", bad).is_empty());
+
+        // Prose and strings never trip the rule.
+        let prose = "// match on Bucket::Straggler here would be wrong\n";
+        assert!(lint_source("crates/core/src/x.rs", prose).is_empty());
     }
 
     #[test]

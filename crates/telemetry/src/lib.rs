@@ -122,8 +122,8 @@ pub struct Telemetry {
     straggler_ns: LogHistogram,
     registry: MetricsRegistry,
     utilization: UtilizationTracker,
-    /// The flight recorder (shared so the gang, heap, and exporters can
-    /// hold their own handle). Timestamps share this hub's epoch.
+    /// The flight recorder (shared so the scheduler, heap, and exporters
+    /// can hold their own handle). Timestamps share this hub's epoch.
     spans: Arc<SpanRecorder>,
 }
 
@@ -176,8 +176,8 @@ impl Telemetry {
     }
 
     /// The flight recorder: per-thread span rings sharing this hub's
-    /// timestamp epoch. Clone the `Arc` to hand subsystems (the pause
-    /// gang, the heap's free list) their own recording handle.
+    /// timestamp epoch. Clone the `Arc` to hand subsystems (the GC
+    /// scheduler, the heap's free list) their own recording handle.
     pub fn spans(&self) -> &Arc<SpanRecorder> {
         &self.spans
     }

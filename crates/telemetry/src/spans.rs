@@ -4,8 +4,8 @@
 //! # Design
 //!
 //! A [`SpanRecorder`] owns up to [`MAX_TRACKS`] **tracks**. A track is
-//! one timeline — normally one thread (a mutator, a gang worker, a
-//! background tracer), plus one synthetic "gc coordinator" track for
+//! one timeline — normally one thread (a mutator, a GC scheduler
+//! worker), plus one synthetic "gc coordinator" track for
 //! cycle-level spans that outlive any single stack frame. Each track has
 //! its own fixed-capacity [`SpanRing`]; when it wraps, the oldest spans
 //! are overwritten, so the recorder is bounded-memory and safe to leave
@@ -26,8 +26,8 @@
 //!
 //! Threads register themselves lazily: the first span a thread records
 //! against a recorder claims a track slot and names it after the thread
-//! (`std::thread::current().name()`), so gang workers (`mcgc-gang-{i}`)
-//! and background tracers (`mcgc-bg-{i}`) each get a stable, readable
+//! (`std::thread::current().name()`), so the GC scheduler's pooled
+//! workers (`mcgc-sched-{i}`) each get a stable, readable
 //! track with no explicit wiring. The registration is keyed by recorder
 //! id, so several collectors in one process (common in tests) never share
 //! a track.
@@ -84,14 +84,15 @@ pub enum SpanKind {
     /// Pause phase: accounting tail — stats, pacer feedback, heap
     /// inspection (arg = cycle number).
     PauseAccount,
-    /// Leader-side dispatch of one gang task, barrier to barrier
-    /// (arg = [`GangTask` index](SpanKind::GangJob)).
-    GangDispatch,
-    /// One worker executing a dispatched gang job (arg = items claimed).
-    GangJob,
-    /// Leader waiting at the completion barrier for the helpers
-    /// (arg = task index).
-    BarrierWait,
+    /// Leader-side run of one scheduler bucket, publish to drain
+    /// (arg = bucket index).
+    SchedBucket,
+    /// One worker executing its slice of an open bucket (arg = items
+    /// claimed).
+    SchedJob,
+    /// Leader spin-waiting for the open bucket's last executor to leave
+    /// before the bucket is drained (arg = bucket index).
+    SchedDrainWait,
     /// One mutator tracing increment (arg = bytes traced).
     MutatorIncrement,
     /// One background-thread tracing increment (arg = bytes traced).
@@ -141,9 +142,9 @@ impl SpanKind {
         SpanKind::PauseSweep,
         SpanKind::PauseClear,
         SpanKind::PauseAccount,
-        SpanKind::GangDispatch,
-        SpanKind::GangJob,
-        SpanKind::BarrierWait,
+        SpanKind::SchedBucket,
+        SpanKind::SchedJob,
+        SpanKind::SchedDrainWait,
         SpanKind::MutatorIncrement,
         SpanKind::BackgroundIncrement,
         SpanKind::Handshake,
@@ -191,9 +192,9 @@ impl SpanKind {
             SpanKind::PauseSweep => "pause.sweep",
             SpanKind::PauseClear => "pause.clear",
             SpanKind::PauseAccount => "pause.account",
-            SpanKind::GangDispatch => "gang.dispatch",
-            SpanKind::GangJob => "gang.job",
-            SpanKind::BarrierWait => "gang.barrier_wait",
+            SpanKind::SchedBucket => "sched.bucket",
+            SpanKind::SchedJob => "sched.job",
+            SpanKind::SchedDrainWait => "sched.drain_wait",
             SpanKind::MutatorIncrement => "trace.mutator_increment",
             SpanKind::BackgroundIncrement => "trace.background_increment",
             SpanKind::Handshake => "trace.handshake",
@@ -815,7 +816,7 @@ mod tests {
                             // Nested guards: outer carries w<<32|i, inner
                             // mirrors it with the kind flipped, so a reader
                             // can verify payload integrity per span.
-                            let outer = r.span(SpanKind::GangJob, (w as u64) << 32 | i);
+                            let outer = r.span(SpanKind::SchedJob, (w as u64) << 32 | i);
                             let inner = r.span(SpanKind::SweepChunk, (w as u64) << 32 | i);
                             drop(inner);
                             drop(outer);
@@ -833,7 +834,7 @@ mod tests {
                         for s in &t.spans {
                             assert!(s.end_ns >= s.begin_ns, "torn span {s:?}");
                             assert!(
-                                s.kind == SpanKind::GangJob || s.kind == SpanKind::SweepChunk,
+                                s.kind == SpanKind::SchedJob || s.kind == SpanKind::SweepChunk,
                                 "foreign kind {s:?}"
                             );
                             let w = s.arg >> 32;
@@ -857,7 +858,7 @@ mod tests {
             let outers: Vec<&Span> = t
                 .spans
                 .iter()
-                .filter(|s| s.kind == SpanKind::GangJob)
+                .filter(|s| s.kind == SpanKind::SchedJob)
                 .collect();
             for inner in t.spans.iter().filter(|s| s.kind == SpanKind::SweepChunk) {
                 assert!(

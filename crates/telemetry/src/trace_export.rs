@@ -25,12 +25,13 @@
 //! # Postmortem
 //!
 //! [`pause_postmortems`] folds the spans inside each recorded pause into
-//! a per-phase, per-worker attribution: wall time per pause phase, busy
-//! versus idle time per gang worker within each phase, items claimed, an
-//! imbalance ratio (max/mean worker busy time), and the fraction of the
-//! pause wall clock covered by phase spans (the collector's phase guards
-//! tile the pause, so coverage ≥ 95% is an acceptance criterion, not an
-//! aspiration).
+//! a per-bucket, per-worker attribution: wall time per pause phase
+//! (= scheduler bucket), busy versus idle time per scheduler worker
+//! within each bucket, items claimed, an imbalance ratio (max/mean
+//! worker busy time), the bucket's aggregate busy share, and the
+//! fraction of the pause wall clock covered by phase spans (the
+//! collector's phase guards tile the pause, so coverage ≥ 95% is an
+//! acceptance criterion, not an aspiration).
 
 use crate::spans::{Span, SpanKind, SpanRecorder, TrackSnapshot};
 
@@ -476,21 +477,23 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
 // Pause postmortem
 // ---------------------------------------------------------------------
 
-/// One gang worker's share of a pause phase.
+/// One scheduler worker's share of a pause phase (bucket).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkerCut {
     /// Track (thread) name.
     pub track: String,
-    /// Time inside [`SpanKind::GangJob`] spans overlapping the phase.
+    /// Time inside [`SpanKind::SchedJob`] spans overlapping the phase.
     pub busy_ns: u64,
-    /// Phase wall time the worker was *not* inside a job (barrier idle,
-    /// dispatch latency, claim starvation).
+    /// Phase wall time the worker was *not* inside a job (bucket-scan
+    /// latency, claim starvation).
     pub idle_ns: u64,
     /// Items claimed (sum of job-span payloads).
     pub claimed: u64,
 }
 
 /// One pause phase's attribution (all spans of the kind, aggregated).
+/// A pause phase is one scheduler bucket, so this is also the per-bucket
+/// busy/idle cut.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseCut {
     pub kind: SpanKind,
@@ -501,6 +504,10 @@ pub struct PhaseCut {
     /// max/mean busy time across participating workers (1.0 = perfectly
     /// balanced; only meaningful with ≥ 2 participants).
     pub imbalance: f64,
+    /// Aggregate busy share of the bucket: summed worker busy time over
+    /// `wall_ns × participants` (1.0 = every participant busy the whole
+    /// bucket; 0.0 for serial phases with no job spans).
+    pub busy_share: f64,
 }
 
 /// The automated attribution report for one stop-the-world pause.
@@ -521,8 +528,9 @@ pub struct Postmortem {
     pub worst_phase: Option<SpanKind>,
     /// The largest per-phase imbalance ratio.
     pub worst_imbalance: f64,
-    /// Leader time spent waiting at gang completion barriers.
-    pub barrier_wait_ns: u64,
+    /// Leader time spent spin-waiting for open buckets to drain (the
+    /// scheduler's replacement for the old per-phase barrier wait).
+    pub drain_wait_ns: u64,
     /// Wall time of this cycle's sweep-chunk spans (refill, background,
     /// straggler/escalation) recorded *outside* the pause window — the
     /// reclamation work the sweep epoch moved off the pause path.
@@ -538,7 +546,7 @@ fn phase_cut(kind: SpanKind, windows: &[&Span], tracks: &[TrackSnapshot]) -> Pha
         let mut busy = 0u64;
         let mut claimed = 0u64;
         let mut jobs = 0usize;
-        for s in t.spans.iter().filter(|s| s.kind == SpanKind::GangJob) {
+        for s in t.spans.iter().filter(|s| s.kind == SpanKind::SchedJob) {
             for w in windows {
                 let ov = s.overlap_ns(w.begin_ns, w.end_ns);
                 if ov > 0 {
@@ -568,11 +576,18 @@ fn phase_cut(kind: SpanKind, windows: &[&Span], tracks: &[TrackSnapshot]) -> Pha
     } else {
         1.0
     };
+    let busy_share = if wall_ns > 0 && !workers.is_empty() {
+        workers.iter().map(|w| w.busy_ns).sum::<u64>() as f64
+            / (wall_ns as f64 * workers.len() as f64)
+    } else {
+        0.0
+    };
     PhaseCut {
         kind,
         wall_ns,
         workers,
         imbalance,
+        busy_share,
     }
 }
 
@@ -610,10 +625,10 @@ pub fn pause_postmortems(rec: &SpanRecorder) -> Vec<Postmortem> {
                     .sum::<u64>();
                 phases.push(phase_cut(kind, &windows, &tracks));
             }
-            let barrier_wait_ns = tracks
+            let drain_wait_ns = tracks
                 .iter()
                 .flat_map(|t| t.spans.iter())
-                .filter(|s| s.kind == SpanKind::BarrierWait)
+                .filter(|s| s.kind == SpanKind::SchedDrainWait)
                 .filter(in_window)
                 .map(Span::duration_ns)
                 .sum();
@@ -645,7 +660,7 @@ pub fn pause_postmortems(rec: &SpanRecorder) -> Vec<Postmortem> {
                 worst_phase: phases.iter().max_by_key(|c| c.wall_ns).map(|c| c.kind),
                 worst_imbalance: phases.iter().map(|c| c.imbalance).fold(1.0, f64::max),
                 phases,
-                barrier_wait_ns,
+                drain_wait_ns,
                 offpause_sweep_ns: offpause_sweep.iter().sum(),
                 offpause_sweep_chunks: offpause_sweep.len() as u64,
             }
@@ -666,19 +681,19 @@ impl Postmortem {
         let mut out = String::new();
         writeln!(
             out,
-            "pause postmortem: cycle {}, wall {:.3} ms, {:.1}% attributed to {} phases, \
-             barrier wait {:.3} ms",
+            "pause postmortem: cycle {}, wall {:.3} ms, {:.1}% attributed to {} buckets, \
+             drain wait {:.3} ms",
             self.cycle,
             ms(self.wall_ns),
             self.coverage * 100.0,
             self.phases.len(),
-            ms(self.barrier_wait_ns),
+            ms(self.drain_wait_ns),
         )
         .unwrap();
         writeln!(
             out,
-            "  {:<16} {:>10} {:>7}  {:>8} {:>9}",
-            "phase", "wall_ms", "share", "workers", "max/avg"
+            "  {:<16} {:>10} {:>7}  {:>8} {:>9} {:>7}",
+            "bucket", "wall_ms", "share", "workers", "max/avg", "busy"
         )
         .unwrap();
         for c in &self.phases {
@@ -687,19 +702,24 @@ impl Postmortem {
             } else {
                 0.0
             };
-            let (nworkers, imb) = if c.workers.is_empty() {
-                ("-".to_string(), "-".to_string())
+            let (nworkers, imb, busy) = if c.workers.is_empty() {
+                ("-".to_string(), "-".to_string(), "-".to_string())
             } else {
-                (c.workers.len().to_string(), format!("{:.2}", c.imbalance))
+                (
+                    c.workers.len().to_string(),
+                    format!("{:.2}", c.imbalance),
+                    format!("{:.0}%", c.busy_share * 100.0),
+                )
             };
             writeln!(
                 out,
-                "  {:<16} {:>10.3} {:>6.1}%  {:>8} {:>9}",
+                "  {:<16} {:>10.3} {:>6.1}%  {:>8} {:>9} {:>7}",
                 c.kind.name(),
                 ms(c.wall_ns),
                 share,
                 nworkers,
                 imb,
+                busy,
             )
             .unwrap();
         }
@@ -715,7 +735,7 @@ impl Postmortem {
         if let Some(worst) = self.worst_phase {
             if let Some(c) = self.phases.iter().find(|c| c.kind == worst) {
                 if !c.workers.is_empty() {
-                    writeln!(out, "  slowest phase {} per worker:", worst.name()).unwrap();
+                    writeln!(out, "  slowest bucket {} per worker:", worst.name()).unwrap();
                     for w in &c.workers {
                         writeln!(
                             out,
@@ -741,8 +761,8 @@ mod tests {
     fn synthetic() -> SpanRecorder {
         let r = SpanRecorder::new(64);
         let coord = r.named_track("gc coordinator").unwrap();
-        let w0 = r.named_track("mcgc-gang-0").unwrap();
-        let w1 = r.named_track("mcgc-gang-1").unwrap();
+        let w0 = r.named_track("mcgc-sched-0").unwrap();
+        let w1 = r.named_track("mcgc-sched-1").unwrap();
         r.set_cycle(3);
         // A 1000 ns pause: cards 0..400, drain 400..900, account 900..1000.
         r.record_span(coord, SpanKind::Pause, 0, 1000, 0);
@@ -751,12 +771,12 @@ mod tests {
         r.record_span(coord, SpanKind::PauseAccount, 900, 1000, 3);
         // Worker 0 does 390 of the 400 ns cards phase; worker 1 only 130:
         // imbalance = 390 / ((390 + 130) / 2) = 1.5.
-        r.record_span(w0, SpanKind::GangJob, 5, 395, 64);
-        r.record_span(w1, SpanKind::GangJob, 10, 140, 16);
+        r.record_span(w0, SpanKind::SchedJob, 5, 395, 64);
+        r.record_span(w1, SpanKind::SchedJob, 10, 140, 16);
         // Both drain fully (balanced).
-        r.record_span(w0, SpanKind::GangJob, 400, 900, 10);
-        r.record_span(w1, SpanKind::GangJob, 400, 900, 10);
-        r.record_span(coord, SpanKind::BarrierWait, 395, 400, 0);
+        r.record_span(w0, SpanKind::SchedJob, 400, 900, 10);
+        r.record_span(w1, SpanKind::SchedJob, 400, 900, 10);
+        r.record_span(coord, SpanKind::SchedDrainWait, 395, 400, 0);
         r
     }
 
@@ -827,8 +847,8 @@ mod tests {
         let a = r.named_track("a").unwrap();
         let b = r.named_track("b").unwrap();
         for i in 0..20u64 {
-            r.record_span(a, SpanKind::GangJob, i * 100, i * 100 + 40, i);
-            r.record_span(b, SpanKind::GangJob, i * 100 + 50, i * 100 + 90, i);
+            r.record_span(a, SpanKind::SchedJob, i * 100, i * 100 + 40, i);
+            r.record_span(b, SpanKind::SchedJob, i * 100 + 50, i * 100 + 90, i);
         }
         let stats = validate_chrome_trace(&export_chrome_trace(&r)).expect("valid");
         assert_eq!(stats.spans, 40);
@@ -856,12 +876,12 @@ mod tests {
         let w0 = cards
             .workers
             .iter()
-            .find(|w| w.track == "mcgc-gang-0")
+            .find(|w| w.track == "mcgc-sched-0")
             .unwrap();
         let w1 = cards
             .workers
             .iter()
-            .find(|w| w.track == "mcgc-gang-1")
+            .find(|w| w.track == "mcgc-sched-1")
             .unwrap();
         assert_eq!(w0.busy_ns, 390);
         assert_eq!(w1.busy_ns, 130);
@@ -873,12 +893,12 @@ mod tests {
             .find(|c| c.kind == SpanKind::PauseDrain)
             .unwrap();
         assert!((drain.imbalance - 1.0).abs() < 1e-12);
-        assert_eq!(pm.barrier_wait_ns, 5);
+        assert_eq!(pm.drain_wait_ns, 5);
         assert!((pm.worst_imbalance - 1.5).abs() < 1e-12);
         // The report renders every phase and the per-worker split.
         let text = pm.render();
         assert!(text.contains("pause.cards"));
-        assert!(text.contains("mcgc-gang-1"));
+        assert!(text.contains("mcgc-sched-1"));
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! Workload driver: spawns mutator threads, runs them to a deadline, and
 //! gathers the run-level report the benches print.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mcgc_core::{Gc, GcLog};
 use mcgc_membar::FenceStats;
+use mcgc_telemetry::trace_export::worst_pause_postmortem;
 
 /// Run-level results of a workload execution.
 #[derive(Clone, Debug)]
@@ -26,6 +28,15 @@ pub struct RunReport {
     pub pool: mcgc_core::PoolStats,
     /// Number of worker threads the workload ran.
     pub threads: usize,
+    /// Registry snapshot at the end of the window. Counters are totals
+    /// since collector construction, not window deltas — with the usual
+    /// one-collector-per-run setup (`run_standalone`) the two coincide.
+    pub metrics: BTreeMap<String, f64>,
+    /// Rendered flight-recorder postmortem of the worst pause the
+    /// recorder still holds: per-phase wall shares and per-worker
+    /// busy/idle splits. `None` when no pause was recorded (or telemetry
+    /// is disabled).
+    pub worst_pause_postmortem: Option<String>,
 }
 
 impl RunReport {
@@ -37,6 +48,12 @@ impl RunReport {
     /// Allocation rate in KB/ms over the window.
     pub fn alloc_rate_kb_per_ms(&self) -> f64 {
         self.allocated_bytes as f64 / 1024.0 / (self.wall.as_millis().max(1) as f64)
+    }
+
+    /// A metric from the end-of-window registry snapshot (0.0 when
+    /// absent).
+    pub fn metric(&self, name: &str) -> f64 {
+        self.metrics.get(name).copied().unwrap_or(0.0)
     }
 }
 
@@ -70,6 +87,7 @@ pub fn run_threads(
     let wall = start.elapsed();
     let mut log = gc.log();
     log.cycles.drain(..cycles_before.min(log.cycles.len()));
+    gc.telemetry_sample();
     RunReport {
         transactions,
         wall,
@@ -78,6 +96,9 @@ pub fn run_threads(
         fences: FenceStats::snapshot().since(&fences_before),
         pool: gc.pool_stats(),
         threads,
+        metrics: gc.telemetry().registry().sample().into_iter().collect(),
+        worst_pause_postmortem: worst_pause_postmortem(gc.telemetry().spans())
+            .map(|pm| pm.render()),
     }
 }
 

@@ -22,14 +22,41 @@ fn mb(v: f64) -> f64 {
     v / (1 << 20) as f64
 }
 
+/// Retired metric names the display still accepts: the scheduler's
+/// `gc_sched_*` counters replaced the worker-gang's `gang_*` family,
+/// and the drain wait replaced the per-phase barrier wait.
+const METRIC_ALIASES: &[(&str, &str)] = &[
+    ("gc_sched_workers", "gang_workers"),
+    ("gc_sched_sessions_total", "gang_dispatches_total"),
+    ("gc_sched_stalls_total", "gang_stalls_total"),
+    (
+        "gc_postmortem_drain_wait_ns",
+        "gc_postmortem_barrier_wait_ns",
+    ),
+];
+
 /// Reads a metric by its current (prefixed) name, falling back to the
-/// pre-`gc_`/`heap_`/`gang_` convention alias so the display keeps
-/// working against registries serialized before the rename.
+/// pre-`gc_`/`heap_` convention alias (and the retired `gang_*` names)
+/// so the display keeps working against registries serialized before
+/// the renames.
 fn metric(m: &BTreeMap<String, f64>, name: &str) -> f64 {
     if let Some(v) = m.get(name) {
         return *v;
     }
-    for prefix in ["gc_", "heap_", "gang_"] {
+    if let Some((_, old)) = METRIC_ALIASES.iter().find(|(new, _)| *new == name) {
+        if let Some(v) = m.get(*old) {
+            return *v;
+        }
+    }
+    if let Some(i) = name
+        .strip_prefix("gc_sched_worker")
+        .and_then(|rest| rest.strip_suffix("_items_total"))
+    {
+        if let Some(v) = m.get(&format!("gang_worker{i}_tasks_total")) {
+            return *v;
+        }
+    }
+    for prefix in ["gc_", "heap_"] {
         if let Some(old) = name.strip_prefix(prefix) {
             if let Some(v) = m.get(old) {
                 return *v;
@@ -144,18 +171,40 @@ fn main() {
         g("heap_alloc_refill_steals_total"),
         g("heap_alloc_wilderness_refills_total"),
     );
-    // Pause-gang utilization: per-worker claimed task counts show the
+    // Scheduler utilization: per-worker claimed item counts show the
     // atomic-cursor load balancing; stalls come from the chaos site.
-    let claimed: Vec<String> = (0..g("gang_workers") as usize)
-        .map(|i| g(&format!("gang_worker{i}_tasks_total")).to_string())
+    // One session (= one wakeup round) per pause is the design point.
+    let claimed: Vec<String> = (0..g("gc_sched_workers") as usize)
+        .map(|i| g(&format!("gc_sched_worker{i}_items_total")).to_string())
         .collect();
     println!(
-        "pause gang   : {} workers, {} dispatches, {} stalls, claims/worker [{}]",
-        g("gang_workers"),
-        g("gang_dispatches_total"),
-        g("gang_stalls_total"),
+        "scheduler    : {} workers ({} pool threads), {} sessions, {} wakeups, {} stalls, claims/worker [{}]",
+        g("gc_sched_workers"),
+        g("gc_sched_pool_threads"),
+        g("gc_sched_sessions_total"),
+        g("gc_sched_wakeups_total"),
+        g("gc_sched_stalls_total"),
         claimed.join(" "),
     );
+    // Per-bucket runs/items: which work buckets each session opened and
+    // how much was claimed out of them across all workers.
+    let buckets: Vec<String> = [
+        "cards",
+        "roots",
+        "drain",
+        "sweep",
+        "flood",
+        "clear_bits",
+        "straggler",
+    ]
+    .iter()
+    .filter_map(|name| {
+        let runs = g(&format!("gc_sched_bucket_{name}_runs_total"));
+        let items = g(&format!("gc_sched_bucket_{name}_items_total"));
+        (runs > 0).then(|| format!("{name} {runs}r/{items}i"))
+    })
+    .collect();
+    println!("sched buckets: {}", buckets.join(", "));
     println!(
         "pause phases : cards {}ms roots {}ms drain {}ms sweep {}ms clear {}ms (wall, cumulative)",
         g("gc_pause_cards_ns_total") / 1_000_000,
@@ -180,11 +229,11 @@ fn main() {
         g("gc_sweep_straggler_ns_total") / 1_000_000,
     );
     println!(
-        "postmortem   : worst pause {:.2}ms, {:.0}% attributed, imbalance {:.2}, barrier wait {:.2}ms",
+        "postmortem   : worst pause {:.2}ms, {:.0}% attributed, imbalance {:.2}, drain wait {:.2}ms",
         metric(&m, "gc_postmortem_pause_wall_ns") / 1e6,
         metric(&m, "gc_postmortem_coverage") * 100.0,
         metric(&m, "gc_postmortem_worst_imbalance"),
-        metric(&m, "gc_postmortem_barrier_wait_ns") / 1e6,
+        metric(&m, "gc_postmortem_drain_wait_ns") / 1e6,
     );
     // The flight recorder's full attribution for the worst pause —
     // per-phase wall shares and per-worker busy/idle splits.

@@ -1,7 +1,7 @@
 //! `gc_trace` — capture a flight-recorder trace from a short jbb run
 //! and write it as Chrome trace-event JSON (load `trace.json` at
 //! <https://ui.perfetto.dev> or `chrome://tracing`). The trace carries
-//! one track per gang worker, mutator, and background tracer, pause
+//! one track per scheduler worker and mutator, pause
 //! phases nested under their pause/cycle spans on the coordinator
 //! track, and heap-occupancy counter tracks snapshotted at each cycle
 //! boundary.

@@ -19,7 +19,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mcgc::fault::{site, FaultPlan};
-use mcgc::{fault, Gc, GcConfig, GcError, ObjectRef, ObjectShape, PoolConfig, SweepMode};
+use mcgc::{
+    fault, CollectorMode, Gc, GcConfig, GcError, ObjectRef, ObjectShape, PoolConfig, SweepMode,
+};
 
 /// Hard wall-clock limit per scenario. Generous — scenarios finish in
 /// seconds — because its only job is turning a livelock or deadlock
@@ -457,30 +459,38 @@ fn segment_release_faults_keep_segments_committed_and_sound() {
     });
 }
 
-/// A gang helper stalling at dispatch (satellite of the persistent
-/// pause gang) must delay the pause by at most its bounded sleep, never
-/// hang it: the leader pulls the same atomic cursors and finishes the
-/// phase's work alone. The stall is watchdog-visible through the
-/// `gang_stalls_total` gauge.
+/// A scheduler worker stalling after claiming an open bucket must delay
+/// the pause by at most its bounded sleep, never hang it: the leader
+/// pulls the same atomic cursors and finishes the bucket's work alone.
+/// The stall is watchdog-visible through the `gc_sched_stalls_total`
+/// gauge.
+///
+/// Stop-the-world mode on purpose: its multi-millisecond drain and
+/// sweep buckets keep the claim window open long enough that the pool
+/// worker wins claims even on a single-CPU host (concurrent mode's
+/// sub-millisecond buckets can close before the OS ever schedules the
+/// worker, leaving the stall site unreached).
 #[test]
-fn stalled_gang_helper_never_hangs_the_pause() {
-    with_deadline("gang_stall", || {
+fn stalled_sched_worker_never_hangs_the_pause() {
+    with_deadline("sched_stall", || {
         let _guard = FaultPlan::new(0x6A46)
-            .every_k(site::GANG_STALL, 3)
+            .every_k(site::SCHED_STALL, 1)
             .payload(50) // 50 ms nap per hit: bounded, leader-visible
             .install();
-        let gc = Gc::new(config(16 << 20, SweepMode::Eager));
+        let mut cfg = config(16 << 20, SweepMode::Eager);
+        cfg.mode = CollectorMode::StopTheWorld;
+        let gc = Gc::new(cfg);
         churn(&gc, 3, 2_000_000).unwrap();
-        assert!(fault::fires(site::GANG_STALL) > 0, "helper never stalled");
+        assert!(fault::fires(site::SCHED_STALL) > 0, "worker never stalled");
         let s = counters(&gc);
         assert!(
-            s["gang_stalls_total"] >= 1.0,
+            s["gc_sched_stalls_total"] >= 1.0,
             "stall not visible in telemetry"
         );
-        assert_eq!(s["gang_workers"], 2.0);
+        assert_eq!(s["gc_sched_workers"], 2.0);
         assert!(
-            s["gang_dispatches_total"] >= 1.0,
-            "pauses must dispatch through the gang"
+            s["gc_sched_sessions_total"] >= 1.0,
+            "pauses must open scheduler sessions"
         );
         assert!(gc.log().cycles.len() >= 3, "pauses stopped completing");
         // The collector is still fully functional after the stalls.

@@ -3,7 +3,7 @@
 //! expected tracks, the worst-pause postmortem must attribute (nearly)
 //! all pause wall time to phase spans — the ISSUE's ≥ 95% acceptance
 //! criterion — and every registry metric must follow the
-//! `gc_`/`heap_`/`gang_` naming convention.
+//! `gc_`/`heap_` naming convention.
 
 use std::collections::BTreeMap;
 
@@ -32,8 +32,8 @@ fn churn(gc: &std::sync::Arc<Gc>, cycles: usize) {
 }
 
 /// A live run's exported trace validates, and carries the coordinator
-/// track (cycle + pause-phase spans), at least one gang-worker track,
-/// and heap counter tracks.
+/// track (cycle + pause-phase spans), at least one scheduler-worker
+/// track, and heap counter tracks.
 #[test]
 fn live_trace_validates_with_expected_tracks() {
     let gc = Gc::new(small_config());
@@ -47,7 +47,10 @@ fn live_trace_validates_with_expected_tracks() {
     assert!(stats.span_tracks >= 2, "coordinator + at least one worker");
     assert!(stats.counters > 0, "heap inspection counter points");
     assert!(trace.contains("\"gc coordinator\""));
-    assert!(trace.contains("mcgc-gang-"), "gang helper track present");
+    assert!(
+        trace.contains("mcgc-sched-"),
+        "scheduler worker track present"
+    );
     assert!(trace.contains("\"heap_occupancy\""));
 
     // The coordinator track holds the nested pause-phase spans.
@@ -82,8 +85,9 @@ fn worst_pause_postmortem_attributes_wall_time() {
     assert!(m["gc_postmortem_pause_wall_ns"] > 0.0);
 }
 
-/// Every metric the registry samples follows the `gc_`/`heap_`/`gang_`
-/// prefix convention (the PR 6 naming audit; new metrics must comply).
+/// Every metric the registry samples follows the `gc_`/`heap_` prefix
+/// convention (the PR 6 naming audit; new metrics must comply — the
+/// scheduler's counters live under `gc_sched_`).
 #[test]
 fn registry_metric_names_follow_prefix_convention() {
     let gc = Gc::new(small_config());
@@ -96,7 +100,7 @@ fn registry_metric_names_follow_prefix_convention() {
         .sample()
         .into_iter()
         .map(|(name, _)| name)
-        .filter(|n| !["gc_", "heap_", "gang_"].iter().any(|p| n.starts_with(p)))
+        .filter(|n| !["gc_", "heap_"].iter().any(|p| n.starts_with(p)))
         .collect();
     assert!(
         offenders.is_empty(),

@@ -156,10 +156,11 @@ fn lazy_cgc_pause_has_no_bulk_sweep_phase() {
     // Wall-clock, so only meaningful in optimized builds — debug builds
     // inflate every phase ~20x and would assert nothing about the shape.
     // The sub-millisecond bar additionally needs real parallelism: on a
-    // 1-2 core host the pause gang, both background threads, and the
-    // mutators timeshare the same CPU, so every phase eats scheduler
-    // noise; there the bound is relaxed (but still far below the several
-    // ms an in-pause bulk sweep costs on the same host).
+    // 1-2 core host the scheduler's pause workers, both background
+    // threads, and the mutators timeshare the same CPU, so every phase
+    // eats scheduler noise; there the bound is relaxed (but still far
+    // below the several ms an in-pause bulk sweep costs on the same
+    // host).
     if cfg!(not(debug_assertions)) {
         let steady: Vec<f64> = lazy
             .log
@@ -174,6 +175,33 @@ fn lazy_cgc_pause_has_no_bulk_sweep_phase() {
         assert!(
             avg_wall_ms < bound_ms,
             "avg measured cgc pause: {avg_wall_ms:.2} ms (bound {bound_ms} ms on {cores} cores)"
+        );
+    }
+}
+
+#[test]
+fn pause_path_issues_at_most_one_wakeup_per_worker() {
+    // The scheduler's acceptance criterion: no per-phase barriers. A
+    // pause opens exactly one work-bucket session, and that open is the
+    // only wakeup — each of the `stw_workers - 1` helpers is notified
+    // at most once per pause, no matter how many phase buckets the
+    // session publishes. With eager sweep there are no straggler-fence
+    // sessions, so sessions and pauses must agree exactly.
+    for mode in [CollectorMode::StopTheWorld, CollectorMode::Concurrent] {
+        let report = run(mode, |c| c.sweep = SweepMode::Eager);
+        let pauses = report.log.cycles.len() as f64;
+        let helpers = (GcConfig::with_heap_bytes(HEAP).stw_workers - 1) as f64;
+        assert!(pauses >= 3.0, "want several pauses, got {pauses}");
+        let sessions = report.metric("gc_sched_sessions_total");
+        let wakeups = report.metric("gc_sched_wakeups_total");
+        assert_eq!(
+            sessions, pauses,
+            "{mode:?}: eager cycles open exactly one session per pause"
+        );
+        assert!(
+            wakeups <= pauses * helpers,
+            "{mode:?}: {wakeups} wakeups for {pauses} pauses x {helpers} helpers \
+             — a per-phase barrier is back on the pause path"
         );
     }
 }
